@@ -1,0 +1,57 @@
+"""Ablation: operational DP vs AGGR[FOL] interpreter vs SQL vs certainty paths.
+
+DESIGN.md calls out two design choices for ablation: the operational dynamic
+program versus literally interpreting the constructed AGGR[FOL] formula, and
+the generated consistent-rewriting SQL versus the direct recursive certainty
+checker.  Both pairs must agree; the benchmark records their cost gap.
+"""
+
+from fractions import Fraction
+
+from repro.certainty.checker import is_certain
+from repro.certainty.rewriting import consistent_rewriting
+from repro.core.evaluator import OperationalRangeEvaluator
+from repro.core.rewriter import GlbRewriter
+from repro.fol.evaluation import evaluate_formula
+from repro.query.parser import parse_query
+from repro.sql.backend import SqliteBackend
+from repro.sql.compiler import FormulaSqlCompiler
+from repro.workloads.scenarios import fig1_stock_schema
+
+
+def test_ablation_operational_dp(benchmark, running_query, running_instance):
+    result = benchmark(OperationalRangeEvaluator(running_query).glb, running_instance)
+    assert result == Fraction(9)
+
+
+def test_ablation_aggrfol_interpreter(benchmark, running_query, running_instance):
+    rewriting = GlbRewriter(running_query).rewrite()
+    result = benchmark(rewriting.evaluate, running_instance)
+    assert result == Fraction(9)
+
+
+def test_ablation_certainty_direct_checker(benchmark, stock_instance):
+    body = parse_query(fig1_stock_schema(), "Dealers('James', t), Stock(p, t, 35)")
+    result = benchmark(is_certain, body, stock_instance)
+    assert result is True
+
+
+def test_ablation_certainty_fol_rewriting(benchmark, stock_instance):
+    body = parse_query(fig1_stock_schema(), "Dealers('James', t), Stock(p, t, 35)")
+    formula = consistent_rewriting(body)
+    result = benchmark(evaluate_formula, stock_instance, formula)
+    assert result is True
+
+
+def test_ablation_certainty_sql_rewriting(benchmark, stock_instance):
+    body = parse_query(fig1_stock_schema(), "Dealers('James', t), Stock(p, t, 35)")
+    sql = FormulaSqlCompiler().compile_sentence(consistent_rewriting(body))
+    backend = SqliteBackend()
+    backend.load(stock_instance)
+
+    def run():
+        return backend.execute_scalar(sql)
+
+    result = benchmark(run)
+    assert bool(result) is True
+    backend.close()

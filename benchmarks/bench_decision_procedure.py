@@ -1,0 +1,25 @@
+"""E5: the Theorem 1.1 decision procedure and rewriting construction.
+
+The decision (acyclicity of the attack graph + aggregate properties) and the
+construction of the rewriting must both scale polynomially with the number of
+atoms; the benchmark sweeps chain queries of increasing length.
+"""
+
+import pytest
+
+from repro.core.rewriter import GlbRewriter
+from repro.experiments.harness import _chain_query
+
+
+@pytest.mark.parametrize("atoms", [2, 4, 8])
+def test_decision_procedure(benchmark, atoms):
+    query = _chain_query(atoms)
+    result = benchmark(lambda: GlbRewriter(query).is_rewritable())
+    assert result is True
+
+
+@pytest.mark.parametrize("atoms", [2, 4, 8])
+def test_rewriting_construction(benchmark, atoms):
+    query = _chain_query(atoms)
+    rewriting = benchmark(lambda: GlbRewriter(query).rewrite())
+    assert rewriting.value_term is not None

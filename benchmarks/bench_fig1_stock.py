@@ -1,0 +1,30 @@
+"""E1 + E4: Fig. 1 dbStock — glb of the introduction's query g0, superfrugal check.
+
+Paper values: the dagger repair of Fig. 1 attains the glb 70 for
+``SUM(y) <- Dealers('Smith', t), Stock(p, t, y)``.
+"""
+
+from fractions import Fraction
+
+from repro.core.evaluator import OperationalRangeEvaluator
+from repro.core.range_answers import RangeConsistentAnswers
+from repro.query.parser import parse_query
+from repro.repairs.frugal import find_superfrugal_repairs
+from repro.workloads.scenarios import fig1_stock_schema
+
+
+def test_fig1_glb_via_rewriting(benchmark, intro_query, stock_instance):
+    result = benchmark(OperationalRangeEvaluator(intro_query).glb, stock_instance)
+    assert result == Fraction(70)
+
+
+def test_fig1_full_range(benchmark, intro_query, stock_instance):
+    answers = RangeConsistentAnswers(intro_query)
+    result = benchmark(answers.range, stock_instance)
+    assert result.as_tuple() == (Fraction(70), Fraction(96))
+
+
+def test_fig1_superfrugal_repairs(benchmark, stock_instance):
+    body = parse_query(fig1_stock_schema(), "Dealers('James', t), Stock(p, t, 35)")
+    repairs = benchmark(find_superfrugal_repairs, body, stock_instance)
+    assert len(repairs) >= 1

@@ -1,0 +1,30 @@
+"""E2: the attack graph of Example 3.1 / Fig. 2 (acyclic, R attacks M and N)."""
+
+from repro.attacks.attack_graph import AttackGraph
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.query.parser import parse_query
+
+_SCHEMA = Schema(
+    [
+        RelationSignature("R", 2, 1),
+        RelationSignature("S", 3, 2),
+        RelationSignature("T", 3, 2),
+        RelationSignature("N", 3, 2),
+        RelationSignature("M", 2, 2),
+    ]
+)
+_QUERY = parse_query(_SCHEMA, "R(x, y), S(y, z, u), T(y, z, w), N(u, v, r), M(u, w)")
+
+
+def test_fig2_attack_graph_construction(benchmark):
+    graph = benchmark(AttackGraph, _QUERY)
+    assert graph.is_acyclic()
+    r_atom = _QUERY.atom_for_relation("R")
+    assert graph.attacks_atom(r_atom, _QUERY.atom_for_relation("M"))
+    assert graph.attacks_atom(r_atom, _QUERY.atom_for_relation("N"))
+
+
+def test_fig2_topological_sort(benchmark):
+    graph = AttackGraph(_QUERY)
+    order = benchmark(graph.topological_sort)
+    assert order[0].relation == "R"

@@ -1,0 +1,34 @@
+"""E3: the running example of Section 6.1 (Figs. 3-5), GLB-CQA(g0()) = 9.
+
+All three execution paths — the ∀embedding dynamic program, the AGGR[FOL]
+interpreter, and the generated SQL on sqlite3 — must return 9.
+"""
+
+from fractions import Fraction
+
+from repro.core.evaluator import OperationalRangeEvaluator
+from repro.core.rewriter import GlbRewriter
+from repro.embeddings.forall import forall_embeddings
+from repro.sql.backend import SqliteBackend
+
+
+def test_fig3_forall_embeddings(benchmark, running_query, running_instance):
+    result = benchmark(forall_embeddings, running_query.body, running_instance)
+    assert len(result) == 8
+
+
+def test_fig5_glb_operational(benchmark, running_query, running_instance):
+    result = benchmark(OperationalRangeEvaluator(running_query).glb, running_instance)
+    assert result == Fraction(9)
+
+
+def test_fig5_glb_aggrfol_interpreter(benchmark, running_query, running_instance):
+    rewriting = GlbRewriter(running_query).rewrite()
+    result = benchmark(rewriting.evaluate, running_instance)
+    assert result == Fraction(9)
+
+
+def test_fig5_glb_sql(benchmark, running_query, running_instance):
+    backend = SqliteBackend()
+    result = benchmark(backend.glb, running_query, running_instance)
+    assert result == Fraction(9)

@@ -1,0 +1,29 @@
+"""E6: the Theorem 7.9 refutation — Caggforest SUM with −1 values.
+
+The ConQuer-style independent-block evaluation disagrees with the exact glb on
+the MAX-CUT gadget, while both agree on non-negative Caggforest instances.
+"""
+
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.baselines.fuxman import FuxmanIndependentBlockSolver, is_caggforest
+from repro.query.parser import parse_aggregation_query
+from repro.workloads.scenarios import theorem79_gadget
+
+_EDGES = [("v1", "v2"), ("v2", "v3"), ("v1", "v3"), ("v3", "v4")]
+_SCHEMA, _INSTANCE = theorem79_gadget(_EDGES)
+_QUERY = parse_aggregation_query(
+    _SCHEMA, "SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)"
+)
+
+
+def test_gadget_exact_glb(benchmark):
+    solver = BranchAndBoundSolver(_QUERY, use_pruning=False)
+    exact = benchmark(solver.glb, _INSTANCE)
+    assert is_caggforest(_QUERY)
+    assert exact is not None
+
+
+def test_gadget_fuxman_style_value_differs(benchmark):
+    fuxman = benchmark(FuxmanIndependentBlockSolver(_QUERY).glb, _INSTANCE)
+    exact = BranchAndBoundSolver(_QUERY, use_pruning=False).glb(_INSTANCE)
+    assert fuxman != exact

@@ -1,0 +1,30 @@
+"""E11: GROUP BY range answers (Section 6.2) — per-dealer totals."""
+
+from fractions import Fraction
+
+from repro.core.range_answers import RangeConsistentAnswers
+from repro.query.parser import parse_aggregation_query
+from repro.workloads.queries import stock_groupby_query
+from repro.workloads.scenarios import fig1_stock_schema
+
+
+def test_groupby_on_stock(benchmark, stock_instance):
+    answers = RangeConsistentAnswers(stock_groupby_query())
+    result = benchmark(answers.answers, stock_instance)
+    assert result[("James",)].glb == Fraction(70)
+    assert result[("Smith",)].lub == Fraction(96)
+
+
+def test_groupby_glb_only_on_synthetic(benchmark, synthetic_instances):
+    query = parse_aggregation_query(
+        fig1_stock_schema(), "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+    )
+    answers = RangeConsistentAnswers(query)
+    instance = synthetic_instances[50]
+    result = benchmark(
+        lambda: {
+            group: answers.glb(instance, {"x": group[0]})
+            for group in list(answers.answers(instance))[:5]
+        }
+    )
+    assert result

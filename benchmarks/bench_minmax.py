@@ -1,0 +1,30 @@
+"""E10: MIN/MAX glb and lub (Theorems 7.10 and 7.11) on dbStock and synthetic data."""
+
+import pytest
+
+from repro.core.minmax import MinMaxRangeEvaluator
+from repro.query.parser import parse_aggregation_query
+from repro.workloads.scenarios import fig1_stock_schema
+
+
+@pytest.mark.parametrize("aggregate", ["MIN", "MAX"])
+@pytest.mark.parametrize("direction", ["glb", "lub"])
+def test_minmax_on_stock(benchmark, stock_instance, aggregate, direction):
+    query = parse_aggregation_query(
+        fig1_stock_schema(), f"{aggregate}(y) <- Dealers('Smith', t), Stock(p, t, y)"
+    )
+    evaluator = MinMaxRangeEvaluator(query)
+    function = evaluator.glb if direction == "glb" else evaluator.lub
+    result = benchmark(function, stock_instance)
+    assert result is not None
+
+
+@pytest.mark.parametrize("aggregate", ["MIN", "MAX"])
+def test_minmax_on_synthetic(benchmark, synthetic_instances, aggregate):
+    query = parse_aggregation_query(
+        fig1_stock_schema(), f"{aggregate}(y) <- Dealers('dealer0', t), Stock(p, t, y)"
+    )
+    evaluator = MinMaxRangeEvaluator(query)
+    instance = synthetic_instances[200]
+    result = benchmark(lambda: (evaluator.glb(instance), evaluator.lub(instance)))
+    assert len(result) == 2

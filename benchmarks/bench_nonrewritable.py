@@ -1,0 +1,30 @@
+"""E7: aggregates outside the rewritable class (AVG, PRODUCT, COUNT-DISTINCT).
+
+The separation theorem places these on the negative side (Corollary 7.5 /
+Arenas et al.); the exact branch-and-bound solver still answers them, at a
+cost that grows with the number of inconsistent blocks.
+"""
+
+import pytest
+
+from repro.attacks.classification import classify_aggregation_query
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.core.evaluator import BOTTOM
+from repro.query.parser import parse_aggregation_query
+from repro.workloads.generators import InconsistentDatabaseGenerator, WorkloadSpec
+from repro.workloads.scenarios import fig1_stock_schema
+
+_INSTANCE = InconsistentDatabaseGenerator(
+    WorkloadSpec(dealers=6, products=6, towns=4, stock_facts=25, inconsistency=0.3, seed=3)
+).generate()
+
+
+@pytest.mark.parametrize("aggregate", ["AVG", "PRODUCT", "COUNT_DISTINCT"])
+def test_nonrewritable_aggregate_via_branch_and_bound(benchmark, aggregate):
+    query = parse_aggregation_query(
+        fig1_stock_schema(), f"{aggregate}(y) <- Dealers('dealer0', t), Stock(p, t, y)"
+    )
+    verdict = classify_aggregation_query(query, "glb")
+    assert verdict.expressible is not True
+    result = benchmark(BranchAndBoundSolver(query).glb, _INSTANCE)
+    assert result is BOTTOM or result >= 0 or aggregate == "AVG"

@@ -1,0 +1,64 @@
+"""E8: scalability and crossover — rewriting vs branch-and-bound vs exhaustive.
+
+The rewriting-based evaluator and the SQL pipeline scale polynomially with the
+database size; the exact branch-and-bound baseline is exponential in the
+number of inconsistent blocks (it stands in for AggCAvSAT), and exhaustive
+repair enumeration is exponential in all inconsistent blocks.  The expected
+shape: rewriting wins on every size, the gap widens with the database.
+"""
+
+import pytest
+
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.core.evaluator import OperationalRangeEvaluator
+from repro.workloads.generators import InconsistentDatabaseGenerator, WorkloadSpec
+from repro.workloads.queries import stock_sum_query
+
+_QUERY = stock_sum_query("dealer0")
+
+
+def _instance(blocks: int, inconsistency: float = 0.2, seed: int = 0):
+    return InconsistentDatabaseGenerator(
+        WorkloadSpec(
+            dealers=max(5, blocks // 10),
+            products=max(5, blocks // 10),
+            towns=max(5, blocks // 20),
+            stock_facts=blocks,
+            inconsistency=inconsistency,
+            seed=seed,
+        )
+    ).generate()
+
+
+@pytest.mark.parametrize("blocks", [50, 200, 500])
+def test_rewriting_scalability(benchmark, blocks):
+    instance = _instance(blocks)
+    evaluator = OperationalRangeEvaluator(_QUERY)
+    result = benchmark(evaluator.glb, instance)
+    assert result is not None
+
+
+@pytest.mark.parametrize("blocks", [50, 200])
+def test_branch_and_bound_scalability(benchmark, blocks):
+    instance = _instance(blocks)
+    solver = BranchAndBoundSolver(_QUERY)
+    result = benchmark(solver.glb, instance)
+    assert result == OperationalRangeEvaluator(_QUERY).glb(instance)
+
+
+def test_exhaustive_small_instance(benchmark):
+    # Exhaustive enumeration is only feasible on a tiny instance; it provides
+    # the ground-truth anchor of the comparison.
+    instance = _instance(12, inconsistency=0.3, seed=1)
+    solver = ExhaustiveRangeSolver(_QUERY)
+    result = benchmark(solver.glb, instance)
+    assert result == OperationalRangeEvaluator(_QUERY).glb(instance)
+
+
+@pytest.mark.parametrize("inconsistency", [0.0, 0.2, 0.5])
+def test_rewriting_vs_inconsistency_ratio(benchmark, inconsistency):
+    instance = _instance(200, inconsistency=inconsistency, seed=2)
+    evaluator = OperationalRangeEvaluator(_QUERY)
+    result = benchmark(evaluator.glb, instance)
+    assert result is not None

@@ -1,0 +1,21 @@
+"""E9: the SQL rewriting on sqlite3 agrees with (and is timed against) the
+operational evaluator on synthetic workloads."""
+
+import pytest
+
+from repro.core.evaluator import OperationalRangeEvaluator
+from repro.sql.backend import SqliteBackend
+from repro.sql.generator import SqlRewritingGenerator
+
+
+@pytest.mark.parametrize("blocks", [50, 200, 500])
+def test_sql_pipeline_scalability(benchmark, synthetic_instances, synthetic_query, blocks):
+    instance = synthetic_instances[blocks]
+    backend = SqliteBackend()
+    result = benchmark(backend.glb, synthetic_query, instance)
+    assert result == OperationalRangeEvaluator(synthetic_query).glb(instance)
+
+
+def test_sql_generation_only(benchmark, synthetic_query):
+    generated = benchmark(lambda: SqlRewritingGenerator(synthetic_query).generate())
+    assert "WITH" in generated.value_sql

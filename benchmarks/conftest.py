@@ -1,0 +1,51 @@
+"""Benchmark fixtures (pytest-benchmark)."""
+
+import pytest
+
+from repro.workloads.generators import InconsistentDatabaseGenerator, WorkloadSpec
+from repro.workloads.queries import running_example_query, stock_sum_query
+from repro.workloads.scenarios import fig1_stock_instance, fig3_running_example_instance
+
+
+@pytest.fixture(scope="session")
+def stock_instance():
+    return fig1_stock_instance()
+
+
+@pytest.fixture(scope="session")
+def running_instance():
+    return fig3_running_example_instance()
+
+
+@pytest.fixture(scope="session")
+def intro_query():
+    return stock_sum_query()
+
+
+@pytest.fixture(scope="session")
+def running_query():
+    return running_example_query()
+
+
+@pytest.fixture(scope="session")
+def synthetic_instances():
+    """Synthetic Stock-like instances keyed by the number of Stock blocks."""
+    sizes = (50, 200, 500)
+    return {
+        size: InconsistentDatabaseGenerator(
+            WorkloadSpec(
+                dealers=max(5, size // 10),
+                products=max(5, size // 10),
+                towns=max(5, size // 20),
+                stock_facts=size,
+                inconsistency=0.2,
+                seed=0,
+            )
+        ).generate()
+        for size in sizes
+    }
+
+
+@pytest.fixture(scope="session")
+def synthetic_query():
+    return stock_sum_query("dealer0")

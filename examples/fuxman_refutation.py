@@ -1,0 +1,59 @@
+"""Reproduce the Section 7.3 refutation of Fuxman's SUM rewriting claim.
+
+Theorem 7.9: for the Caggforest query ``SUM(r) <- S1(x,'c1'), S2(y,'c2'),
+T(x,y,r)``, GLB-CQA becomes NP-hard as soon as the numeric column may contain
+``-1`` — so the SQL rewriting claimed in Fuxman's thesis cannot be correct.
+The example builds the MAX-CUT gadget of Appendix K, compares the exact glb
+with the ConQuer-style independent-block evaluation, and shows that the
+library's own classifier refuses to produce a rewriting once negative numbers
+are in play (SUM is no longer monotone).
+
+Run with::
+
+    python examples/fuxman_refutation.py
+"""
+
+from repro import parse_aggregation_query
+from repro.aggregates import SUM, descending_chain_witness
+from repro.baselines import (
+    BranchAndBoundSolver,
+    FuxmanIndependentBlockSolver,
+    is_caggforest,
+)
+from repro.workloads import theorem79_gadget
+
+
+def main() -> None:
+    edges = [("v1", "v2"), ("v2", "v3"), ("v1", "v3"), ("v3", "v4")]
+    schema, instance = theorem79_gadget(edges)
+    query = parse_aggregation_query(
+        schema, "SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)"
+    )
+
+    print(f"query: {query}")
+    print(f"in Caggforest (Definition N.1): {is_caggforest(query)}")
+    print(
+        f"facts: {len(instance)}, inconsistent blocks: "
+        f"{len(instance.inconsistent_blocks())}"
+    )
+
+    chain = descending_chain_witness(SUM, allow_negative=True)
+    print(
+        f"\nSUM over N ∪ {{-1}} has a bounded descending chain "
+        f"(s={chain.s}, t={chain.t}), so Lemma 7.3 applies: GLB-CQA is NP-hard."
+    )
+
+    exact = BranchAndBoundSolver(query, use_pruning=False).glb(instance)
+    fuxman = FuxmanIndependentBlockSolver(query).glb(instance)
+    print(f"\nexact glb (branch-and-bound over repairs): {exact}")
+    print(f"ConQuer-style independent-block value:     {fuxman}")
+    print(f"values agree: {fuxman == exact}")
+    print(
+        "\nThe independent-block strategy that is exact for Caggforest over "
+        "non-negative numbers no longer matches the true glb, illustrating the "
+        "flaw reported in Section 7.3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""A tour of the separation theorem: which queries admit a rewriting?
+
+The example classifies a catalogue of aggregation queries with the paper's
+results (Theorems 1.1, 5.5, 6.1, 7.8, 7.10, 7.11, Corollary 7.5), prints the
+verdicts, and shows the constructed AGGR[FOL] rewriting for one rewritable
+query.
+
+Run with::
+
+    python examples/separation_theorem_tour.py
+"""
+
+from repro import (
+    GlbRewriter,
+    RelationSignature,
+    Schema,
+    classify_aggregation_query,
+    parse_aggregation_query,
+)
+
+
+def catalogue():
+    schema = Schema(
+        [
+            RelationSignature("R", 2, 1, numeric_positions=(2,)),
+            RelationSignature("S", 2, 1, numeric_positions=(2,)),
+            RelationSignature("T", 3, 2, numeric_positions=(3,)),
+            RelationSignature("U", 2, 1),
+            RelationSignature("V", 2, 1),
+        ]
+    )
+    queries = {
+        "sum over a single relation": "SUM(r) <- R(x, r)",
+        "sum over a join (acyclic attack graph)": "SUM(r) <- U(x, y), T(x, y, r)",
+        "sum over a cyclic attack graph": "SUM(r) <- U(x, y), V(y, x), T(x, y, r)",
+        "count over a join": "COUNT(1) <- U(x, y), T(x, y, r)",
+        "max over a join": "MAX(r) <- U(x, y), T(x, y, r)",
+        "min over a join": "MIN(r) <- U(x, y), T(x, y, r)",
+        "avg over a single relation": "AVG(r) <- R(x, r)",
+        "product over a single relation": "PRODUCT(r) <- R(x, r)",
+        "count-distinct over a single relation": "COUNT_DISTINCT(r) <- R(x, r)",
+    }
+    return schema, queries
+
+
+def main() -> None:
+    schema, queries = catalogue()
+    print(f"{'query':<45} {'glb rewritable':<16} {'lub rewritable':<16}")
+    print("-" * 80)
+    parsed = {}
+    for label, text in queries.items():
+        query = parse_aggregation_query(schema, text)
+        parsed[label] = query
+        glb_verdict = classify_aggregation_query(query, "glb")
+        lub_verdict = classify_aggregation_query(query, "lub")
+
+        def render(verdict):
+            if verdict.expressible is True:
+                return "yes"
+            if verdict.expressible is False:
+                return "no"
+            return "open"
+
+        print(f"{label:<45} {render(glb_verdict):<16} {render(lub_verdict):<16}")
+
+    print("\nDetailed verdict for the cyclic query:")
+    verdict = classify_aggregation_query(
+        parsed["sum over a cyclic attack graph"], "glb"
+    )
+    print(f"  {verdict.reason}")
+    print(f"  CERTAINTY complexity of the body: {verdict.certainty_class}")
+
+    print("\nConstructed AGGR[FOL] rewriting for 'sum over a join':")
+    rewriting = GlbRewriter(parsed["sum over a join (acyclic attack graph)"]).rewrite()
+    print(rewriting.describe())
+
+
+if __name__ == "__main__":
+    main()

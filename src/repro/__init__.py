@@ -1,0 +1,78 @@
+"""repro — Range Consistent Answers to Aggregation Queries via Rewriting.
+
+A reproduction of Amezian El Khalfioui & Wijsen, PODS 2024
+("Computing Range Consistent Answers to Aggregation Queries via Rewriting").
+
+Quickstart::
+
+    from repro import (
+        RelationSignature, Schema, DatabaseInstance,
+        parse_aggregation_query, compute_range_answer,
+    )
+
+    schema = Schema([
+        RelationSignature("Dealers", 2, 1, attribute_names=("Name", "Town")),
+        RelationSignature("Stock", 3, 2, numeric_positions=(3,),
+                          attribute_names=("Product", "Town", "Qty")),
+    ])
+    db = DatabaseInstance.from_rows(schema, {
+        "Dealers": [("Smith", "Boston"), ("Smith", "New York"), ("James", "Boston")],
+        "Stock": [("Tesla X", "Boston", 35), ("Tesla X", "Boston", 40),
+                  ("Tesla Y", "Boston", 35), ("Tesla Y", "New York", 95),
+                  ("Tesla Y", "New York", 96)],
+    })
+    query = parse_aggregation_query(
+        schema, "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)")
+    print(compute_range_answer(query, db))
+"""
+
+from repro.datamodel import DatabaseInstance, Fact, RelationSignature, Schema, Valuation
+from repro.query import (
+    AggregationQuery,
+    Atom,
+    ConjunctiveQuery,
+    Variable,
+    parse_aggregation_query,
+    parse_atom,
+    parse_query,
+    parse_sql_aggregation_query,
+)
+from repro.aggregates import get_operator
+from repro.attacks import AttackGraph, certainty_complexity, classify_aggregation_query
+from repro.core import (
+    BOTTOM,
+    GlbRewriter,
+    RangeAnswer,
+    RangeConsistentAnswers,
+    compute_range_answer,
+    compute_range_answers,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "RelationSignature",
+    "Schema",
+    "Fact",
+    "DatabaseInstance",
+    "Valuation",
+    "Variable",
+    "Atom",
+    "ConjunctiveQuery",
+    "AggregationQuery",
+    "parse_atom",
+    "parse_query",
+    "parse_aggregation_query",
+    "parse_sql_aggregation_query",
+    "get_operator",
+    "AttackGraph",
+    "certainty_complexity",
+    "classify_aggregation_query",
+    "BOTTOM",
+    "GlbRewriter",
+    "RangeAnswer",
+    "RangeConsistentAnswers",
+    "compute_range_answer",
+    "compute_range_answers",
+]

@@ -1,0 +1,43 @@
+"""Aggregate operators, their algebraic properties, duals and chains."""
+
+from repro.aggregates.operators import (
+    AVG,
+    COUNT,
+    COUNT_DISTINCT,
+    MAX,
+    MIN,
+    PRODUCT,
+    SUM,
+    SUM_DISTINCT,
+    AggregateOperator,
+    get_operator,
+    registered_operators,
+)
+from repro.aggregates.duals import DualAggregateOperator, dual_of
+from repro.aggregates.chains import DescendingChain, descending_chain_witness
+from repro.aggregates.properties import (
+    check_associativity,
+    check_monotonicity,
+    is_covered_by_separation_theorem,
+)
+
+__all__ = [
+    "AggregateOperator",
+    "DualAggregateOperator",
+    "DescendingChain",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "AVG",
+    "PRODUCT",
+    "COUNT_DISTINCT",
+    "SUM_DISTINCT",
+    "get_operator",
+    "registered_operators",
+    "dual_of",
+    "descending_chain_witness",
+    "check_associativity",
+    "check_monotonicity",
+    "is_covered_by_separation_theorem",
+]

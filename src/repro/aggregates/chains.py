@@ -1,0 +1,136 @@
+"""Descending chains of aggregate operators (Definition 7.1).
+
+An operator ``F`` has a *descending chain* when there are ``s, t`` such that
+``F({{s, i#t}})`` strictly decreases as ``i`` grows; the chain is *bounded*
+when adding a suitable large element ``m_i`` always pushes the value back
+above the chain.  Descending chains witness non-monotonicity and drive the
+inexpressibility results of Section 7 (Lemmas 7.2 and 7.3, Corollary 7.5,
+Theorems 7.8 and 7.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional, Union
+
+from repro.aggregates.duals import DualAggregateOperator
+from repro.aggregates.operators import (
+    AVG,
+    PRODUCT,
+    SUM,
+    AggregateOperator,
+)
+
+AnyOperator = Union[AggregateOperator, DualAggregateOperator]
+
+
+@dataclass(frozen=True)
+class DescendingChain:
+    """A witness ``(s, t)`` of a descending chain, optionally bounded by ``m_i``.
+
+    ``bound_for(i)`` returns the element ``m_i`` of Definition 7.1 when the
+    chain is bounded, else ``None``.
+    """
+
+    operator_name: str
+    s: Fraction
+    t: Fraction
+    bounded: bool
+    _bound: Optional[Callable[[int], Fraction]] = None
+
+    def prefix_value(self, i: int, operator: AnyOperator) -> Fraction:
+        """``F({{s, i#t}})`` for the witnessing values."""
+        return operator([self.s] + [self.t] * i)
+
+    def bound_for(self, i: int) -> Optional[Fraction]:
+        """The element ``m_i`` that makes the chain bounded (Definition 7.1)."""
+        if not self.bounded or self._bound is None:
+            return None
+        return self._bound(i)
+
+    def verify(self, operator: AnyOperator, length: int = 6) -> bool:
+        """Check the strict-decrease condition for the first ``length`` steps."""
+        values = [self.prefix_value(i, operator) for i in range(length + 1)]
+        return all(values[i] > values[i + 1] for i in range(length))
+
+    def verify_bounded(self, operator: AnyOperator, upto: int = 4) -> bool:
+        """Check the boundedness condition for indices up to ``upto``."""
+        if not self.bounded:
+            return False
+        for i in range(upto + 1):
+            m_i = self.bound_for(i)
+            if m_i is None:
+                return False
+            for j in range(1, 3):
+                for k in range(i + 1):
+                    for k_prime in range(k + 1):
+                        low = operator([self.s] + [self.t] * k_prime)
+                        high = operator([m_i] * j + [self.s] + [self.t] * k)
+                        if not low < high:
+                            return False
+        return True
+
+
+def descending_chain_witness(
+    operator: AnyOperator, allow_negative: bool = False
+) -> Optional[DescendingChain]:
+    """Return the known descending-chain witness for ``operator``.
+
+    The witnesses follow the proofs of Lemma 7.4, Theorem 7.8 and Theorem 7.9:
+
+    * AVG: ``s=1, t=0`` with bound ``m_i = i + 2`` (bounded);
+    * PRODUCT: ``s=t=1/2`` with bound ``m_i = 2^(i+1)`` (bounded);
+    * SUM over a domain allowing ``-1`` (``allow_negative=True``):
+      ``s=0, t=-1`` with bound ``m_i = i + 1`` (bounded, Theorem 7.9);
+    * duals of SUM, AVG, PRODUCT (Theorem 7.8).
+
+    Returns ``None`` when no witness is known (in particular for monotone
+    operators over the non-negative rationals, which cannot have one).
+    """
+    if isinstance(operator, DualAggregateOperator):
+        base = operator.base.name
+        if base == "SUM":
+            return DescendingChain("SUM_DUAL", Fraction(1), Fraction(1), bounded=False)
+        if base == "AVG":
+            return DescendingChain("AVG_DUAL", Fraction(0), Fraction(1), bounded=False)
+        if base == "PRODUCT":
+            return DescendingChain(
+                "PRODUCT_DUAL",
+                Fraction(2),
+                Fraction(2),
+                bounded=True,
+                _bound=lambda i: Fraction(1, 2 ** (i + 1)),
+            )
+        return None
+
+    name = operator.name
+    if name == "AVG":
+        return DescendingChain(
+            "AVG",
+            Fraction(1),
+            Fraction(0),
+            bounded=True,
+            _bound=lambda i: Fraction(i + 2),
+        )
+    if name == "PRODUCT":
+        return DescendingChain(
+            "PRODUCT",
+            Fraction(1, 2),
+            Fraction(1, 2),
+            bounded=True,
+            _bound=lambda i: Fraction(2 ** (i + 1)),
+        )
+    if name == "SUM" and allow_negative:
+        return DescendingChain(
+            "SUM(with -1)",
+            Fraction(0),
+            Fraction(-1),
+            bounded=True,
+            _bound=lambda i: Fraction(i + 1),
+        )
+    if name == "COUNT_DISTINCT":
+        # COUNT-DISTINCT lacks monotonicity but has no descending chain of the
+        # Definition 7.1 shape: repeating t never decreases the value.
+        return None
+    return None

@@ -1,0 +1,75 @@
+"""Dual aggregate operators (Definition 7.6).
+
+The dual of a positive aggregate operator ``F`` returns ``-1 * F(X)`` on
+non-empty multisets and ``F(∅)`` on the empty multiset.  LUB-CQA for ``g()``
+coincides, up to a sign, with GLB-CQA for the query using the dual operator
+(Proposition 7.7); this is how the library computes least upper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.aggregates.operators import AggregateOperator, Number
+
+
+@dataclass(frozen=True)
+class DualAggregateOperator:
+    """The dual ``F^dual`` of a positive aggregate operator ``F``."""
+
+    base: AggregateOperator
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}_DUAL"
+
+    @property
+    def empty_value(self) -> Optional[Fraction]:
+        return self.base.empty_value
+
+    @property
+    def requires_numeric_argument(self) -> bool:
+        return self.base.requires_numeric_argument
+
+    @property
+    def distinct(self) -> bool:
+        return self.base.distinct
+
+    def __call__(self, values: Sequence[Number]) -> Optional[Fraction]:
+        if not values:
+            return self.base.empty_value
+        result = self.base(values)
+        return None if result is None else -result
+
+    # -- properties of the dual -------------------------------------------------
+
+    @property
+    def monotone(self) -> bool:
+        """Duals of the built-in operators are generally not monotone.
+
+        The dual of MIN is monotone (bigger inputs can only raise ``-MIN``
+        when... in fact ``-MIN`` *decreases* when elements are added), so we
+        conservatively report the only safe case: the dual of an operator is
+        monotone exactly when declared so here.  For the operators shipped
+        with the library no dual is monotone, which matches Theorem 7.8.
+        """
+        return False
+
+    @property
+    def associative(self) -> bool:
+        """Duals are not associative in general (the sign flips compose badly)."""
+        return False
+
+    @property
+    def is_monotone_and_associative(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def dual_of(operator: AggregateOperator) -> DualAggregateOperator:
+    """Return the dual aggregate operator of ``operator``."""
+    return DualAggregateOperator(operator)

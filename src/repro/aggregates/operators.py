@@ -1,0 +1,213 @@
+"""Aggregate operators over multisets of (non-negative) rational numbers.
+
+Following Section 5.1 of the paper, a *(positive) aggregate operator* is a
+function taking a finite multiset of non-negative rationals and returning a
+rational (for non-empty input); its value on the empty multiset is a fixed
+constant ``f0``.  We additionally record the algebraic properties
+(monotonicity, associativity) that drive the separation theorem.
+
+Multisets are represented as Python sequences; order is irrelevant for all
+operators defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from functools import reduce
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.datamodel.facts import as_fraction
+from repro.exceptions import UnsupportedAggregateError
+
+Number = Union[int, float, Fraction]
+
+
+def _to_fractions(values: Sequence[Number]) -> List[Fraction]:
+    return [as_fraction(v) for v in values]
+
+
+@dataclass(frozen=True)
+class AggregateOperator:
+    """An aggregate operator ``F_AGG`` with its declared algebraic properties.
+
+    Attributes
+    ----------
+    name:
+        The aggregate symbol (``"SUM"``, ``"COUNT"``, ...).
+    function:
+        Maps a non-empty list of :class:`Fraction` to a :class:`Fraction`.
+    empty_value:
+        ``F(∅) = f0``.  ``None`` models the "no convention" case; range CQA
+        returns ⊥ before this value would ever be needed.
+    monotone / associative:
+        The properties of Section 5.1 over the non-negative rationals.
+    distinct:
+        Whether the operator first removes duplicates (COUNT-DISTINCT, ...).
+    requires_numeric_argument:
+        COUNT-style operators accept any constants; the others need numbers.
+    """
+
+    name: str
+    function: Callable[[List[Fraction]], Fraction]
+    empty_value: Optional[Fraction] = None
+    monotone: bool = False
+    associative: bool = False
+    distinct: bool = False
+    requires_numeric_argument: bool = True
+
+    def __call__(self, values: Sequence[Number]) -> Optional[Fraction]:
+        """Apply the operator to a multiset of values.
+
+        Returns ``empty_value`` (possibly ``None``) on the empty multiset.
+        """
+        if not values:
+            return self.empty_value
+        if self.requires_numeric_argument:
+            prepared = _to_fractions(values)
+        else:
+            prepared = list(values)
+        return self.function(prepared)
+
+    @property
+    def is_monotone_and_associative(self) -> bool:
+        """True for the operators covered by Theorem 1.1 (e.g. SUM, MAX)."""
+        return self.monotone and self.associative
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# -- concrete operator implementations -----------------------------------------------
+
+
+def _sum(values: List[Fraction]) -> Fraction:
+    return sum(values, Fraction(0))
+
+
+def _count(values: List) -> Fraction:
+    return Fraction(len(values))
+
+
+def _minimum(values: List[Fraction]) -> Fraction:
+    return min(values)
+
+
+def _maximum(values: List[Fraction]) -> Fraction:
+    return max(values)
+
+
+def _average(values: List[Fraction]) -> Fraction:
+    return sum(values, Fraction(0)) / Fraction(len(values))
+
+
+def _product(values: List[Fraction]) -> Fraction:
+    return reduce(lambda a, b: a * b, values, Fraction(1))
+
+
+def _count_distinct(values: List) -> Fraction:
+    return Fraction(len(set(values)))
+
+
+def _sum_distinct(values: List[Fraction]) -> Fraction:
+    return sum(set(values), Fraction(0))
+
+
+SUM = AggregateOperator(
+    name="SUM",
+    function=_sum,
+    empty_value=Fraction(0),
+    monotone=True,
+    associative=True,
+)
+
+#: COUNT is monotone but not associative; the paper handles COUNT-queries by
+#: rewriting them as ``SUM(1)`` (Section 6), which this library does as well.
+COUNT = AggregateOperator(
+    name="COUNT",
+    function=_count,
+    empty_value=Fraction(0),
+    monotone=True,
+    associative=False,
+    requires_numeric_argument=False,
+)
+
+MIN = AggregateOperator(
+    name="MIN",
+    function=_minimum,
+    empty_value=None,
+    monotone=False,
+    associative=True,
+)
+
+MAX = AggregateOperator(
+    name="MAX",
+    function=_maximum,
+    empty_value=None,
+    monotone=True,
+    associative=True,
+)
+
+AVG = AggregateOperator(
+    name="AVG",
+    function=_average,
+    empty_value=None,
+    monotone=False,
+    associative=False,
+)
+
+PRODUCT = AggregateOperator(
+    name="PRODUCT",
+    function=_product,
+    empty_value=Fraction(1),
+    monotone=False,
+    associative=True,
+)
+
+COUNT_DISTINCT = AggregateOperator(
+    name="COUNT_DISTINCT",
+    function=_count_distinct,
+    empty_value=Fraction(0),
+    monotone=False,
+    associative=False,
+    distinct=True,
+    requires_numeric_argument=False,
+)
+
+SUM_DISTINCT = AggregateOperator(
+    name="SUM_DISTINCT",
+    function=_sum_distinct,
+    empty_value=Fraction(0),
+    monotone=True,
+    associative=False,
+    distinct=True,
+)
+
+_REGISTRY: Dict[str, AggregateOperator] = {
+    op.name: op
+    for op in (SUM, COUNT, MIN, MAX, AVG, PRODUCT, COUNT_DISTINCT, SUM_DISTINCT)
+}
+_ALIASES = {
+    "COUNT-DISTINCT": "COUNT_DISTINCT",
+    "SUM-DISTINCT": "SUM_DISTINCT",
+}
+
+
+def get_operator(name: str) -> AggregateOperator:
+    """Look up an aggregate operator by symbol (case-insensitive)."""
+    key = name.upper().strip()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError as exc:
+        raise UnsupportedAggregateError(f"unknown aggregate operator {name!r}") from exc
+
+
+def registered_operators() -> Tuple[AggregateOperator, ...]:
+    """All built-in aggregate operators."""
+    return tuple(_REGISTRY.values())
+
+
+def register_operator(operator: AggregateOperator) -> None:
+    """Register a user-defined aggregate operator (by its ``name``)."""
+    _REGISTRY[operator.name.upper()] = operator

@@ -1,0 +1,106 @@
+"""Empirical checkers for the algebraic properties of aggregate operators.
+
+The separation theorem (Theorem 1.1) applies to aggregate operators that are
+*monotone* and *associative* over the non-negative rationals (Section 5.1).
+Besides the declared flags on :class:`~repro.aggregates.operators.
+AggregateOperator`, this module provides randomized property checkers used in
+tests (including the hypothesis-based property tests) and a single predicate
+that decides whether an operator is covered by the positive side of the
+theorem.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.aggregates.duals import DualAggregateOperator
+from repro.aggregates.operators import AggregateOperator
+
+AnyOperator = Union[AggregateOperator, DualAggregateOperator]
+
+
+def _random_multiset(rng: random.Random, max_size: int, max_value: int) -> List[Fraction]:
+    size = rng.randint(1, max_size)
+    return [
+        Fraction(rng.randint(0, max_value), rng.randint(1, 4)) for _ in range(size)
+    ]
+
+
+def check_associativity(
+    operator: AnyOperator,
+    trials: int = 200,
+    seed: int = 0,
+    max_size: int = 5,
+    max_value: int = 20,
+) -> Optional[Tuple[List[Fraction], List[Fraction]]]:
+    """Search for a counterexample to associativity.
+
+    Associativity (Section 5.1): for non-empty ``X`` and any ``Y``,
+    ``F(X ⊎ Y) = F({{F(X)}} ⊎ Y)``.  Returns ``None`` when no counterexample
+    is found within ``trials`` random attempts, otherwise the pair ``(X, Y)``
+    witnessing the violation.
+    """
+    rng = random.Random(seed)
+    for _ in range(trials):
+        x = _random_multiset(rng, max_size, max_value)
+        y_size = rng.randint(0, max_size)
+        y = [
+            Fraction(rng.randint(0, max_value), rng.randint(1, 4))
+            for _ in range(y_size)
+        ]
+        direct = operator(x + y)
+        folded_inner = operator(x)
+        if folded_inner is None:
+            continue
+        folded = operator([folded_inner] + y)
+        if direct != folded:
+            return (x, y)
+    return None
+
+
+def check_monotonicity(
+    operator: AnyOperator,
+    trials: int = 200,
+    seed: int = 0,
+    max_size: int = 5,
+    max_value: int = 20,
+) -> Optional[Tuple[List[Fraction], List[Fraction]]]:
+    """Search for a counterexample to monotonicity.
+
+    Monotonicity (Section 5.1): increasing elements point-wise and/or adding
+    extra elements can never decrease the aggregated value.  Returns ``None``
+    when no counterexample is found, otherwise a pair ``(smaller_multiset,
+    larger_multiset)`` for which the operator decreases.
+    """
+    rng = random.Random(seed)
+    for _ in range(trials):
+        base = _random_multiset(rng, max_size, max_value)
+        increased = [v + Fraction(rng.randint(0, 3)) for v in base]
+        extra = [
+            Fraction(rng.randint(0, max_value), rng.randint(1, 4))
+            for _ in range(rng.randint(0, max_size))
+        ]
+        larger = increased + extra
+        small_value = operator(base)
+        large_value = operator(larger)
+        if small_value is None or large_value is None:
+            continue
+        if small_value > large_value:
+            return (base, larger)
+    return None
+
+
+def is_covered_by_separation_theorem(operator: AnyOperator) -> bool:
+    """True when Theorem 1.1 applies to the operator.
+
+    The theorem requires monotonicity and associativity.  COUNT, while not
+    associative, is covered because COUNT-queries can be expressed as
+    ``SUM(1)`` (Section 6); the rewriter performs that translation, so COUNT
+    is reported as covered here.
+    """
+    if isinstance(operator, AggregateOperator) and operator.name == "COUNT":
+        return True
+    return bool(operator.monotone and operator.associative)

@@ -1,0 +1,20 @@
+"""Attack graphs and complexity classification for CQA."""
+
+from repro.attacks.fds import FunctionalDependency, closure, implies_fd, key_fds
+from repro.attacks.attack_graph import AttackGraph
+from repro.attacks.classification import (
+    SeparationVerdict,
+    certainty_complexity,
+    classify_aggregation_query,
+)
+
+__all__ = [
+    "FunctionalDependency",
+    "closure",
+    "implies_fd",
+    "key_fds",
+    "AttackGraph",
+    "SeparationVerdict",
+    "certainty_complexity",
+    "classify_aggregation_query",
+]

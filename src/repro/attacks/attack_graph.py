@@ -1,0 +1,239 @@
+"""Attack graphs of self-join-free conjunctive queries (Section 3).
+
+The attack graph is the key syntactic tool of Koutris and Wijsen [35] reused
+by the paper: its acyclicity characterises first-order rewritability of
+``CERTAINTY(q)`` (Theorem 3.2) and, for monotone + associative aggregates,
+AGGR[FOL]-rewritability of ``GLB-CQA(g())`` (Theorem 1.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.attacks.fds import FunctionalDependency, closure, implies_fd, key_fds
+from repro.exceptions import QueryError
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Variable
+
+
+class AttackGraph:
+    """The attack graph of a self-join-free conjunctive query.
+
+    Free variables of the query are treated as constants (Section 6.2): they
+    are excluded from all variable sets, which is equivalent to instantiating
+    them with fresh constants.
+    """
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        query.require_self_join_free()
+        self._query = query
+        self._frozen: FrozenSet[Variable] = frozenset(query.free_variables)
+        self._atoms: Tuple[Atom, ...] = query.atoms
+        self._plus_sets: Dict[Atom, FrozenSet[Variable]] = {}
+        self._attacked_variables: Dict[Atom, FrozenSet[Variable]] = {}
+        self._edges: Dict[Atom, FrozenSet[Atom]] = {}
+        self._compute()
+
+    # -- construction ------------------------------------------------------------
+
+    def _effective_vars(self, atom: Atom) -> FrozenSet[Variable]:
+        return atom.variables - self._frozen
+
+    def _effective_key(self, atom: Atom) -> FrozenSet[Variable]:
+        return atom.key_variables - self._frozen
+
+    def _effective_notkey(self, atom: Atom) -> FrozenSet[Variable]:
+        return atom.nonkey_variables - self._frozen
+
+    def _all_key_fds(self) -> List[FunctionalDependency]:
+        return [
+            FunctionalDependency(self._effective_key(a), self._effective_vars(a))
+            for a in self._atoms
+        ]
+
+    def _fds_without(self, atom: Atom) -> List[FunctionalDependency]:
+        return [
+            FunctionalDependency(self._effective_key(a), self._effective_vars(a))
+            for a in self._atoms
+            if a != atom
+        ]
+
+    def _compute(self) -> None:
+        query_vars: Set[Variable] = set()
+        for atom in self._atoms:
+            query_vars |= self._effective_vars(atom)
+
+        # Co-occurrence adjacency: two variables are adjacent when they occur
+        # together in some atom of the query.
+        adjacency: Dict[Variable, Set[Variable]] = defaultdict(set)
+        for atom in self._atoms:
+            atom_vars = self._effective_vars(atom)
+            for var in atom_vars:
+                adjacency[var] |= atom_vars - {var}
+
+        for atom in self._atoms:
+            plus = closure(self._effective_key(atom), self._fds_without(atom))
+            plus &= frozenset(query_vars)
+            self._plus_sets[atom] = frozenset(plus)
+
+            # Variables attacked by `atom`: reachable from notKey(atom) through
+            # variables outside atom^{+,q}.
+            start = self._effective_notkey(atom) - plus
+            reachable: Set[Variable] = set()
+            frontier = deque(start)
+            reachable |= start
+            while frontier:
+                current = frontier.popleft()
+                for neighbour in adjacency[current]:
+                    if neighbour in plus or neighbour in reachable:
+                        continue
+                    reachable.add(neighbour)
+                    frontier.append(neighbour)
+            self._attacked_variables[atom] = frozenset(reachable)
+
+        for atom in self._atoms:
+            targets = set()
+            for other in self._atoms:
+                if other == atom:
+                    continue
+                if self._attacked_variables[atom] & self._effective_vars(other):
+                    targets.add(other)
+            self._edges[atom] = frozenset(targets)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self._query
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self._atoms
+
+    def plus_set(self, atom: Atom) -> FrozenSet[Variable]:
+        """``F^{+,q}``: variables determined by ``Key(F)`` using ``K(q \\ {F})``."""
+        return self._plus_sets[atom]
+
+    def attacked_variables(self, atom: Atom) -> FrozenSet[Variable]:
+        """All variables ``x`` with ``F ⇝ x``."""
+        return self._attacked_variables[atom]
+
+    def attacks_variable(self, atom: Atom, variable: Variable) -> bool:
+        return variable in self._attacked_variables[atom]
+
+    def attacks_atom(self, source: Atom, target: Atom) -> bool:
+        """``F ⇝ G``: the source attacks some variable of the target."""
+        return target in self._edges[source]
+
+    def edges(self) -> List[Tuple[Atom, Atom]]:
+        """All attack edges ``(F, G)``."""
+        return [
+            (source, target)
+            for source in self._atoms
+            for target in sorted(self._edges[source], key=str)
+        ]
+
+    def successors(self, atom: Atom) -> FrozenSet[Atom]:
+        return self._edges[atom]
+
+    def unattacked_atoms(self) -> List[Atom]:
+        """Atoms with no incoming attack edge."""
+        attacked = {target for targets in self._edges.values() for target in targets}
+        return [a for a in self._atoms if a not in attacked]
+
+    def unattacked_variables(self) -> FrozenSet[Variable]:
+        """Variables not attacked by any atom."""
+        attacked: Set[Variable] = set()
+        for atom in self._atoms:
+            attacked |= self._attacked_variables[atom]
+        all_vars: Set[Variable] = set()
+        for atom in self._atoms:
+            all_vars |= self._effective_vars(atom)
+        return frozenset(all_vars - attacked)
+
+    # -- cycles and sorts ------------------------------------------------------------
+
+    def is_acyclic(self) -> bool:
+        """True when the attack graph has no directed cycle."""
+        return self._topological_sort_or_none() is not None
+
+    def topological_sort(self) -> List[Atom]:
+        """One topological sort of an acyclic attack graph (stable, by atom order)."""
+        order = self._topological_sort_or_none()
+        if order is None:
+            raise QueryError("attack graph is cyclic; no topological sort exists")
+        return order
+
+    def _topological_sort_or_none(self) -> Optional[List[Atom]]:
+        indegree: Dict[Atom, int] = {a: 0 for a in self._atoms}
+        for source in self._atoms:
+            for target in self._edges[source]:
+                indegree[target] += 1
+        # Deterministic tie-breaking: keep the original atom order.
+        available = [a for a in self._atoms if indegree[a] == 0]
+        order: List[Atom] = []
+        while available:
+            current = available.pop(0)
+            order.append(current)
+            for target in self._atoms:
+                if target in self._edges[current]:
+                    indegree[target] -= 1
+                    if indegree[target] == 0:
+                        available.append(target)
+            available.sort(key=lambda a: self._atoms.index(a))
+        if len(order) != len(self._atoms):
+            return None
+        return order
+
+    def cycles(self) -> List[List[Atom]]:
+        """All simple cycles of the attack graph (small graphs only)."""
+        cycles: List[List[Atom]] = []
+        atoms = list(self._atoms)
+
+        def dfs(start: Atom, current: Atom, path: List[Atom], visited: Set[Atom]) -> None:
+            for nxt in self._edges[current]:
+                if nxt == start and len(path) >= 1:
+                    cycles.append(list(path))
+                elif nxt not in visited and atoms.index(nxt) > atoms.index(start):
+                    visited.add(nxt)
+                    path.append(nxt)
+                    dfs(start, nxt, path, visited)
+                    path.pop()
+                    visited.remove(nxt)
+
+        for atom in atoms:
+            dfs(atom, atom, [atom], {atom})
+        return cycles
+
+    # -- weak / strong attacks (Koutris & Wijsen [35]) ---------------------------------
+
+    def is_weak_attack(self, source: Atom, target: Atom) -> bool:
+        """An attack ``F ⇝ G`` is weak when ``K(q) |= Key(F) -> Key(G)``."""
+        if not self.attacks_atom(source, target):
+            raise QueryError(f"{source} does not attack {target}")
+        return implies_fd(
+            self._all_key_fds(),
+            self._effective_key(source),
+            self._effective_key(target),
+        )
+
+    def has_strong_cycle(self) -> bool:
+        """True when some cycle of the attack graph contains a strong attack.
+
+        Following [35], ``CERTAINTY(q)`` is coNP-complete exactly when the
+        attack graph contains a strong cycle, and is in polynomial time (indeed
+        L-complete in the general cyclic case) otherwise.
+        """
+        for cycle in self.cycles():
+            edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+            if any(not self.is_weak_attack(s, t) for s, t in edges):
+                return True
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"AttackGraph of {self._query}"]
+        for source, target in self.edges():
+            lines.append(f"  {source} ⇝ {target}")
+        return "\n".join(lines)

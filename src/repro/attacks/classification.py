@@ -1,0 +1,201 @@
+"""Complexity classification: CERTAINTY trichotomy and the separation theorem.
+
+Two classifications are provided:
+
+* :func:`certainty_complexity` — the trichotomy of Koutris and Wijsen [35]
+  for ``CERTAINTY(q)`` on self-join-free conjunctive queries (Theorem 3.2 and
+  its refinement into FO / L-complete / coNP-complete).
+* :func:`classify_aggregation_query` — the paper's separation results: given
+  a query ``g()`` in AGGR[sjfBCQ] and a direction (glb or lub), decide whether
+  the range-consistent answer is expressible in AGGR[FOL] (Theorems 1.1, 5.5,
+  6.1, 7.8, 7.9, 7.10, 7.11, Corollary 7.5, and the COUNT-DISTINCT result of
+  Arenas et al. [3]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aggregates.chains import descending_chain_witness
+from repro.aggregates.duals import dual_of
+from repro.aggregates.operators import AggregateOperator, get_operator
+from repro.aggregates.properties import is_covered_by_separation_theorem
+from repro.attacks.attack_graph import AttackGraph
+from repro.query.aggregation import AggregationQuery
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+def certainty_complexity(query: ConjunctiveQuery) -> str:
+    """Complexity of ``CERTAINTY(q)`` for a self-join-free conjunctive query.
+
+    Returns one of ``"FO"``, ``"L-complete"``, ``"coNP-complete"``, following
+    the trichotomy of [35]: FO when the attack graph is acyclic, coNP-complete
+    when it has a strong cycle, L-complete otherwise.
+    """
+    graph = AttackGraph(query)
+    if graph.is_acyclic():
+        return "FO"
+    if graph.has_strong_cycle():
+        return "coNP-complete"
+    return "L-complete"
+
+
+@dataclass(frozen=True)
+class SeparationVerdict:
+    """Outcome of the separation-theorem classification for one query/direction.
+
+    ``expressible`` is ``True`` / ``False`` when the paper settles the case,
+    and ``None`` when the case is left open by the paper (condition (iii) of
+    the open question in Section 8).
+    """
+
+    query: AggregationQuery
+    direction: str
+    attack_graph_acyclic: bool
+    expressible: Optional[bool]
+    reason: str
+    certainty_class: str
+
+    @property
+    def rewritable(self) -> bool:
+        """True only when a rewriting in AGGR[FOL] is known to exist."""
+        return self.expressible is True
+
+
+def _glb_verdict(
+    query: AggregationQuery,
+    operator: AggregateOperator,
+    graph_acyclic: bool,
+    certainty_class: str,
+) -> SeparationVerdict:
+    if not graph_acyclic:
+        return SeparationVerdict(
+            query,
+            "glb",
+            False,
+            False,
+            "attack graph is cyclic, hence GLB-CQA is not expressible in "
+            "AGGR[FOL] (Theorem 5.5)",
+            certainty_class,
+        )
+    if operator.name in ("MIN", "MAX"):
+        return SeparationVerdict(
+            query,
+            "glb",
+            True,
+            True,
+            "acyclic attack graph with MIN/MAX aggregate (Theorems 7.10 and 7.11)",
+            certainty_class,
+        )
+    if is_covered_by_separation_theorem(operator):
+        return SeparationVerdict(
+            query,
+            "glb",
+            True,
+            True,
+            "acyclic attack graph and monotone + associative aggregate "
+            "(Theorem 6.1; COUNT handled as SUM(1))",
+            certainty_class,
+        )
+    if operator.name == "COUNT_DISTINCT":
+        return SeparationVerdict(
+            query,
+            "glb",
+            True,
+            False,
+            "COUNT-DISTINCT is NP-hard already for one binary relation "
+            "(Arenas et al. [3], Theorem 9)",
+            certainty_class,
+        )
+    chain = descending_chain_witness(operator)
+    if chain is not None:
+        return SeparationVerdict(
+            query,
+            "glb",
+            True,
+            False,
+            f"{operator.name} has a descending chain, hence GLB-CQA is not "
+            "expressible in AGGR[FOL] for queries of the Lemma 7.2/7.3 shape "
+            "(Corollary 7.5); the paper leaves other bodies open",
+            certainty_class,
+        )
+    return SeparationVerdict(
+        query,
+        "glb",
+        True,
+        None,
+        f"{operator.name} lacks monotonicity or associativity and has no known "
+        "descending chain; the case is open (Section 8)",
+        certainty_class,
+    )
+
+
+def _lub_verdict(
+    query: AggregationQuery,
+    operator: AggregateOperator,
+    graph_acyclic: bool,
+    certainty_class: str,
+) -> SeparationVerdict:
+    if not graph_acyclic:
+        return SeparationVerdict(
+            query,
+            "lub",
+            False,
+            False,
+            "attack graph is cyclic, hence LUB-CQA is not expressible in "
+            "AGGR[FOL] (Theorem 5.5 applies to lub as well)",
+            certainty_class,
+        )
+    if operator.name in ("MIN", "MAX"):
+        return SeparationVerdict(
+            query,
+            "lub",
+            True,
+            True,
+            "acyclic attack graph with MIN/MAX aggregate (Theorem 7.11)",
+            certainty_class,
+        )
+    dual = dual_of(operator)
+    chain = descending_chain_witness(dual)
+    if chain is not None:
+        return SeparationVerdict(
+            query,
+            "lub",
+            True,
+            False,
+            f"the dual of {operator.name} has a descending chain, hence LUB-CQA "
+            "is not expressible in AGGR[FOL] for queries of the Lemma 7.2 shape "
+            "(Theorem 7.8); the paper leaves other bodies open",
+            certainty_class,
+        )
+    return SeparationVerdict(
+        query,
+        "lub",
+        True,
+        None,
+        f"no positive or negative result is known for LUB-CQA with "
+        f"{operator.name} on this body (Section 8)",
+        certainty_class,
+    )
+
+
+def classify_aggregation_query(
+    query: AggregationQuery, direction: str = "glb"
+) -> SeparationVerdict:
+    """Apply the separation theorem to ``query`` for the given direction.
+
+    ``direction`` is ``"glb"`` or ``"lub"``.  The query's free variables are
+    treated as constants (Section 6.2), which is what :class:`AttackGraph`
+    does natively.
+    """
+    if direction not in ("glb", "lub"):
+        raise ValueError("direction must be 'glb' or 'lub'")
+    query.body.require_self_join_free()
+    operator = get_operator(query.aggregate)
+    graph = AttackGraph(query.body)
+    acyclic = graph.is_acyclic()
+    certainty_class = certainty_complexity(query.body)
+    if direction == "glb":
+        return _glb_verdict(query, operator, acyclic, certainty_class)
+    return _lub_verdict(query, operator, acyclic, certainty_class)

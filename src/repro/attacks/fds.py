@@ -1,0 +1,64 @@
+"""Functional dependencies over query variables, and their closure.
+
+The attack graph machinery only needs the set ``K(q)`` containing
+``Key(F) -> vars(F)`` for every atom ``F`` of a query ``q``, together with the
+standard notion of logical implication of functional dependencies, computed
+via attribute-set closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Variable
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``lhs -> rhs`` over query variables."""
+
+    lhs: FrozenSet[Variable]
+    rhs: FrozenSet[Variable]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    def __str__(self) -> str:
+        left = ", ".join(sorted(v.name for v in self.lhs)) or "∅"
+        right = ", ".join(sorted(v.name for v in self.rhs)) or "∅"
+        return f"{left} -> {right}"
+
+
+def key_fds(query: ConjunctiveQuery) -> List[FunctionalDependency]:
+    """``K(q)``: the dependency ``Key(F) -> vars(F)`` for every atom ``F``."""
+    return [
+        FunctionalDependency(atom.key_variables, atom.variables)
+        for atom in query.atoms
+    ]
+
+
+def closure(
+    attributes: Iterable[Variable], dependencies: Sequence[FunctionalDependency]
+) -> FrozenSet[Variable]:
+    """Attribute-set closure of ``attributes`` under ``dependencies``."""
+    result: Set[Variable] = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in dependencies:
+            if dependency.lhs <= result and not dependency.rhs <= result:
+                result |= dependency.rhs
+                changed = True
+    return frozenset(result)
+
+
+def implies_fd(
+    dependencies: Sequence[FunctionalDependency],
+    lhs: Iterable[Variable],
+    rhs: Iterable[Variable],
+) -> bool:
+    """True when ``dependencies |= lhs -> rhs`` (standard FD implication)."""
+    return frozenset(rhs) <= closure(lhs, dependencies)

@@ -1,0 +1,21 @@
+"""Baseline solvers for range CQA: ground truth and comparison systems."""
+
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.baselines.fuxman import (
+    FuxmanIndependentBlockSolver,
+    fuxman_graph,
+    is_caggforest,
+    is_cforest,
+)
+from repro.baselines.parsimony import is_cparsimony_counting_safe
+
+__all__ = [
+    "ExhaustiveRangeSolver",
+    "BranchAndBoundSolver",
+    "FuxmanIndependentBlockSolver",
+    "fuxman_graph",
+    "is_cforest",
+    "is_caggforest",
+    "is_cparsimony_counting_safe",
+]

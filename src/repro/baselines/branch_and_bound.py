@@ -1,0 +1,153 @@
+"""Exact branch-and-bound range-CQA solver (AggCAvSAT stand-in).
+
+AggCAvSAT [17] computes range consistent answers with SAT/MaxSAT solvers and
+therefore handles queries beyond the rewritable class.  Offline, we play the
+same role with an exact branch-and-bound search over the blocks of the
+relations mentioned in the query:
+
+* blocks of relations not mentioned by the query are irrelevant and skipped;
+* consistent (singleton) blocks are fixed up front;
+* only the inconsistent blocks are branched on, one fact per block;
+* for monotone aggregates the partial value over already-decided blocks is a
+  valid lower bound (glb search) and the optimistic value over decided +
+  undecided facts is a valid upper bound (lub search), enabling pruning.
+
+The solver is exact for every aggregate operator; pruning is only applied
+when it is sound (monotone operators).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregates.operators import get_operator
+from repro.attacks.attack_graph import AttackGraph
+from repro.certainty.checker import brute_force_certain, is_certain
+from repro.core.evaluator import BOTTOM
+from repro.datamodel.facts import Constant, Fact, as_fraction
+from repro.datamodel.instance import DatabaseInstance
+from repro.embeddings.embeddings import embeddings_of
+from repro.query.aggregation import AggregationQuery
+from repro.query.terms import is_variable
+
+
+class BranchAndBoundSolver:
+    """Exact glb/lub solver branching over inconsistent blocks."""
+
+    def __init__(self, query: AggregationQuery, use_pruning: bool = True) -> None:
+        self._query = query
+        self._operator = get_operator(query.aggregate)
+        self._use_pruning = use_pruning and self._operator.monotone
+
+    # -- public API ------------------------------------------------------------------
+
+    def glb(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        return self._solve(instance, dict(binding or {}), maximize=False)
+
+    def lub(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        return self._solve(instance, dict(binding or {}), maximize=True)
+
+    def range(
+        self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None
+    ) -> Tuple[object, object]:
+        return (self.glb(instance, binding), self.lub(instance, binding))
+
+    # -- search ------------------------------------------------------------------------
+
+    def _solve(self, instance: DatabaseInstance, binding: Dict[str, Constant], maximize: bool):
+        if not self._body_is_certain(instance, binding):
+            return BOTTOM
+
+        relevant = set(self._query.body.relation_names)
+        relevant_instance = instance.restricted_to(relevant)
+
+        # Only facts that participate in some embedding of the body (in the
+        # full database) can ever influence the aggregate; all other facts and
+        # blocks are skipped.  This mirrors the SAT encoding of AggCAvSAT,
+        # which only introduces variables for relevant tuples, and keeps the
+        # search exponential in the number of *relevant* inconsistent blocks
+        # rather than in all of them.
+        participating: set = set()
+        for embedding in embeddings_of(self._query.body, relevant_instance, binding):
+            for atom in self._query.body.atoms:
+                participating.add(atom.ground(embedding.as_dict()))
+
+        forced: List[Fact] = []
+        open_blocks: List[List[Optional[Fact]]] = []
+        for block in relevant_instance.blocks():
+            facts = sorted(block, key=repr)
+            relevant_facts = [fact for fact in facts if fact in participating]
+            if not relevant_facts:
+                continue
+            if len(facts) == 1:
+                forced.append(facts[0])
+            elif len(relevant_facts) == len(facts):
+                open_blocks.append(list(facts))
+            else:
+                # Choosing any non-participating fact of the block is
+                # equivalent: the block then contributes nothing.  Collapse
+                # those choices into a single "absent" option (None).
+                open_blocks.append(list(relevant_facts) + [None])
+
+        schema = instance.schema
+        best: List[Optional[Fraction]] = [None]
+
+        def aggregate_over(facts: Sequence[Fact]) -> Optional[Fraction]:
+            sub_instance = DatabaseInstance(schema, facts)
+            values = []
+            term = self._query.aggregated_term
+            for embedding in embeddings_of(self._query.body, sub_instance, binding):
+                values.append(
+                    embedding[term.name] if is_variable(term) else term
+                )
+            if not values:
+                return None
+            if self._operator.requires_numeric_argument:
+                values = [as_fraction(v) for v in values]
+            return self._operator(values)
+
+        def better(candidate: Fraction) -> bool:
+            if best[0] is None:
+                return True
+            return candidate > best[0] if maximize else candidate < best[0]
+
+        def bound_allows(chosen: List[Fact], undecided: List[List[Optional[Fact]]]) -> bool:
+            if not self._use_pruning or best[0] is None:
+                return True
+            if maximize:
+                optimistic_facts = list(chosen) + [
+                    fact for block in undecided for fact in block if fact is not None
+                ]
+                optimistic = aggregate_over(optimistic_facts)
+                return optimistic is None or optimistic > best[0]
+            pessimistic = aggregate_over(chosen)
+            return pessimistic is None or pessimistic < best[0]
+
+        def search(index: int, chosen: List[Fact]) -> None:
+            if index == len(open_blocks):
+                value = aggregate_over(chosen)
+                if value is not None and better(value):
+                    best[0] = value
+                return
+            if not bound_allows(chosen, open_blocks[index:]):
+                return
+            for fact in open_blocks[index]:
+                if fact is None:
+                    search(index + 1, chosen)
+                    continue
+                chosen.append(fact)
+                search(index + 1, chosen)
+                chosen.pop()
+
+        search(0, list(forced))
+        return BOTTOM if best[0] is None else best[0]
+
+    def _body_is_certain(
+        self, instance: DatabaseInstance, binding: Dict[str, Constant]
+    ) -> bool:
+        body = self._query.body
+        graph = AttackGraph(body)
+        if graph.is_acyclic():
+            return is_certain(body, instance, binding)
+        return brute_force_certain(body, instance, binding)

@@ -1,0 +1,78 @@
+"""Exhaustive repair enumeration: the ground-truth range-CQA solver.
+
+The solver enumerates every repair of the instance, evaluates the aggregation
+query on each, and returns the minimum / maximum value.  It works for *any*
+aggregate operator and any body (cyclic attack graphs, self-joins), but its
+cost is exponential in the number of inconsistent blocks — it exists to
+validate the rewriting-based solvers on small instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.aggregates.operators import get_operator
+from repro.core.evaluator import BOTTOM
+from repro.datamodel.facts import Constant, as_fraction
+from repro.datamodel.instance import DatabaseInstance
+from repro.embeddings.embeddings import embeddings_of
+from repro.query.aggregation import AggregationQuery
+from repro.query.terms import is_variable
+
+
+class ExhaustiveRangeSolver:
+    """Ground-truth glb/lub computation by enumerating all repairs."""
+
+    def __init__(self, query: AggregationQuery) -> None:
+        self._query = query
+        self._operator = get_operator(query.aggregate)
+
+    # -- per-repair evaluation -------------------------------------------------------
+
+    def value_on_repair(
+        self,
+        repair: DatabaseInstance,
+        binding: Optional[Dict[str, Constant]] = None,
+    ) -> Optional[Fraction]:
+        """Value of the aggregation query on one (consistent) repair.
+
+        Returns ``None`` when the body has no embedding in the repair, which
+        is the situation that makes the range answer ⊥.
+        """
+        values: List = []
+        term = self._query.aggregated_term
+        for embedding in embeddings_of(self._query.body, repair, dict(binding or {})):
+            if is_variable(term):
+                values.append(embedding[term.name])
+            else:
+                values.append(term)
+        if not values:
+            return None
+        if self._operator.requires_numeric_argument:
+            values = [as_fraction(v) for v in values]
+        return self._operator(values)
+
+    # -- range answers -------------------------------------------------------------------
+
+    def range(
+        self,
+        instance: DatabaseInstance,
+        binding: Optional[Dict[str, Constant]] = None,
+    ) -> Tuple[object, object]:
+        """``(glb, lub)`` across all repairs; ``(BOTTOM, BOTTOM)`` when ⊥."""
+        values: List[Fraction] = []
+        for repair in instance.repairs():
+            value = self.value_on_repair(repair, binding)
+            if value is None:
+                return (BOTTOM, BOTTOM)
+            values.append(value)
+        if not values:
+            return (BOTTOM, BOTTOM)
+        return (min(values), max(values))
+
+    def glb(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        return self.range(instance, binding)[0]
+
+    def lub(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        return self.range(instance, binding)[1]

@@ -1,0 +1,207 @@
+"""Fuxman's Cforest / Caggforest classes and a ConQuer-style SUM baseline.
+
+Fuxman's PhD thesis [21] and the ConQuer system [22, 23] compute range
+consistent answers for the class Caggforest by SQL rewriting.  Section 7.3 of
+the paper shows that the published SUM rewriting is flawed once negative
+numbers are allowed (Theorem 7.9 proves NP-hardness for a Caggforest query
+with a ``-1`` value, so *no* correct rewriting can exist).
+
+This module provides:
+
+* :func:`fuxman_graph`, :func:`is_cforest`, :func:`is_caggforest` — the
+  syntactic definitions of Appendix N;
+* :class:`FuxmanIndependentBlockSolver` — a reconstruction of the
+  ConQuer-style evaluation strategy: each block independently keeps the fact
+  that locally minimises (resp. maximises) its contribution, and the aggregate
+  is taken over the embeddings of the resulting repair.  On Caggforest
+  queries over non-negative values this strategy is exact; on the
+  negative-value gadget of Theorem 7.9 it returns a value different from the
+  true glb, which is the behaviour the benchmark ``bench_fuxman_flaw``
+  reproduces.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aggregates.operators import get_operator
+from repro.attacks.attack_graph import AttackGraph
+from repro.certainty.checker import brute_force_certain, is_certain
+from repro.core.evaluator import BOTTOM
+from repro.datamodel.facts import Constant, Fact, as_fraction
+from repro.datamodel.instance import DatabaseInstance
+from repro.embeddings.embeddings import embeddings_of
+from repro.query.aggregation import AggregationQuery
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import is_variable
+
+
+# ---------------------------------------------------------------------------
+# Definition N.1: Fuxman graph, Cforest, Caggforest
+# ---------------------------------------------------------------------------
+
+
+def fuxman_graph(query: ConjunctiveQuery) -> List[Tuple[Atom, Atom]]:
+    """Edges of the Fuxman graph of a self-join-free conjunctive query.
+
+    There is an edge from ``R`` to ``S`` when ``R != S`` and ``notKey(R)``
+    contains a bound variable that also occurs in ``S``.
+    """
+    query.require_self_join_free()
+    free = set(query.free_variables)
+    edges: List[Tuple[Atom, Atom]] = []
+    for source in query.atoms:
+        bound_nonkey = source.nonkey_variables - free
+        for target in query.atoms:
+            if target == source:
+                continue
+            if bound_nonkey & target.variables:
+                edges.append((source, target))
+    return edges
+
+
+def is_cforest(query: ConjunctiveQuery) -> bool:
+    """Membership test for Fuxman's class Cforest (Definition N.1)."""
+    query.require_self_join_free()
+    free = set(query.free_variables)
+    edges = fuxman_graph(query)
+
+    # The Fuxman graph must be a directed forest: no atom has two parents and
+    # there is no directed cycle.
+    indegree: Dict[Atom, int] = {atom: 0 for atom in query.atoms}
+    for _source, target in edges:
+        indegree[target] += 1
+    if any(count > 1 for count in indegree.values()):
+        return False
+    adjacency: Dict[Atom, Set[Atom]] = {atom: set() for atom in query.atoms}
+    for source, target in edges:
+        adjacency[source].add(target)
+    visited: Set[Atom] = set()
+
+    def has_cycle(atom: Atom, stack: Set[Atom]) -> bool:
+        visited.add(atom)
+        stack.add(atom)
+        for successor in adjacency[atom]:
+            if successor in stack:
+                return True
+            if successor not in visited and has_cycle(successor, stack):
+                return True
+        stack.discard(atom)
+        return False
+
+    for atom in query.atoms:
+        if atom not in visited and has_cycle(atom, set()):
+            return False
+
+    # Full-join condition: for every edge R -> S, Key(S) \ free ⊆ notKey(R).
+    for source, target in edges:
+        if not (target.key_variables - free) <= source.nonkey_variables:
+            return False
+    return True
+
+
+def is_caggforest(query: AggregationQuery) -> bool:
+    """Membership test for Caggforest (Definition N.1).
+
+    The class contains ``(z̄, AGG(u)) <- q(z̄, u)`` with ``AGG`` in
+    {MIN, MAX, SUM} and body in Cforest, plus ``(z̄, COUNT(*)) <- q(z̄)``
+    (represented here as a COUNT query with a constant aggregated term).
+    """
+    aggregate = query.aggregate
+    if aggregate in ("MIN", "MAX", "SUM"):
+        return is_variable(query.aggregated_term) and is_cforest(query.body)
+    if aggregate == "COUNT":
+        return not is_variable(query.aggregated_term) and is_cforest(query.body)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# ConQuer-style evaluation (independent per-block choice)
+# ---------------------------------------------------------------------------
+
+
+class FuxmanIndependentBlockSolver:
+    """ConQuer-style range computation by independent per-block choices.
+
+    For every block of a relation mentioned in the query, the solver keeps the
+    fact whose *local* contribution (the aggregate over the embeddings through
+    that fact, evaluated against the full database) is smallest for the glb
+    (largest for the lub), and evaluates the aggregate on the resulting
+    repair.  This captures the independence assumption underlying the
+    Caggforest rewriting; it is exact for Caggforest queries over non-negative
+    values and diverges from the true answer on the Theorem 7.9 gadget.
+    """
+
+    def __init__(self, query: AggregationQuery) -> None:
+        self._query = query
+        self._operator = get_operator(query.aggregate)
+
+    def glb(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        return self._solve(instance, dict(binding or {}), maximize=False)
+
+    def lub(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        return self._solve(instance, dict(binding or {}), maximize=True)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _solve(self, instance: DatabaseInstance, binding: Dict[str, Constant], maximize: bool):
+        if not self._body_is_certain(instance, binding):
+            return BOTTOM
+        relevant = set(self._query.body.relation_names)
+        relevant_instance = instance.restricted_to(relevant)
+
+        contributions = self._per_fact_contribution(relevant_instance, binding)
+        chosen: List[Fact] = []
+        for block in relevant_instance.blocks():
+            facts = sorted(block, key=repr)
+            if len(facts) == 1:
+                chosen.append(facts[0])
+                continue
+            scored = [(contributions.get(fact, Fraction(0)), repr(fact), fact) for fact in facts]
+            scored.sort()
+            chosen.append(scored[-1][2] if maximize else scored[0][2])
+
+        repair = DatabaseInstance(instance.schema, chosen)
+        values = self._embedding_values(repair, binding)
+        if not values:
+            return BOTTOM
+        return self._operator(values)
+
+    def _per_fact_contribution(
+        self, instance: DatabaseInstance, binding: Dict[str, Constant]
+    ) -> Dict[Fact, Fraction]:
+        """Aggregate contribution of each fact across all embeddings in ``db``."""
+        contributions: Dict[Fact, Fraction] = {}
+        term = self._query.aggregated_term
+        for embedding in embeddings_of(self._query.body, instance, binding):
+            value = (
+                as_fraction(embedding[term.name])
+                if is_variable(term)
+                else as_fraction(term)
+            )
+            for atom in self._query.body.atoms:
+                fact = atom.ground(embedding.as_dict())
+                contributions[fact] = contributions.get(fact, Fraction(0)) + value
+        return contributions
+
+    def _embedding_values(
+        self, repair: DatabaseInstance, binding: Dict[str, Constant]
+    ) -> List:
+        term = self._query.aggregated_term
+        values = []
+        for embedding in embeddings_of(self._query.body, repair, binding):
+            values.append(embedding[term.name] if is_variable(term) else term)
+        if self._operator.requires_numeric_argument:
+            values = [as_fraction(v) for v in values]
+        return values
+
+    def _body_is_certain(
+        self, instance: DatabaseInstance, binding: Dict[str, Constant]
+    ) -> bool:
+        body = self._query.body
+        graph = AttackGraph(body)
+        if graph.is_acyclic():
+            return is_certain(body, instance, binding)
+        return brute_force_certain(body, instance, binding)

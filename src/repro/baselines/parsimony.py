@@ -1,0 +1,36 @@
+"""The class Cparsimony for counting queries (Khalfioui & Wijsen, ICDT 2023).
+
+Cparsimony [29] extends Cforest and captures exactly the self-join-free
+conjunctive queries for which Fuxman's technique applies to COUNT: range
+consistent counts can be obtained by counting over one "parsimonious" choice
+per block.  The paper cites it as related work; the library exposes a
+sufficient syntactic test used by the benchmarks when deciding which baseline
+applies to a COUNT workload.
+
+The test implemented here is the conservative full-join criterion: every join
+between a non-key variable of one atom and another atom must cover the entire
+primary key of the joined atom, and the Fuxman graph must be a forest.  Every
+query passing this test is in Cparsimony; queries with partial joins (the
+ones the paper newly handles) are rejected.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.fuxman import is_cforest
+from repro.query.aggregation import AggregationQuery
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import is_variable
+
+
+def is_cparsimony_counting_safe(query: AggregationQuery) -> bool:
+    """Sufficient test for Fuxman-style COUNT evaluation (Cparsimony ⊇ Cforest).
+
+    Returns True only for COUNT queries whose body passes the conservative
+    full-join test; a False result means the rewriting-based approach of the
+    paper (COUNT as SUM(1), Theorem 6.1) should be used instead.
+    """
+    if query.aggregate != "COUNT":
+        return False
+    if is_variable(query.aggregated_term):
+        return False
+    return is_cforest(query.body)

@@ -1,0 +1,16 @@
+"""Certain answers (CERTAINTY) for self-join-free conjunctive queries."""
+
+from repro.certainty.checker import (
+    brute_force_certain,
+    certain_answers,
+    is_certain,
+)
+from repro.certainty.rewriting import ConsistentRewriter, consistent_rewriting
+
+__all__ = [
+    "ConsistentRewriter",
+    "consistent_rewriting",
+    "is_certain",
+    "certain_answers",
+    "brute_force_certain",
+]

@@ -1,0 +1,179 @@
+"""Consistent first-order rewriting for acyclic self-join-free queries.
+
+Implements the classical rewriting of Koutris and Wijsen [35] used by the
+paper in Lemma 4.3 and Appendix C: for a self-join-free conjunctive query
+whose attack graph is acyclic, a first-order formula ``ω`` such that
+``db |= ω(c̄)`` iff ``c̄`` is a consistent (certain) answer.
+
+The construction processes atoms in a topological sort of the attack graph.
+For the first atom ``F = R(s̄, t̄)`` (key terms ``s̄``, non-key terms ``t̄``)
+with a set of already-bound variables treated as constants, the rewriting is::
+
+    ∃ x̄_new ( ∃ ȳ_new R(s̄, t̄)
+              ∧ ∀ w̄ ( R(s̄, w̄) →  ⋀_j cond_j  ∧  rewrite(rest)[t_j ↦ w_j] ) )
+
+where ``w̄`` are fresh variables for the non-key positions, ``cond_j`` forces
+``w_j`` to equal a constant / bound-variable / repeated term at position
+``j``, and the rest of the query is rewritten with the ``w_j`` bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.attacks.attack_graph import AttackGraph
+from repro.exceptions import NotRewritableError
+from repro.fol.builders import conjunction, exists, forall, implies
+from repro.fol.syntax import Comparison, Formula, RelationAtom, TrueFormula
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Term, Variable, is_variable
+
+
+class _FreshVariableFactory:
+    """Generates fresh variable names that cannot clash with query variables."""
+
+    def __init__(self, reserved: Set[str]) -> None:
+        self._reserved = set(reserved)
+        self._counter = itertools.count()
+
+    def fresh(self, base: str, numeric: bool) -> Variable:
+        while True:
+            name = f"{base}_{next(self._counter)}"
+            if name not in self._reserved:
+                self._reserved.add(name)
+                return Variable(name, numeric=numeric)
+
+
+class ConsistentRewriter:
+    """Builds consistent first-order rewritings of (suffixes of) a query."""
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        query.require_self_join_free()
+        self._query = query
+        self._graph = AttackGraph(query)
+        if not self._graph.is_acyclic():
+            raise NotRewritableError(
+                "the attack graph is cyclic; CERTAINTY(q) is not in FO "
+                "(Theorem 3.2)"
+            )
+        self._topological_sort = self._graph.topological_sort()
+        self._fresh = _FreshVariableFactory({v.name for v in query.variables})
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def topological_sort(self) -> List[Atom]:
+        return list(self._topological_sort)
+
+    def rewriting(self) -> Formula:
+        """Consistent rewriting of the full query.
+
+        Free variables of the query stay free in the formula; all other
+        variables are quantified away.
+        """
+        bound = {v.name for v in self._query.free_variables}
+        return self.suffix_rewriting(self._topological_sort, bound)
+
+    def suffix_rewriting(
+        self, atoms: Sequence[Atom], bound_variables: Set[str]
+    ) -> Formula:
+        """Rewriting of the conjunction of ``atoms`` with some variables bound.
+
+        ``bound_variables`` (a set of variable names) are treated as constants,
+        exactly as in the paper's construction of ``ω_{j+1}(ū_j, x̄_{j+1})``.
+        The atoms must appear in an order compatible with the attack graph of
+        the suffix, which holds for suffixes of a topological sort.
+        """
+        return self._rewrite(list(atoms), set(bound_variables))
+
+    # -- recursive construction -----------------------------------------------------
+
+    def _rewrite(self, atoms: List[Atom], bound: Set[str]) -> Formula:
+        if not atoms:
+            return TrueFormula()
+        first, rest = atoms[0], atoms[1:]
+
+        key_terms = first.key_terms
+        nonkey_terms = first.nonkey_terms
+
+        new_key_vars = [
+            t for t in _unique_variables(key_terms) if t.name not in bound
+        ]
+        bound_with_key = bound | {v.name for v in new_key_vars}
+        new_nonkey_vars = [
+            t
+            for t in _unique_variables(nonkey_terms)
+            if t.name not in bound_with_key
+        ]
+
+        # Fresh variables for every non-key position, used in the universally
+        # quantified part.
+        signature = first.signature
+        fresh_vars: List[Variable] = []
+        for offset, term in enumerate(nonkey_terms):
+            position = signature.key_size + offset + 1
+            fresh_vars.append(
+                self._fresh.fresh("w", numeric=signature.is_numeric(position))
+            )
+
+        universal_atom = Atom(signature, tuple(key_terms) + tuple(fresh_vars))
+
+        # Conditions and substitution for the universally quantified copy.
+        conditions: List[Formula] = []
+        substitution: Dict[str, Variable] = {}
+        for term, fresh_var in zip(nonkey_terms, fresh_vars):
+            if is_variable(term) and term.name not in bound_with_key:
+                if term.name in substitution:
+                    conditions.append(
+                        Comparison(substitution[term.name], "=", fresh_var)
+                    )
+                else:
+                    substitution[term.name] = fresh_var
+            else:
+                # Constant, bound variable, or key variable of the same atom.
+                conditions.append(Comparison(fresh_var, "=", term))
+
+        rest_bound = bound_with_key | {v.name for v in fresh_vars}
+        rest_atoms = [_rename_atom(a, substitution) for a in rest]
+        rest_formula = self._rewrite(rest_atoms, rest_bound)
+
+        consequent = conjunction(conditions + [rest_formula])
+        universal_part = forall(
+            tuple(fresh_vars), implies(RelationAtom(universal_atom), consequent)
+        )
+        # The witness atom and the universal condition are combined under a
+        # single block of existential quantifiers (∃x̄∃ȳ (F ∧ ∀w̄ (...))),
+        # which is equivalent to the ∃x̄(∃ȳ F ∧ ∀w̄(...)) form of Appendix C
+        # because the universal part does not mention ȳ.  The guarded shape
+        # is what the SQL compiler expects.
+        body = conjunction([RelationAtom(first), universal_part])
+        return exists(tuple(new_key_vars) + tuple(new_nonkey_vars), body)
+
+
+def _unique_variables(terms: Sequence[Term]) -> List[Variable]:
+    seen: List[Variable] = []
+    for term in terms:
+        if is_variable(term) and term not in seen:
+            seen.append(term)
+    return seen
+
+
+def _rename_atom(atom: Atom, substitution: Dict[str, Variable]) -> Atom:
+    new_terms = []
+    for term in atom.terms:
+        if is_variable(term) and term.name in substitution:
+            new_terms.append(substitution[term.name])
+        else:
+            new_terms.append(term)
+    return Atom(atom.signature, tuple(new_terms))
+
+
+def consistent_rewriting(query: ConjunctiveQuery) -> Formula:
+    """Consistent first-order rewriting of ``query`` (acyclic attack graph).
+
+    Raises :class:`~repro.exceptions.NotRewritableError` when the attack graph
+    of the query is cyclic.
+    """
+    return ConsistentRewriter(query).rewriting()

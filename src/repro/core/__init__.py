@@ -1,0 +1,23 @@
+"""The paper's primary contribution: range-consistent answers via rewriting."""
+
+from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
+from repro.core.minmax import MinMaxRangeEvaluator
+from repro.core.rewriter import GlbRewriter, GlbRewriting
+from repro.core.range_answers import (
+    RangeAnswer,
+    RangeConsistentAnswers,
+    compute_range_answer,
+    compute_range_answers,
+)
+
+__all__ = [
+    "BOTTOM",
+    "OperationalRangeEvaluator",
+    "MinMaxRangeEvaluator",
+    "GlbRewriter",
+    "GlbRewriting",
+    "RangeAnswer",
+    "RangeConsistentAnswers",
+    "compute_range_answer",
+    "compute_range_answers",
+]

@@ -1,0 +1,181 @@
+"""Operational evaluation of GLB-CQA for monotone + associative aggregates.
+
+This module implements the polynomial-time computation that the AGGR[FOL]
+rewriting of Theorem 6.1 expresses declaratively.  It follows the recursive
+decomposition of Appendix H directly:
+
+* compute the set ``M`` of all ∀embeddings (Lemma 4.3);
+* process them along a topological sort of the attack graph; at level ``ℓ``
+  the embeddings extending a common ℓ-∀embedding are grouped by the key of
+  atom ``F_{ℓ+1}`` (the (ℓ+1)-∀key-embeddings); the value of a key group is
+  the *minimum* over its (ℓ+1)-∀embeddings (Theorem 6.1's use of ``F_MIN``),
+  and the value of the ℓ-∀embedding is the aggregate ``F`` applied to the
+  multiset of its key-group values (the Decomposition Lemma H.5);
+* the value at level 0 is ``GLB-CQA(g())`` (Corollary 6.4), or ⊥ when the
+  query body is not certain.
+
+The same engine computes least upper bounds for MIN/MAX queries through the
+order-reversal symmetry of Appendix M (see :mod:`repro.core.minmax`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregates.operators import AggregateOperator, get_operator
+from repro.attacks.attack_graph import AttackGraph
+from repro.datamodel.facts import Constant, as_fraction
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.valuation import Valuation
+from repro.embeddings.forall import ForallEmbeddingComputer
+from repro.exceptions import NotRewritableError, UnsupportedAggregateError
+from repro.query.aggregation import AggregationQuery
+from repro.query.atom import Atom
+from repro.query.terms import Variable, is_variable
+
+
+class _Bottom:
+    """Singleton for the distinguished answer ⊥ (query not certain)."""
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+BOTTOM = _Bottom()
+
+
+class OperationalRangeEvaluator:
+    """Computes ``GLB-CQA(g())`` for closed queries with a rewritable aggregate.
+
+    The evaluator accepts aggregates that are monotone and associative (SUM,
+    MAX), plus COUNT which is translated to ``SUM(1)`` as in Section 6.  MIN
+    and MAX least upper bounds are provided by
+    :class:`~repro.core.minmax.MinMaxRangeEvaluator`, which reuses this engine
+    through the ``choice`` / ``combine`` hooks.
+
+    Parameters
+    ----------
+    query:
+        A closed query in AGGR[sjfBCQ] (use
+        :class:`~repro.core.range_answers.RangeConsistentAnswers` for queries
+        with free variables).
+    choice:
+        How competing (ℓ+1)-∀embeddings over the same key are resolved;
+        ``min`` for glb (the default), ``max`` for the lub of MIN-queries.
+    combine:
+        The aggregate operator applied across key groups; defaults to the
+        query's own operator (after the COUNT → SUM(1) translation).
+    """
+
+    def __init__(
+        self,
+        query: AggregationQuery,
+        choice: Callable[[Sequence[Fraction]], Fraction] = min,
+        combine: Optional[AggregateOperator] = None,
+    ) -> None:
+        query.body.require_self_join_free()
+        self._original_query = query
+        self._query, self._operator = _normalise_query(query)
+        if combine is not None:
+            self._operator = combine
+        elif not self._operator.is_monotone_and_associative:
+            raise UnsupportedAggregateError(
+                f"aggregate {self._operator.name} is not monotone and associative; "
+                "Theorem 6.1 does not apply (use the fallback solvers)"
+            )
+        self._choice = choice
+        self._graph = AttackGraph(self._query.body)
+        if not self._graph.is_acyclic():
+            raise NotRewritableError(
+                "the attack graph of the query body is cyclic; GLB-CQA is not "
+                "expressible in AGGR[FOL] (Theorem 5.5)"
+            )
+        self._order: List[Atom] = self._graph.topological_sort()
+
+    # -- public API -----------------------------------------------------------------
+
+    @property
+    def order(self) -> List[Atom]:
+        """The topological sort of the attack graph used by the evaluation."""
+        return list(self._order)
+
+    def glb(self, instance: DatabaseInstance):
+        """``GLB-CQA(g())`` on the instance: a Fraction, or ``BOTTOM``."""
+        binding = {}
+        computer = ForallEmbeddingComputer(self._query.body, instance, self._order)
+        if not computer.query_is_certain(binding):
+            return BOTTOM
+        forall = computer.forall_embeddings(binding)
+        return self._aggregate_forall_embeddings(forall)
+
+    def glb_for_binding(self, instance: DatabaseInstance, binding: Dict[str, Constant]):
+        """GLB for one instantiation of the free variables (Section 6.2)."""
+        computer = ForallEmbeddingComputer(self._query.body, instance, self._order)
+        if not computer.query_is_certain(dict(binding)):
+            return BOTTOM
+        forall = computer.forall_embeddings(dict(binding))
+        return self._aggregate_forall_embeddings(forall)
+
+    # -- the dynamic program ------------------------------------------------------------
+
+    def _aggregate_forall_embeddings(self, forall: Sequence[Valuation]):
+        if not forall:
+            # The body is certain, yet no ∀embedding exists: impossible by
+            # Lemma 4.5, kept as a defensive guard.
+            return BOTTOM
+        return self._value_at_level(0, list(forall))
+
+    def _value_at_level(self, level: int, embeddings: List[Valuation]) -> Fraction:
+        if level == len(self._order):
+            return self._operator([self._value_of(embeddings[0])])
+        atom = self._order[level]
+        key_groups = _group_by(embeddings, _names(atom.key_variables))
+        group_values: List[Fraction] = []
+        for key_group in key_groups:
+            sub_groups = _group_by(key_group, _names(atom.variables))
+            candidate_values = [
+                self._value_at_level(level + 1, sub_group) for sub_group in sub_groups
+            ]
+            group_values.append(self._choice(candidate_values))
+        return self._operator(group_values)
+
+    def _value_of(self, embedding: Valuation) -> Fraction:
+        term = self._query.aggregated_term
+        if is_variable(term):
+            return as_fraction(embedding[term.name])
+        return as_fraction(term)
+
+
+def _normalise_query(query: AggregationQuery) -> Tuple[AggregationQuery, AggregateOperator]:
+    """Apply the COUNT → SUM(1) translation of Section 6."""
+    operator = get_operator(query.aggregate)
+    if operator.name == "COUNT":
+        translated = AggregationQuery("SUM", 1, query.body)
+        return translated, get_operator("SUM")
+    return query, operator
+
+
+def _names(variables) -> List[str]:
+    return sorted(v.name for v in variables)
+
+
+def _group_by(
+    embeddings: Sequence[Valuation], variable_names: Sequence[str]
+) -> List[List[Valuation]]:
+    """Partition embeddings by their values on the given variables."""
+    groups: Dict[Tuple, List[Valuation]] = {}
+    for embedding in embeddings:
+        key = tuple(embedding[name] for name in variable_names)
+        groups.setdefault(key, []).append(embedding)
+    return [groups[key] for key in sorted(groups, key=repr)]

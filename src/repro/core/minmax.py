@@ -1,0 +1,95 @@
+"""Range consistent answers for MIN- and MAX-queries (Theorems 7.10 and 7.11).
+
+For an acyclic attack graph all four combinations are expressible in
+AGGR[FOL]; operationally they reduce to:
+
+* ``GLB-CQA(MIN)`` — the plain minimum over all embeddings of the body in the
+  database (Theorem 7.10's rewriting is the plain aggregate itself);
+* ``LUB-CQA(MAX)`` — symmetrically, the plain maximum over all embeddings;
+* ``GLB-CQA(MAX)`` — MAX is monotone and associative, so the general
+  operational evaluator of Theorem 6.1 applies;
+* ``LUB-CQA(MIN)`` — obtained from ``GLB-CQA(MAX)`` by reversing the order on
+  the rationals (Appendix M), i.e. running the same dynamic program with the
+  key-group choice ``max`` and the combining operator ``MIN``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.aggregates.operators import get_operator
+from repro.attacks.attack_graph import AttackGraph
+from repro.certainty.checker import certain_suffix_holds
+from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
+from repro.datamodel.facts import Constant, as_fraction
+from repro.datamodel.instance import DatabaseInstance
+from repro.embeddings.embeddings import embeddings_of
+from repro.exceptions import NotRewritableError, UnsupportedAggregateError
+from repro.query.aggregation import AggregationQuery
+from repro.query.terms import is_variable
+
+
+class MinMaxRangeEvaluator:
+    """Glb and lub computation for closed MIN- and MAX-queries."""
+
+    def __init__(self, query: AggregationQuery) -> None:
+        if query.aggregate not in ("MIN", "MAX"):
+            raise UnsupportedAggregateError(
+                f"MinMaxRangeEvaluator handles MIN and MAX, not {query.aggregate}"
+            )
+        query.body.require_self_join_free()
+        self._query = query
+        self._graph = AttackGraph(query.body)
+        if not self._graph.is_acyclic():
+            raise NotRewritableError(
+                "the attack graph is cyclic; neither GLB-CQA nor LUB-CQA of a "
+                "MIN/MAX query is expressible in AGGR[FOL] (Theorem 7.11)"
+            )
+        self._order = self._graph.topological_sort()
+
+    # -- public API -------------------------------------------------------------
+
+    def glb(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        """Greatest lower bound across repairs, or ``BOTTOM``."""
+        if self._query.aggregate == "MIN":
+            return self._plain_extreme(instance, binding, minimum=True)
+        evaluator = OperationalRangeEvaluator(self._query, choice=min)
+        return evaluator.glb_for_binding(instance, dict(binding or {}))
+
+    def lub(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        """Least upper bound across repairs, or ``BOTTOM``."""
+        if self._query.aggregate == "MAX":
+            return self._plain_extreme(instance, binding, minimum=False)
+        evaluator = OperationalRangeEvaluator(
+            self._query, choice=max, combine=get_operator("MIN")
+        )
+        return evaluator.glb_for_binding(instance, dict(binding or {}))
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _plain_extreme(
+        self,
+        instance: DatabaseInstance,
+        binding: Optional[Dict[str, Constant]],
+        minimum: bool,
+    ):
+        fixed = dict(binding or {})
+        if not certain_suffix_holds(self._order, instance, fixed):
+            return BOTTOM
+        values = self._embedding_values(instance, fixed)
+        if not values:
+            return BOTTOM
+        return min(values) if minimum else max(values)
+
+    def _embedding_values(
+        self, instance: DatabaseInstance, binding: Dict[str, Constant]
+    ) -> List[Fraction]:
+        term = self._query.aggregated_term
+        values = []
+        for embedding in embeddings_of(self._query.body, instance, binding):
+            if is_variable(term):
+                values.append(as_fraction(embedding[term.name]))
+            else:
+                values.append(as_fraction(term))
+        return values

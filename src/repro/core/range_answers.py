@@ -1,0 +1,213 @@
+"""Public API for range consistent answers (glb, lub, ⊥, GROUP BY).
+
+:class:`RangeConsistentAnswers` is the façade a library user interacts with:
+it classifies the query with the separation theorem, picks the best available
+solver for each direction (rewriting-based evaluation when the paper provides
+one, exact branch-and-bound otherwise), and handles queries with free
+variables by instantiating them with every possible answer (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.aggregates.operators import get_operator
+from repro.aggregates.properties import is_covered_by_separation_theorem
+from repro.attacks.attack_graph import AttackGraph
+from repro.attacks.classification import SeparationVerdict, classify_aggregation_query
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
+from repro.core.minmax import MinMaxRangeEvaluator
+from repro.datamodel.facts import Constant
+from repro.datamodel.instance import DatabaseInstance
+from repro.embeddings.embeddings import embeddings_of
+from repro.query.aggregation import AggregationQuery
+
+Value = Union[Fraction, object]  # a Fraction or the BOTTOM sentinel
+
+
+@dataclass(frozen=True)
+class RangeAnswer:
+    """The pair ``[glb, lub]`` of range consistent answers (⊥ when undefined)."""
+
+    glb: Value
+    lub: Value
+
+    @property
+    def is_bottom(self) -> bool:
+        """True when the underlying query is not certain (answer is ⊥)."""
+        return self.glb is BOTTOM or self.lub is BOTTOM
+
+    def as_tuple(self) -> Tuple[Value, Value]:
+        return (self.glb, self.lub)
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥"
+        return f"[{self.glb}, {self.lub}]"
+
+
+class RangeConsistentAnswers:
+    """Computes GLB-CQA and LUB-CQA for a query in AGGR[sjfBCQ].
+
+    Parameters
+    ----------
+    query:
+        The aggregation query (closed or with free/GROUP BY variables).
+    method:
+        ``"auto"`` (default) picks the rewriting-based evaluator whenever the
+        separation theorem provides one and falls back to exact
+        branch-and-bound otherwise.  ``"rewriting"`` forces the rewriting path
+        (raising when none exists), ``"branch_and_bound"`` and ``"exhaustive"``
+        force the respective baselines.
+    """
+
+    _METHODS = ("auto", "rewriting", "branch_and_bound", "exhaustive")
+
+    def __init__(self, query: AggregationQuery, method: str = "auto") -> None:
+        if method not in self._METHODS:
+            raise ValueError(f"method must be one of {self._METHODS}")
+        query.body.require_self_join_free()
+        self._query = query
+        self._method = method
+        self._operator = get_operator(query.aggregate)
+        self._graph = AttackGraph(query.body)
+
+    # -- classification ------------------------------------------------------------
+
+    def verdict(self, direction: str = "glb") -> SeparationVerdict:
+        """The separation-theorem verdict for this query and direction."""
+        return classify_aggregation_query(self._query, direction)
+
+    def uses_rewriting(self, direction: str = "glb") -> bool:
+        """Whether the selected method evaluates via the paper's rewriting."""
+        if self._method == "rewriting":
+            return True
+        if self._method in ("branch_and_bound", "exhaustive"):
+            return False
+        return self._rewriting_available(direction)
+
+    def _rewriting_available(self, direction: str) -> bool:
+        if not self._graph.is_acyclic():
+            return False
+        if self._operator.name in ("MIN", "MAX"):
+            return True
+        if direction == "glb":
+            return is_covered_by_separation_theorem(self._operator)
+        return False
+
+    # -- closed queries -----------------------------------------------------------------
+
+    def glb(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        """``GLB-CQA`` for a closed query (or one instantiation of the free vars)."""
+        return self._solve(instance, dict(binding or {}), "glb")
+
+    def lub(self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None):
+        """``LUB-CQA`` for a closed query (or one instantiation of the free vars)."""
+        return self._solve(instance, dict(binding or {}), "lub")
+
+    def range(
+        self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None
+    ) -> RangeAnswer:
+        """Both bounds at once."""
+        return RangeAnswer(self.glb(instance, binding), self.lub(instance, binding))
+
+    # -- GROUP BY queries ------------------------------------------------------------------
+
+    def answers(self, instance: DatabaseInstance) -> Dict[Tuple[Constant, ...], RangeAnswer]:
+        """Range consistent answers for a query with free variables.
+
+        The result maps every *possible* answer tuple (a tuple returned on at
+        least one repair) to its :class:`RangeAnswer`; tuples that are not
+        consistent answers map to ⊥ on both bounds, as in Section 5.3.
+        """
+        free = self._query.free_variables
+        if not free:
+            raise ValueError("answers() requires a query with free variables")
+        candidates = self._possible_answers(instance)
+        results: Dict[Tuple[Constant, ...], RangeAnswer] = {}
+        for candidate in candidates:
+            binding = {v.name: value for v, value in zip(free, candidate)}
+            results[candidate] = RangeAnswer(
+                self.glb(instance, binding), self.lub(instance, binding)
+            )
+        return results
+
+    def consistent_answers(
+        self, instance: DatabaseInstance
+    ) -> Dict[Tuple[Constant, ...], RangeAnswer]:
+        """Like :meth:`answers` but keeping only tuples whose answer is not ⊥."""
+        return {
+            candidate: answer
+            for candidate, answer in self.answers(instance).items()
+            if not answer.is_bottom
+        }
+
+    def _possible_answers(self, instance: DatabaseInstance) -> List[Tuple[Constant, ...]]:
+        free = self._query.free_variables
+        seen = set()
+        ordered: List[Tuple[Constant, ...]] = []
+        for embedding in embeddings_of(self._query.body, instance):
+            candidate = tuple(embedding[v.name] for v in free)
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+        return sorted(ordered, key=repr)
+
+    # -- solver selection -----------------------------------------------------------------------
+
+    def _solve(self, instance: DatabaseInstance, binding: Dict[str, Constant], direction: str):
+        method = self._method
+        if method == "exhaustive":
+            solver = ExhaustiveRangeSolver(self._query)
+            return solver.glb(instance, binding) if direction == "glb" else solver.lub(
+                instance, binding
+            )
+        if method == "branch_and_bound":
+            solver = BranchAndBoundSolver(self._query)
+            return solver.glb(instance, binding) if direction == "glb" else solver.lub(
+                instance, binding
+            )
+        if method == "rewriting" or self._rewriting_available(direction):
+            return self._solve_by_rewriting(instance, binding, direction)
+        solver = BranchAndBoundSolver(self._query)
+        return (
+            solver.glb(instance, binding)
+            if direction == "glb"
+            else solver.lub(instance, binding)
+        )
+
+    def _solve_by_rewriting(
+        self, instance: DatabaseInstance, binding: Dict[str, Constant], direction: str
+    ):
+        if self._operator.name in ("MIN", "MAX"):
+            evaluator = MinMaxRangeEvaluator(self._query)
+            return (
+                evaluator.glb(instance, binding)
+                if direction == "glb"
+                else evaluator.lub(instance, binding)
+            )
+        if direction == "glb":
+            evaluator = OperationalRangeEvaluator(self._query)
+            return evaluator.glb_for_binding(instance, binding)
+        raise NotImplementedError(
+            f"no rewriting-based lub evaluation exists for {self._operator.name} "
+            "(Theorem 7.8); use method='branch_and_bound'"
+        )
+
+
+def compute_range_answer(
+    query: AggregationQuery, instance: DatabaseInstance, method: str = "auto"
+) -> RangeAnswer:
+    """One-shot helper for closed queries: return ``RangeAnswer(glb, lub)``."""
+    return RangeConsistentAnswers(query, method).range(instance)
+
+
+def compute_range_answers(
+    query: AggregationQuery, instance: DatabaseInstance, method: str = "auto"
+) -> Dict[Tuple[Constant, ...], RangeAnswer]:
+    """One-shot helper for GROUP BY queries: answers per group."""
+    return RangeConsistentAnswers(query, method).answers(instance)

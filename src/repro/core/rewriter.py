@@ -1,0 +1,221 @@
+"""Construction of the AGGR[FOL] glb rewriting (Theorems 1.1 and 6.1).
+
+The rewriter mirrors the example of Fig. 5 in general form.  Given a query
+``g() := AGG(r) <- q(ū)`` with a monotone + associative aggregate and an
+acyclic attack graph, and a topological sort ``(F_1, ..., F_n)``:
+
+* ``ψ(ū)`` — the ∀embedding formula of Lemma 4.3;
+* ``t_n := r`` — the value of a (full) ∀embedding;
+* for each level ``ℓ`` from ``n−1`` down to ``0``::
+
+      m_{ℓ+1}(ū_ℓ, Key(F_{ℓ+1})) := Aggr_MIN  ȳ_new  [ t_{ℓ+1},  ∃rest ψ ]
+      t_ℓ(ū_ℓ)                   := Aggr_AGG  x̄_new  [ m_{ℓ+1}, ∃ȳ_new ∃rest ψ ]
+
+  where ``x̄_new`` / ``ȳ_new`` are the key / remaining variables of
+  ``F_{ℓ+1}`` not bound earlier and ``rest`` are the variables of later atoms;
+* ``t_0`` is the glb value, guarded by the consistent rewriting of the body
+  for the ⊥ case.
+
+The resulting object carries genuine AGGR[FOL] formulas/terms that can be
+pretty-printed, measured, evaluated with :mod:`repro.fol.evaluation` (small
+instances) or compiled to SQL (:mod:`repro.sql`).  The scalable evaluation of
+the same computation is :class:`~repro.core.evaluator.OperationalRangeEvaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aggregates.operators import get_operator
+from repro.aggregates.properties import is_covered_by_separation_theorem
+from repro.attacks.attack_graph import AttackGraph
+from repro.attacks.classification import SeparationVerdict, classify_aggregation_query
+from repro.certainty.rewriting import ConsistentRewriter
+from repro.core.evaluator import BOTTOM, _normalise_query
+from repro.datamodel.facts import Constant, as_fraction
+from repro.datamodel.instance import DatabaseInstance
+from repro.embeddings.forall import forall_embedding_formula
+from repro.exceptions import NotRewritableError, UnsupportedAggregateError
+from repro.fol.builders import exists
+from repro.fol.evaluation import FormulaEvaluator
+from repro.fol.syntax import (
+    AggregateTerm,
+    Formula,
+    NumericalConstant,
+    NumericalVariable,
+)
+from repro.query.aggregation import AggregationQuery
+from repro.query.atom import Atom
+from repro.query.terms import Variable, is_variable
+
+
+@dataclass(frozen=True)
+class GlbRewriting:
+    """The constructed rewriting for one query.
+
+    Attributes
+    ----------
+    query:
+        The (normalised) query the rewriting was built for.
+    certainty_formula:
+        Consistent first-order rewriting of the body; when false, the range
+        consistent answer is ⊥.
+    forall_formula:
+        The ∀embedding formula ``ψ(ū)`` of Lemma 4.3.
+    value_term:
+        The AGGR[FOL] numerical term whose value is ``GLB-CQA(g())`` whenever
+        the certainty formula holds.  Its free variables are the query's free
+        variables.
+    order:
+        The topological sort of the attack graph used by the construction.
+    """
+
+    query: AggregationQuery
+    certainty_formula: Formula
+    forall_formula: Formula
+    value_term: AggregateTerm
+    order: Tuple[Atom, ...]
+
+    def evaluate(
+        self,
+        instance: DatabaseInstance,
+        binding: Optional[Dict[str, Constant]] = None,
+    ):
+        """Evaluate the rewriting on an instance (⊥ is returned as ``BOTTOM``).
+
+        This uses the AGGR[FOL] interpreter and is intended for small
+        instances and for cross-checking the operational evaluator.
+        """
+        evaluator = FormulaEvaluator(instance)
+        env = dict(binding or {})
+        if not evaluator.evaluate(self.certainty_formula, env):
+            return BOTTOM
+        value = evaluator.evaluate_term(self.value_term, env)
+        return BOTTOM if value is None else as_fraction(value)
+
+    def describe(self) -> str:
+        """Human-readable rendering of the rewriting (used by examples)."""
+        lines = [
+            f"query: {self.query}",
+            f"topological sort: {[str(a) for a in self.order]}",
+            f"certainty (⊥-guard): {self.certainty_formula}",
+            f"glb value term: {self.value_term}",
+        ]
+        return "\n".join(lines)
+
+
+class GlbRewriter:
+    """Decision procedure + construction of the glb rewriting (Theorem 1.1)."""
+
+    def __init__(self, query: AggregationQuery) -> None:
+        query.body.require_self_join_free()
+        self._original = query
+        self._query, self._operator = _normalise_query(query)
+        self._graph = AttackGraph(self._query.body)
+
+    # -- decision procedure ----------------------------------------------------------
+
+    def verdict(self) -> SeparationVerdict:
+        """The separation-theorem verdict for the (original) query."""
+        return classify_aggregation_query(self._original, "glb")
+
+    def is_rewritable(self) -> bool:
+        """True when a glb rewriting in AGGR[FOL] exists (Theorem 1.1 / 7.10)."""
+        if not self._graph.is_acyclic():
+            return False
+        if self._operator.name == "MIN":
+            return True
+        return is_covered_by_separation_theorem(self._operator)
+
+    # -- construction --------------------------------------------------------------------
+
+    def rewrite(self) -> GlbRewriting:
+        """Construct the glb rewriting; raises when none exists."""
+        if not self._graph.is_acyclic():
+            raise NotRewritableError(
+                "attack graph is cyclic: GLB-CQA is not expressible in AGGR[FOL] "
+                "(Theorem 5.5)"
+            )
+        if self._operator.name == "MIN":
+            return self._rewrite_min()
+        if not is_covered_by_separation_theorem(self._operator):
+            raise UnsupportedAggregateError(
+                f"aggregate {self._operator.name} is not monotone and associative; "
+                "no glb rewriting is constructed (Section 7)"
+            )
+        return self._rewrite_monotone_associative()
+
+    # -- MIN special case (Theorem 7.10) ------------------------------------------------------
+
+    def _rewrite_min(self) -> GlbRewriting:
+        body = self._query.body
+        order = tuple(self._graph.topological_sort())
+        certainty = ConsistentRewriter(body).rewriting()
+        forall = forall_embedding_formula(body, order)
+        free = set(body.free_variables)
+        bound = tuple(sorted(body.variables - free, key=lambda v: v.name))
+        body_formula = _atoms_conjunction(order)
+        value_term = AggregateTerm(
+            "MIN", bound, _value_of_term(self._query), body_formula
+        )
+        return GlbRewriting(self._query, certainty, forall, value_term, order)
+
+    # -- general construction (Theorem 6.1) ----------------------------------------------------
+
+    def _rewrite_monotone_associative(self) -> GlbRewriting:
+        body = self._query.body
+        order = tuple(self._graph.topological_sort())
+        certainty = ConsistentRewriter(body).rewriting()
+        forall = forall_embedding_formula(body, order)
+        free = set(body.free_variables)
+
+        def new_vars(atom_vars, bound: Set[Variable]) -> List[Variable]:
+            return sorted(
+                (v for v in atom_vars if v not in bound and v not in free),
+                key=lambda v: v.name,
+            )
+
+        # Variables bound before each level.
+        prefixes: List[Set[Variable]] = [set()]
+        for atom in order:
+            prefixes.append(prefixes[-1] | set(atom.variables - free))
+
+        value_term = _value_of_term(self._query)
+        current = value_term
+        for level in range(len(order) - 1, -1, -1):
+            atom = order[level]
+            bound_before = prefixes[level]
+            key_new = new_vars(atom.key_variables, bound_before)
+            other_new = new_vars(
+                atom.variables - set(key_new), bound_before | set(key_new)
+            )
+            rest_vars: Set[Variable] = set()
+            for later in order[level + 1:]:
+                rest_vars |= later.variables - free
+            rest_new = sorted(
+                rest_vars - prefixes[level + 1], key=lambda v: v.name
+            )
+
+            min_formula = exists(tuple(rest_new), forall)
+            min_term = AggregateTerm("MIN", tuple(other_new), current, min_formula)
+            agg_formula = exists(tuple(other_new) + tuple(rest_new), forall)
+            current = AggregateTerm(
+                self._operator.name, tuple(key_new), min_term, agg_formula
+            )
+        return GlbRewriting(self._query, certainty, forall, current, order)
+
+
+def _value_of_term(query: AggregationQuery):
+    term = query.aggregated_term
+    if is_variable(term):
+        return NumericalVariable(term)
+    return NumericalConstant(as_fraction(term))
+
+
+def _atoms_conjunction(order: Sequence[Atom]) -> Formula:
+    from repro.fol.builders import conjunction
+    from repro.fol.syntax import RelationAtom
+
+    return conjunction([RelationAtom(atom) for atom in order])

@@ -1,0 +1,20 @@
+"""Relational data model substrate.
+
+This subpackage implements the database-side vocabulary of the paper:
+relation signatures with primary keys and numeric columns, facts, blocks,
+database instances (possibly violating their primary keys), repairs, and
+valuations.
+"""
+
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.datamodel.facts import Fact
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.valuation import Valuation
+
+__all__ = [
+    "RelationSignature",
+    "Schema",
+    "Fact",
+    "DatabaseInstance",
+    "Valuation",
+]

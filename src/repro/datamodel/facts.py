@@ -1,0 +1,59 @@
+"""Facts: ground atoms stored in a database instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from numbers import Number
+from typing import Tuple, Union
+
+Constant = Union[str, int, float, Fraction]
+
+
+def is_numeric_constant(value: Constant) -> bool:
+    """True when ``value`` is a number (int, float or Fraction, not bool)."""
+    return isinstance(value, Number) and not isinstance(value, bool)
+
+
+def as_fraction(value: Constant) -> Fraction:
+    """Convert a numeric constant to an exact :class:`~fractions.Fraction`."""
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**12)
+    raise TypeError(f"not a numeric constant: {value!r}")
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground atom ``R(c1, ..., cn)``.
+
+    Facts are hashable and therefore usable as set elements; a database
+    instance is a finite set of facts.
+    """
+
+    relation: str
+    values: Tuple[Constant, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    def key(self, key_size: int) -> Tuple[Constant, ...]:
+        """Primary-key projection of the fact, given the relation's key size."""
+        return self.values[:key_size]
+
+    def is_key_equal(self, other: "Fact", key_size: int) -> bool:
+        """True when both facts share relation name and primary-key values."""
+        return self.relation == other.relation and self.key(key_size) == other.key(
+            key_size
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(v) if isinstance(v, str) else str(v) for v in self.values)
+        return f"{self.relation}({rendered})"

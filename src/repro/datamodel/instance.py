@@ -1,0 +1,200 @@
+"""Database instances, blocks and repairs.
+
+A *database instance* is a finite set of facts.  A *block* is a maximal set of
+facts of the same relation that agree on the primary key.  A *repair* is a
+maximal consistent subset of the instance, i.e. it picks exactly one fact from
+every block (Section 1 and 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datamodel.facts import Constant, Fact
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import SchemaError
+
+BlockKey = Tuple[str, Tuple[Constant, ...]]
+
+
+class DatabaseInstance:
+    """A finite set of facts over a schema, possibly violating primary keys.
+
+    The instance offers block-level access (the unit of inconsistency), repair
+    enumeration and counting, and convenience constructors used throughout the
+    library, examples and tests.
+    """
+
+    def __init__(self, schema: Schema, facts: Optional[Iterable[Fact]] = None) -> None:
+        self._schema = schema
+        self._facts: set[Fact] = set()
+        self._blocks: Dict[BlockKey, set[Fact]] = defaultdict(set)
+        for fact in facts or ():
+            self.add_fact(fact)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Dict[str, Sequence[Sequence[Constant]]],
+    ) -> "DatabaseInstance":
+        """Build an instance from ``{relation_name: [row, row, ...]}``."""
+        instance = cls(schema)
+        for relation, relation_rows in rows.items():
+            for row in relation_rows:
+                instance.add_fact(Fact(relation, tuple(row)))
+        return instance
+
+    def add_fact(self, fact: Fact) -> None:
+        """Add a fact, validating arity against the schema."""
+        signature = self._schema.relation(fact.relation)
+        if fact.arity != signature.arity:
+            raise SchemaError(
+                f"fact {fact} has arity {fact.arity}, expected {signature.arity}"
+            )
+        if fact in self._facts:
+            return
+        self._facts.add(fact)
+        self._blocks[(fact.relation, fact.key(signature.key_size))].add(fact)
+
+    def add_row(self, relation: str, *values: Constant) -> None:
+        """Convenience wrapper: ``add_row("R", 1, 2)`` adds the fact ``R(1, 2)``."""
+        self.add_fact(Fact(relation, tuple(values)))
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        return frozenset(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._facts))
+
+    def relation(self, name: str) -> Tuple[Fact, ...]:
+        """All facts of the given relation (the *R-relation* of the instance)."""
+        return tuple(f for f in self._facts if f.relation == name)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of relations that actually contain facts."""
+        return tuple(sorted({f.relation for f in self._facts}))
+
+    # -- blocks and consistency ------------------------------------------------
+
+    def blocks(self, relation: Optional[str] = None) -> List[FrozenSet[Fact]]:
+        """All blocks, optionally restricted to one relation.
+
+        A block is a maximal set of key-equal facts of one relation.
+        """
+        selected = [
+            frozenset(facts)
+            for (rel, _key), facts in sorted(self._blocks.items(), key=lambda kv: repr(kv[0]))
+            if relation is None or rel == relation
+        ]
+        return selected
+
+    def block_of(self, fact: Fact) -> FrozenSet[Fact]:
+        """The block containing ``fact`` (key-equal facts of the same relation)."""
+        signature = self._schema.relation(fact.relation)
+        return frozenset(self._blocks[(fact.relation, fact.key(signature.key_size))])
+
+    def inconsistent_blocks(self, relation: Optional[str] = None) -> List[FrozenSet[Fact]]:
+        """Blocks containing at least two (key-equal, hence conflicting) facts."""
+        return [b for b in self.blocks(relation) if len(b) > 1]
+
+    def is_consistent(self, relation: Optional[str] = None) -> bool:
+        """True when no two distinct facts are key-equal.
+
+        With ``relation`` given, checks consistency of that relation only
+        (used by Lemma D.3-style constructions).
+        """
+        return not self.inconsistent_blocks(relation)
+
+    def inconsistency_ratio(self) -> float:
+        """Fraction of blocks that are inconsistent (0.0 for a consistent db)."""
+        all_blocks = self.blocks()
+        if not all_blocks:
+            return 0.0
+        return len([b for b in all_blocks if len(b) > 1]) / len(all_blocks)
+
+    # -- repairs ---------------------------------------------------------------
+
+    def repair_count(self) -> int:
+        """Number of repairs (product of block sizes)."""
+        count = 1
+        for block in self._blocks.values():
+            count *= len(block)
+        return count
+
+    def repairs(self) -> Iterator["DatabaseInstance"]:
+        """Enumerate every repair as a new (consistent) instance.
+
+        The number of repairs is exponential in the number of inconsistent
+        blocks; this generator is intended for ground-truth computations on
+        small instances and for tests.
+        """
+        ordered_blocks = [sorted(b, key=repr) for b in self._blocks.values()]
+        if not ordered_blocks:
+            yield DatabaseInstance(self._schema)
+            return
+        for choice in itertools.product(*ordered_blocks):
+            yield DatabaseInstance(self._schema, choice)
+
+    def arbitrary_repair(self) -> "DatabaseInstance":
+        """Return one (deterministic) repair: the lexicographically first pick."""
+        picks = [min(block, key=repr) for block in self._blocks.values()]
+        return DatabaseInstance(self._schema, picks)
+
+    def falsifying_repair_exists(self, predicate) -> bool:
+        """True when some repair ``r`` satisfies ``not predicate(r)``.
+
+        ``predicate`` maps a repair (a consistent :class:`DatabaseInstance`)
+        to a boolean.  Used by brute-force CERTAINTY checks.
+        """
+        return any(not predicate(repair) for repair in self.repairs())
+
+    # -- transformation --------------------------------------------------------
+
+    def restricted_to(self, relations: Iterable[str]) -> "DatabaseInstance":
+        """A new instance containing only the facts of the given relations."""
+        wanted = set(relations)
+        return DatabaseInstance(
+            self._schema, (f for f in self._facts if f.relation in wanted)
+        )
+
+    def union(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Union of two instances over the merged schema."""
+        schema = self._schema.merged_with(other.schema)
+        return DatabaseInstance(schema, itertools.chain(self._facts, other.facts))
+
+    def without(self, facts: Iterable[Fact]) -> "DatabaseInstance":
+        """A new instance with the given facts removed."""
+        removed = set(facts)
+        return DatabaseInstance(
+            self._schema, (f for f in self._facts if f not in removed)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        listing = ", ".join(sorted(str(f) for f in self._facts))
+        return f"DatabaseInstance({{{listing}}})"

@@ -1,0 +1,155 @@
+"""Relation signatures and schemas.
+
+A relation name is associated with a *signature* ``(n, k, J)`` where ``n`` is
+the arity, positions ``1..k`` form the primary key, and ``J`` is the set of
+numerical positions (Section 3 of the paper).  Positions are 1-based, matching
+the paper's notation; helper accessors expose 0-based indices for Python code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSignature:
+    """Signature ``(arity, key_size, numeric_positions)`` of a relation name.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"Stock"``.
+    arity:
+        Number of attributes ``n``.
+    key_size:
+        The first ``key_size`` positions form the primary key.  ``key_size``
+        may equal ``arity`` (a *full-key* relation).
+    numeric_positions:
+        1-based positions constrained to hold numbers.
+    attribute_names:
+        Optional human-readable attribute names (used by the SQL backend and
+        pretty-printers).  Defaults to ``a1 .. an``.
+    """
+
+    name: str
+    arity: int
+    key_size: int
+    numeric_positions: Tuple[int, ...] = ()
+    attribute_names: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise SchemaError(f"relation {self.name!r}: arity must be >= 1")
+        if not 1 <= self.key_size <= self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: key_size must be in 1..{self.arity}, "
+                f"got {self.key_size}"
+            )
+        for pos in self.numeric_positions:
+            if not 1 <= pos <= self.arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: numeric position {pos} out of range"
+                )
+        object.__setattr__(
+            self, "numeric_positions", tuple(sorted(set(self.numeric_positions)))
+        )
+        if not self.attribute_names:
+            object.__setattr__(
+                self,
+                "attribute_names",
+                tuple(f"a{i}" for i in range(1, self.arity + 1)),
+            )
+        elif len(self.attribute_names) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: {len(self.attribute_names)} attribute "
+                f"names given for arity {self.arity}"
+            )
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def key_positions(self) -> Tuple[int, ...]:
+        """1-based primary-key positions (always a prefix ``1..key_size``)."""
+        return tuple(range(1, self.key_size + 1))
+
+    @property
+    def nonkey_positions(self) -> Tuple[int, ...]:
+        """1-based positions outside the primary key."""
+        return tuple(range(self.key_size + 1, self.arity + 1))
+
+    @property
+    def is_full_key(self) -> bool:
+        """True when every position belongs to the primary key."""
+        return self.key_size == self.arity
+
+    def is_numeric(self, position: int) -> bool:
+        """Return True when the 1-based ``position`` is a numeric column."""
+        return position in self.numeric_positions
+
+    def key_of(self, values: Tuple) -> Tuple:
+        """Project a tuple of ``arity`` values onto the primary key positions."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: expected {self.arity} values, got {len(values)}"
+            )
+        return values[: self.key_size]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cols = []
+        for i, attr in enumerate(self.attribute_names, start=1):
+            marker = "*" if i <= self.key_size else ""
+            num = "#" if i in self.numeric_positions else ""
+            cols.append(f"{marker}{attr}{num}")
+        return f"{self.name}({', '.join(cols)})"
+
+
+class Schema:
+    """A collection of relation signatures keyed by relation name."""
+
+    def __init__(self, signatures: Optional[Iterable[RelationSignature]] = None) -> None:
+        self._signatures: Dict[str, RelationSignature] = {}
+        for sig in signatures or ():
+            self.add(sig)
+
+    def add(self, signature: RelationSignature) -> None:
+        """Register a signature; re-registering an identical one is a no-op."""
+        existing = self._signatures.get(signature.name)
+        if existing is not None and existing != signature:
+            raise SchemaError(
+                f"relation {signature.name!r} already registered with a "
+                f"different signature"
+            )
+        self._signatures[signature.name] = signature
+
+    def relation(self, name: str) -> RelationSignature:
+        """Return the signature for ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._signatures[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __iter__(self) -> Iterator[RelationSignature]:
+        return iter(self._signatures.values())
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """All registered relation names, in registration order."""
+        return tuple(self._signatures)
+
+    def merged_with(self, other: "Schema") -> "Schema":
+        """Return a new schema containing the signatures of both schemas."""
+        merged = Schema(self)
+        for sig in other:
+            merged.add(sig)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema({', '.join(str(s) for s in self)})"

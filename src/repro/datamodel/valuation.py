@@ -1,0 +1,122 @@
+"""Valuations: total mappings from a finite set of variables to constants.
+
+Following Section 3 of the paper, a valuation ``theta`` over a set ``U`` of
+variables maps every variable in ``U`` to a constant, is the identity outside
+``U``, and maps numeric variables to numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.datamodel.facts import Constant
+
+
+class Valuation(Mapping[str, Constant]):
+    """An immutable total mapping from variable names to constants.
+
+    The class behaves like a read-only mapping and additionally supports the
+    paper's operations: restriction (``theta|_V``), extension, and application
+    to terms.  Variables outside the domain are mapped to themselves by
+    :meth:`apply`.
+    """
+
+    __slots__ = ("_assignments", "_hash")
+
+    def __init__(self, assignments: Optional[Mapping[str, Constant]] = None) -> None:
+        self._assignments: Dict[str, Constant] = dict(assignments or {})
+        self._hash: Optional[int] = None
+
+    # -- Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, variable: str) -> Constant:
+        return self._assignments[variable]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._assignments)
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, variable: object) -> bool:
+        return variable in self._assignments
+
+    # -- equality / hashing ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Valuation):
+            return self._assignments == other._assignments
+        if isinstance(other, Mapping):
+            return self._assignments == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._assignments.items()))
+        return self._hash
+
+    # -- paper operations ------------------------------------------------------
+
+    @property
+    def domain(self) -> FrozenSet[str]:
+        """The set of variables on which the valuation is defined."""
+        return frozenset(self._assignments)
+
+    def apply(self, term: object) -> object:
+        """Apply the valuation to a term (variable name or constant).
+
+        Variables in the domain are replaced by their image; any other value
+        (constants, variables outside the domain) is returned unchanged.
+        """
+        if isinstance(term, str) and term in self._assignments:
+            return self._assignments[term]
+        return term
+
+    def restrict(self, variables: Iterable[str]) -> "Valuation":
+        """Return ``theta|_V``, the restriction of the valuation to ``V``."""
+        wanted = set(variables)
+        return Valuation(
+            {var: val for var, val in self._assignments.items() if var in wanted}
+        )
+
+    def extend(self, assignments: Mapping[str, Constant]) -> "Valuation":
+        """Return a new valuation that also maps the given variables.
+
+        Raises ``ValueError`` when an existing variable would be remapped to a
+        different constant (the extension must be conservative).
+        """
+        merged = dict(self._assignments)
+        for var, val in assignments.items():
+            if var in merged and merged[var] != val:
+                raise ValueError(
+                    f"conflicting extension for variable {var!r}: "
+                    f"{merged[var]!r} vs {val!r}"
+                )
+            merged[var] = val
+        return Valuation(merged)
+
+    def is_extension_of(self, other: "Valuation") -> bool:
+        """True when this valuation agrees with ``other`` on its whole domain."""
+        return all(
+            var in self._assignments and self._assignments[var] == val
+            for var, val in other.items()
+        )
+
+    def agrees_with(self, other: "Valuation", variables: Iterable[str]) -> bool:
+        """True when both valuations coincide on every variable in ``variables``."""
+        return all(self.apply(v) == other.apply(v) for v in variables)
+
+    def project_tuple(self, variables: Iterable[str]) -> Tuple[Constant, ...]:
+        """Return the image of ``variables`` as a tuple, in the given order."""
+        return tuple(self._assignments[v] for v in variables)
+
+    def as_dict(self) -> Dict[str, Constant]:
+        """A plain-dict copy of the assignments."""
+        return dict(self._assignments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}->{v!r}" for k, v in sorted(self._assignments.items()))
+        return f"Valuation({{{inner}}})"
+
+
+EMPTY_VALUATION = Valuation()

@@ -1,0 +1,21 @@
+"""Embeddings, ∀embeddings and maximal consistent subsets."""
+
+from repro.embeddings.embeddings import (
+    embeddings_of,
+    embeddings_satisfy_key_constraints,
+)
+from repro.embeddings.forall import (
+    ForallEmbeddingComputer,
+    forall_embedding_formula,
+    forall_embeddings,
+)
+from repro.embeddings.mcs import maximal_consistent_subsets
+
+__all__ = [
+    "embeddings_of",
+    "embeddings_satisfy_key_constraints",
+    "ForallEmbeddingComputer",
+    "forall_embeddings",
+    "forall_embedding_formula",
+    "maximal_consistent_subsets",
+]

@@ -1,0 +1,77 @@
+"""Maximal consistent subsets (MCS) of a set of embeddings (Definition 6.2).
+
+Given a set ``M`` of embeddings of a query ``q``, an MCS is a ⊆-maximal subset
+that satisfies ``K(q)``.  Satisfaction of key FDs is a pairwise condition, so
+the MCSs of ``M`` are exactly the maximal independent sets of the *conflict
+graph* on ``M`` (two embeddings conflict when they agree on the key of some
+atom but disagree on its variables).  Enumeration is exponential in general;
+this module is used for ground truth on small inputs (Corollary 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.datamodel.valuation import Valuation
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+def _conflicts(
+    query: ConjunctiveQuery, first: Valuation, second: Valuation
+) -> bool:
+    """True when {first, second} violates some key FD of the query."""
+    for atom in query.atoms:
+        key_names = sorted(v.name for v in atom.key_variables)
+        all_names = sorted(v.name for v in atom.variables)
+        if all(first[n] == second[n] for n in key_names) and any(
+            first[n] != second[n] for n in all_names
+        ):
+            return True
+    return False
+
+
+def maximal_consistent_subsets(
+    query: ConjunctiveQuery, embeddings: Sequence[Valuation]
+) -> List[List[Valuation]]:
+    """All MCSs of ``embeddings`` relative to ``K(q)``.
+
+    Implemented as maximal-independent-set enumeration over the conflict
+    graph (Bron–Kerbosch on the complement graph).  Intended for small inputs.
+    """
+    embeddings = list(embeddings)
+    n = len(embeddings)
+    if n == 0:
+        return [[]]
+
+    conflict: List[Set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if _conflicts(query, embeddings[i], embeddings[j]):
+                conflict[i].add(j)
+                conflict[j].add(i)
+
+    # Maximal independent sets of the conflict graph are maximal cliques of its
+    # complement; use Bron–Kerbosch with pivoting on the complement adjacency.
+    complement: List[Set[int]] = [
+        set(range(n)) - conflict[i] - {i} for i in range(n)
+    ]
+    results: List[FrozenSet[int]] = []
+
+    def bron_kerbosch(r: Set[int], p: Set[int], x: Set[int]) -> None:
+        if not p and not x:
+            results.append(frozenset(r))
+            return
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda v: len(complement[v] & p))
+        for vertex in list(p - complement[pivot]):
+            bron_kerbosch(
+                r | {vertex}, p & complement[vertex], x & complement[vertex]
+            )
+            p.remove(vertex)
+            x.add(vertex)
+
+    bron_kerbosch(set(), set(range(n)), set())
+    return [
+        [embeddings[i] for i in sorted(subset)]
+        for subset in sorted(results, key=lambda s: sorted(s))
+    ]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A relation signature or schema is malformed or inconsistent."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (wrong arity, self-join where forbidden, ...)."""
+
+
+class ParseError(QueryError):
+    """Raised by the Datalog-like and SQL parsers on invalid input."""
+
+
+class NotSelfJoinFreeError(QueryError):
+    """The conjunctive query contains two atoms with the same relation name."""
+
+
+class NotRewritableError(ReproError):
+    """The query falls on the negative side of the separation theorem.
+
+    Raised when a consistent rewriting (first-order or aggregate) is requested
+    for a query whose attack graph is cyclic, or whose aggregate operator is
+    not covered by the positive results of the paper.
+    """
+
+
+class UnsupportedAggregateError(ReproError):
+    """The aggregate operator does not support the requested computation."""
+
+
+class EvaluationError(ReproError):
+    """A formula or query could not be evaluated on the given instance."""
+
+
+class BackendError(ReproError):
+    """The SQL backend failed to create, load or query the database."""

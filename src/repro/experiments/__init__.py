@@ -1,0 +1,37 @@
+"""Experiment harness: regenerate the paper's figures and systems-style tables."""
+
+from repro.experiments.figures import (
+    FigureResult,
+    all_figure_results,
+    reproduce_example44_superfrugal,
+    reproduce_fig1_example,
+    reproduce_fig2_attack_graph,
+    reproduce_fig35_running_example,
+    reproduce_groupby_example,
+    reproduce_minmax_example,
+    reproduce_theorem79_refutation,
+)
+from repro.experiments.harness import (
+    ExperimentRow,
+    format_table,
+    run_decision_procedure_timing,
+    run_scalability_experiment,
+    run_solver_agreement_experiment,
+)
+
+__all__ = [
+    "FigureResult",
+    "all_figure_results",
+    "reproduce_fig1_example",
+    "reproduce_fig2_attack_graph",
+    "reproduce_fig35_running_example",
+    "reproduce_example44_superfrugal",
+    "reproduce_groupby_example",
+    "reproduce_minmax_example",
+    "reproduce_theorem79_refutation",
+    "ExperimentRow",
+    "format_table",
+    "run_scalability_experiment",
+    "run_solver_agreement_experiment",
+    "run_decision_procedure_timing",
+]

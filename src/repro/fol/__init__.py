@@ -1,0 +1,53 @@
+"""The aggregate logic AGGR[FOL]: first-order logic with aggregate terms."""
+
+from repro.fol.syntax import (
+    AggregateTerm,
+    And,
+    Comparison,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    NumericalConstant,
+    NumericalVariable,
+    Or,
+    RelationAtom,
+    TrueFormula,
+)
+from repro.fol.evaluation import FormulaEvaluator, evaluate_formula, evaluate_term
+from repro.fol.builders import (
+    conjunction,
+    disjunction,
+    exists,
+    forall,
+    implies,
+    relation_atom,
+)
+
+__all__ = [
+    "Formula",
+    "RelationAtom",
+    "Comparison",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "ForAll",
+    "TrueFormula",
+    "FalseFormula",
+    "AggregateTerm",
+    "NumericalConstant",
+    "NumericalVariable",
+    "FormulaEvaluator",
+    "evaluate_formula",
+    "evaluate_term",
+    "conjunction",
+    "disjunction",
+    "exists",
+    "forall",
+    "implies",
+    "relation_atom",
+]

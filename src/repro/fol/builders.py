@@ -1,0 +1,83 @@
+"""Small helpers for building AGGR[FOL] formulas without boilerplate."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.fol.syntax import (
+    And,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Implies,
+    Or,
+    RelationAtom,
+    TrueFormula,
+)
+from repro.query.atom import Atom
+from repro.query.terms import Variable
+
+
+def relation_atom(atom: Atom) -> RelationAtom:
+    """Wrap a query atom as an atomic formula."""
+    return RelationAtom(atom)
+
+
+def conjunction(operands: Iterable[Formula]) -> Formula:
+    """Flattened conjunction; returns ``true`` when empty, unwraps singletons."""
+    flat = []
+    for operand in operands:
+        if isinstance(operand, TrueFormula):
+            continue
+        if isinstance(operand, And):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return TrueFormula()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjunction(operands: Iterable[Formula]) -> Formula:
+    """Flattened disjunction; returns ``false`` when empty, unwraps singletons."""
+    flat = []
+    for operand in operands:
+        if isinstance(operand, FalseFormula):
+            continue
+        if isinstance(operand, Or):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return FalseFormula()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def exists(variables: Sequence[Variable], operand: Formula) -> Formula:
+    """``∃variables operand``; skips the quantifier when ``variables`` is empty."""
+    variables = tuple(variables)
+    if not variables:
+        return operand
+    return Exists(variables, operand)
+
+
+def forall(variables: Sequence[Variable], operand: Formula) -> Formula:
+    """``∀variables operand``; skips the quantifier when ``variables`` is empty."""
+    variables = tuple(variables)
+    if not variables:
+        return operand
+    return ForAll(variables, operand)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """``antecedent → consequent`` with trivial simplifications."""
+    if isinstance(antecedent, TrueFormula):
+        return consequent
+    if isinstance(antecedent, FalseFormula):
+        return TrueFormula()
+    return Implies(antecedent, consequent)

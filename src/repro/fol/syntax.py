@@ -1,0 +1,299 @@
+"""Abstract syntax for AGGR[FOL] (Section 5.2 of the paper).
+
+The logic extends first-order predicate calculus over relational atoms and
+(in)equalities with *aggregate terms* ``Aggr_F ȳ [r, φ(x̄, ȳ)]``, following
+Hella et al. [27].  Formulas and numerical terms are plain immutable dataclass
+trees; evaluation lives in :mod:`repro.fol.evaluation` and SQL compilation in
+:mod:`repro.sql.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import FrozenSet, Sequence, Tuple, Union
+
+from repro.query.atom import Atom
+from repro.query.terms import Variable, is_variable, term_str
+
+# ---------------------------------------------------------------------------
+# Numerical terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumericalConstant:
+    """A rational constant used inside comparisons or aggregate terms."""
+
+    value: Fraction
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class NumericalVariable:
+    """A (numeric) variable used as a numerical term."""
+
+    variable: Variable
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.variable})
+
+    def __str__(self) -> str:
+        return self.variable.name
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """``Aggr_F ȳ [r, φ(x̄, ȳ)]``: aggregate over all bindings of ``ȳ``.
+
+    ``aggregate`` is the aggregate symbol, resolved through
+    :func:`repro.aggregates.get_operator` at evaluation time.  ``bound_variables``
+    are the ``ȳ`` made bound by the term; the remaining free variables of the
+    inner formula are the term's free variables ``x̄``.
+    """
+
+    aggregate: str
+    bound_variables: Tuple[Variable, ...]
+    value_term: "NumericalTermLike"
+    formula: "Formula"
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        inner = self.formula.free_variables() | _term_free_variables(self.value_term)
+        return inner - frozenset(self.bound_variables)
+
+    def __str__(self) -> str:
+        bound = ", ".join(v.name for v in self.bound_variables)
+        return (
+            f"Aggr[{self.aggregate}]({bound})[{_term_to_str(self.value_term)}, "
+            f"{self.formula}]"
+        )
+
+
+NumericalTermLike = Union[NumericalConstant, NumericalVariable, AggregateTerm]
+ComparableTerm = Union[NumericalTermLike, Variable, str, int, float, Fraction]
+
+
+def _term_free_variables(term: ComparableTerm) -> FrozenSet[Variable]:
+    if isinstance(term, (NumericalConstant, NumericalVariable, AggregateTerm)):
+        return term.free_variables()
+    if is_variable(term):
+        return frozenset({term})
+    return frozenset()
+
+
+def _term_to_str(term: ComparableTerm) -> str:
+    if isinstance(term, (NumericalConstant, NumericalVariable, AggregateTerm)):
+        return str(term)
+    return term_str(term)
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class for AGGR[FOL] formulas."""
+
+    def free_variables(self) -> FrozenSet[Variable]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+
+    def and_(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def or_(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def negated(self) -> "Formula":
+        return Not(self)
+
+    def implies_(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The formula ``true``."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The formula ``false``."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """A relational atom ``R(u1, ..., un)`` used as an atomic formula."""
+
+    atom: Atom
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.atom.variables
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Comparison(Formula):
+    """A comparison ``left op right`` with ``op`` in ``= != <= < >= >``.
+
+    Operands may be variables, constants or numerical terms (including
+    aggregate terms), which is how the paper expresses conditions such as
+    ``t(x, y) <= t(x, y')`` in Fig. 5.
+    """
+
+    left: ComparableTerm
+    operator: str
+    right: ComparableTerm
+
+    _OPERATORS = ("=", "!=", "<=", "<", ">=", ">")
+
+    def __post_init__(self) -> None:
+        if self.operator not in self._OPERATORS:
+            raise ValueError(f"unsupported comparison operator {self.operator!r}")
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return _term_free_variables(self.left) | _term_free_variables(self.right)
+
+    def __str__(self) -> str:
+        return f"{_term_to_str(self.left)} {self.operator} {_term_to_str(self.right)}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``¬φ``."""
+
+    operand: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables()
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of zero or more formulas (empty conjunction is ``true``)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for operand in self.operands:
+            result |= operand.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return " ∧ ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of zero or more formulas (empty disjunction is ``false``)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        result: FrozenSet[Variable] = frozenset()
+        for operand in self.operands:
+            result |= operand.free_variables()
+        return result
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return " ∨ ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``φ → ψ``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.antecedent.free_variables() | self.consequent.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.antecedent}) → ({self.consequent})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification ``∃ȳ φ``."""
+
+    variables: Tuple[Variable, ...]
+    operand: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def __str__(self) -> str:
+        bound = ", ".join(v.name for v in self.variables)
+        return f"∃{bound} ({self.operand})"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """Universal quantification ``∀ȳ φ``."""
+
+    variables: Tuple[Variable, ...]
+    operand: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables() - frozenset(self.variables)
+
+    def __str__(self) -> str:
+        bound = ", ".join(v.name for v in self.variables)
+        return f"∀{bound} ({self.operand})"
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes; used to check the quadratic-size claims."""
+    if isinstance(formula, (TrueFormula, FalseFormula, RelationAtom, Comparison)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(op) for op in formula.operands)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
+    if isinstance(formula, (Exists, ForAll)):
+        return 1 + formula_size(formula.operand)
+    raise TypeError(f"not a formula: {formula!r}")

@@ -1,0 +1,21 @@
+"""Query substrate: terms, atoms, conjunctive queries and aggregation queries."""
+
+from repro.query.terms import Variable, is_variable, term_str
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.aggregation import AggregationQuery
+from repro.query.parser import parse_atom, parse_query, parse_aggregation_query
+from repro.query.sqlparser import parse_sql_aggregation_query
+
+__all__ = [
+    "Variable",
+    "is_variable",
+    "term_str",
+    "Atom",
+    "ConjunctiveQuery",
+    "AggregationQuery",
+    "parse_atom",
+    "parse_query",
+    "parse_aggregation_query",
+    "parse_sql_aggregation_query",
+]

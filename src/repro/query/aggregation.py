@@ -1,0 +1,126 @@
+"""Aggregation queries ``( x̄, AGG(r) ) <- q(x̄, ȳ)`` (class AGGR[sjfBCQ])."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.datamodel.facts import is_numeric_constant
+from repro.exceptions import QueryError
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Term, Variable, is_variable, term_str
+
+
+class AggregationQuery:
+    """A numerical query ``( x̄, AGG(r) ) <- q(x̄, ȳ)``.
+
+    ``aggregate`` is the aggregate *symbol* (e.g. ``"SUM"``); its semantics is
+    provided separately by :mod:`repro.aggregates`.  ``aggregated_term`` is
+    either a numeric variable occurring in the body or a constant rational
+    number.  ``body.free_variables`` are the query's free (GROUP BY)
+    variables ``x̄``; when empty the query is closed (``g()``).
+    """
+
+    def __init__(
+        self,
+        aggregate: str,
+        aggregated_term: Term,
+        body: ConjunctiveQuery,
+    ) -> None:
+        self._aggregate = aggregate.upper()
+        self._term = aggregated_term
+        self._body = body
+        if is_variable(aggregated_term):
+            if aggregated_term not in body.variables:
+                raise QueryError(
+                    f"aggregated variable {aggregated_term} does not occur in the body"
+                )
+        elif not is_numeric_constant(aggregated_term):
+            raise QueryError(
+                f"aggregated term must be a variable or a number, got "
+                f"{aggregated_term!r}"
+            )
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def aggregate(self) -> str:
+        """The aggregate symbol, upper-cased (``SUM``, ``COUNT``, ``MIN``, ...)."""
+        return self._aggregate
+
+    @property
+    def aggregated_term(self) -> Term:
+        return self._term
+
+    @property
+    def body(self) -> ConjunctiveQuery:
+        return self._body
+
+    @property
+    def free_variables(self) -> Tuple[Variable, ...]:
+        """The GROUP BY variables ``x̄`` (empty for a closed numerical query)."""
+        return self._body.free_variables
+
+    def is_closed(self) -> bool:
+        """True when the query has no free variables (``g()``)."""
+        return not self.free_variables
+
+    def is_self_join_free(self) -> bool:
+        return self._body.is_self_join_free()
+
+    # -- transformations ---------------------------------------------------------
+
+    def with_aggregate(self, aggregate: str) -> "AggregationQuery":
+        """Same body and term, different aggregate symbol."""
+        return AggregationQuery(aggregate, self._term, self._body)
+
+    def instantiate_free_variables(self, constants: Sequence) -> "AggregationQuery":
+        """Replace the free variables by constants (Section 6.2 treatment).
+
+        Produces the closed query ``AGG(r) <- q_c̄(ȳ)`` in which each free
+        variable has been replaced by the corresponding constant.
+        """
+        free = self.free_variables
+        if len(constants) != len(free):
+            raise QueryError(
+                f"expected {len(free)} constants, got {len(constants)}"
+            )
+        mapping = dict(zip(free, constants))
+        new_body = self._body.substitute(mapping)
+        term = self._term
+        if is_variable(term) and term in mapping:
+            term = mapping[term]
+        return AggregationQuery(self._aggregate, term, new_body)
+
+    def boolean_body(self) -> ConjunctiveQuery:
+        """The Boolean query ``∃ū q(ū)`` underlying the aggregation query.
+
+        Free variables are kept as free variables (they behave as constants in
+        the CQA analysis, per Section 6.2).
+        """
+        return self._body
+
+    # -- equality / rendering ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AggregationQuery):
+            return NotImplemented
+        return (
+            self._aggregate == other._aggregate
+            and self._term == other._term
+            and self._body == other._body
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._aggregate, self._term, self._body))
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self._body.atoms)
+        head_agg = f"{self._aggregate}({term_str(self._term)})"
+        if self.free_variables:
+            head_vars = ", ".join(v.name for v in self.free_variables)
+            return f"({head_vars}, {head_agg}) <- {body}"
+        return f"{head_agg} <- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AggregationQuery({self})"

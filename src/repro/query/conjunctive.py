@@ -1,0 +1,180 @@
+"""Conjunctive queries (conjunctions of atoms), self-join-freeness and K(q)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.datamodel.signature import Schema
+from repro.exceptions import NotSelfJoinFreeError, QueryError
+from repro.query.atom import Atom
+from repro.query.terms import Term, Variable, is_variable
+
+
+class ConjunctiveQuery:
+    """A conjunction of atoms with an optional tuple of free variables.
+
+    When ``free_variables`` is empty the query is Boolean (class ``sjfBCQ``
+    when additionally self-join-free).  Free variables are used for the
+    GROUP BY extension of Section 6.2 and for consistent first-order
+    rewritings with free variables.
+    """
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        free_variables: Sequence[Variable] = (),
+    ) -> None:
+        if not atoms:
+            raise QueryError("a conjunctive query needs at least one atom")
+        self._atoms: Tuple[Atom, ...] = tuple(atoms)
+        self._free: Tuple[Variable, ...] = tuple(free_variables)
+        all_vars = self.variables
+        for var in self._free:
+            if var not in all_vars:
+                raise QueryError(
+                    f"free variable {var} does not occur in the query body"
+                )
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self._atoms
+
+    @property
+    def free_variables(self) -> Tuple[Variable, ...]:
+        return self._free
+
+    @property
+    def bound_variables(self) -> FrozenSet[Variable]:
+        return self.variables - frozenset(self._free)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """``vars(q)``: all variables occurring in some atom."""
+        result: set = set()
+        for atom in self._atoms:
+            result |= atom.variables
+        return frozenset(result)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(a.relation for a in self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return set(self._atoms) == set(other._atoms) and self._free == other._free
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._atoms), self._free))
+
+    def atom_for_relation(self, relation: str) -> Atom:
+        """The unique atom with the given relation name (self-join-free use)."""
+        matches = [a for a in self._atoms if a.relation == relation]
+        if len(matches) != 1:
+            raise QueryError(
+                f"expected exactly one atom over {relation!r}, found {len(matches)}"
+            )
+        return matches[0]
+
+    # -- properties ---------------------------------------------------------------
+
+    def is_self_join_free(self) -> bool:
+        """True when no two distinct atoms share a relation name."""
+        names = self.relation_names
+        return len(names) == len(set(names))
+
+    def require_self_join_free(self) -> None:
+        """Raise :class:`NotSelfJoinFreeError` unless the query is self-join-free."""
+        if not self.is_self_join_free():
+            raise NotSelfJoinFreeError(
+                f"query has a self-join: {', '.join(self.relation_names)}"
+            )
+
+    def is_boolean(self) -> bool:
+        return not self._free
+
+    # -- K(q): key functional dependencies -----------------------------------------
+
+    def key_dependencies(self) -> List[Tuple[FrozenSet[Variable], FrozenSet[Variable]]]:
+        """``K(q)``: the FD ``Key(F) -> vars(F)`` for every atom ``F``."""
+        return [(atom.key_variables, atom.variables) for atom in self._atoms]
+
+    # -- schema ---------------------------------------------------------------------
+
+    def schema(self) -> Schema:
+        """Schema containing the signature of every atom in the query."""
+        return Schema(a.signature for a in self._atoms)
+
+    # -- transformation ----------------------------------------------------------------
+
+    def without_atom(self, atom: Atom) -> "ConjunctiveQuery":
+        """``q \\ {F}``: drop one atom (free variables that vanish are dropped too)."""
+        remaining = tuple(a for a in self._atoms if a != atom)
+        if len(remaining) == len(self._atoms):
+            raise QueryError(f"atom {atom} not in query")
+        if not remaining:
+            raise QueryError("cannot remove the last atom of a query")
+        remaining_vars: set = set()
+        for a in remaining:
+            remaining_vars |= a.variables
+        free = tuple(v for v in self._free if v in remaining_vars)
+        return ConjunctiveQuery(remaining, free)
+
+    def restricted_to_atoms(self, atoms: Iterable[Atom]) -> "ConjunctiveQuery":
+        """The sub-query containing exactly the given atoms (order preserved)."""
+        wanted = set(atoms)
+        remaining = tuple(a for a in self._atoms if a in wanted)
+        if not remaining:
+            raise QueryError("sub-query would be empty")
+        remaining_vars: set = set()
+        for a in remaining:
+            remaining_vars |= a.variables
+        free = tuple(v for v in self._free if v in remaining_vars)
+        return ConjunctiveQuery(remaining, free)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+        """Apply a variable substitution to every atom (``q[x -> c]``).
+
+        Free variables that become constants are removed from the free tuple.
+        """
+        new_atoms = tuple(a.substitute(mapping) for a in self._atoms)
+        free = tuple(v for v in self._free if v not in mapping)
+        return ConjunctiveQuery(new_atoms, free)
+
+    def apply_valuation(self, valuation: Mapping[str, object]) -> "ConjunctiveQuery":
+        """Apply a valuation keyed by variable name (paper's ``theta(q)``)."""
+        mapping: Dict[Variable, Term] = {}
+        for var in self.variables:
+            if var.name in valuation:
+                mapping[var] = valuation[var.name]
+        return self.substitute(mapping) if mapping else self
+
+    def with_free_variables(self, free: Sequence[Variable]) -> "ConjunctiveQuery":
+        """Same body with a different tuple of free variables."""
+        return ConjunctiveQuery(self._atoms, free)
+
+    def reordered(self, atoms: Sequence[Atom]) -> "ConjunctiveQuery":
+        """Same query with atoms listed in the given order."""
+        if set(atoms) != set(self._atoms) or len(atoms) != len(self._atoms):
+            raise QueryError("reordered atom list must be a permutation of the query")
+        return ConjunctiveQuery(tuple(atoms), self._free)
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self._atoms)
+        if self._free:
+            head = ", ".join(v.name for v in self._free)
+            return f"({head}) <- {body}"
+        return body
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConjunctiveQuery({self})"

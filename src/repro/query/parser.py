@@ -1,0 +1,293 @@
+"""Parser for the Datalog-like syntax used throughout the paper.
+
+Grammar (informal)::
+
+    agg_query  := head "<-" body
+    head       := AGG "(" term ")"
+                | "(" var ("," var)* "," AGG "(" term ")" ")"
+    body       := atom ("," atom)*
+    atom       := RELATION "(" term ("," term)* ")"
+    term       := IDENTIFIER            (a variable)
+                | NUMBER                (a numeric constant; fractions allowed)
+                | 'string' | "string"   (a string constant)
+
+Bare identifiers are variables; constants must be quoted strings or numbers.
+The relation signatures (primary keys, numeric columns) come from the schema
+passed to the parsing functions; a variable appearing at a numeric position in
+any atom is flagged numeric everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import ParseError
+from repro.query.aggregation import AggregationQuery
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<arrow><-|:-)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<comma>,)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<number>-?\d+(?:\.\d+)?(?:/\d+)?)
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_AGGREGATE_NAMES = {
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "AVG",
+    "PRODUCT",
+    "COUNT_DISTINCT",
+    "SUM_DISTINCT",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: str) -> None:
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at: {remainder[:30]!r}")
+        position = match.end()
+        for kind in ("arrow", "lparen", "rparen", "comma", "string", "number", "ident"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+def _parse_number(text: str) -> Union[int, Fraction]:
+    if "/" in text:
+        numerator, denominator = text.split("/")
+        return Fraction(int(numerator), int(denominator))
+    if "." in text:
+        return Fraction(text)
+    return int(text)
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self, expected: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        if expected is not None and token.kind != expected:
+            raise ParseError(f"expected {expected}, got {token.value!r}")
+        self._index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- raw (schema-independent) parsing ---------------------------------------
+
+    def parse_raw_term(self) -> Tuple[str, object]:
+        """Return ``("var", name)`` or ``("const", value)``."""
+        token = self._next()
+        if token.kind == "ident":
+            return ("var", token.value)
+        if token.kind == "number":
+            return ("const", _parse_number(token.value))
+        if token.kind == "string":
+            return ("const", token.value[1:-1])
+        raise ParseError(f"expected a term, got {token.value!r}")
+
+    def parse_raw_atom(self) -> Tuple[str, List[Tuple[str, object]]]:
+        name = self._next("ident").value
+        self._next("lparen")
+        terms = [self.parse_raw_term()]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._next("comma")
+            terms.append(self.parse_raw_term())
+        self._next("rparen")
+        return name, terms
+
+    def parse_raw_body(self) -> List[Tuple[str, List[Tuple[str, object]]]]:
+        atoms = [self.parse_raw_atom()]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._next("comma")
+            atoms.append(self.parse_raw_atom())
+        return atoms
+
+
+def _numeric_variable_names(
+    schema: Schema, raw_atoms: Sequence[Tuple[str, List[Tuple[str, object]]]]
+) -> set:
+    """Names of variables that occur at some numeric position."""
+    numeric: set = set()
+    for relation, terms in raw_atoms:
+        signature = schema.relation(relation)
+        for position, (kind, value) in enumerate(terms, start=1):
+            if kind == "var" and signature.is_numeric(position):
+                numeric.add(value)
+    return numeric
+
+
+def _build_atoms(
+    schema: Schema, raw_atoms: Sequence[Tuple[str, List[Tuple[str, object]]]]
+) -> List[Atom]:
+    numeric_names = _numeric_variable_names(schema, raw_atoms)
+    atoms: List[Atom] = []
+    for relation, raw_terms in raw_atoms:
+        signature = schema.relation(relation)
+        if len(raw_terms) != signature.arity:
+            raise ParseError(
+                f"atom over {relation!r}: expected {signature.arity} terms, got "
+                f"{len(raw_terms)}"
+            )
+        terms: List[Term] = []
+        for kind, value in raw_terms:
+            if kind == "var":
+                terms.append(Variable(value, numeric=value in numeric_names))
+            else:
+                terms.append(value)
+        atoms.append(Atom(signature, tuple(terms)))
+    return atoms
+
+
+def parse_atom(schema: Schema, text: str) -> Atom:
+    """Parse a single atom, e.g. ``"Stock(p, t, y)"``."""
+    parser = _Parser(_tokenize(text))
+    raw = parser.parse_raw_atom()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after atom in {text!r}")
+    return _build_atoms(schema, [raw])[0]
+
+
+def parse_query(
+    schema: Schema,
+    text: str,
+    free: Union[str, Sequence[str]] = (),
+) -> ConjunctiveQuery:
+    """Parse a conjunctive query body, e.g. ``"R(x,y), S(y,z,'d',r)"``.
+
+    ``free`` optionally lists free-variable names (comma-separated string or
+    sequence of names).
+    """
+    parser = _Parser(_tokenize(text))
+    raw_atoms = parser.parse_raw_body()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after query in {text!r}")
+    atoms = _build_atoms(schema, raw_atoms)
+    free_names = (
+        [name.strip() for name in free.split(",") if name.strip()]
+        if isinstance(free, str)
+        else list(free)
+    )
+    by_name: Dict[str, Variable] = {}
+    for atom in atoms:
+        for var in atom.variables:
+            by_name[var.name] = var
+    try:
+        free_vars = [by_name[name] for name in free_names]
+    except KeyError as exc:
+        raise ParseError(f"free variable {exc.args[0]!r} not in query body") from exc
+    return ConjunctiveQuery(atoms, free_vars)
+
+
+def parse_aggregation_query(schema: Schema, text: str) -> AggregationQuery:
+    """Parse an aggregation query in the paper's Datalog-like syntax.
+
+    Examples::
+
+        SUM(y) <- Dealers('Smith', t), Stock(p, t, y)
+        (x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)
+        COUNT(1) <- R(x, y), S(y, z)
+    """
+    if "<-" not in text and ":-" not in text:
+        raise ParseError("aggregation query must contain '<-' separating head and body")
+    arrow = "<-" if "<-" in text else ":-"
+    head_text, body_text = text.split(arrow, 1)
+
+    head_parser = _Parser(_tokenize(head_text))
+    group_by_names: List[str] = []
+    token = head_parser._peek()
+    if token is None:
+        raise ParseError("empty head in aggregation query")
+
+    if token.kind == "lparen":
+        # "(x, y, SUM(r))" style head with free variables.
+        head_parser._next("lparen")
+        aggregate_name: Optional[str] = None
+        raw_term: Optional[Tuple[str, object]] = None
+        while True:
+            ident = head_parser._next("ident").value
+            following = head_parser._peek()
+            if following is not None and following.kind == "lparen":
+                if ident.upper() not in _AGGREGATE_NAMES:
+                    raise ParseError(f"unknown aggregate symbol {ident!r}")
+                aggregate_name = ident.upper()
+                head_parser._next("lparen")
+                raw_term = head_parser.parse_raw_term()
+                head_parser._next("rparen")
+                head_parser._next("rparen")
+                break
+            group_by_names.append(ident)
+            head_parser._next("comma")
+        if aggregate_name is None or raw_term is None:
+            raise ParseError("head with free variables must end with AGG(term)")
+    else:
+        ident = head_parser._next("ident").value
+        if ident.upper() not in _AGGREGATE_NAMES:
+            raise ParseError(f"unknown aggregate symbol {ident!r}")
+        aggregate_name = ident.upper()
+        head_parser._next("lparen")
+        raw_term = head_parser.parse_raw_term()
+        head_parser._next("rparen")
+    if not head_parser.at_end():
+        raise ParseError(f"trailing input after head in {head_text!r}")
+
+    body = parse_query(schema, body_text, free=group_by_names)
+
+    kind, value = raw_term
+    if kind == "const":
+        aggregated: Term = value
+    else:
+        matches = [v for v in body.variables if v.name == value]
+        if not matches:
+            raise ParseError(
+                f"aggregated variable {value!r} does not occur in the body"
+            )
+        aggregated = matches[0]
+    return AggregationQuery(aggregate_name, aggregated, body)

@@ -1,0 +1,396 @@
+"""Parser for the SQL fragment covered by the paper.
+
+The paper's queries are SQL ``SELECT-FROM-WHERE-GROUP BY`` queries in which
+the WHERE clause is a conjunction of equalities and the SELECT clause contains
+the GROUP BY columns plus one aggregate (MAX, MIN, SUM, AVG, COUNT, ...).
+This module translates such queries into :class:`~repro.query.aggregation.
+AggregationQuery` objects, playing the role that ``sqlglot`` + a Postgres
+catalog would play in a full deployment (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import ParseError
+from repro.query.aggregation import AggregationQuery
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Term, Variable
+
+_SQL_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'[^']*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<star>\*)
+      | (?P<comma>,)
+      | (?P<dot>\.)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<eq>=)
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_AGGREGATES = {"SUM", "COUNT", "MIN", "MAX", "AVG", "PRODUCT"}
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND"}
+
+
+class _SqlToken:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: str) -> None:
+        self.kind = kind
+        self.value = value
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_SqlToken({self.kind}, {self.value!r})"
+
+
+def _tokenize_sql(text: str) -> List[_SqlToken]:
+    tokens: List[_SqlToken] = []
+    position = 0
+    text = text.strip().rstrip(";")
+    while position < len(text):
+        match = _SQL_TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected SQL input at: {remainder[:30]!r}")
+        position = match.end()
+        for kind in (
+            "string",
+            "number",
+            "star",
+            "comma",
+            "dot",
+            "lparen",
+            "rparen",
+            "eq",
+            "ident",
+        ):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_SqlToken(kind, value))
+                break
+    return tokens
+
+
+class _ColumnRef:
+    """A (possibly alias-qualified) column reference appearing in the SQL text."""
+
+    __slots__ = ("alias", "column")
+
+    def __init__(self, alias: Optional[str], column: str) -> None:
+        self.alias = alias
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.alias}.{self.column}" if self.alias else self.column
+
+
+class _SelectItem:
+    """One entry of the SELECT list: a plain column or an aggregate call."""
+
+    __slots__ = ("aggregate", "column", "is_star")
+
+    def __init__(
+        self,
+        aggregate: Optional[str],
+        column: Optional[_ColumnRef],
+        is_star: bool = False,
+    ) -> None:
+        self.aggregate = aggregate
+        self.column = column
+        self.is_star = is_star
+
+
+class _Equality:
+    """An equality from the WHERE clause (column = column, or column = constant)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right) -> None:
+        self.left = left
+        self.right = right
+
+
+class _SqlParser:
+    def __init__(self, tokens: List[_SqlToken]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[_SqlToken]:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self, expected_kind: Optional[str] = None) -> _SqlToken:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of SQL input")
+        if expected_kind is not None and token.kind != expected_kind:
+            raise ParseError(f"expected {expected_kind}, got {token.value!r}")
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next("ident")
+        if token.upper != keyword:
+            raise ParseError(f"expected keyword {keyword}, got {token.value!r}")
+
+    def _keyword_ahead(self, keyword: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "ident" and token.upper == keyword
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- clause parsers ----------------------------------------------------------
+
+    def parse_column_ref(self) -> _ColumnRef:
+        first = self._next("ident").value
+        if self._peek() is not None and self._peek().kind == "dot":
+            self._next("dot")
+            second = self._next("ident").value
+            return _ColumnRef(first, second)
+        return _ColumnRef(None, first)
+
+    def parse_select_list(self) -> List[_SelectItem]:
+        items: List[_SelectItem] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError("unexpected end of SELECT list")
+            if token.kind == "ident" and token.upper in _AGGREGATES:
+                aggregate = self._next("ident").upper
+                self._next("lparen")
+                inner = self._peek()
+                if inner is not None and inner.kind == "star":
+                    self._next("star")
+                    items.append(_SelectItem(aggregate, None, is_star=True))
+                else:
+                    items.append(_SelectItem(aggregate, self.parse_column_ref()))
+                self._next("rparen")
+            else:
+                items.append(_SelectItem(None, self.parse_column_ref()))
+            if self._peek() is not None and self._peek().kind == "comma":
+                self._next("comma")
+                continue
+            break
+        return items
+
+    def parse_from_list(self) -> List[Tuple[str, str]]:
+        """Return a list of ``(relation_name, alias)`` pairs."""
+        entries: List[Tuple[str, str]] = []
+        while True:
+            relation = self._next("ident").value
+            alias = relation
+            if self._keyword_ahead("AS"):
+                self._next("ident")
+                alias = self._next("ident").value
+            elif (
+                self._peek() is not None
+                and self._peek().kind == "ident"
+                and self._peek().upper not in _KEYWORDS
+            ):
+                alias = self._next("ident").value
+            entries.append((relation, alias))
+            if self._peek() is not None and self._peek().kind == "comma":
+                self._next("comma")
+                continue
+            break
+        return entries
+
+    def parse_operand(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of WHERE clause")
+        if token.kind == "string":
+            self._next("string")
+            return token.value[1:-1]
+        if token.kind == "number":
+            self._next("number")
+            text = token.value
+            return Fraction(text) if "." in text else int(text)
+        return self.parse_column_ref()
+
+    def parse_where(self) -> List[_Equality]:
+        equalities: List[_Equality] = []
+        while True:
+            left = self.parse_operand()
+            self._next("eq")
+            right = self.parse_operand()
+            equalities.append(_Equality(left, right))
+            if self._keyword_ahead("AND"):
+                self._next("ident")
+                continue
+            break
+        return equalities
+
+    def parse_group_by(self) -> List[_ColumnRef]:
+        columns = [self.parse_column_ref()]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._next("comma")
+            columns.append(self.parse_column_ref())
+        return columns
+
+
+class _UnionFind:
+    """Union-find over column slots, used to apply WHERE equalities."""
+
+    def __init__(self) -> None:
+        self._parent: Dict = {}
+
+    def find(self, item):
+        self._parent.setdefault(item, item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left, right) -> None:
+        self._parent[self.find(left)] = self.find(right)
+
+    def items(self):
+        return list(self._parent)
+
+
+def parse_sql_aggregation_query(schema: Schema, sql: str) -> AggregationQuery:
+    """Translate a SQL aggregation query into an :class:`AggregationQuery`.
+
+    Supported fragment: ``SELECT <group cols and one aggregate> FROM <relations
+    with optional aliases> [WHERE <conjunction of equalities>] [GROUP BY
+    <columns>]``.  Column names must match the attribute names declared in the
+    schema's relation signatures.
+    """
+    parser = _SqlParser(_tokenize_sql(sql))
+    parser._expect_keyword("SELECT")
+    select_items = parser.parse_select_list()
+    parser._expect_keyword("FROM")
+    from_entries = parser.parse_from_list()
+    equalities: List[_Equality] = []
+    group_by: List[_ColumnRef] = []
+    if parser._keyword_ahead("WHERE"):
+        parser._next("ident")
+        equalities = parser.parse_where()
+    if parser._keyword_ahead("GROUP"):
+        parser._next("ident")
+        parser._expect_keyword("BY")
+        group_by = parser.parse_group_by()
+    if not parser.at_end():
+        raise ParseError("trailing input after SQL query")
+
+    aggregates = [item for item in select_items if item.aggregate is not None]
+    if len(aggregates) != 1:
+        raise ParseError("exactly one aggregate is required in the SELECT clause")
+    aggregate_item = aggregates[0]
+
+    # Map aliases to signatures and set up one column "slot" per alias/position.
+    alias_signature: Dict[str, RelationSignature] = {}
+    for relation, alias in from_entries:
+        if alias in alias_signature:
+            raise ParseError(f"duplicate alias {alias!r} in FROM clause")
+        alias_signature[alias] = schema.relation(relation)
+
+    def resolve(ref: _ColumnRef) -> Tuple[str, int]:
+        """Resolve a column reference to a slot ``(alias, 1-based position)``."""
+        candidates: List[Tuple[str, int]] = []
+        for alias, signature in alias_signature.items():
+            if ref.alias is not None and ref.alias != alias:
+                continue
+            for position, attr in enumerate(signature.attribute_names, start=1):
+                if attr.lower() == ref.column.lower():
+                    candidates.append((alias, position))
+        if not candidates:
+            raise ParseError(f"cannot resolve column reference {ref!r}")
+        if len(candidates) > 1:
+            raise ParseError(f"ambiguous column reference {ref!r}")
+        return candidates[0]
+
+    union_find = _UnionFind()
+    slot_constant: Dict[Tuple[str, int], object] = {}
+    for alias, signature in alias_signature.items():
+        for position in range(1, signature.arity + 1):
+            union_find.find((alias, position))
+
+    for equality in equalities:
+        left, right = equality.left, equality.right
+        left_is_col = isinstance(left, _ColumnRef)
+        right_is_col = isinstance(right, _ColumnRef)
+        if left_is_col and right_is_col:
+            union_find.union(resolve(left), resolve(right))
+        elif left_is_col:
+            slot_constant[resolve(left)] = right
+        elif right_is_col:
+            slot_constant[resolve(right)] = left
+        elif left != right:
+            raise ParseError(f"contradictory constant equality {left!r} = {right!r}")
+
+    # Propagate constants to class representatives and detect conflicts.
+    class_constant: Dict[Tuple[str, int], object] = {}
+    for slot, constant in slot_constant.items():
+        root = union_find.find(slot)
+        if root in class_constant and class_constant[root] != constant:
+            raise ParseError("conflicting constants for a single join class")
+        class_constant[root] = constant
+
+    # Determine numeric classes (a class is numeric when any member slot is).
+    numeric_classes: set = set()
+    for alias, signature in alias_signature.items():
+        for position in range(1, signature.arity + 1):
+            if signature.is_numeric(position):
+                numeric_classes.add(union_find.find((alias, position)))
+
+    def class_variable_name(root: Tuple[str, int]) -> str:
+        alias, position = root
+        attr = alias_signature[alias].attribute_names[position - 1]
+        return f"{alias}_{attr}".lower()
+
+    def term_for_slot(alias: str, position: int) -> Term:
+        root = union_find.find((alias, position))
+        if root in class_constant:
+            return class_constant[root]
+        return Variable(class_variable_name(root), numeric=root in numeric_classes)
+
+    atoms: List[Atom] = []
+    for relation, alias in from_entries:
+        signature = alias_signature[alias]
+        terms = tuple(
+            term_for_slot(alias, position) for position in range(1, signature.arity + 1)
+        )
+        atoms.append(Atom(signature, terms))
+
+    def term_for_ref(ref: _ColumnRef) -> Term:
+        alias, position = resolve(ref)
+        return term_for_slot(alias, position)
+
+    group_terms = [term_for_ref(ref) for ref in group_by]
+    select_plain = [item for item in select_items if item.aggregate is None]
+    for item in select_plain:
+        term = term_for_ref(item.column)
+        if term not in group_terms:
+            group_terms.append(term)
+
+    free_variables = [t for t in group_terms if isinstance(t, Variable)]
+    body = ConjunctiveQuery(atoms, free_variables)
+
+    aggregate_name = aggregate_item.aggregate
+    if aggregate_item.is_star:
+        if aggregate_name != "COUNT":
+            raise ParseError("'*' is only allowed inside COUNT(*)")
+        aggregated_term: Term = 1
+    else:
+        aggregated_term = term_for_ref(aggregate_item.column)
+    return AggregationQuery(aggregate_name, aggregated_term, body)

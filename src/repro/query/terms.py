@@ -1,0 +1,42 @@
+"""Terms occurring in query atoms: variables and constants.
+
+Variables are instances of :class:`Variable`; constants are plain Python
+values (strings, ints, floats, :class:`~fractions.Fraction`).  A variable may
+be flagged as *numeric*, in which case every valuation must map it to a
+number (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.datamodel.facts import Constant
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, optionally flagged as numeric."""
+
+    name: str
+    numeric: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """True when ``term`` is a :class:`Variable` (as opposed to a constant)."""
+    return isinstance(term, Variable)
+
+
+def term_str(term: Term) -> str:
+    """Human-readable rendering of a term (quotes string constants)."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, str):
+        return repr(term)
+    return str(term)

@@ -1,0 +1,15 @@
+"""Repair-level tooling: enumeration helpers and superfrugal repairs."""
+
+from repro.repairs.enumerate import count_repairs, enumerate_repairs, sample_repairs
+from repro.repairs.frugal import (
+    find_superfrugal_repairs,
+    is_superfrugal,
+)
+
+__all__ = [
+    "enumerate_repairs",
+    "count_repairs",
+    "sample_repairs",
+    "is_superfrugal",
+    "find_superfrugal_repairs",
+]

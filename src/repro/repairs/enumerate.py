@@ -1,0 +1,35 @@
+"""Repair enumeration, counting and sampling helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.datamodel.instance import DatabaseInstance
+
+
+def enumerate_repairs(instance: DatabaseInstance) -> Iterator[DatabaseInstance]:
+    """Yield every repair of the instance (exponential; for small instances)."""
+    return instance.repairs()
+
+
+def count_repairs(instance: DatabaseInstance) -> int:
+    """Number of repairs of the instance (product of block sizes)."""
+    return instance.repair_count()
+
+
+def sample_repairs(
+    instance: DatabaseInstance, count: int, seed: Optional[int] = None
+) -> List[DatabaseInstance]:
+    """Sample ``count`` repairs uniformly at random (with replacement).
+
+    Each repair is obtained by picking one fact uniformly from every block,
+    which yields the uniform distribution over repairs.
+    """
+    rng = random.Random(seed)
+    samples: List[DatabaseInstance] = []
+    blocks = [sorted(b, key=repr) for b in instance.blocks()]
+    for _ in range(count):
+        picks = [rng.choice(block) for block in blocks]
+        samples.append(DatabaseInstance(instance.schema, picks))
+    return samples

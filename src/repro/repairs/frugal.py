@@ -1,0 +1,52 @@
+"""Superfrugal repairs (Section 4).
+
+A repair ``r`` of ``db`` is *superfrugal* relative to a query ``q`` when every
+embedding of ``q`` in ``r`` is a ∀embedding of ``q`` in ``db``.  By Lemma 6.3,
+the embedding sets of superfrugal repairs are exactly the maximal consistent
+subsets of the set of all ∀embeddings, which is what makes them the bridge
+between repairs and the rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.valuation import Valuation
+from repro.embeddings.embeddings import embeddings_of
+from repro.embeddings.forall import forall_embeddings
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+def is_superfrugal(
+    repair: DatabaseInstance,
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    forall_set: Optional[Sequence[Valuation]] = None,
+) -> bool:
+    """True when ``repair`` is superfrugal relative to ``query`` in ``instance``.
+
+    ``forall_set`` may be passed to avoid recomputing the ∀embeddings when the
+    function is called for many repairs of the same instance.
+    """
+    if forall_set is None:
+        forall_set = forall_embeddings(query, instance)
+    forall = set(forall_set)
+    return all(embedding in forall for embedding in embeddings_of(query, repair))
+
+
+def find_superfrugal_repairs(
+    query: ConjunctiveQuery, instance: DatabaseInstance
+) -> List[DatabaseInstance]:
+    """All superfrugal repairs of the instance (exponential enumeration).
+
+    By Lemma 4.5 at least one superfrugal repair exists whenever the query is
+    certain; the returned list is empty only when the query fails in some
+    repair and no repair happens to be superfrugal.
+    """
+    forall_set = forall_embeddings(query, instance)
+    return [
+        repair
+        for repair in instance.repairs()
+        if is_superfrugal(repair, query, instance, forall_set)
+    ]

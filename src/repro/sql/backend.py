@@ -1,0 +1,160 @@
+"""sqlite3 execution backend for the SQL rewritings.
+
+The paper's practical pitch is that AGGR[FOL] rewritings run on an unmodified
+DBMS.  A full deployment would target PostgreSQL; offline we use the standard
+library's sqlite3, which supports everything the generated SQL needs
+(correlated EXISTS, CTEs, standard aggregates).  See DESIGN.md for the
+substitution note.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.evaluator import BOTTOM
+from repro.datamodel.facts import Constant, Fact, is_numeric_constant
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import BackendError
+from repro.query.aggregation import AggregationQuery
+from repro.sql.dialect import quote_identifier
+from repro.sql.generator import GeneratedSql, SqlRewritingGenerator
+
+
+def _to_fraction(value) -> Fraction:
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**9)
+    return Fraction(str(value))
+
+
+class SqliteBackend:
+    """Loads database instances into sqlite3 and runs generated rewritings."""
+
+    def __init__(self) -> None:
+        self._connection: Optional[sqlite3.Connection] = None
+
+    # -- connection / schema ----------------------------------------------------------
+
+    def connect(self) -> sqlite3.Connection:
+        """(Re)open an in-memory database."""
+        self.close()
+        self._connection = sqlite3.connect(":memory:")
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise BackendError("backend is not connected; call connect() first")
+        return self._connection
+
+    def create_schema(self, schema: Schema) -> None:
+        """Create one table per relation signature.
+
+        No PRIMARY KEY constraint is declared: the whole point is to store
+        instances that *violate* their primary keys.
+        """
+        cursor = self.connection.cursor()
+        for signature in schema:
+            columns = []
+            for position, name in enumerate(signature.attribute_names, start=1):
+                sql_type = "NUMERIC" if signature.is_numeric(position) else "TEXT"
+                columns.append(f"{quote_identifier(name)} {sql_type}")
+            cursor.execute(
+                f"CREATE TABLE IF NOT EXISTS {quote_identifier(signature.name)} "
+                f"({', '.join(columns)})"
+            )
+        self.connection.commit()
+
+    def load_instance(self, instance: DatabaseInstance) -> None:
+        """Insert every fact of the instance."""
+        cursor = self.connection.cursor()
+        for fact in instance:
+            signature = instance.schema.relation(fact.relation)
+            placeholders = ", ".join("?" for _ in range(signature.arity))
+            values = [
+                float(v) if isinstance(v, Fraction) else v for v in fact.values
+            ]
+            cursor.execute(
+                f"INSERT INTO {quote_identifier(fact.relation)} VALUES ({placeholders})",
+                values,
+            )
+        self.connection.commit()
+
+    def load(self, instance: DatabaseInstance) -> None:
+        """Connect, create the schema and load the instance in one call."""
+        self.connect()
+        self.create_schema(instance.schema)
+        self.load_instance(instance)
+
+    # -- query execution ------------------------------------------------------------------
+
+    def execute_scalar(self, sql: str):
+        cursor = self.connection.cursor()
+        cursor.execute(sql)
+        row = cursor.fetchone()
+        return None if row is None else row[0]
+
+    def run_generated(self, generated: GeneratedSql):
+        """Run a generated rewriting against the loaded database."""
+        holds = self.execute_scalar(generated.certainty_sql)
+        if not holds:
+            return BOTTOM
+        value = self.execute_scalar(generated.value_sql)
+        if value is None:
+            return BOTTOM
+        return _to_fraction(value)
+
+    # -- high-level helpers --------------------------------------------------------------------
+
+    def glb(self, query: AggregationQuery, instance: DatabaseInstance):
+        """GLB-CQA of a closed query via SQL rewriting on sqlite3."""
+        if query.free_variables:
+            raise BackendError("use glb_answers() for queries with free variables")
+        generated = SqlRewritingGenerator(query).generate()
+        self.load(instance)
+        try:
+            return self.run_generated(generated)
+        finally:
+            self.close()
+
+    def glb_answers(
+        self, query: AggregationQuery, instance: DatabaseInstance
+    ) -> Dict[Tuple[Constant, ...], object]:
+        """Per-group GLB-CQA for a GROUP BY query (Section 6.2).
+
+        Free variables are instantiated with every possible answer and the
+        closed rewriting is executed per instantiation, mirroring the paper's
+        treatment of free variables as constants.
+        """
+        from repro.embeddings.embeddings import embeddings_of
+
+        free = query.free_variables
+        if not free:
+            raise BackendError("query has no free variables; use glb()")
+        candidates = []
+        seen = set()
+        for embedding in embeddings_of(query.body, instance):
+            candidate = tuple(embedding[v.name] for v in free)
+            if candidate not in seen:
+                seen.add(candidate)
+                candidates.append(candidate)
+
+        self.load(instance)
+        results: Dict[Tuple[Constant, ...], object] = {}
+        try:
+            for candidate in sorted(candidates, key=repr):
+                closed = query.instantiate_free_variables(candidate)
+                generated = SqlRewritingGenerator(closed).generate()
+                results[candidate] = self.run_generated(generated)
+        finally:
+            self.close()
+        return results

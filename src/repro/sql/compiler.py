@@ -1,0 +1,221 @@
+"""Compilation of (guarded) first-order formulas to SQL boolean expressions.
+
+The consistent rewritings produced by :mod:`repro.certainty.rewriting` and the
+∀embedding formulas of Lemma 4.3 are *guarded*: every existential quantifier
+is of the form ``∃x̄ (R(...) ∧ φ)`` and every universal quantifier of the form
+``∀x̄ (R(...) → φ)``, where the relational atom mentions all quantified
+variables.  Such formulas translate directly into correlated ``EXISTS`` /
+``NOT EXISTS`` subqueries, which is how ConQuer-style systems ship consistent
+rewritings to a DBMS.
+
+The compiler receives a *scope*: a mapping from variable names to SQL
+expressions (column references of the enclosing query, or literals).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.facts import Constant
+from repro.exceptions import BackendError
+from repro.fol.syntax import (
+    And,
+    Comparison,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    NumericalConstant,
+    NumericalVariable,
+    Or,
+    RelationAtom,
+    TrueFormula,
+)
+from repro.query.atom import Atom
+from repro.query.terms import Variable, is_variable
+from repro.sql.dialect import quote_identifier, sql_literal
+
+Scope = Dict[str, str]
+
+
+class FormulaSqlCompiler:
+    """Compiles guarded first-order formulas into SQL boolean expressions."""
+
+    def __init__(self) -> None:
+        self._alias_counter = itertools.count()
+
+    # -- public API -----------------------------------------------------------------
+
+    def compile(self, formula: Formula, scope: Optional[Scope] = None) -> str:
+        """SQL boolean expression equivalent to ``formula`` under ``scope``."""
+        return self._compile(formula, dict(scope or {}))
+
+    def compile_sentence(self, formula: Formula) -> str:
+        """A full ``SELECT`` statement returning 1/0 for a closed formula."""
+        condition = self.compile(formula, {})
+        return f"SELECT CASE WHEN {condition} THEN 1 ELSE 0 END AS holds"
+
+    # -- recursive translation ---------------------------------------------------------
+
+    def _compile(self, formula: Formula, scope: Scope) -> str:
+        if isinstance(formula, TrueFormula):
+            return "1 = 1"
+        if isinstance(formula, FalseFormula):
+            return "1 = 0"
+        if isinstance(formula, Comparison):
+            return self._compile_comparison(formula, scope)
+        if isinstance(formula, RelationAtom):
+            return self._compile_atom_membership(formula.atom, scope)
+        if isinstance(formula, Not):
+            return f"NOT ({self._compile(formula.operand, scope)})"
+        if isinstance(formula, And):
+            if not formula.operands:
+                return "1 = 1"
+            return " AND ".join(
+                f"({self._compile(op, scope)})" for op in formula.operands
+            )
+        if isinstance(formula, Or):
+            if not formula.operands:
+                return "1 = 0"
+            return " OR ".join(
+                f"({self._compile(op, scope)})" for op in formula.operands
+            )
+        if isinstance(formula, Implies):
+            antecedent = self._compile(formula.antecedent, scope)
+            consequent = self._compile(formula.consequent, scope)
+            return f"(NOT ({antecedent}) OR ({consequent}))"
+        if isinstance(formula, Exists):
+            return self._compile_exists(formula, scope)
+        if isinstance(formula, ForAll):
+            return self._compile_forall(formula, scope)
+        raise BackendError(f"cannot compile formula node {formula!r} to SQL")
+
+    # -- quantifiers ----------------------------------------------------------------------
+
+    def _compile_exists(self, formula: Exists, scope: Scope) -> str:
+        guard, remainder = self._split_guard(formula.operand, formula.variables)
+        alias = self._fresh_alias()
+        inner_scope, conditions = self._atom_scope(guard, alias, scope, formula.variables)
+        inner = self._compile(remainder, inner_scope)
+        table = quote_identifier(guard.relation)
+        where = " AND ".join([*conditions, f"({inner})"]) if conditions or inner else "1 = 1"
+        return f"EXISTS (SELECT 1 FROM {table} AS {alias} WHERE {where})"
+
+    def _compile_forall(self, formula: ForAll, scope: Scope) -> str:
+        operand = formula.operand
+        if not isinstance(operand, Implies) or not isinstance(
+            operand.antecedent, RelationAtom
+        ):
+            raise BackendError(
+                "universal quantification must be guarded by a relational atom "
+                "(∀x̄ (R(...) → φ)) to be compiled to SQL"
+            )
+        guard = operand.antecedent.atom
+        alias = self._fresh_alias()
+        inner_scope, conditions = self._atom_scope(guard, alias, scope, formula.variables)
+        inner = self._compile(operand.consequent, inner_scope)
+        table = quote_identifier(guard.relation)
+        where_parts = list(conditions) + [f"NOT ({inner})"]
+        where = " AND ".join(where_parts)
+        return f"NOT EXISTS (SELECT 1 FROM {table} AS {alias} WHERE {where})"
+
+    def _split_guard(
+        self, operand: Formula, variables: Sequence[Variable]
+    ) -> Tuple[Atom, Formula]:
+        """Find a relational atom guarding the quantified variables."""
+        needed = {v.name for v in variables}
+        candidates: List[Formula]
+        if isinstance(operand, RelationAtom):
+            candidates = [operand]
+            rest: List[Formula] = []
+        elif isinstance(operand, And):
+            candidates = [op for op in operand.operands if isinstance(op, RelationAtom)]
+            rest = list(operand.operands)
+        else:
+            candidates = []
+            rest = [operand]
+        for candidate in candidates:
+            atom_vars = {v.name for v in candidate.atom.variables}
+            if needed <= atom_vars or not needed:
+                remaining = [op for op in rest if op is not candidate]
+                if not remaining:
+                    return candidate.atom, TrueFormula()
+                if len(remaining) == 1:
+                    return candidate.atom, remaining[0]
+                return candidate.atom, And(tuple(remaining))
+        raise BackendError(
+            "existential quantification must be guarded by a relational atom "
+            "covering the quantified variables to be compiled to SQL"
+        )
+
+    def _atom_scope(
+        self,
+        atom: Atom,
+        alias: str,
+        scope: Scope,
+        quantified: Sequence[Variable],
+    ) -> Tuple[Scope, List[str]]:
+        """Extend the scope with the atom's columns and emit join conditions."""
+        quantified_names = {v.name for v in quantified}
+        new_scope = dict(scope)
+        conditions: List[str] = []
+        attribute_names = atom.signature.attribute_names
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.{quote_identifier(attribute_names[position])}"
+            if is_variable(term):
+                if term.name in quantified_names and term.name not in scope:
+                    if term.name in new_scope and new_scope[term.name] != column:
+                        conditions.append(f"{column} = {new_scope[term.name]}")
+                    else:
+                        new_scope[term.name] = column
+                elif term.name in new_scope:
+                    conditions.append(f"{column} = {new_scope[term.name]}")
+                else:
+                    # An unquantified, unbound variable: treat the column as its
+                    # binding (happens for guards repeating outer atoms).
+                    new_scope[term.name] = column
+            else:
+                conditions.append(f"{column} = {sql_literal(term)}")
+        return new_scope, conditions
+
+    # -- leaves -------------------------------------------------------------------------------
+
+    def _compile_atom_membership(self, atom: Atom, scope: Scope) -> str:
+        """Membership test for an atom whose variables are all in scope."""
+        alias = self._fresh_alias()
+        attribute_names = atom.signature.attribute_names
+        conditions = []
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.{quote_identifier(attribute_names[position])}"
+            conditions.append(f"{column} = {self._term_sql(term, scope)}")
+        table = quote_identifier(atom.relation)
+        where = " AND ".join(conditions) if conditions else "1 = 1"
+        return f"EXISTS (SELECT 1 FROM {table} AS {alias} WHERE {where})"
+
+    def _compile_comparison(self, comparison: Comparison, scope: Scope) -> str:
+        operator = "=" if comparison.operator == "=" else comparison.operator
+        if operator == "!=":
+            operator = "<>"
+        left = self._term_sql(comparison.left, scope)
+        right = self._term_sql(comparison.right, scope)
+        return f"{left} {operator} {right}"
+
+    def _term_sql(self, term, scope: Scope) -> str:
+        if isinstance(term, NumericalConstant):
+            return sql_literal(term.value)
+        if isinstance(term, NumericalVariable):
+            term = term.variable
+        if is_variable(term):
+            try:
+                return scope[term.name]
+            except KeyError as exc:
+                raise BackendError(
+                    f"variable {term.name!r} is not bound in the SQL scope"
+                ) from exc
+        return sql_literal(term)
+
+    def _fresh_alias(self) -> str:
+        return f"q{next(self._alias_counter)}"

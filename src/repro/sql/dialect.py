@@ -1,0 +1,54 @@
+"""Small SQL dialect helpers shared by the compiler, generator and backend.
+
+The generated SQL sticks to the common subset of SQLite and PostgreSQL:
+quoted identifiers, standard aggregate functions, correlated ``EXISTS`` /
+``NOT EXISTS`` subqueries, and ``WITH`` common table expressions.  The paper's
+practical motivation is exactly this: AGGR[FOL] rewritings are "well-suited
+for implementation in SQL, allowing them to benefit from existing DBMS
+technology".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from repro.datamodel.facts import Constant, is_numeric_constant
+
+#: Aggregate symbols that map directly onto SQL aggregate functions.
+SQL_AGGREGATES = {
+    "SUM": "SUM",
+    "COUNT": "COUNT",
+    "MIN": "MIN",
+    "MAX": "MAX",
+    "AVG": "AVG",
+}
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an identifier for SQL (doubling embedded quotes)."""
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def sql_literal(value: Constant) -> str:
+    """Render a Python constant as a SQL literal."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return repr(float(value))
+    if is_numeric_constant(value):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def sql_aggregate_function(aggregate: str) -> str:
+    """SQL function name for an aggregate symbol (COUNT is emitted as SUM of 1s
+    by the generator, so only the directly supported symbols appear here)."""
+    try:
+        return SQL_AGGREGATES[aggregate.upper()]
+    except KeyError as exc:
+        raise ValueError(f"aggregate {aggregate!r} has no SQL counterpart") from exc

@@ -1,0 +1,214 @@
+"""Generation of the SQL glb rewriting (the Fig. 5 pipeline as SQL CTEs).
+
+For a closed query ``AGG(r) <- q(ū)`` with a monotone + associative aggregate
+and an acyclic attack graph, the generator emits two SQL statements:
+
+* ``certainty_sql`` — returns 1 when every repair satisfies the body (the
+  ⊥-guard), compiled from the consistent first-order rewriting;
+* ``value_sql`` — a ``WITH`` pipeline:
+
+  - ``forall_emb``: one row per ∀embedding (the base join filtered by the
+    compiled ω-conditions of Lemma 4.3), carrying every query variable and
+    the aggregated value;
+  - one pair of grouping steps per atom of the topological sort, from the last
+    atom back to the first: group by the prefix variables plus the key of the
+    atom and take ``MIN(val)`` (choose the cheapest extension of a
+    ∀key-embedding), then group by the prefix variables alone and apply the
+    query's aggregate (the Decomposition Lemma);
+  - the final level returns the glb.
+
+COUNT queries are translated to ``SUM(1)``; MIN queries use the simple
+rewriting of Theorem 7.10 (plain MIN over the body join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregates.properties import is_covered_by_separation_theorem
+from repro.attacks.attack_graph import AttackGraph
+from repro.certainty.rewriting import ConsistentRewriter
+from repro.core.evaluator import _normalise_query
+from repro.exceptions import BackendError, NotRewritableError, UnsupportedAggregateError
+from repro.query.aggregation import AggregationQuery
+from repro.query.atom import Atom
+from repro.query.terms import Variable, is_variable
+from repro.sql.compiler import FormulaSqlCompiler
+from repro.sql.dialect import quote_identifier, sql_aggregate_function, sql_literal
+
+
+@dataclass(frozen=True)
+class GeneratedSql:
+    """The SQL artefacts of one rewriting."""
+
+    query: AggregationQuery
+    certainty_sql: str
+    value_sql: str
+    base_join_sql: str
+
+    def describe(self) -> str:
+        return (
+            f"-- query: {self.query}\n"
+            f"-- certainty (⊥ guard)\n{self.certainty_sql};\n\n"
+            f"-- glb value\n{self.value_sql};\n"
+        )
+
+
+class SqlRewritingGenerator:
+    """Builds the SQL glb rewriting for a closed query in AGGR[sjfBCQ]."""
+
+    def __init__(self, query: AggregationQuery) -> None:
+        if query.free_variables:
+            raise BackendError(
+                "the SQL generator handles closed queries; instantiate free "
+                "variables first (the backend does this automatically)"
+            )
+        query.body.require_self_join_free()
+        self._original = query
+        self._query, self._operator = _normalise_query(query)
+        self._graph = AttackGraph(self._query.body)
+        if not self._graph.is_acyclic():
+            raise NotRewritableError(
+                "attack graph is cyclic; no SQL rewriting exists (Theorem 5.5)"
+            )
+        if self._operator.name != "MIN" and not is_covered_by_separation_theorem(
+            self._operator
+        ):
+            raise UnsupportedAggregateError(
+                f"aggregate {self._operator.name} is not covered by the SQL "
+                "rewriting (Theorem 6.1 requires monotonicity and associativity)"
+            )
+        self._order: List[Atom] = self._graph.topological_sort()
+        self._aliases = {atom: f"a{i}" for i, atom in enumerate(self._order)}
+        self._columns = self._column_scope()
+
+    # -- public API -------------------------------------------------------------------
+
+    def generate(self) -> GeneratedSql:
+        certainty_sql = self._certainty_sql()
+        if self._operator.name == "MIN":
+            value_sql = self._min_value_sql()
+        else:
+            value_sql = self._pipeline_value_sql()
+        return GeneratedSql(
+            self._original, certainty_sql, value_sql, self._base_join_sql(False)
+        )
+
+    # -- scope / base join -----------------------------------------------------------------
+
+    def _column_scope(self) -> Dict[str, str]:
+        """First column expression for every variable of the body."""
+        scope: Dict[str, str] = {}
+        for atom in self._order:
+            alias = self._aliases[atom]
+            names = atom.signature.attribute_names
+            for position, term in enumerate(atom.terms):
+                if is_variable(term) and term.name not in scope:
+                    scope[term.name] = f"{alias}.{quote_identifier(names[position])}"
+        return scope
+
+    def _join_conditions(self) -> List[str]:
+        conditions: List[str] = []
+        for atom in self._order:
+            alias = self._aliases[atom]
+            names = atom.signature.attribute_names
+            for position, term in enumerate(atom.terms):
+                column = f"{alias}.{quote_identifier(names[position])}"
+                if is_variable(term):
+                    if self._columns[term.name] != column:
+                        conditions.append(f"{column} = {self._columns[term.name]}")
+                else:
+                    conditions.append(f"{column} = {sql_literal(term)}")
+        return conditions
+
+    def _from_clause(self) -> str:
+        parts = [
+            f"{quote_identifier(atom.relation)} AS {self._aliases[atom]}"
+            for atom in self._order
+        ]
+        return ", ".join(parts)
+
+    def _value_expression(self) -> str:
+        term = self._query.aggregated_term
+        if is_variable(term):
+            return self._columns[term.name]
+        return sql_literal(term)
+
+    def _variable_select_list(self) -> List[str]:
+        return [
+            f"{self._columns[name]} AS {quote_identifier('v_' + name)}"
+            for name in sorted(self._columns)
+        ]
+
+    def _base_join_sql(self, with_forall_conditions: bool) -> str:
+        select_list = self._variable_select_list() + [
+            f"{self._value_expression()} AS val"
+        ]
+        conditions = self._join_conditions()
+        if with_forall_conditions:
+            conditions = conditions + self._forall_conditions()
+        where = " AND ".join(f"({c})" for c in conditions) if conditions else "1 = 1"
+        return (
+            f"SELECT {', '.join(select_list)} FROM {self._from_clause()} WHERE {where}"
+        )
+
+    # -- ∀embedding conditions --------------------------------------------------------------------
+
+    def _forall_conditions(self) -> List[str]:
+        rewriter = ConsistentRewriter(self._query.body)
+        compiler = FormulaSqlCompiler()
+        conditions: List[str] = []
+        bound: set = set()
+        for index, atom in enumerate(self._order):
+            suffix = self._order[index:]
+            bound_for_omega = bound | {v.name for v in atom.key_variables}
+            omega = rewriter.suffix_rewriting(suffix, bound_for_omega)
+            scope = {name: self._columns[name] for name in bound_for_omega}
+            conditions.append(compiler.compile(omega, scope))
+            bound |= {v.name for v in atom.variables}
+        return conditions
+
+    # -- certainty -----------------------------------------------------------------------------------
+
+    def _certainty_sql(self) -> str:
+        rewriter = ConsistentRewriter(self._query.body)
+        compiler = FormulaSqlCompiler()
+        return compiler.compile_sentence(rewriter.rewriting())
+
+    # -- value pipelines --------------------------------------------------------------------------------
+
+    def _min_value_sql(self) -> str:
+        return f"SELECT MIN(val) AS glb FROM ({self._base_join_sql(False)})"
+
+    def _pipeline_value_sql(self) -> str:
+        aggregate_fn = sql_aggregate_function(self._operator.name)
+        ctes = [f"forall_emb AS ({self._base_join_sql(True)})"]
+        previous = "forall_emb"
+        n = len(self._order)
+        prefix_vars: List[List[str]] = [[]]
+        for atom in self._order:
+            prefix_vars.append(
+                sorted(set(prefix_vars[-1]) | {v.name for v in atom.variables})
+            )
+        for level in range(n - 1, -1, -1):
+            atom = self._order[level]
+            prefix = prefix_vars[level]
+            key_names = sorted(
+                set(prefix) | {v.name for v in atom.key_variables}
+            )
+            prefix_cols = [quote_identifier("v_" + name) for name in prefix]
+            key_cols = [quote_identifier("v_" + name) for name in key_names]
+            inner_select = ", ".join(key_cols + ["MIN(val) AS val"]) if key_cols else "MIN(val) AS val"
+            inner_group = f" GROUP BY {', '.join(key_cols)}" if key_cols else ""
+            outer_select = ", ".join(prefix_cols + [f"{aggregate_fn}(val) AS val"]) if prefix_cols else f"{aggregate_fn}(val) AS val"
+            outer_group = f" GROUP BY {', '.join(prefix_cols)}" if prefix_cols else ""
+            cte_name = f"lvl_{level}"
+            ctes.append(
+                f"{cte_name} AS (SELECT {outer_select} FROM "
+                f"(SELECT {inner_select} FROM {previous}{inner_group})"
+                f"{outer_group})"
+            )
+            previous = cte_name
+        with_clause = ",\n".join(ctes)
+        return f"WITH {with_clause}\nSELECT val AS glb FROM {previous}"

@@ -1,0 +1,35 @@
+"""Synthetic workloads: schemas, scenario instances and data generators."""
+
+from repro.workloads.scenarios import (
+    fig1_stock_instance,
+    fig1_stock_schema,
+    fig3_running_example_instance,
+    fig3_running_example_schema,
+    theorem79_gadget,
+)
+from repro.workloads.generators import (
+    InconsistentDatabaseGenerator,
+    WorkloadSpec,
+    generate_stock_workload,
+)
+from repro.workloads.queries import (
+    stock_sum_query,
+    stock_groupby_query,
+    running_example_query,
+    query_catalogue,
+)
+
+__all__ = [
+    "fig1_stock_schema",
+    "fig1_stock_instance",
+    "fig3_running_example_schema",
+    "fig3_running_example_instance",
+    "theorem79_gadget",
+    "WorkloadSpec",
+    "InconsistentDatabaseGenerator",
+    "generate_stock_workload",
+    "stock_sum_query",
+    "stock_groupby_query",
+    "running_example_query",
+    "query_catalogue",
+]

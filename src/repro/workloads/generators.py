@@ -1,0 +1,143 @@
+"""Synthetic inconsistent database generators for the benchmarks.
+
+The generators produce Stock-like databases with a controllable number of
+facts, inconsistency ratio (fraction of blocks with more than one fact) and
+block size, so the benchmarks can sweep database size and inconsistency the
+way the systems papers cited by the paper (ConQuer, AggCAvSAT, LinCQA) do.
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic Stock-like workload.
+
+    Attributes
+    ----------
+    dealers / products / towns:
+        Domain sizes of the three entity populations.
+    stock_facts:
+        Number of distinct (product, town) blocks in the Stock relation.
+    inconsistency:
+        Fraction of blocks that receive conflicting duplicates.
+    extra_facts_per_block:
+        How many conflicting facts an inconsistent block receives on top of
+        the clean one.
+    max_quantity:
+        Quantities are drawn uniformly from ``1..max_quantity``.
+    seed:
+        Seed for the deterministic pseudo-random generator.
+    """
+
+    dealers: int = 20
+    products: int = 10
+    towns: int = 10
+    stock_facts: int = 200
+    inconsistency: float = 0.2
+    extra_facts_per_block: int = 1
+    max_quantity: int = 100
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """A spec with the fact count scaled by ``factor`` (same other knobs)."""
+        return WorkloadSpec(
+            dealers=max(1, int(self.dealers * factor)),
+            products=max(1, int(self.products * factor)),
+            towns=max(1, int(self.towns * factor)),
+            stock_facts=max(1, int(self.stock_facts * factor)),
+            inconsistency=self.inconsistency,
+            extra_facts_per_block=self.extra_facts_per_block,
+            max_quantity=self.max_quantity,
+            seed=self.seed,
+        )
+
+
+class InconsistentDatabaseGenerator:
+    """Generates Stock-like instances matching a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self._spec = spec
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            [
+                RelationSignature("Dealers", 2, 1, attribute_names=("Name", "Town")),
+                RelationSignature(
+                    "Stock",
+                    3,
+                    2,
+                    numeric_positions=(3,),
+                    attribute_names=("Product", "Town", "Qty"),
+                ),
+            ]
+        )
+
+    def generate(self) -> DatabaseInstance:
+        """Produce the instance (deterministic for a given spec)."""
+        spec = self._spec
+        rng = random.Random(spec.seed)
+        schema = self.schema
+        instance = DatabaseInstance(schema)
+
+        towns = [f"town{i}" for i in range(spec.towns)]
+        products = [f"product{i}" for i in range(spec.products)]
+        dealers = [f"dealer{i}" for i in range(spec.dealers)]
+
+        # Dealers: every dealer operates in one town; a fraction of dealers get
+        # a conflicting second town (key = Name).
+        for name in dealers:
+            town = rng.choice(towns)
+            instance.add_row("Dealers", name, town)
+            if rng.random() < spec.inconsistency:
+                other = rng.choice([t for t in towns if t != town] or [town])
+                instance.add_row("Dealers", name, other)
+
+        # Stock: blocks keyed by (Product, Town); a fraction of blocks get
+        # conflicting quantities.
+        blocks: List[Tuple[str, str]] = []
+        seen = set()
+        while len(blocks) < min(spec.stock_facts, spec.products * spec.towns):
+            candidate = (rng.choice(products), rng.choice(towns))
+            if candidate not in seen:
+                seen.add(candidate)
+                blocks.append(candidate)
+        for product, town in blocks:
+            quantity = rng.randint(1, spec.max_quantity)
+            instance.add_row("Stock", product, town, quantity)
+            if rng.random() < spec.inconsistency:
+                for _ in range(spec.extra_facts_per_block):
+                    conflicting = rng.randint(1, spec.max_quantity)
+                    if conflicting == quantity:
+                        conflicting = quantity + 1
+                    instance.add_row("Stock", product, town, conflicting)
+        return instance
+
+
+def generate_stock_workload(
+    sizes: Sequence[int],
+    inconsistency: float = 0.2,
+    seed: int = 0,
+) -> Dict[int, DatabaseInstance]:
+    """Generate a family of instances, one per requested Stock block count."""
+    instances: Dict[int, DatabaseInstance] = {}
+    for size in sizes:
+        spec = WorkloadSpec(
+            dealers=max(5, size // 10),
+            products=max(5, size // 10),
+            towns=max(5, size // 20),
+            stock_facts=size,
+            inconsistency=inconsistency,
+            seed=seed,
+        )
+        instances[size] = InconsistentDatabaseGenerator(spec).generate()
+    return instances

@@ -1,0 +1,70 @@
+"""Query workloads used by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.query.aggregation import AggregationQuery
+from repro.query.parser import parse_aggregation_query
+from repro.workloads.scenarios import (
+    fig1_stock_schema,
+    fig3_running_example_schema,
+    theorem79_gadget,
+)
+
+
+def stock_sum_query(dealer: str = "Smith") -> AggregationQuery:
+    """Query g0 of the introduction: total stock in a dealer's town."""
+    return parse_aggregation_query(
+        fig1_stock_schema(), f"SUM(y) <- Dealers('{dealer}', t), Stock(p, t, y)"
+    )
+
+
+def stock_groupby_query() -> AggregationQuery:
+    """The GROUP BY variant of Section 1: per-dealer total stock."""
+    return parse_aggregation_query(
+        fig1_stock_schema(), "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+    )
+
+
+def stock_query(aggregate: str, dealer: str = "Smith") -> AggregationQuery:
+    """The introduction query with a different aggregate symbol."""
+    return parse_aggregation_query(
+        fig1_stock_schema(),
+        f"{aggregate}(y) <- Dealers('{dealer}', t), Stock(p, t, y)",
+    )
+
+
+def stock_count_query(dealer: str = "Smith") -> AggregationQuery:
+    """COUNT variant: number of stocked product lines in the dealer's town."""
+    return parse_aggregation_query(
+        fig1_stock_schema(), f"COUNT(1) <- Dealers('{dealer}', t), Stock(p, t, y)"
+    )
+
+
+def running_example_query() -> AggregationQuery:
+    """The running example of Section 6.1: SUM(r) <- R(x,y), S(y,z,'d',r)."""
+    return parse_aggregation_query(
+        fig3_running_example_schema(), "SUM(r) <- R(x,y), S(y,z,'d',r)"
+    )
+
+
+def theorem79_query() -> AggregationQuery:
+    """The Caggforest query of Theorem 7.9 (NP-hard with negative values)."""
+    schema, _instance = theorem79_gadget([("v1", "v2")])
+    return parse_aggregation_query(
+        schema, "SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)"
+    )
+
+
+def query_catalogue() -> Dict[str, AggregationQuery]:
+    """Named catalogue of the workload queries (used by the harness)."""
+    return {
+        "stock_sum": stock_sum_query(),
+        "stock_count": stock_count_query(),
+        "stock_max": stock_query("MAX"),
+        "stock_min": stock_query("MIN"),
+        "stock_groupby_sum": stock_groupby_query(),
+        "running_example_sum": running_example_query(),
+        "theorem79_sum": theorem79_query(),
+    }

@@ -1,0 +1,135 @@
+"""The paper's worked examples as ready-made schemas and instances.
+
+These are the exact databases of Fig. 1 (dbStock), Fig. 3 (db0, the running
+example of Section 6.1) and the Theorem 7.9 / Appendix K gadget, used by
+examples, tests and the figure-reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+
+
+def fig1_stock_schema() -> Schema:
+    """Schema of Fig. 1: Dealers(Name, Town) and Stock(Product, Town, Qty)."""
+    return Schema(
+        [
+            RelationSignature(
+                "Dealers", 2, 1, attribute_names=("Name", "Town")
+            ),
+            RelationSignature(
+                "Stock",
+                3,
+                2,
+                numeric_positions=(3,),
+                attribute_names=("Product", "Town", "Qty"),
+            ),
+        ]
+    )
+
+
+def fig1_stock_instance() -> DatabaseInstance:
+    """The database instance dbStock of Fig. 1."""
+    return DatabaseInstance.from_rows(
+        fig1_stock_schema(),
+        {
+            "Dealers": [
+                ("Smith", "Boston"),
+                ("Smith", "New York"),
+                ("James", "Boston"),
+            ],
+            "Stock": [
+                ("Tesla X", "Boston", 35),
+                ("Tesla X", "Boston", 40),
+                ("Tesla Y", "Boston", 35),
+                ("Tesla Y", "New York", 95),
+                ("Tesla Y", "New York", 96),
+            ],
+        },
+    )
+
+
+def fig3_running_example_schema() -> Schema:
+    """Schema of the running example of Section 6.1: R(x, y), S(y, z, d, r)."""
+    return Schema(
+        [
+            RelationSignature("R", 2, 1, attribute_names=("x", "y")),
+            RelationSignature(
+                "S",
+                4,
+                2,
+                numeric_positions=(4,),
+                attribute_names=("y", "z", "d", "r"),
+            ),
+        ]
+    )
+
+
+def fig3_running_example_instance() -> DatabaseInstance:
+    """The database instance db0 of Fig. 3."""
+    return DatabaseInstance.from_rows(
+        fig3_running_example_schema(),
+        {
+            "R": [
+                ("a1", "b1"),
+                ("a1", "b2"),
+                ("a2", "b2"),
+                ("a2", "b3"),
+                ("a3", "b4"),
+            ],
+            "S": [
+                ("b1", "c1", "d", 1),
+                ("b1", "c1", "d", 2),
+                ("b1", "c2", "d", 3),
+                ("b2", "c3", "d", 5),
+                ("b2", "c3", "d", 6),
+                ("b3", "c4", "d", 5),
+                ("b4", "c5", "d", 7),
+                ("b4", "c5", "e", 8),
+            ],
+        },
+    )
+
+
+def theorem79_gadget(
+    edges: List[Tuple[str, str]], diagonal_value: int = 10
+) -> Tuple[Schema, DatabaseInstance]:
+    """The Appendix K / Theorem 7.9 gadget database for a graph.
+
+    The query ``SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)`` is in
+    Caggforest; with ``-1`` values in the numeric column, its GLB-CQA encodes
+    SIMPLE MAX CUT and is NP-hard, which refutes Fuxman's rewriting claim.
+
+    Parameters
+    ----------
+    edges:
+        Undirected edges of the graph ``G``; vertices are taken from them.
+    diagonal_value:
+        The positive penalty ``m_e`` placed on the diagonal ``T(v, v, m_e)``.
+    """
+    schema = Schema(
+        [
+            RelationSignature("S1", 2, 1, attribute_names=("v", "tag")),
+            RelationSignature("S2", 2, 1, attribute_names=("v", "tag")),
+            RelationSignature(
+                "T", 3, 2, numeric_positions=(3,), attribute_names=("u", "v", "r")
+            ),
+        ]
+    )
+    vertices = sorted({u for u, _ in edges} | {v for _, v in edges})
+    rows = {"S1": [], "S2": [], "T": []}
+    for vertex in vertices:
+        rows["S1"].extend([(vertex, "c1"), (vertex, "d")])
+        rows["S2"].extend([(vertex, "c2"), (vertex, "d")])
+        rows["T"].append((vertex, vertex, diagonal_value))
+    for u, v in edges:
+        rows["T"].append((u, v, -1))
+        rows["T"].append((v, u, -1))
+    # The ⊥-guard: a consistent witness making the body certain.
+    rows["S1"].append(("_bot", "c1"))
+    rows["S2"].append(("_bot", "c2"))
+    rows["T"].append(("_bot", "_bot", 0))
+    return schema, DatabaseInstance.from_rows(schema, rows)

@@ -1,0 +1,91 @@
+"""Tests for dual operators (Section 7.2) and descending chains (Section 7.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.aggregates.chains import DescendingChain, descending_chain_witness
+from repro.aggregates.duals import dual_of
+from repro.aggregates.operators import AVG, COUNT_DISTINCT, MAX, MIN, PRODUCT, SUM
+
+
+class TestDuals:
+    def test_dual_negates_nonempty(self):
+        dual = dual_of(SUM)
+        assert dual([1, 2, 3]) == Fraction(-6)
+
+    def test_dual_keeps_empty_convention(self):
+        assert dual_of(SUM)([]) == SUM([])
+        assert dual_of(MIN)([]) is None
+
+    def test_dual_name(self):
+        assert dual_of(MAX).name == "MAX_DUAL"
+
+    def test_dual_not_monotone_or_associative(self):
+        dual = dual_of(SUM)
+        assert not dual.monotone
+        assert not dual.associative
+        assert not dual.is_monotone_and_associative
+
+    def test_dual_of_max_vs_min(self):
+        # max(X) = -1 * min(-X): the dual of MAX applied to X equals -max(X).
+        assert dual_of(MAX)([3, 7, 2]) == Fraction(-7)
+
+
+class TestDescendingChains:
+    def test_avg_has_bounded_chain(self):
+        chain = descending_chain_witness(AVG)
+        assert chain is not None and chain.bounded
+        assert chain.verify(AVG)
+        assert chain.verify_bounded(AVG)
+
+    def test_product_has_bounded_chain(self):
+        chain = descending_chain_witness(PRODUCT)
+        assert chain is not None and chain.bounded
+        assert chain.verify(PRODUCT)
+        assert chain.verify_bounded(PRODUCT)
+
+    def test_sum_has_no_chain_over_nonnegatives(self):
+        assert descending_chain_witness(SUM) is None
+
+    def test_sum_with_negative_one_has_bounded_chain(self):
+        chain = descending_chain_witness(SUM, allow_negative=True)
+        assert chain is not None and chain.bounded
+        assert chain.verify(SUM)
+        assert chain.verify_bounded(SUM)
+
+    def test_max_and_min_have_no_chain(self):
+        assert descending_chain_witness(MAX) is None
+        assert descending_chain_witness(MIN) is None
+
+    def test_count_distinct_has_no_chain_of_this_shape(self):
+        assert descending_chain_witness(COUNT_DISTINCT) is None
+
+    def test_dual_sum_chain(self):
+        dual = dual_of(SUM)
+        chain = descending_chain_witness(dual)
+        assert chain is not None
+        assert chain.verify(dual)
+
+    def test_dual_avg_chain(self):
+        dual = dual_of(AVG)
+        chain = descending_chain_witness(dual)
+        assert chain is not None
+        assert chain.verify(dual)
+
+    def test_dual_product_chain_is_bounded(self):
+        dual = dual_of(PRODUCT)
+        chain = descending_chain_witness(dual)
+        assert chain is not None and chain.bounded
+        assert chain.verify(dual)
+        assert chain.verify_bounded(dual)
+
+    def test_prefix_values_strictly_decrease(self):
+        chain = descending_chain_witness(AVG)
+        values = [chain.prefix_value(i, AVG) for i in range(5)]
+        assert all(earlier > later for earlier, later in zip(values, values[1:]))
+
+    def test_unbounded_chain_reports_no_bound(self):
+        chain = DescendingChain("X", Fraction(1), Fraction(1), bounded=False)
+        assert chain.bound_for(3) is None
+        assert not chain.verify_bounded(SUM)

@@ -1,0 +1,111 @@
+"""Tests for the aggregate operators of Section 5.1."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.aggregates.operators import (
+    AVG,
+    COUNT,
+    COUNT_DISTINCT,
+    MAX,
+    MIN,
+    PRODUCT,
+    SUM,
+    SUM_DISTINCT,
+    AggregateOperator,
+    get_operator,
+    register_operator,
+    registered_operators,
+)
+from repro.exceptions import UnsupportedAggregateError
+
+
+class TestValues:
+    def test_sum(self):
+        assert SUM([1, 2, 3]) == Fraction(6)
+
+    def test_sum_empty_convention(self):
+        assert SUM([]) == Fraction(0)
+
+    def test_count_ignores_values(self):
+        assert COUNT(["a", "b", "a"]) == Fraction(3)
+
+    def test_min_max(self):
+        assert MIN([3, 1, 2]) == Fraction(1)
+        assert MAX([3, 1, 2]) == Fraction(3)
+
+    def test_min_empty_has_no_convention(self):
+        assert MIN([]) is None
+        assert MAX([]) is None
+
+    def test_avg(self):
+        assert AVG([1, 2]) == Fraction(3, 2)
+
+    def test_product(self):
+        assert PRODUCT([2, 3, Fraction(1, 2)]) == Fraction(3)
+
+    def test_count_distinct_example_from_paper(self):
+        # Example 5.2: increasing 3 to 4 in {{3, 4}} drops the value from 2 to 1.
+        assert COUNT_DISTINCT([3, 4]) == 2
+        assert COUNT_DISTINCT([4, 4]) == 1
+
+    def test_sum_distinct(self):
+        assert SUM_DISTINCT([2, 2, 3]) == Fraction(5)
+
+    def test_multiset_semantics_of_sum(self):
+        # Duplicates must be counted twice (the argument is a multiset).
+        assert SUM([5, 5]) == Fraction(10)
+
+    def test_values_accept_mixed_numeric_types(self):
+        assert SUM([1, 0.5, Fraction(1, 2)]) == Fraction(2)
+
+
+class TestDeclaredProperties:
+    def test_monotone_flags(self):
+        assert SUM.monotone and MAX.monotone and COUNT.monotone
+        assert not MIN.monotone and not AVG.monotone and not COUNT_DISTINCT.monotone
+
+    def test_associative_flags(self):
+        assert SUM.associative and MAX.associative and MIN.associative
+        assert not AVG.associative and not COUNT.associative
+
+    def test_example_5_1_count_not_associative(self):
+        # F_COUNT({{5,6,7,8}}) = 4 but F_COUNT({{F_COUNT({{5,6,7}}), 8}}) = 2.
+        assert COUNT([5, 6, 7, 8]) == 4
+        assert COUNT([COUNT([5, 6, 7]), 8]) == 2
+
+    def test_is_monotone_and_associative(self):
+        assert SUM.is_monotone_and_associative
+        assert MAX.is_monotone_and_associative
+        assert not MIN.is_monotone_and_associative
+        assert not AVG.is_monotone_and_associative
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_operator("sum") is SUM
+        assert get_operator("Max") is MAX
+
+    def test_lookup_aliases(self):
+        assert get_operator("COUNT-DISTINCT") is COUNT_DISTINCT
+        assert get_operator("SUM-DISTINCT") is SUM_DISTINCT
+
+    def test_unknown_operator(self):
+        with pytest.raises(UnsupportedAggregateError):
+            get_operator("MEDIAN")
+
+    def test_registered_operators(self):
+        names = {op.name for op in registered_operators()}
+        assert {"SUM", "COUNT", "MIN", "MAX", "AVG", "PRODUCT"} <= names
+
+    def test_register_custom_operator(self):
+        custom = AggregateOperator(
+            name="SUM_OF_SQUARES",
+            function=lambda values: sum((v * v for v in values), Fraction(0)),
+            empty_value=Fraction(0),
+            monotone=True,
+            associative=False,
+        )
+        register_operator(custom)
+        assert get_operator("sum_of_squares")([2, 3]) == Fraction(13)

@@ -1,0 +1,112 @@
+"""Property-based tests for monotonicity / associativity (Section 5.1)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.operators import AVG, COUNT, MAX, MIN, PRODUCT, SUM
+from repro.aggregates.properties import (
+    check_associativity,
+    check_monotonicity,
+    is_covered_by_separation_theorem,
+)
+
+#: Non-negative rationals with small numerators/denominators.
+nonneg_fractions = st.builds(
+    Fraction, st.integers(min_value=0, max_value=30), st.integers(min_value=1, max_value=5)
+)
+multisets = st.lists(nonneg_fractions, min_size=1, max_size=6)
+possibly_empty_multisets = st.lists(nonneg_fractions, min_size=0, max_size=6)
+
+
+class TestAssociativityProperty:
+    @given(x=multisets, y=possibly_empty_multisets)
+    @settings(max_examples=60, deadline=None)
+    def test_sum_is_associative(self, x, y):
+        assert SUM(x + y) == SUM([SUM(x)] + y)
+
+    @given(x=multisets, y=possibly_empty_multisets)
+    @settings(max_examples=60, deadline=None)
+    def test_max_is_associative(self, x, y):
+        assert MAX(x + y) == MAX([MAX(x)] + y)
+
+    @given(x=multisets, y=possibly_empty_multisets)
+    @settings(max_examples=60, deadline=None)
+    def test_min_is_associative(self, x, y):
+        assert MIN(x + y) == MIN([MIN(x)] + y)
+
+    @given(x=multisets, y=possibly_empty_multisets)
+    @settings(max_examples=60, deadline=None)
+    def test_product_is_associative(self, x, y):
+        assert PRODUCT(x + y) == PRODUCT([PRODUCT(x)] + y)
+
+
+class TestMonotonicityProperty:
+    @given(
+        base=multisets,
+        increments=st.lists(nonneg_fractions, min_size=0, max_size=6),
+        extra=possibly_empty_multisets,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_is_monotone(self, base, increments, extra):
+        increased = [
+            value + (increments[i] if i < len(increments) else 0)
+            for i, value in enumerate(base)
+        ]
+        assert SUM(base) <= SUM(increased + extra)
+
+    @given(
+        base=multisets,
+        increments=st.lists(nonneg_fractions, min_size=0, max_size=6),
+        extra=possibly_empty_multisets,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_max_is_monotone(self, base, increments, extra):
+        increased = [
+            value + (increments[i] if i < len(increments) else 0)
+            for i, value in enumerate(base)
+        ]
+        assert MAX(base) <= MAX(increased + extra)
+
+    @given(base=multisets, extra=multisets)
+    @settings(max_examples=60, deadline=None)
+    def test_count_is_monotone_in_multiset_extension(self, base, extra):
+        assert COUNT(base) <= COUNT(base + extra)
+
+
+class TestCheckers:
+    def test_no_counterexample_for_declared_operators(self):
+        assert check_associativity(SUM) is None
+        assert check_associativity(MAX) is None
+        assert check_associativity(MIN) is None
+        assert check_monotonicity(SUM) is None
+        assert check_monotonicity(MAX) is None
+        assert check_monotonicity(COUNT) is None
+
+    def test_counterexample_found_for_avg(self):
+        assert check_associativity(AVG) is not None
+        assert check_monotonicity(AVG) is not None
+
+    def test_counterexample_found_for_min_monotonicity(self):
+        assert check_monotonicity(MIN) is not None
+
+    def test_counterexample_found_for_count_associativity(self):
+        assert check_associativity(COUNT) is not None
+
+    def test_example_5_2_min_counterexample(self):
+        assert MIN([3]) > MIN([2, 3])
+
+
+class TestSeparationTheoremCoverage:
+    def test_sum_max_covered(self):
+        assert is_covered_by_separation_theorem(SUM)
+        assert is_covered_by_separation_theorem(MAX)
+
+    def test_count_covered_via_sum_of_ones(self):
+        assert is_covered_by_separation_theorem(COUNT)
+
+    def test_avg_product_min_not_covered(self):
+        assert not is_covered_by_separation_theorem(AVG)
+        assert not is_covered_by_separation_theorem(PRODUCT)
+        assert not is_covered_by_separation_theorem(MIN)

@@ -1,0 +1,115 @@
+"""Tests for the CERTAINTY trichotomy and the separation-theorem classifier."""
+
+import pytest
+
+from repro.attacks.classification import (
+    certainty_complexity,
+    classify_aggregation_query,
+)
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.query.parser import parse_aggregation_query, parse_query
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            RelationSignature("R", 2, 1, numeric_positions=(2,)),
+            RelationSignature("T", 3, 2, numeric_positions=(3,)),
+            RelationSignature("U", 2, 1),
+            RelationSignature("V", 2, 1),
+            RelationSignature("W", 2, 1),
+        ]
+    )
+
+
+class TestCertaintyComplexity:
+    def test_acyclic_is_fo(self, schema):
+        assert certainty_complexity(parse_query(schema, "U(x, y), T(x, y, r)")) == "FO"
+
+    def test_weak_cycle_is_l_complete(self, schema):
+        assert certainty_complexity(parse_query(schema, "U(x, y), V(y, x)")) == "L-complete"
+
+    def test_strong_cycle_is_conp_complete(self, schema):
+        # The classic coNP-complete query: two relations joined on a non-key
+        # attribute (Fuxman & Miller's hard query).
+        query = parse_query(schema, "U(x, y), W(z, y)")
+        assert certainty_complexity(query) == "coNP-complete"
+
+
+class TestGlbClassification:
+    def test_sum_acyclic_rewritable(self, schema):
+        query = parse_aggregation_query(schema, "SUM(r) <- U(x, y), T(x, y, r)")
+        verdict = classify_aggregation_query(query, "glb")
+        assert verdict.expressible is True
+        assert verdict.rewritable
+        assert verdict.attack_graph_acyclic
+
+    def test_count_acyclic_rewritable(self, schema):
+        query = parse_aggregation_query(schema, "COUNT(1) <- U(x, y), T(x, y, r)")
+        assert classify_aggregation_query(query, "glb").expressible is True
+
+    def test_max_and_min_rewritable(self, schema):
+        for aggregate in ("MAX", "MIN"):
+            query = parse_aggregation_query(
+                schema, f"{aggregate}(r) <- U(x, y), T(x, y, r)"
+            )
+            assert classify_aggregation_query(query, "glb").expressible is True
+
+    def test_cyclic_not_expressible(self, schema):
+        query = parse_aggregation_query(schema, "SUM(r) <- U(x, y), V(y, x), T(x, y, r)")
+        verdict = classify_aggregation_query(query, "glb")
+        assert verdict.expressible is False
+        assert not verdict.rewritable
+        assert not verdict.attack_graph_acyclic
+
+    def test_avg_not_expressible(self, schema):
+        query = parse_aggregation_query(schema, "AVG(r) <- R(x, r)")
+        verdict = classify_aggregation_query(query, "glb")
+        assert verdict.expressible is False
+        assert "descending chain" in verdict.reason
+
+    def test_product_not_expressible(self, schema):
+        query = parse_aggregation_query(schema, "PRODUCT(r) <- R(x, r)")
+        assert classify_aggregation_query(query, "glb").expressible is False
+
+    def test_count_distinct_np_hard(self, schema):
+        query = parse_aggregation_query(schema, "COUNT_DISTINCT(r) <- R(x, r)")
+        verdict = classify_aggregation_query(query, "glb")
+        assert verdict.expressible is False
+        assert "NP-hard" in verdict.reason
+
+    def test_sum_distinct_open(self, schema):
+        query = parse_aggregation_query(schema, "SUM_DISTINCT(r) <- R(x, r)")
+        assert classify_aggregation_query(query, "glb").expressible is None
+
+
+class TestLubClassification:
+    def test_min_max_lub_rewritable(self, schema):
+        for aggregate in ("MIN", "MAX"):
+            query = parse_aggregation_query(
+                schema, f"{aggregate}(r) <- U(x, y), T(x, y, r)"
+            )
+            assert classify_aggregation_query(query, "lub").expressible is True
+
+    def test_sum_lub_not_covered(self, schema):
+        query = parse_aggregation_query(schema, "SUM(r) <- U(x, y), T(x, y, r)")
+        verdict = classify_aggregation_query(query, "lub")
+        assert verdict.expressible is not True
+        assert not verdict.rewritable
+
+    def test_cyclic_lub_not_expressible(self, schema):
+        query = parse_aggregation_query(schema, "MAX(r) <- U(x, y), V(y, x), T(x, y, r)")
+        assert classify_aggregation_query(query, "lub").expressible is False
+
+
+class TestValidation:
+    def test_direction_validated(self, schema):
+        query = parse_aggregation_query(schema, "SUM(r) <- R(x, r)")
+        with pytest.raises(ValueError):
+            classify_aggregation_query(query, "sideways")
+
+    def test_verdict_records_certainty_class(self, schema):
+        query = parse_aggregation_query(schema, "SUM(r) <- U(x, y), V(y, x), T(x, y, r)")
+        verdict = classify_aggregation_query(query, "glb")
+        assert verdict.certainty_class in ("L-complete", "coNP-complete")

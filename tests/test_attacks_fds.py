@@ -1,0 +1,52 @@
+"""Tests for functional dependencies and closures."""
+
+from repro.attacks.fds import FunctionalDependency, closure, implies_fd, key_fds
+from repro.query.parser import parse_query
+from repro.query.terms import Variable
+
+
+def fd(lhs, rhs):
+    return FunctionalDependency(
+        frozenset(Variable(n) for n in lhs), frozenset(Variable(n) for n in rhs)
+    )
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert closure([Variable("x")], []) == frozenset({Variable("x")})
+
+    def test_single_step(self):
+        assert Variable("y") in closure([Variable("x")], [fd("x", "y")])
+
+    def test_transitive(self):
+        deps = [fd("x", "y"), fd("y", "z")]
+        assert Variable("z") in closure([Variable("x")], deps)
+
+    def test_requires_whole_lhs(self):
+        deps = [fd("xy", "z")]
+        assert Variable("z") not in closure([Variable("x")], deps)
+        assert Variable("z") in closure([Variable("x"), Variable("y")], deps)
+
+    def test_implies_fd(self):
+        deps = [fd("x", "y"), fd("y", "z")]
+        assert implies_fd(deps, [Variable("x")], [Variable("z")])
+        assert not implies_fd(deps, [Variable("z")], [Variable("x")])
+
+
+class TestKeyFds:
+    def test_key_fds_of_query(self, running_schema):
+        query = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        deps = key_fds(query)
+        rendered = {
+            (
+                frozenset(v.name for v in dependency.lhs),
+                frozenset(v.name for v in dependency.rhs),
+            )
+            for dependency in deps
+        }
+        assert (frozenset({"x"}), frozenset({"x", "y"})) in rendered
+        assert (frozenset({"y", "z"}), frozenset({"y", "z", "r"})) in rendered
+
+    def test_fd_str(self):
+        dependency = fd("x", "yz")
+        assert "->" in str(dependency)

@@ -1,0 +1,173 @@
+"""Tests for attack graphs (Section 3, Example 3.1, Theorem 3.2 inputs)."""
+
+import pytest
+
+from repro.attacks.attack_graph import AttackGraph
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import QueryError
+from repro.query.parser import parse_aggregation_query, parse_query
+from repro.query.terms import Variable
+
+
+@pytest.fixture
+def example31_schema():
+    """Signatures reconstructed from Example 3.1 (keys derived from the F+ sets)."""
+    return Schema(
+        [
+            RelationSignature("R", 2, 1),
+            RelationSignature("S", 3, 2),
+            RelationSignature("T", 3, 2),
+            RelationSignature("N", 3, 2),
+            RelationSignature("M", 2, 2),
+        ]
+    )
+
+
+@pytest.fixture
+def example31_query(example31_schema):
+    return parse_query(
+        example31_schema, "R(x, y), S(y, z, u), T(y, z, w), N(u, v, r), M(u, w)"
+    )
+
+
+class TestExample31:
+    def test_plus_sets_match_paper(self, example31_query):
+        graph = AttackGraph(example31_query)
+        expected = {
+            "R": {"x"},
+            "S": {"y", "z", "w"},
+            "T": {"y", "z", "u"},
+            "N": {"u", "v"},
+            "M": {"u", "w"},
+        }
+        for atom in example31_query.atoms:
+            assert {v.name for v in graph.plus_set(atom)} == expected[atom.relation]
+
+    def test_r_attacks_m_and_n_via_y_u(self, example31_query):
+        graph = AttackGraph(example31_query)
+        r_atom = example31_query.atom_for_relation("R")
+        assert graph.attacks_atom(r_atom, example31_query.atom_for_relation("M"))
+        assert graph.attacks_atom(r_atom, example31_query.atom_for_relation("N"))
+
+    def test_graph_is_acyclic(self, example31_query):
+        assert AttackGraph(example31_query).is_acyclic()
+
+    def test_acyclicity_preserved_under_instantiation(self, example31_schema):
+        # Fig. 2 (right): initializing x and y keeps the attack graph acyclic.
+        query = parse_query(
+            example31_schema,
+            "R('b', 'c'), S('c', z, u), T('c', z, w), N(u, v, r), M(u, w)",
+        )
+        assert AttackGraph(query).is_acyclic()
+
+
+class TestBasicProperties:
+    def test_intro_query_attack(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        graph = AttackGraph(query)
+        dealers = query.atom_for_relation("Dealers")
+        stock = query.atom_for_relation("Stock")
+        assert graph.attacks_atom(dealers, stock)
+        assert not graph.attacks_atom(stock, dealers)
+        assert graph.is_acyclic()
+
+    def test_topological_sort_respects_edges(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        graph = AttackGraph(query)
+        order = graph.topological_sort()
+        assert [a.relation for a in order] == ["Dealers", "Stock"]
+
+    def test_unattacked_atoms_and_variables(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        graph = AttackGraph(query)
+        assert [a.relation for a in graph.unattacked_atoms()] == ["Dealers"]
+        assert Variable("t") not in graph.unattacked_variables()
+
+    def test_self_join_rejected(self, stock_schema):
+        sig = stock_schema.relation("Dealers")
+        from repro.query.atom import Atom
+        from repro.query.conjunctive import ConjunctiveQuery
+
+        query = ConjunctiveQuery(
+            [
+                Atom(sig, (Variable("x"), Variable("y"))),
+                Atom(sig, (Variable("y"), Variable("z"))),
+            ]
+        )
+        with pytest.raises(Exception):
+            AttackGraph(query)
+
+    def test_single_atom_graph_has_no_edges(self, stock_schema):
+        query = parse_query(stock_schema, "Stock(p, t, y)")
+        graph = AttackGraph(query)
+        assert graph.edges() == []
+        assert graph.is_acyclic()
+
+
+class TestCycles:
+    @pytest.fixture
+    def cyclic_schema(self):
+        return Schema(
+            [
+                RelationSignature("U", 2, 1),
+                RelationSignature("V", 2, 1),
+            ]
+        )
+
+    def test_two_atom_cycle(self, cyclic_schema):
+        query = parse_query(cyclic_schema, "U(x, y), V(y, x)")
+        graph = AttackGraph(query)
+        assert not graph.is_acyclic()
+        assert len(graph.cycles()) >= 1
+
+    def test_topological_sort_raises_on_cycle(self, cyclic_schema):
+        query = parse_query(cyclic_schema, "U(x, y), V(y, x)")
+        with pytest.raises(QueryError):
+            AttackGraph(query).topological_sort()
+
+    def test_classic_cycle_is_weak(self, cyclic_schema):
+        # K(q) contains x -> y and y -> x, so both attacks are weak and the
+        # cycle is not strong (CERTAINTY is in P / L-complete, not coNP-hard).
+        query = parse_query(cyclic_schema, "U(x, y), V(y, x)")
+        graph = AttackGraph(query)
+        assert not graph.has_strong_cycle()
+
+    def test_strong_cycle_detected(self):
+        # U(x, y), V(z, y): the classic coNP-complete query (join on a non-key
+        # attribute); neither key determines the other, so the mutual attacks
+        # form a strong cycle.
+        schema = Schema(
+            [
+                RelationSignature("U", 2, 1),
+                RelationSignature("V", 2, 1),
+            ]
+        )
+        query = parse_query(schema, "U(x, y), V(z, y)")
+        graph = AttackGraph(query)
+        assert not graph.is_acyclic()
+        assert graph.has_strong_cycle()
+
+    def test_is_weak_attack_requires_attack(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        graph = AttackGraph(query)
+        stock = query.atom_for_relation("Stock")
+        dealers = query.atom_for_relation("Dealers")
+        with pytest.raises(QueryError):
+            graph.is_weak_attack(stock, dealers)
+
+
+class TestFreeVariablesAsConstants:
+    def test_free_variable_removes_attack(self, stock_schema):
+        # With t free (treated as a constant), Dealers no longer attacks Stock.
+        query = parse_query(stock_schema, "Dealers(x, t), Stock(p, t, y)", free="t")
+        graph = AttackGraph(query)
+        dealers = query.atom_for_relation("Dealers")
+        stock = query.atom_for_relation("Stock")
+        assert not graph.attacks_atom(dealers, stock)
+
+    def test_groupby_query_graph(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        graph = AttackGraph(query.body)
+        assert graph.is_acyclic()

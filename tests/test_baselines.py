@@ -1,0 +1,187 @@
+"""Tests for the baseline solvers (exhaustive, branch-and-bound, Fuxman, Cparsimony)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.baselines.fuxman import (
+    FuxmanIndependentBlockSolver,
+    fuxman_graph,
+    is_caggforest,
+    is_cforest,
+)
+from repro.baselines.parsimony import is_cparsimony_counting_safe
+from repro.core.evaluator import BOTTOM
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.query.parser import parse_aggregation_query, parse_query
+from repro.workloads.scenarios import theorem79_gadget
+from tests.conftest import make_random_instance
+
+
+class TestExhaustive:
+    def test_fig1_range(self, stock_sum_query, stock_instance):
+        assert ExhaustiveRangeSolver(stock_sum_query).range(stock_instance) == (
+            Fraction(70),
+            Fraction(96),
+        )
+
+    def test_value_on_repair_none_when_no_embedding(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Nobody', t), Stock(p, t, y)"
+        )
+        solver = ExhaustiveRangeSolver(query)
+        repair = stock_instance.arbitrary_repair()
+        assert solver.value_on_repair(repair) is None
+        assert solver.range(stock_instance) == (BOTTOM, BOTTOM)
+
+    def test_avg_supported(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "AVG(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        glb, lub = ExhaustiveRangeSolver(query).range(stock_instance)
+        assert glb <= lub
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_exhaustive_for_sum(self, two_atom_schema, seed):
+        query = parse_aggregation_query(two_atom_schema, "SUM(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 40)
+        exhaustive = ExhaustiveRangeSolver(query).range(instance)
+        solver = BranchAndBoundSolver(query)
+        assert solver.range(instance) == exhaustive
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exhaustive_for_avg(self, two_atom_schema, seed):
+        query = parse_aggregation_query(two_atom_schema, "AVG(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 70)
+        exhaustive = ExhaustiveRangeSolver(query).range(instance)
+        assert BranchAndBoundSolver(query).range(instance) == exhaustive
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruning_does_not_change_results(self, two_atom_schema, seed):
+        query = parse_aggregation_query(two_atom_schema, "SUM(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 110)
+        pruned = BranchAndBoundSolver(query, use_pruning=True).range(instance)
+        plain = BranchAndBoundSolver(query, use_pruning=False).range(instance)
+        assert pruned == plain
+
+    def test_bottom_detection(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)"
+        )
+        assert BranchAndBoundSolver(query).glb(stock_instance) is BOTTOM
+
+    def test_binding_support(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        solver = BranchAndBoundSolver(query)
+        expected = ExhaustiveRangeSolver(query).range(stock_instance, {"x": "James"})
+        assert solver.range(stock_instance, {"x": "James"}) == expected
+
+
+class TestFuxmanClasses:
+    def test_fuxman_graph_edges(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        edges = fuxman_graph(query)
+        assert [(s.relation, t.relation) for s, t in edges] == [("Dealers", "Stock")]
+
+    def test_partial_join_not_in_cforest(self, stock_schema):
+        # The intro query joins on part of Stock's key only: not in Cforest.
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        assert not is_cforest(query)
+
+    def test_full_join_in_cforest(self):
+        schema = Schema(
+            [
+                RelationSignature("Dealers", 2, 1),
+                RelationSignature("Town", 2, 1, numeric_positions=(2,)),
+            ]
+        )
+        query = parse_query(schema, "Dealers('Smith', t), Town(t, y)")
+        assert is_cforest(query)
+
+    def test_theorem79_query_in_caggforest(self):
+        schema, _ = theorem79_gadget([("v1", "v2")])
+        query = parse_aggregation_query(
+            schema, "SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)"
+        )
+        assert is_caggforest(query)
+
+    def test_caggforest_requires_supported_aggregate(self):
+        schema, _ = theorem79_gadget([("v1", "v2")])
+        query = parse_aggregation_query(
+            schema, "AVG(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)"
+        )
+        assert not is_caggforest(query)
+
+    def test_count_star_form(self):
+        schema = Schema(
+            [
+                RelationSignature("Dealers", 2, 1),
+                RelationSignature("Town", 2, 1),
+            ]
+        )
+        query = parse_aggregation_query(schema, "COUNT(1) <- Dealers(x, t), Town(t, y)")
+        assert is_caggforest(query)
+        assert is_cparsimony_counting_safe(query)
+
+    def test_cparsimony_rejects_partial_join_count(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "COUNT(1) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        assert not is_cparsimony_counting_safe(query)
+
+    def test_cparsimony_rejects_sum(self):
+        schema = Schema(
+            [
+                RelationSignature("Dealers", 2, 1),
+                RelationSignature("Town", 2, 1, numeric_positions=(2,)),
+            ]
+        )
+        query = parse_aggregation_query(schema, "SUM(y) <- Dealers(x, t), Town(t, y)")
+        assert not is_cparsimony_counting_safe(query)
+
+
+class TestFuxmanSolver:
+    def test_exact_on_nonnegative_cforest_query(self):
+        schema = Schema(
+            [
+                RelationSignature("Dealers", 2, 1),
+                RelationSignature("Town", 2, 1, numeric_positions=(2,)),
+            ]
+        )
+        from repro.datamodel.instance import DatabaseInstance
+
+        instance = DatabaseInstance.from_rows(
+            schema,
+            {
+                "Dealers": [("Smith", "Boston"), ("Smith", "Paris"), ("James", "Boston")],
+                "Town": [("Boston", 10), ("Boston", 20), ("Paris", 5)],
+            },
+        )
+        query = parse_aggregation_query(schema, "SUM(y) <- Dealers('Smith', t), Town(t, y)")
+        exact = ExhaustiveRangeSolver(query).range(instance)
+        solver = FuxmanIndependentBlockSolver(query)
+        assert solver.glb(instance) == exact[0]
+        assert solver.lub(instance) == exact[1]
+
+    def test_theorem79_flaw_reproduced(self):
+        schema, instance = theorem79_gadget(
+            [("v1", "v2"), ("v2", "v3"), ("v1", "v3")]
+        )
+        query = parse_aggregation_query(
+            schema, "SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)"
+        )
+        exact = BranchAndBoundSolver(query, use_pruning=False).glb(instance)
+        fuxman = FuxmanIndependentBlockSolver(query).glb(instance)
+        assert fuxman != exact
+
+    def test_bottom_detection(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)"
+        )
+        assert FuxmanIndependentBlockSolver(query).glb(stock_instance) is BOTTOM

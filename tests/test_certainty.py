@@ -1,0 +1,136 @@
+"""Tests for CERTAINTY: the rewriting, the direct checker and brute force."""
+
+import pytest
+
+from repro.certainty.checker import brute_force_certain, certain_answers, is_certain
+from repro.certainty.rewriting import ConsistentRewriter, consistent_rewriting
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import NotRewritableError
+from repro.fol.evaluation import evaluate_formula
+from repro.fol.syntax import formula_size
+from repro.query.parser import parse_query
+from tests.conftest import make_random_instance
+
+
+class TestDirectChecker:
+    def test_certain_query_on_stock(self, stock_schema, stock_instance):
+        # Every repair stores some product in Boston in quantity 35 (Example 4.1).
+        query = parse_query(stock_schema, "Dealers('James', t), Stock(p, t, 35)")
+        assert is_certain(query, stock_instance)
+
+    def test_uncertain_query_on_stock(self, stock_schema, stock_instance):
+        # Smith's town is uncertain, so stock in Smith's town at quantity 95 is not certain.
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, 95)")
+        assert not is_certain(query, stock_instance)
+
+    def test_binding_acts_as_constant(self, stock_schema, stock_instance):
+        query = parse_query(stock_schema, "Dealers(x, t), Stock(p, t, y)", free="x")
+        assert is_certain(query, stock_instance, {"x": "James"})
+        assert is_certain(query, stock_instance, {"x": "Smith"})
+
+    def test_missing_constant_is_not_certain(self, stock_schema, stock_instance):
+        query = parse_query(stock_schema, "Dealers('Nobody', t), Stock(p, t, y)")
+        assert not is_certain(query, stock_instance)
+
+    def test_cyclic_query_raises(self):
+        schema = Schema([RelationSignature("U", 2, 1), RelationSignature("V", 2, 1)])
+        query = parse_query(schema, "U(x, y), V(y, x)")
+        instance = DatabaseInstance.from_rows(schema, {"U": [("a", "b")], "V": [("b", "a")]})
+        with pytest.raises(NotRewritableError):
+            is_certain(query, instance)
+
+    def test_brute_force_handles_cyclic_query(self):
+        schema = Schema([RelationSignature("U", 2, 1), RelationSignature("V", 2, 1)])
+        query = parse_query(schema, "U(x, y), V(y, x)")
+        instance = DatabaseInstance.from_rows(
+            schema, {"U": [("a", "b")], "V": [("b", "a")]}
+        )
+        assert brute_force_certain(query, instance)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agrees_with_brute_force_on_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_query(two_atom_schema, "R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed)
+        assert is_certain(query, instance) == brute_force_certain(query, instance)
+
+
+class TestCertainAnswers:
+    def test_certain_answers_on_stock(self, stock_schema, stock_instance):
+        query = parse_query(stock_schema, "Dealers(x, t), Stock(p, t, y)", free="x")
+        answers = certain_answers(query, stock_instance)
+        assert ("James",) in answers
+        assert ("Smith",) in answers
+
+    def test_certain_answers_exclude_uncertain_tuples(self, stock_schema):
+        instance = DatabaseInstance.from_rows(
+            stock_schema,
+            {
+                "Dealers": [("Smith", "Boston"), ("Smith", "Paris")],
+                "Stock": [("Tesla X", "Boston", 35)],
+            },
+        )
+        query = parse_query(stock_schema, "Dealers(x, t), Stock(p, t, y)", free="x")
+        assert certain_answers(query, instance) == []
+
+    def test_requires_free_variables(self, stock_schema, stock_instance):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        with pytest.raises(ValueError):
+            certain_answers(query, stock_instance)
+
+    def test_brute_force_path_matches_rewriting_path(self, stock_schema, stock_instance):
+        query = parse_query(stock_schema, "Dealers(x, t), Stock(p, t, y)", free="x")
+        assert certain_answers(query, stock_instance, use_rewriting=True) == certain_answers(
+            query, stock_instance, use_rewriting=False
+        )
+
+
+class TestConsistentRewriting:
+    def test_rewriting_matches_checker_on_stock(self, stock_schema, stock_instance):
+        query = parse_query(stock_schema, "Dealers('James', t), Stock(p, t, 35)")
+        formula = consistent_rewriting(query)
+        assert evaluate_formula(stock_instance, formula) == is_certain(
+            query, stock_instance
+        )
+
+    def test_rewriting_matches_checker_on_uncertain_query(
+        self, stock_schema, stock_instance
+    ):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, 95)")
+        formula = consistent_rewriting(query)
+        assert evaluate_formula(stock_instance, formula) == is_certain(
+            query, stock_instance
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rewriting_matches_brute_force_on_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_query(two_atom_schema, "R(x, y), S(y, z, r)")
+        formula = consistent_rewriting(query)
+        instance = make_random_instance(two_atom_schema, seed, facts_per_relation=4)
+        assert evaluate_formula(instance, formula) == brute_force_certain(query, instance)
+
+    def test_rewriting_with_free_variables(self, stock_schema, stock_instance):
+        query = parse_query(stock_schema, "Dealers(x, t), Stock(p, t, y)", free="x")
+        formula = consistent_rewriting(query)
+        assert evaluate_formula(stock_instance, formula, {"x": "James"})
+        assert not evaluate_formula(stock_instance, formula, {"x": "Nobody"})
+
+    def test_rewriting_size_is_polynomial(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        formula = consistent_rewriter_size = formula_size(consistent_rewriting(query))
+        assert formula < 200
+
+    def test_cyclic_query_not_rewritable(self):
+        schema = Schema([RelationSignature("U", 2, 1), RelationSignature("V", 2, 1)])
+        query = parse_query(schema, "U(x, y), V(y, x)")
+        with pytest.raises(NotRewritableError):
+            consistent_rewriting(query)
+
+    def test_topological_sort_exposed(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        rewriter = ConsistentRewriter(query)
+        assert [a.relation for a in rewriter.topological_sort] == ["Dealers", "Stock"]

@@ -1,0 +1,147 @@
+"""Tests for the operational GLB evaluator (Theorem 6.1 / Appendix H)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import NotRewritableError, UnsupportedAggregateError
+from repro.query.parser import parse_aggregation_query
+from tests.conftest import make_random_instance
+
+
+class TestPaperExamples:
+    def test_fig1_intro_query_glb_is_70(self, stock_sum_query, stock_instance):
+        assert OperationalRangeEvaluator(stock_sum_query).glb(stock_instance) == Fraction(70)
+
+    def test_running_example_glb_is_9(self, running_query, running_instance):
+        assert OperationalRangeEvaluator(running_query).glb(running_instance) == Fraction(9)
+
+    def test_count_variant_of_running_example(self, running_schema, running_instance):
+        query = parse_aggregation_query(
+            running_schema, "COUNT(1) <- R(x,y), S(y,z,'d',r)"
+        )
+        expected = ExhaustiveRangeSolver(query).glb(running_instance)
+        assert OperationalRangeEvaluator(query).glb(running_instance) == expected
+
+    def test_max_variant_of_running_example(self, running_schema, running_instance):
+        query = parse_aggregation_query(
+            running_schema, "MAX(r) <- R(x,y), S(y,z,'d',r)"
+        )
+        expected = ExhaustiveRangeSolver(query).glb(running_instance)
+        assert OperationalRangeEvaluator(query).glb(running_instance) == expected
+
+
+class TestBottom:
+    def test_bottom_when_query_not_certain(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock('Tesla Y', t, y)"
+        )
+        # Smith may operate in New York where only Tesla Y is stocked, or in
+        # Boston; either way Tesla Y is stocked, so this one is certain.
+        assert OperationalRangeEvaluator(query).glb(stock_instance) is not BOTTOM
+
+        uncertain = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)"
+        )
+        # If Smith operates in New York there is no Tesla X stock: ⊥.
+        assert OperationalRangeEvaluator(uncertain).glb(stock_instance) is BOTTOM
+
+    def test_bottom_is_falsy_singleton(self):
+        assert not BOTTOM
+        assert repr(BOTTOM) == "⊥"
+        assert type(BOTTOM)() is BOTTOM
+
+    def test_bottom_on_empty_database(self, stock_schema, stock_sum_query):
+        empty = DatabaseInstance(stock_schema)
+        assert OperationalRangeEvaluator(stock_sum_query).glb(empty) is BOTTOM
+
+
+class TestValidation:
+    def test_cyclic_attack_graph_rejected(self):
+        schema = Schema(
+            [
+                RelationSignature("U", 2, 1, numeric_positions=(2,)),
+                RelationSignature("V", 2, 1),
+            ]
+        )
+        query = parse_aggregation_query(schema, "SUM(y) <- U(x, y), V(y, x)")
+        with pytest.raises(NotRewritableError):
+            OperationalRangeEvaluator(query)
+
+    def test_non_monotone_aggregate_rejected(self, running_schema):
+        query = parse_aggregation_query(
+            running_schema, "AVG(r) <- R(x,y), S(y,z,'d',r)"
+        )
+        with pytest.raises(UnsupportedAggregateError):
+            OperationalRangeEvaluator(query)
+
+    def test_order_property_is_topological(self, running_query):
+        evaluator = OperationalRangeEvaluator(running_query)
+        assert [a.relation for a in evaluator.order] == ["R", "S"]
+
+
+class TestAgainstExhaustiveGroundTruth:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sum_glb_matches_exhaustive_on_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_aggregation_query(two_atom_schema, "SUM(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed)
+        expected = ExhaustiveRangeSolver(query).glb(instance)
+        measured = OperationalRangeEvaluator(query).glb(instance)
+        assert measured == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_count_glb_matches_exhaustive_on_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_aggregation_query(two_atom_schema, "COUNT(1) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 100)
+        expected = ExhaustiveRangeSolver(query).glb(instance)
+        assert OperationalRangeEvaluator(query).glb(instance) == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_max_glb_matches_exhaustive_on_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_aggregation_query(two_atom_schema, "MAX(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 200)
+        expected = ExhaustiveRangeSolver(query).glb(instance)
+        assert OperationalRangeEvaluator(query).glb(instance) == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_single_atom_sum(self, seed):
+        schema = Schema([RelationSignature("R", 2, 1, numeric_positions=(2,))])
+        query = parse_aggregation_query(schema, "SUM(r) <- R(x, r)")
+        instance = make_random_instance(schema, seed, facts_per_relation=7)
+        expected = ExhaustiveRangeSolver(query).glb(instance)
+        assert OperationalRangeEvaluator(query).glb(instance) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_three_atom_chain_sum(self, seed):
+        schema = Schema(
+            [
+                RelationSignature("A", 2, 1),
+                RelationSignature("B", 2, 1),
+                RelationSignature("C", 2, 1, numeric_positions=(2,)),
+            ]
+        )
+        query = parse_aggregation_query(schema, "SUM(r) <- A(x, y), B(y, z), C(z, r)")
+        instance = make_random_instance(schema, seed, facts_per_relation=5)
+        expected = ExhaustiveRangeSolver(query).glb(instance)
+        assert OperationalRangeEvaluator(query).glb(instance) == expected
+
+
+class TestGroupByBindings:
+    def test_glb_for_binding(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        evaluator = OperationalRangeEvaluator(query)
+        assert evaluator.glb_for_binding(stock_instance, {"x": "James"}) == Fraction(70)
+        assert evaluator.glb_for_binding(stock_instance, {"x": "Smith"}) == Fraction(70)
+        assert evaluator.glb_for_binding(stock_instance, {"x": "Nobody"}) is BOTTOM

@@ -1,0 +1,85 @@
+"""Tests for MIN/MAX range answers (Theorems 7.10 and 7.11)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.core.evaluator import BOTTOM
+from repro.core.minmax import MinMaxRangeEvaluator
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import NotRewritableError, UnsupportedAggregateError
+from repro.query.parser import parse_aggregation_query
+from tests.conftest import make_random_instance
+
+
+class TestValidation:
+    def test_only_min_max_accepted(self, running_query):
+        with pytest.raises(UnsupportedAggregateError):
+            MinMaxRangeEvaluator(running_query)
+
+    def test_cyclic_graph_rejected(self):
+        schema = Schema(
+            [
+                RelationSignature("U", 2, 1, numeric_positions=(2,)),
+                RelationSignature("V", 2, 1),
+            ]
+        )
+        query = parse_aggregation_query(schema, "MAX(y) <- U(x, y), V(y, x)")
+        with pytest.raises(NotRewritableError):
+            MinMaxRangeEvaluator(query)
+
+
+class TestStockExamples:
+    def test_min_glb_is_plain_minimum(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "MIN(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        assert MinMaxRangeEvaluator(query).glb(stock_instance) == Fraction(35)
+
+    def test_max_lub_is_plain_maximum(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "MAX(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        assert MinMaxRangeEvaluator(query).lub(stock_instance) == Fraction(96)
+
+    def test_all_four_match_exhaustive(self, stock_schema, stock_instance):
+        for aggregate in ("MIN", "MAX"):
+            query = parse_aggregation_query(
+                stock_schema, f"{aggregate}(y) <- Dealers('Smith', t), Stock(p, t, y)"
+            )
+            evaluator = MinMaxRangeEvaluator(query)
+            expected = ExhaustiveRangeSolver(query).range(stock_instance)
+            assert evaluator.glb(stock_instance) == expected[0]
+            assert evaluator.lub(stock_instance) == expected[1]
+
+    def test_bottom_propagates(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "MIN(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)"
+        )
+        evaluator = MinMaxRangeEvaluator(query)
+        assert evaluator.glb(stock_instance) is BOTTOM
+        assert evaluator.lub(stock_instance) is BOTTOM
+
+
+class TestAgainstExhaustiveGroundTruth:
+    @pytest.mark.parametrize("aggregate", ["MIN", "MAX"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_glb_and_lub_match_exhaustive(self, two_atom_schema, aggregate, seed):
+        query = parse_aggregation_query(
+            two_atom_schema, f"{aggregate}(r) <- R(x, y), S(y, z, r)"
+        )
+        instance = make_random_instance(two_atom_schema, seed + 300)
+        expected = ExhaustiveRangeSolver(query).range(instance)
+        evaluator = MinMaxRangeEvaluator(query)
+        assert evaluator.glb(instance) == expected[0]
+        assert evaluator.lub(instance) == expected[1]
+
+    def test_binding_support(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        evaluator = MinMaxRangeEvaluator(query)
+        expected = ExhaustiveRangeSolver(query).range(stock_instance, {"x": "James"})
+        assert evaluator.glb(stock_instance, {"x": "James"}) == expected[0]
+        assert evaluator.lub(stock_instance, {"x": "James"}) == expected[1]

@@ -1,0 +1,112 @@
+"""Tests for the AGGR[FOL] rewriting construction (Theorem 1.1 / Fig. 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.core.evaluator import BOTTOM
+from repro.core.rewriter import GlbRewriter
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import NotRewritableError, UnsupportedAggregateError
+from repro.query.parser import parse_aggregation_query
+from tests.conftest import make_random_instance
+
+
+class TestDecisionProcedure:
+    def test_rewritable_cases(self, running_query, stock_sum_query):
+        assert GlbRewriter(running_query).is_rewritable()
+        assert GlbRewriter(stock_sum_query).is_rewritable()
+
+    def test_min_is_rewritable(self, running_schema):
+        query = parse_aggregation_query(running_schema, "MIN(r) <- R(x,y), S(y,z,'d',r)")
+        assert GlbRewriter(query).is_rewritable()
+
+    def test_cyclic_not_rewritable(self):
+        schema = Schema(
+            [
+                RelationSignature("U", 2, 1, numeric_positions=(2,)),
+                RelationSignature("V", 2, 1),
+            ]
+        )
+        query = parse_aggregation_query(schema, "SUM(y) <- U(x, y), V(y, x)")
+        rewriter = GlbRewriter(query)
+        assert not rewriter.is_rewritable()
+        with pytest.raises(NotRewritableError):
+            rewriter.rewrite()
+
+    def test_avg_not_rewritable(self, running_schema):
+        query = parse_aggregation_query(running_schema, "AVG(r) <- R(x,y), S(y,z,'d',r)")
+        rewriter = GlbRewriter(query)
+        assert not rewriter.is_rewritable()
+        with pytest.raises(UnsupportedAggregateError):
+            rewriter.rewrite()
+
+    def test_verdict_matches_is_rewritable(self, running_query):
+        rewriter = GlbRewriter(running_query)
+        assert rewriter.verdict().rewritable == rewriter.is_rewritable()
+
+
+class TestConstructedRewriting:
+    def test_running_example_evaluates_to_9(self, running_query, running_instance):
+        rewriting = GlbRewriter(running_query).rewrite()
+        assert rewriting.evaluate(running_instance) == Fraction(9)
+
+    def test_fig1_example_evaluates_to_70(self, stock_sum_query, stock_instance):
+        rewriting = GlbRewriter(stock_sum_query).rewrite()
+        assert rewriting.evaluate(stock_instance) == Fraction(70)
+
+    def test_bottom_case(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)"
+        )
+        rewriting = GlbRewriter(query).rewrite()
+        assert rewriting.evaluate(stock_instance) is BOTTOM
+
+    def test_min_rewriting(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "MIN(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        rewriting = GlbRewriter(query).rewrite()
+        assert rewriting.evaluate(stock_instance) == Fraction(35)
+
+    def test_count_rewriting_uses_sum_of_ones(self, running_schema, running_instance):
+        query = parse_aggregation_query(
+            running_schema, "COUNT(1) <- R(x,y), S(y,z,'d',r)"
+        )
+        rewriting = GlbRewriter(query).rewrite()
+        expected = ExhaustiveRangeSolver(query).glb(running_instance)
+        assert rewriting.evaluate(rewriting_instance := running_instance) == expected
+        assert rewriting.value_term.aggregate == "SUM"
+
+    def test_describe_mentions_query_and_guard(self, running_query):
+        rewriting = GlbRewriter(running_query).rewrite()
+        description = rewriting.describe()
+        assert "certainty" in description
+        assert "SUM" in description
+
+    def test_rewriting_structure_mirrors_fig5(self, running_query):
+        # The outer term aggregates over the key of the first atom (x), its
+        # value term minimises over the remaining variables of that atom (y).
+        rewriting = GlbRewriter(running_query).rewrite()
+        outer = rewriting.value_term
+        assert outer.aggregate == "SUM"
+        assert {v.name for v in outer.bound_variables} == {"x"}
+        inner = outer.value_term
+        assert inner.aggregate == "MIN"
+        assert {v.name for v in inner.bound_variables} == {"y"}
+        level2 = inner.value_term
+        assert level2.aggregate == "SUM"
+        assert {v.name for v in level2.bound_variables} == {"z"}
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_exhaustive_on_small_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_aggregation_query(two_atom_schema, "SUM(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(
+            two_atom_schema, seed + 700, facts_per_relation=4, domain_size=2
+        )
+        rewriting = GlbRewriter(query).rewrite()
+        expected = ExhaustiveRangeSolver(query).glb(instance)
+        assert rewriting.evaluate(instance) == expected

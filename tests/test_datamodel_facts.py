@@ -1,0 +1,63 @@
+"""Tests for facts and numeric-constant helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datamodel.facts import Fact, as_fraction, is_numeric_constant
+
+
+class TestFact:
+    def test_equality_and_hash(self):
+        assert Fact("R", ("a", 1)) == Fact("R", ("a", 1))
+        assert hash(Fact("R", ("a", 1))) == hash(Fact("R", ("a", 1)))
+        assert Fact("R", ("a", 1)) != Fact("R", ("a", 2))
+        assert Fact("R", ("a", 1)) != Fact("S", ("a", 1))
+
+    def test_arity(self):
+        assert Fact("R", ("a", "b", "c")).arity == 3
+
+    def test_key_projection(self):
+        fact = Fact("Stock", ("Tesla X", "Boston", 35))
+        assert fact.key(2) == ("Tesla X", "Boston")
+        assert fact.key(1) == ("Tesla X",)
+
+    def test_key_equality(self):
+        first = Fact("Stock", ("Tesla X", "Boston", 35))
+        second = Fact("Stock", ("Tesla X", "Boston", 40))
+        third = Fact("Stock", ("Tesla Y", "Boston", 35))
+        assert first.is_key_equal(second, 2)
+        assert not first.is_key_equal(third, 2)
+
+    def test_key_equality_requires_same_relation(self):
+        assert not Fact("R", ("a",)).is_key_equal(Fact("S", ("a",)), 1)
+
+    def test_values_stored_as_tuple(self):
+        fact = Fact("R", ["a", "b"])
+        assert isinstance(fact.values, tuple)
+
+    def test_str_rendering(self):
+        assert str(Fact("R", ("a", 1))) == "R('a', 1)"
+
+
+class TestNumericHelpers:
+    def test_is_numeric_constant(self):
+        assert is_numeric_constant(3)
+        assert is_numeric_constant(3.5)
+        assert is_numeric_constant(Fraction(1, 2))
+        assert not is_numeric_constant("3")
+        assert not is_numeric_constant(True)
+
+    def test_as_fraction_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_as_fraction_fraction_identity(self):
+        value = Fraction(7, 3)
+        assert as_fraction(value) is value
+
+    def test_as_fraction_float(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_as_fraction_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_fraction("3")

@@ -1,0 +1,162 @@
+"""Tests for database instances, blocks and repairs."""
+
+import pytest
+
+from repro.datamodel.facts import Fact
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def simple_schema():
+    return Schema(
+        [
+            RelationSignature("R", 2, 1),
+            RelationSignature("S", 2, 2),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, simple_schema):
+        instance = DatabaseInstance.from_rows(
+            simple_schema, {"R": [("a", 1), ("a", 2)], "S": [("x", "y")]}
+        )
+        assert len(instance) == 3
+
+    def test_add_row_and_contains(self, simple_schema):
+        instance = DatabaseInstance(simple_schema)
+        instance.add_row("R", "a", 1)
+        assert Fact("R", ("a", 1)) in instance
+
+    def test_duplicate_facts_collapse(self, simple_schema):
+        instance = DatabaseInstance(simple_schema)
+        instance.add_row("R", "a", 1)
+        instance.add_row("R", "a", 1)
+        assert len(instance) == 1
+
+    def test_arity_checked(self, simple_schema):
+        instance = DatabaseInstance(simple_schema)
+        with pytest.raises(SchemaError):
+            instance.add_row("R", "a")
+
+    def test_unknown_relation_rejected(self, simple_schema):
+        instance = DatabaseInstance(simple_schema)
+        with pytest.raises(SchemaError):
+            instance.add_row("T", "a")
+
+
+class TestBlocksAndConsistency:
+    def test_blocks_group_key_equal_facts(self, simple_schema):
+        instance = DatabaseInstance.from_rows(
+            simple_schema, {"R": [("a", 1), ("a", 2), ("b", 1)]}
+        )
+        blocks = instance.blocks("R")
+        sizes = sorted(len(b) for b in blocks)
+        assert sizes == [1, 2]
+
+    def test_block_of(self, simple_schema):
+        instance = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1), ("a", 2)]})
+        block = instance.block_of(Fact("R", ("a", 1)))
+        assert block == frozenset({Fact("R", ("a", 1)), Fact("R", ("a", 2))})
+
+    def test_full_key_relation_never_inconsistent(self, simple_schema):
+        instance = DatabaseInstance.from_rows(
+            simple_schema, {"S": [("x", "y"), ("x", "z")]}
+        )
+        assert instance.is_consistent("S")
+
+    def test_inconsistent_blocks(self, simple_schema):
+        instance = DatabaseInstance.from_rows(
+            simple_schema, {"R": [("a", 1), ("a", 2), ("b", 1)]}
+        )
+        assert len(instance.inconsistent_blocks()) == 1
+        assert not instance.is_consistent()
+
+    def test_consistent_instance(self, simple_schema):
+        instance = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1), ("b", 2)]})
+        assert instance.is_consistent()
+        assert instance.inconsistency_ratio() == 0.0
+
+    def test_inconsistency_ratio(self, simple_schema):
+        instance = DatabaseInstance.from_rows(
+            simple_schema, {"R": [("a", 1), ("a", 2), ("b", 1)]}
+        )
+        assert instance.inconsistency_ratio() == pytest.approx(0.5)
+
+    def test_inconsistency_ratio_empty_instance(self, simple_schema):
+        assert DatabaseInstance(simple_schema).inconsistency_ratio() == 0.0
+
+
+class TestRepairs:
+    def test_repair_count_is_product_of_block_sizes(self, stock_instance):
+        # Fig. 1: three inconsistent blocks of size 2 ⇒ 8 repairs.
+        assert stock_instance.repair_count() == 8
+
+    def test_enumeration_matches_count(self, stock_instance):
+        assert len(list(stock_instance.repairs())) == 8
+
+    def test_every_repair_is_consistent(self, stock_instance):
+        assert all(repair.is_consistent() for repair in stock_instance.repairs())
+
+    def test_every_repair_is_maximal(self, stock_instance):
+        # Adding any removed fact to a repair would break consistency.
+        for repair in stock_instance.repairs():
+            removed = stock_instance.facts - repair.facts
+            for fact in removed:
+                signature = stock_instance.schema.relation(fact.relation)
+                assert any(
+                    fact.is_key_equal(kept, signature.key_size) for kept in repair.facts
+                )
+
+    def test_repairs_pick_one_fact_per_block(self, stock_instance):
+        for repair in stock_instance.repairs():
+            for block in stock_instance.blocks():
+                assert len(block & repair.facts) == 1
+
+    def test_consistent_instance_has_single_repair(self, simple_schema):
+        instance = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1), ("b", 2)]})
+        repairs = list(instance.repairs())
+        assert len(repairs) == 1
+        assert repairs[0] == instance
+
+    def test_empty_instance_has_one_empty_repair(self, simple_schema):
+        repairs = list(DatabaseInstance(simple_schema).repairs())
+        assert len(repairs) == 1
+        assert len(repairs[0]) == 0
+
+    def test_arbitrary_repair_is_a_repair(self, stock_instance):
+        repair = stock_instance.arbitrary_repair()
+        assert repair.is_consistent()
+        assert repair.facts <= stock_instance.facts
+        assert len(repair.blocks()) == len(stock_instance.blocks())
+
+    def test_falsifying_repair_exists(self, simple_schema):
+        instance = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1), ("a", 2)]})
+        assert instance.falsifying_repair_exists(
+            lambda repair: Fact("R", ("a", 1)) in repair
+        )
+        assert not instance.falsifying_repair_exists(lambda repair: len(repair) == 1)
+
+
+class TestTransformations:
+    def test_restricted_to(self, stock_instance):
+        restricted = stock_instance.restricted_to(["Dealers"])
+        assert restricted.relation_names() == ("Dealers",)
+        assert len(restricted) == 3
+
+    def test_union(self, simple_schema):
+        first = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1)]})
+        second = DatabaseInstance.from_rows(simple_schema, {"R": [("b", 2)]})
+        assert len(first.union(second)) == 2
+
+    def test_without(self, simple_schema):
+        instance = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1), ("b", 2)]})
+        assert len(instance.without([Fact("R", ("a", 1))])) == 1
+
+    def test_equality_and_hash(self, simple_schema):
+        first = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1)]})
+        second = DatabaseInstance.from_rows(simple_schema, {"R": [("a", 1)]})
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,101 @@
+"""Tests for relation signatures and schemas."""
+
+import pytest
+
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import SchemaError
+
+
+class TestRelationSignature:
+    def test_basic_properties(self):
+        sig = RelationSignature("Stock", 3, 2, numeric_positions=(3,))
+        assert sig.arity == 3
+        assert sig.key_size == 2
+        assert sig.key_positions == (1, 2)
+        assert sig.nonkey_positions == (3,)
+        assert sig.is_numeric(3)
+        assert not sig.is_numeric(1)
+
+    def test_default_attribute_names(self):
+        sig = RelationSignature("R", 2, 1)
+        assert sig.attribute_names == ("a1", "a2")
+
+    def test_custom_attribute_names(self):
+        sig = RelationSignature("R", 2, 1, attribute_names=("x", "y"))
+        assert sig.attribute_names == ("x", "y")
+
+    def test_attribute_name_count_must_match_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("R", 2, 1, attribute_names=("x",))
+
+    def test_full_key_relation(self):
+        sig = RelationSignature("M", 2, 2)
+        assert sig.is_full_key
+        assert sig.nonkey_positions == ()
+
+    def test_not_full_key(self):
+        assert not RelationSignature("R", 2, 1).is_full_key
+
+    def test_invalid_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("R", 0, 0)
+
+    def test_invalid_key_size_too_large(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("R", 2, 3)
+
+    def test_invalid_key_size_zero(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("R", 2, 0)
+
+    def test_invalid_numeric_position(self):
+        with pytest.raises(SchemaError):
+            RelationSignature("R", 2, 1, numeric_positions=(5,))
+
+    def test_numeric_positions_deduplicated_and_sorted(self):
+        sig = RelationSignature("R", 3, 1, numeric_positions=(3, 2, 3))
+        assert sig.numeric_positions == (2, 3)
+
+    def test_key_of_projects_prefix(self):
+        sig = RelationSignature("R", 3, 2)
+        assert sig.key_of(("a", "b", "c")) == ("a", "b")
+
+    def test_key_of_rejects_wrong_arity(self):
+        sig = RelationSignature("R", 3, 2)
+        with pytest.raises(SchemaError):
+            sig.key_of(("a", "b"))
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema([RelationSignature("R", 2, 1)])
+        assert "R" in schema
+        assert schema.relation("R").arity == 2
+
+    def test_unknown_relation(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.relation("missing")
+
+    def test_reregistering_identical_signature_is_noop(self):
+        sig = RelationSignature("R", 2, 1)
+        schema = Schema([sig])
+        schema.add(RelationSignature("R", 2, 1))
+        assert len(schema) == 1
+
+    def test_conflicting_signature_rejected(self):
+        schema = Schema([RelationSignature("R", 2, 1)])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSignature("R", 3, 1))
+
+    def test_iteration_and_names(self):
+        schema = Schema([RelationSignature("R", 2, 1), RelationSignature("S", 1, 1)])
+        assert schema.relation_names() == ("R", "S")
+        assert {sig.name for sig in schema} == {"R", "S"}
+
+    def test_merged_with(self):
+        first = Schema([RelationSignature("R", 2, 1)])
+        second = Schema([RelationSignature("S", 1, 1)])
+        merged = first.merged_with(second)
+        assert "R" in merged and "S" in merged
+        assert len(first) == 1 and len(second) == 1

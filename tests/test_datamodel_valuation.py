@@ -1,0 +1,84 @@
+"""Tests for valuations (restriction, extension, application)."""
+
+import pytest
+
+from repro.datamodel.valuation import EMPTY_VALUATION, Valuation
+
+
+class TestValuationBasics:
+    def test_mapping_protocol(self):
+        valuation = Valuation({"x": 1, "y": "a"})
+        assert valuation["x"] == 1
+        assert len(valuation) == 2
+        assert set(valuation) == {"x", "y"}
+        assert "x" in valuation and "z" not in valuation
+
+    def test_equality_with_dict_and_valuation(self):
+        assert Valuation({"x": 1}) == Valuation({"x": 1})
+        assert Valuation({"x": 1}) == {"x": 1}
+        assert Valuation({"x": 1}) != Valuation({"x": 2})
+
+    def test_hashable(self):
+        assert len({Valuation({"x": 1}), Valuation({"x": 1})}) == 1
+
+    def test_domain(self):
+        assert Valuation({"x": 1, "y": 2}).domain == frozenset({"x", "y"})
+
+    def test_empty_valuation(self):
+        assert len(EMPTY_VALUATION) == 0
+        assert EMPTY_VALUATION.domain == frozenset()
+
+
+class TestValuationOperations:
+    def test_apply_maps_domain_variables(self):
+        valuation = Valuation({"x": 1})
+        assert valuation.apply("x") == 1
+
+    def test_apply_is_identity_outside_domain(self):
+        valuation = Valuation({"x": 1})
+        assert valuation.apply("y") == "y"
+        assert valuation.apply(42) == 42
+
+    def test_restrict(self):
+        valuation = Valuation({"x": 1, "y": 2, "z": 3})
+        restricted = valuation.restrict({"x", "z"})
+        assert restricted == {"x": 1, "z": 3}
+
+    def test_restrict_to_missing_variables(self):
+        assert Valuation({"x": 1}).restrict({"q"}) == {}
+
+    def test_extend(self):
+        valuation = Valuation({"x": 1})
+        extended = valuation.extend({"y": 2})
+        assert extended == {"x": 1, "y": 2}
+        assert valuation == {"x": 1}
+
+    def test_extend_consistent_overlap_allowed(self):
+        assert Valuation({"x": 1}).extend({"x": 1, "y": 2}) == {"x": 1, "y": 2}
+
+    def test_extend_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Valuation({"x": 1}).extend({"x": 2})
+
+    def test_is_extension_of(self):
+        small = Valuation({"x": 1})
+        large = Valuation({"x": 1, "y": 2})
+        assert large.is_extension_of(small)
+        assert not small.is_extension_of(large)
+        assert large.is_extension_of(EMPTY_VALUATION)
+
+    def test_agrees_with(self):
+        first = Valuation({"x": 1, "y": 2})
+        second = Valuation({"x": 1, "y": 3})
+        assert first.agrees_with(second, ["x"])
+        assert not first.agrees_with(second, ["x", "y"])
+
+    def test_project_tuple(self):
+        valuation = Valuation({"x": 1, "y": 2})
+        assert valuation.project_tuple(["y", "x"]) == (2, 1)
+
+    def test_as_dict_returns_copy(self):
+        valuation = Valuation({"x": 1})
+        copy = valuation.as_dict()
+        copy["x"] = 99
+        assert valuation["x"] == 1

@@ -1,0 +1,216 @@
+"""Tests for embeddings, ∀embeddings, MCSs and superfrugal repairs (Section 4, 6)."""
+
+import pytest
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.valuation import Valuation
+from repro.embeddings.embeddings import embeddings_of, embeddings_satisfy_key_constraints
+from repro.embeddings.forall import (
+    ForallEmbeddingComputer,
+    forall_embedding_formula,
+    forall_embeddings,
+)
+from repro.embeddings.mcs import maximal_consistent_subsets
+from repro.fol.evaluation import FormulaEvaluator
+from repro.query.parser import parse_query
+from repro.repairs.enumerate import count_repairs, sample_repairs
+from repro.repairs.frugal import find_superfrugal_repairs, is_superfrugal
+from tests.conftest import make_random_instance
+
+
+class TestEmbeddings:
+    def test_embeddings_on_running_example(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        embeddings = embeddings_of(body, running_instance)
+        # Every R-fact joins with the S-facts of its y-block carrying tag 'd'.
+        assert len(embeddings) == 9
+
+    def test_embeddings_respect_binding(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        embeddings = embeddings_of(body, running_instance, {"x": "a2"})
+        assert {e["x"] for e in embeddings} == {"a2"}
+        assert len(embeddings) == 3
+
+    def test_no_embeddings(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'missing',r)")
+        assert embeddings_of(body, running_instance) == []
+
+    def test_key_constraint_satisfaction(self, running_schema):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        consistent = [
+            Valuation({"x": "a1", "y": "b1", "z": "c1", "r": 1}),
+            Valuation({"x": "a2", "y": "b2", "z": "c2", "r": 2}),
+        ]
+        inconsistent = consistent + [
+            Valuation({"x": "a1", "y": "b9", "z": "c1", "r": 1})
+        ]
+        assert embeddings_satisfy_key_constraints(body, consistent)
+        assert not embeddings_satisfy_key_constraints(body, inconsistent)
+
+
+class TestForallEmbeddings:
+    def test_running_example_has_eight(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        forall = forall_embeddings(body, running_instance)
+        assert len(forall) == 8
+
+    def test_running_example_excludes_a3_embedding(
+        self, running_schema, running_instance
+    ):
+        # The embedding mapping (x,y,z,r) to (a3,b4,c5,7) is not a ∀embedding
+        # because of the S-fact with tag 'e' (Section 6.1).
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        forall = forall_embeddings(body, running_instance)
+        assert all(valuation["x"] != "a3" for valuation in forall)
+
+    def test_example_4_1_forall_embedding(self, stock_schema, stock_instance):
+        body = parse_query(stock_schema, "Dealers('James', t), Stock(p, t, 35)")
+        forall = forall_embeddings(body, stock_instance)
+        as_dicts = [dict(v) for v in forall]
+        assert {"t": "Boston", "p": "Tesla Y"} in as_dicts
+        assert {"t": "Boston", "p": "Tesla X"} not in as_dicts
+
+    def test_not_certain_query_has_no_forall_embeddings(
+        self, stock_schema, stock_instance
+    ):
+        body = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, 95)")
+        assert forall_embeddings(body, stock_instance) == []
+
+    def test_forall_embeddings_are_embeddings(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        all_embeddings = set(embeddings_of(body, running_instance))
+        assert set(forall_embeddings(body, running_instance)) <= all_embeddings
+
+    def test_lemma_4_2_order_independence(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        computer = ForallEmbeddingComputer(body, running_instance)
+        default_order = computer.order
+        reversed_order = list(reversed(default_order))
+        # The reversed order is only legal if it is also a topological sort;
+        # here R attacks S, so only the default order is valid — instead we
+        # check independence on a query with no attacks at all.
+        free_body = parse_query(running_schema, "R(x,y), S(y2,z,'d',r)")
+        first = set(forall_embeddings(free_body, running_instance, free_body.atoms))
+        second = set(
+            forall_embeddings(
+                free_body, running_instance, tuple(reversed(free_body.atoms))
+            )
+        )
+        assert first == second
+
+    def test_level_embeddings_monotone_in_level(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        computer = ForallEmbeddingComputer(body, running_instance)
+        level0 = computer.level_embeddings(0)
+        level1 = computer.level_embeddings(1)
+        level2 = computer.level_embeddings(2)
+        assert len(level0) == 1 and dict(level0[0]) == {}
+        assert len(level1) >= 1
+        assert len(level2) == 8
+
+    def test_invalid_order_rejected(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        with pytest.raises(ValueError):
+            ForallEmbeddingComputer(body, running_instance, body.atoms[:1])
+
+    def test_lemma_4_3_formula_agrees_with_direct_computation(
+        self, running_schema, running_instance
+    ):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        formula = forall_embedding_formula(body)
+        evaluator = FormulaEvaluator(running_instance)
+        direct = set(forall_embeddings(body, running_instance))
+        for embedding in embeddings_of(body, running_instance):
+            holds = evaluator.evaluate(formula, dict(embedding))
+            assert holds == (embedding in direct)
+
+
+class TestMcs:
+    def test_mcs_of_running_example(self, running_schema, running_instance):
+        # Corollary 6.4: the minimum over MCSs of the SUM of r-values is 9.
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        forall = forall_embeddings(body, running_instance)
+        subsets = maximal_consistent_subsets(body, forall)
+        assert subsets
+        sums = [sum(valuation["r"] for valuation in subset) for subset in subsets]
+        assert min(sums) == 9
+
+    def test_every_mcs_is_consistent_and_maximal(
+        self, running_schema, running_instance
+    ):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        forall = forall_embeddings(body, running_instance)
+        subsets = maximal_consistent_subsets(body, forall)
+        for subset in subsets:
+            assert embeddings_satisfy_key_constraints(body, subset)
+            others = [v for v in forall if v not in subset]
+            for extra in others:
+                assert not embeddings_satisfy_key_constraints(body, subset + [extra])
+
+    def test_mcs_of_empty_set(self, running_schema):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        assert maximal_consistent_subsets(body, []) == [[]]
+
+    def test_mcs_of_already_consistent_set(self, running_schema, running_instance):
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        single = [Valuation({"x": "a1", "y": "b1", "z": "c1", "r": 1})]
+        assert maximal_consistent_subsets(body, single) == [single]
+
+
+class TestSuperfrugalRepairs:
+    def test_example_4_4_dagger_repair_not_superfrugal(
+        self, stock_schema, stock_instance
+    ):
+        body = parse_query(stock_schema, "Dealers('James', t), Stock(p, t, 35)")
+        dagger = DatabaseInstance.from_rows(
+            stock_schema,
+            {
+                "Dealers": [("Smith", "Boston"), ("James", "Boston")],
+                "Stock": [
+                    ("Tesla X", "Boston", 35),
+                    ("Tesla Y", "Boston", 35),
+                    ("Tesla Y", "New York", 95),
+                ],
+            },
+        )
+        assert not is_superfrugal(dagger, body, stock_instance)
+
+    def test_superfrugal_repairs_exist_for_certain_query(
+        self, stock_schema, stock_instance
+    ):
+        body = parse_query(stock_schema, "Dealers('James', t), Stock(p, t, 35)")
+        superfrugal = find_superfrugal_repairs(body, stock_instance)
+        assert superfrugal
+        forall = set(forall_embeddings(body, stock_instance))
+        for repair in superfrugal:
+            assert set(embeddings_of(body, repair)) <= forall
+
+    def test_lemma_6_3_mcs_correspondence(self, running_schema, running_instance):
+        # The embedding sets of superfrugal repairs are exactly the MCSs of the
+        # set of all ∀embeddings.
+        body = parse_query(running_schema, "R(x,y), S(y,z,'d',r)")
+        forall = forall_embeddings(body, running_instance)
+        mcs_sets = {
+            frozenset(subset)
+            for subset in maximal_consistent_subsets(body, forall)
+        }
+        repair_sets = {
+            frozenset(embeddings_of(body, repair))
+            for repair in find_superfrugal_repairs(body, running_instance)
+        }
+        assert repair_sets == mcs_sets
+
+
+class TestRepairHelpers:
+    def test_count_repairs(self, stock_instance):
+        assert count_repairs(stock_instance) == 8
+
+    def test_sampled_repairs_are_repairs(self, stock_instance):
+        for repair in sample_repairs(stock_instance, 5, seed=3):
+            assert repair.is_consistent()
+            assert len(repair.blocks()) == len(stock_instance.blocks())
+
+    def test_sampling_is_deterministic_for_seed(self, stock_instance):
+        first = sample_repairs(stock_instance, 3, seed=1)
+        second = sample_repairs(stock_instance, 3, seed=1)
+        assert first == second

@@ -1,0 +1,80 @@
+"""Tests for the experiment harness and the figure reproductions."""
+
+import pytest
+
+from repro.experiments.figures import (
+    all_figure_results,
+    reproduce_example44_superfrugal,
+    reproduce_fig1_example,
+    reproduce_fig2_attack_graph,
+    reproduce_fig35_running_example,
+    reproduce_groupby_example,
+    reproduce_minmax_example,
+    reproduce_theorem79_refutation,
+)
+from repro.experiments.harness import (
+    ExperimentRow,
+    format_table,
+    run_decision_procedure_timing,
+    run_scalability_experiment,
+    run_solver_agreement_experiment,
+)
+
+
+class TestFigureReproductions:
+    def test_fig1(self):
+        assert reproduce_fig1_example().matches
+
+    def test_fig2(self):
+        assert reproduce_fig2_attack_graph().matches
+
+    def test_fig35(self):
+        assert reproduce_fig35_running_example().matches
+
+    def test_example44(self):
+        assert reproduce_example44_superfrugal().matches
+
+    def test_theorem79(self):
+        assert reproduce_theorem79_refutation().matches
+
+    def test_minmax(self):
+        assert reproduce_minmax_example().matches
+
+    def test_groupby(self):
+        assert reproduce_groupby_example().matches
+
+    def test_all_results_match_and_have_summaries(self):
+        results = all_figure_results()
+        assert len(results) == 7
+        for result in results:
+            assert result.matches, result.summary()
+            assert "paper=" in result.summary()
+
+
+class TestHarness:
+    def test_solver_agreement_rows(self):
+        rows = run_solver_agreement_experiment(sizes=(10,), seed=2)
+        assert len(rows) == 1
+        assert rows[0].metrics["all_agree"] is True
+
+    def test_scalability_rows_have_timings(self):
+        rows = run_scalability_experiment(
+            sizes=(20,), include_branch_and_bound_up_to=0
+        )
+        assert rows[0].metrics["rewriting_seconds"] >= 0
+        assert "sql_glb" in rows[0].metrics
+
+    def test_decision_timing_rows(self):
+        rows = run_decision_procedure_timing((2, 3))
+        assert all(row.metrics["rewritable"] for row in rows)
+
+    def test_format_table(self):
+        rows = [
+            ExperimentRow("demo", {"n": 1}, {"value": 2}),
+            ExperimentRow("demo", {"n": 2}, {"value": 4, "extra": "x"}),
+        ]
+        table = format_table(rows)
+        assert "demo" in table and "value" in table and "extra" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,228 @@
+"""Tests for the AGGR[FOL] syntax tree and evaluator (Section 5.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import EvaluationError
+from repro.fol.builders import conjunction, disjunction, exists, forall, implies
+from repro.fol.evaluation import FormulaEvaluator, evaluate_formula, evaluate_term
+from repro.fol.syntax import (
+    AggregateTerm,
+    And,
+    Comparison,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Implies,
+    Not,
+    NumericalConstant,
+    NumericalVariable,
+    Or,
+    RelationAtom,
+    TrueFormula,
+    formula_size,
+)
+from repro.query.atom import Atom
+from repro.query.parser import parse_atom
+from repro.query.terms import Variable
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            RelationSignature("Stock", 3, 2, numeric_positions=(3,)),
+            RelationSignature("Dealers", 2, 1),
+        ]
+    )
+
+
+@pytest.fixture
+def instance(schema):
+    return DatabaseInstance.from_rows(
+        schema,
+        {
+            "Dealers": [("Smith", "Boston"), ("James", "Boston")],
+            "Stock": [
+                ("Tesla X", "Boston", 35),
+                ("Tesla Y", "Boston", 20),
+                ("Tesla Y", "Paris", 50),
+            ],
+        },
+    )
+
+
+class TestSyntax:
+    def test_free_variables_of_atom(self, schema):
+        atom = parse_atom(schema, "Stock(p, t, y)")
+        assert {v.name for v in RelationAtom(atom).free_variables()} == {"p", "t", "y"}
+
+    def test_quantifier_binds_variables(self, schema):
+        atom = parse_atom(schema, "Stock(p, t, y)")
+        formula = Exists((Variable("p"), Variable("y", True)), RelationAtom(atom))
+        assert {v.name for v in formula.free_variables()} == {"t"}
+
+    def test_aggregate_term_free_variables(self, schema):
+        atom = parse_atom(schema, "Stock(p, t, y)")
+        term = AggregateTerm(
+            "SUM",
+            (Variable("p"), Variable("y", True)),
+            NumericalVariable(Variable("y", True)),
+            RelationAtom(atom),
+        )
+        assert {v.name for v in term.free_variables()} == {"t"}
+
+    def test_invalid_comparison_operator(self):
+        with pytest.raises(ValueError):
+            Comparison(Variable("x"), "~", Variable("y"))
+
+    def test_formula_size(self, schema):
+        atom = RelationAtom(parse_atom(schema, "Dealers(x, t)"))
+        formula = Exists((Variable("x"),), And((atom, Not(atom))))
+        assert formula_size(formula) == 5
+
+    def test_builders_simplify(self, schema):
+        atom = RelationAtom(parse_atom(schema, "Dealers(x, t)"))
+        assert conjunction([]) == TrueFormula()
+        assert conjunction([atom]) is atom
+        assert disjunction([]) == FalseFormula()
+        assert exists((), atom) is atom
+        assert forall((), atom) is atom
+        assert implies(TrueFormula(), atom) is atom
+        assert isinstance(implies(FalseFormula(), atom), TrueFormula)
+
+    def test_str_renderings(self, schema):
+        atom = RelationAtom(parse_atom(schema, "Dealers(x, t)"))
+        assert "Dealers" in str(atom)
+        assert "∃" in str(Exists((Variable("x"),), atom))
+        assert "∀" in str(ForAll((Variable("x"),), atom))
+        assert "¬" in str(Not(atom))
+
+
+class TestEvaluation:
+    def test_atom_membership(self, schema, instance):
+        atom = parse_atom(schema, "Dealers('Smith', t)")
+        assert evaluate_formula(instance, RelationAtom(atom), {"t": "Boston"})
+        assert not evaluate_formula(instance, RelationAtom(atom), {"t": "Paris"})
+
+    def test_unbound_variable_raises(self, schema, instance):
+        atom = parse_atom(schema, "Dealers('Smith', t)")
+        with pytest.raises(EvaluationError):
+            evaluate_formula(instance, RelationAtom(atom))
+
+    def test_exists(self, schema, instance):
+        atom = parse_atom(schema, "Dealers(x, t)")
+        formula = Exists((Variable("x"), Variable("t")), RelationAtom(atom))
+        assert evaluate_formula(instance, formula)
+
+    def test_forall_with_guard(self, schema, instance):
+        # Every stocked quantity in Boston is at least 20.
+        stock = parse_atom(schema, "Stock(p, 'Boston', y)")
+        formula = ForAll(
+            (Variable("p"), Variable("y", True)),
+            Implies(
+                RelationAtom(stock), Comparison(Variable("y", True), ">=", 20)
+            ),
+        )
+        assert evaluate_formula(instance, formula)
+        formula_strict = ForAll(
+            (Variable("p"), Variable("y", True)),
+            Implies(RelationAtom(stock), Comparison(Variable("y", True), ">", 20)),
+        )
+        assert not evaluate_formula(instance, formula_strict)
+
+    def test_negation_and_disjunction(self, schema, instance):
+        missing = parse_atom(schema, "Dealers('Nobody', 'Boston')")
+        present = parse_atom(schema, "Dealers('Smith', 'Boston')")
+        assert evaluate_formula(instance, Not(RelationAtom(missing)))
+        assert evaluate_formula(
+            instance, Or((RelationAtom(missing), RelationAtom(present)))
+        )
+
+    def test_comparison_on_constants(self, schema, instance):
+        assert evaluate_formula(instance, Comparison(3, "<", 5))
+        assert evaluate_formula(instance, Comparison("a", "=", "a"))
+        assert evaluate_formula(instance, Comparison("a", "!=", "b"))
+
+    def test_sum_aggregate_term(self, schema, instance):
+        stock = parse_atom(schema, "Stock(p, t, y)")
+        term = AggregateTerm(
+            "SUM",
+            (Variable("p"), Variable("y", True)),
+            NumericalVariable(Variable("y", True)),
+            RelationAtom(stock),
+        )
+        assert evaluate_term(instance, term, {"t": "Boston"}) == Fraction(55)
+        assert evaluate_term(instance, term, {"t": "Paris"}) == Fraction(50)
+
+    def test_count_aggregate_term(self, schema, instance):
+        stock = parse_atom(schema, "Stock(p, t, y)")
+        term = AggregateTerm(
+            "COUNT",
+            (Variable("p"), Variable("t"), Variable("y", True)),
+            NumericalConstant(Fraction(1)),
+            RelationAtom(stock),
+        )
+        assert evaluate_term(instance, term) == Fraction(3)
+
+    def test_empty_aggregate_returns_convention(self, schema, instance):
+        stock = parse_atom(schema, "Stock(p, 'Nowhere', y)")
+        term = AggregateTerm(
+            "SUM",
+            (Variable("p"), Variable("y", True)),
+            NumericalVariable(Variable("y", True)),
+            RelationAtom(stock),
+        )
+        assert evaluate_term(instance, term) == Fraction(0)
+        min_term = AggregateTerm(
+            "MIN",
+            (Variable("p"), Variable("y", True)),
+            NumericalVariable(Variable("y", True)),
+            RelationAtom(stock),
+        )
+        assert evaluate_term(instance, min_term) is None
+
+    def test_equality_forced_value_outside_active_domain(self, schema, instance):
+        # ∃v (v = SUM(...) ∧ v >= 55) — the value 55 is not a database constant,
+        # so the evaluator must propagate it through the equality.
+        stock = parse_atom(schema, "Stock(p, 'Boston', y)")
+        total = AggregateTerm(
+            "SUM",
+            (Variable("p"), Variable("y", True)),
+            NumericalVariable(Variable("y", True)),
+            RelationAtom(stock),
+        )
+        v = Variable("v", numeric=True)
+        formula = Exists(
+            (v,),
+            And((Comparison(v, "=", total), Comparison(v, ">=", 55))),
+        )
+        assert evaluate_formula(instance, formula)
+
+    def test_nested_example_5_3_style_query(self, schema, instance):
+        # Total quantity per town, then the maximum over towns (Example 5.3).
+        stock = parse_atom(schema, "Stock(p, t, y)")
+        per_town = AggregateTerm(
+            "SUM",
+            (Variable("p"), Variable("y", True)),
+            NumericalVariable(Variable("y", True)),
+            RelationAtom(stock),
+        )
+        town_totals = AggregateTerm(
+            "MAX",
+            (Variable("t"),),
+            per_town,
+            Exists((Variable("p"), Variable("y", True)), RelationAtom(stock)),
+        )
+        assert evaluate_term(instance, town_totals) == Fraction(55)
+
+    def test_satisfying_assignments(self, schema, instance):
+        dealers = parse_atom(schema, "Dealers(x, 'Boston')")
+        evaluator = FormulaEvaluator(instance)
+        assignments = evaluator.satisfying_assignments(
+            [Variable("x")], RelationAtom(dealers)
+        )
+        assert {a["x"] for a in assignments} == {"Smith", "James"}

@@ -1,0 +1,148 @@
+"""Hypothesis-driven integration tests: all solvers agree on random databases.
+
+These property tests generate small random inconsistent databases and check
+the library's central invariants end to end:
+
+* the rewriting-based glb equals the exhaustive (all-repairs) glb for
+  monotone + associative aggregates (Theorem 6.1 / Corollary 6.4);
+* the SQL pipeline on sqlite3 equals the operational evaluator;
+* the polynomial CERTAINTY checker equals the brute-force check;
+* glb ≤ value on any repair ≤ lub;
+* ⊥ occurs exactly when some repair has no embedding of the body.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.certainty.checker import brute_force_certain, is_certain
+from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
+from repro.core.minmax import MinMaxRangeEvaluator
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.query.parser import parse_aggregation_query, parse_query
+from repro.sql.backend import SqliteBackend
+
+SCHEMA = Schema(
+    [
+        RelationSignature("R", 2, 1, attribute_names=("a", "b")),
+        RelationSignature(
+            "S", 3, 1, numeric_positions=(3,), attribute_names=("c", "d", "e")
+        ),
+    ]
+)
+
+SUM_QUERY = parse_aggregation_query(SCHEMA, "SUM(r) <- R(x, y), S(y, z, r)")
+COUNT_QUERY = parse_aggregation_query(SCHEMA, "COUNT(1) <- R(x, y), S(y, z, r)")
+MAX_QUERY = parse_aggregation_query(SCHEMA, "MAX(r) <- R(x, y), S(y, z, r)")
+MIN_QUERY = parse_aggregation_query(SCHEMA, "MIN(r) <- R(x, y), S(y, z, r)")
+BODY = parse_query(SCHEMA, "R(x, y), S(y, z, r)")
+
+#: Small domains keep repair counts tractable for the exhaustive ground truth.
+_names = st.sampled_from(["d0", "d1", "d2"])
+_values = st.integers(min_value=0, max_value=4)
+
+_r_facts = st.lists(st.tuples(_names, _names), min_size=0, max_size=5)
+_s_facts = st.lists(st.tuples(_names, _names, _values), min_size=0, max_size=5)
+
+
+def build_instance(r_rows, s_rows) -> DatabaseInstance:
+    return DatabaseInstance.from_rows(SCHEMA, {"R": r_rows, "S": s_rows})
+
+
+class TestSolverAgreement:
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_glb_matches_exhaustive(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        expected = ExhaustiveRangeSolver(SUM_QUERY).glb(instance)
+        assert OperationalRangeEvaluator(SUM_QUERY).glb(instance) == expected
+
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=25, deadline=None)
+    def test_sql_matches_operational(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        operational = OperationalRangeEvaluator(SUM_QUERY).glb(instance)
+        assert SqliteBackend().glb(SUM_QUERY, instance) == operational
+
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=30, deadline=None)
+    def test_count_glb_matches_exhaustive(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        expected = ExhaustiveRangeSolver(COUNT_QUERY).glb(instance)
+        assert OperationalRangeEvaluator(COUNT_QUERY).glb(instance) == expected
+
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=30, deadline=None)
+    def test_minmax_ranges_match_exhaustive(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        for query in (MAX_QUERY, MIN_QUERY):
+            expected = ExhaustiveRangeSolver(query).range(instance)
+            evaluator = MinMaxRangeEvaluator(query)
+            assert (evaluator.glb(instance), evaluator.lub(instance)) == expected
+
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=30, deadline=None)
+    def test_branch_and_bound_matches_exhaustive(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        expected = ExhaustiveRangeSolver(SUM_QUERY).range(instance)
+        assert BranchAndBoundSolver(SUM_QUERY).range(instance) == expected
+
+
+class TestCertaintyInvariants:
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=40, deadline=None)
+    def test_checker_matches_brute_force(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        assert is_certain(BODY, instance) == brute_force_certain(BODY, instance)
+
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=40, deadline=None)
+    def test_bottom_iff_not_certain(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        glb = OperationalRangeEvaluator(SUM_QUERY).glb(instance)
+        assert (glb is BOTTOM) == (not is_certain(BODY, instance))
+
+
+class TestRangeInvariants:
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=30, deadline=None)
+    def test_glb_below_every_repair_value_below_lub(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        solver = ExhaustiveRangeSolver(SUM_QUERY)
+        glb, lub = solver.range(instance)
+        if glb is BOTTOM:
+            return
+        for repair in instance.repairs():
+            value = solver.value_on_repair(repair)
+            assert value is not None
+            assert glb <= value <= lub
+
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=30, deadline=None)
+    def test_glb_is_attained_by_some_repair(self, r_rows, s_rows):
+        instance = build_instance(r_rows, s_rows)
+        solver = ExhaustiveRangeSolver(SUM_QUERY)
+        glb = solver.glb(instance)
+        if glb is BOTTOM:
+            return
+        values = {solver.value_on_repair(repair) for repair in instance.repairs()}
+        assert glb in values
+
+    @given(r_rows=_r_facts, s_rows=_s_facts)
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_consistent_fact_never_decreases_the_sum_glb(self, r_rows, s_rows):
+        # Monotonicity of SUM: adding a fresh consistent S-block can only add
+        # embeddings to every repair, so the glb cannot decrease... unless the
+        # query was previously ⊥, in which case it may become defined.
+        instance = build_instance(r_rows, s_rows)
+        extended = build_instance(r_rows, s_rows + [("zz_new", "zz_z", 3)])
+        before = OperationalRangeEvaluator(SUM_QUERY).glb(instance)
+        after = OperationalRangeEvaluator(SUM_QUERY).glb(extended)
+        if before is BOTTOM or after is BOTTOM:
+            return
+        assert after >= before

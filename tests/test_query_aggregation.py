@@ -1,0 +1,78 @@
+"""Tests for aggregation queries (AGGR[sjfBCQ] syntax objects)."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.aggregation import AggregationQuery
+from repro.query.parser import parse_aggregation_query, parse_query
+from repro.query.terms import Variable
+
+
+class TestAggregationQuery:
+    def test_aggregate_symbol_uppercased(self, stock_schema):
+        body = parse_query(stock_schema, "Stock(p, t, y)")
+        y = next(v for v in body.variables if v.name == "y")
+        query = AggregationQuery("sum", y, body)
+        assert query.aggregate == "SUM"
+
+    def test_aggregated_variable_must_occur_in_body(self, stock_schema):
+        body = parse_query(stock_schema, "Stock(p, t, y)")
+        with pytest.raises(QueryError):
+            AggregationQuery("SUM", Variable("missing", numeric=True), body)
+
+    def test_constant_aggregated_term_allowed(self, stock_schema):
+        body = parse_query(stock_schema, "Stock(p, t, y)")
+        query = AggregationQuery("COUNT", 1, body)
+        assert query.aggregated_term == 1
+
+    def test_non_numeric_constant_rejected(self, stock_schema):
+        body = parse_query(stock_schema, "Stock(p, t, y)")
+        with pytest.raises(QueryError):
+            AggregationQuery("SUM", "hello", body)
+
+    def test_closedness(self, stock_schema):
+        closed = parse_aggregation_query(stock_schema, "SUM(y) <- Stock(p, t, y)")
+        grouped = parse_aggregation_query(
+            stock_schema, "(t, SUM(y)) <- Stock(p, t, y)"
+        )
+        assert closed.is_closed()
+        assert not grouped.is_closed()
+        assert [v.name for v in grouped.free_variables] == ["t"]
+
+    def test_with_aggregate(self, stock_schema):
+        query = parse_aggregation_query(stock_schema, "SUM(y) <- Stock(p, t, y)")
+        assert query.with_aggregate("MAX").aggregate == "MAX"
+        assert query.with_aggregate("MAX").body == query.body
+
+    def test_instantiate_free_variables(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        closed = query.instantiate_free_variables(("Smith",))
+        assert closed.is_closed()
+        assert "Smith" in closed.body.atom_for_relation("Dealers").terms
+
+    def test_instantiate_requires_matching_arity(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        with pytest.raises(QueryError):
+            query.instantiate_free_variables(("Smith", "extra"))
+
+    def test_equality_and_hash(self, stock_schema):
+        first = parse_aggregation_query(stock_schema, "SUM(y) <- Stock(p, t, y)")
+        second = parse_aggregation_query(stock_schema, "SUM(y) <- Stock(p, t, y)")
+        third = parse_aggregation_query(stock_schema, "MAX(y) <- Stock(p, t, y)")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+
+    def test_str_closed(self, stock_schema):
+        query = parse_aggregation_query(stock_schema, "SUM(y) <- Stock(p, t, y)")
+        assert str(query) == "SUM(y) <- Stock(p, t, y)"
+
+    def test_str_grouped(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        assert str(query) == "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"

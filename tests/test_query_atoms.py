@@ -1,0 +1,102 @@
+"""Tests for terms and atoms."""
+
+import pytest
+
+from repro.datamodel.facts import Fact
+from repro.datamodel.signature import RelationSignature
+from repro.exceptions import QueryError
+from repro.query.atom import Atom
+from repro.query.terms import Variable, is_variable, term_str
+
+
+class TestVariable:
+    def test_equality_includes_numeric_flag(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x", numeric=True) != Variable("x")
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable("x")
+        assert not is_variable(3)
+
+    def test_term_str(self):
+        assert term_str(Variable("x")) == "x"
+        assert term_str("a") == "'a'"
+        assert term_str(5) == "5"
+
+
+@pytest.fixture
+def stock_signature():
+    return RelationSignature(
+        "Stock", 3, 2, numeric_positions=(3,), attribute_names=("Product", "Town", "Qty")
+    )
+
+
+class TestAtom:
+    def test_arity_checked(self, stock_signature):
+        with pytest.raises(QueryError):
+            Atom(stock_signature, (Variable("p"), Variable("t")))
+
+    def test_key_and_nonkey_variables(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), Variable("t"), Variable("y", True)))
+        assert atom.key_variables == frozenset({Variable("p"), Variable("t")})
+        assert atom.nonkey_variables == frozenset({Variable("y", True)})
+        assert atom.variables == frozenset(
+            {Variable("p"), Variable("t"), Variable("y", True)}
+        )
+
+    def test_constants_not_in_variable_sets(self, stock_signature):
+        atom = Atom(stock_signature, ("Tesla X", Variable("t"), 35))
+        assert atom.variables == frozenset({Variable("t")})
+        assert atom.key_variables == frozenset({Variable("t")})
+
+    def test_variable_positions(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("x"), Variable("x"), Variable("y", True)))
+        assert atom.variable_positions(Variable("x")) == (1, 2)
+
+    def test_substitute(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), Variable("t"), Variable("y", True)))
+        grounded = atom.substitute({Variable("p"): "Tesla X"})
+        assert grounded.terms[0] == "Tesla X"
+        assert grounded.terms[1] == Variable("t")
+
+    def test_apply_valuation_by_name(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), Variable("t"), Variable("y", True)))
+        grounded = atom.apply_valuation({"t": "Boston"})
+        assert grounded.terms[1] == "Boston"
+
+    def test_match_success(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), "Boston", Variable("y", True)))
+        fact = Fact("Stock", ("Tesla X", "Boston", 35))
+        assert atom.match(fact) == {"p": "Tesla X", "y": 35}
+
+    def test_match_constant_mismatch(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), "Boston", Variable("y", True)))
+        assert atom.match(Fact("Stock", ("Tesla X", "New York", 35))) is None
+
+    def test_match_repeated_variable_must_agree(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("x"), Variable("x"), Variable("y", True)))
+        assert atom.match(Fact("Stock", ("a", "a", 1))) == {"x": "a", "y": 1}
+        assert atom.match(Fact("Stock", ("a", "b", 1))) is None
+
+    def test_match_wrong_relation(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), Variable("t"), Variable("y", True)))
+        assert atom.match(Fact("Dealers", ("Smith", "Boston", 1))) is None
+
+    def test_ground(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), "Boston", Variable("y", True)))
+        fact = atom.ground({"p": "Tesla X", "y": 35})
+        assert fact == Fact("Stock", ("Tesla X", "Boston", 35))
+
+    def test_ground_requires_all_variables(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), "Boston", Variable("y", True)))
+        with pytest.raises(QueryError):
+            atom.ground({"p": "Tesla X"})
+
+    def test_is_ground(self, stock_signature):
+        assert Atom(stock_signature, ("a", "b", 1)).is_ground()
+        assert not Atom(stock_signature, (Variable("p"), "b", 1)).is_ground()
+
+    def test_str(self, stock_signature):
+        atom = Atom(stock_signature, (Variable("p"), "Boston", 35))
+        assert str(atom) == "Stock(p, 'Boston', 35)"

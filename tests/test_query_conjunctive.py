@@ -1,0 +1,137 @@
+"""Tests for conjunctive queries."""
+
+import pytest
+
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import NotSelfJoinFreeError, QueryError
+from repro.query.atom import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.terms import Variable
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            RelationSignature("R", 2, 1),
+            RelationSignature("S", 3, 1, numeric_positions=(3,)),
+            RelationSignature("T", 2, 1),
+        ]
+    )
+
+
+class TestStructure:
+    def test_variables(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        assert {v.name for v in query.variables} == {"x", "y", "z", "r"}
+
+    def test_relation_names(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        assert query.relation_names == ("R", "S")
+
+    def test_needs_at_least_one_atom(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_atom_for_relation(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        assert query.atom_for_relation("R").relation == "R"
+
+    def test_free_variables_must_occur_in_body(self, schema):
+        atoms = parse_query(schema, "R(x, y)").atoms
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(atoms, [Variable("z")])
+
+    def test_bound_variables(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)", free="x")
+        assert {v.name for v in query.bound_variables} == {"y", "z", "r"}
+        assert not query.is_boolean()
+
+
+class TestSelfJoinFreeness:
+    def test_self_join_free(self, schema):
+        assert parse_query(schema, "R(x, y), S(y, z, r)").is_self_join_free()
+
+    def test_self_join_detected(self, schema):
+        r_sig = schema.relation("R")
+        query = ConjunctiveQuery(
+            [
+                Atom(r_sig, (Variable("x"), Variable("y"))),
+                Atom(r_sig, (Variable("y"), Variable("z"))),
+            ]
+        )
+        assert not query.is_self_join_free()
+        with pytest.raises(NotSelfJoinFreeError):
+            query.require_self_join_free()
+
+
+class TestKeyDependencies:
+    def test_key_fds(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        deps = dict(
+            (frozenset(v.name for v in lhs), frozenset(v.name for v in rhs))
+            for lhs, rhs in query.key_dependencies()
+        )
+        assert deps[frozenset({"x"})] == frozenset({"x", "y"})
+        assert deps[frozenset({"y"})] == frozenset({"y", "z", "r"})
+
+
+class TestTransformations:
+    def test_without_atom(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        smaller = query.without_atom(query.atom_for_relation("S"))
+        assert smaller.relation_names == ("R",)
+
+    def test_without_unknown_atom_rejected(self, schema):
+        query = parse_query(schema, "R(x, y)")
+        other = parse_query(schema, "T(a, b)")
+        with pytest.raises(QueryError):
+            query.without_atom(other.atoms[0])
+
+    def test_cannot_remove_last_atom(self, schema):
+        query = parse_query(schema, "R(x, y)")
+        with pytest.raises(QueryError):
+            query.without_atom(query.atoms[0])
+
+    def test_restricted_to_atoms(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r), T(z, w)")
+        restricted = query.restricted_to_atoms(
+            [query.atom_for_relation("S"), query.atom_for_relation("T")]
+        )
+        assert restricted.relation_names == ("S", "T")
+
+    def test_substitute_removes_instantiated_free_variables(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)", free="x")
+        grounded = query.substitute({Variable("x"): "a"})
+        assert grounded.free_variables == ()
+        assert "a" in [t for t in grounded.atom_for_relation("R").terms]
+
+    def test_apply_valuation(self, schema):
+        query = parse_query(schema, "R(x, y)")
+        grounded = query.apply_valuation({"x": "a"})
+        assert grounded.atom_for_relation("R").terms[0] == "a"
+
+    def test_reordered(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        reordered = query.reordered(tuple(reversed(query.atoms)))
+        assert reordered.relation_names == ("S", "R")
+
+    def test_reordered_rejects_non_permutation(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        with pytest.raises(QueryError):
+            query.reordered(query.atoms[:1])
+
+    def test_schema_extraction(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)")
+        assert set(query.schema().relation_names()) == {"R", "S"}
+
+    def test_equality_is_order_insensitive_on_atoms(self, schema):
+        first = parse_query(schema, "R(x, y), S(y, z, r)")
+        second = parse_query(schema, "S(y, z, r), R(x, y)")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_str_rendering(self, schema):
+        query = parse_query(schema, "R(x, y), S(y, z, r)", free="x")
+        assert str(query) == "(x) <- R(x, y), S(y, z, r)"

@@ -1,0 +1,129 @@
+"""Tests for the Datalog-like parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.query.parser import parse_aggregation_query, parse_atom, parse_query
+from repro.query.terms import Variable
+
+
+class TestParseAtom:
+    def test_variables_and_constants(self, stock_schema):
+        atom = parse_atom(stock_schema, "Stock(p, 'Boston', 35)")
+        assert atom.relation == "Stock"
+        assert atom.terms[1] == "Boston"
+        assert atom.terms[2] == 35
+
+    def test_numeric_variable_flag_from_signature(self, stock_schema):
+        atom = parse_atom(stock_schema, "Stock(p, t, y)")
+        y = [t for t in atom.terms if getattr(t, "name", None) == "y"][0]
+        assert y.numeric
+
+    def test_double_quoted_strings(self, stock_schema):
+        atom = parse_atom(stock_schema, 'Dealers("Smith", t)')
+        assert atom.terms[0] == "Smith"
+
+    def test_wrong_arity_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_atom(stock_schema, "Dealers('Smith')")
+
+    def test_trailing_input_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_atom(stock_schema, "Dealers('Smith', t) extra")
+
+    def test_fraction_and_negative_numbers(self, running_schema):
+        atom = parse_atom(running_schema, "S(y, z, 'd', 1/2)")
+        assert atom.terms[3] == Fraction(1, 2)
+        atom = parse_atom(running_schema, "S(y, z, 'd', -1)")
+        assert atom.terms[3] == -1
+
+    def test_decimal_numbers(self, running_schema):
+        atom = parse_atom(running_schema, "S(y, z, 'd', 2.5)")
+        assert atom.terms[3] == Fraction(5, 2)
+
+
+class TestParseQuery:
+    def test_multiple_atoms_share_variables(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
+        assert len(query.atoms) == 2
+        assert {v.name for v in query.variables} == {"t", "p", "y"}
+
+    def test_numeric_flag_consistent_across_atoms(self, running_schema):
+        # r occurs at a numeric position of S; it must be numeric everywhere.
+        query = parse_query(running_schema, "R(x, r), S(y, z, 'd', r)")
+        occurrences = {
+            term
+            for atom in query.atoms
+            for term in atom.terms
+            if getattr(term, "name", None) == "r"
+        }
+        assert occurrences == {Variable("r", numeric=True)}
+
+    def test_free_variables_string_form(self, stock_schema):
+        query = parse_query(stock_schema, "Dealers(x, t), Stock(p, t, y)", free="x")
+        assert [v.name for v in query.free_variables] == ["x"]
+
+    def test_free_variables_sequence_form(self, stock_schema):
+        query = parse_query(
+            stock_schema, "Dealers(x, t), Stock(p, t, y)", free=["x", "t"]
+        )
+        assert [v.name for v in query.free_variables] == ["x", "t"]
+
+    def test_unknown_free_variable_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_query(stock_schema, "Dealers(x, t)", free="zzz")
+
+    def test_garbage_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_query(stock_schema, "Dealers(x, t) ???")
+
+
+class TestParseAggregationQuery:
+    def test_closed_sum(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        assert query.aggregate == "SUM"
+        assert query.aggregated_term == Variable("y", numeric=True)
+        assert query.is_closed()
+
+    def test_group_by_head(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        assert [v.name for v in query.free_variables] == ["x"]
+
+    def test_count_with_constant(self, stock_schema):
+        query = parse_aggregation_query(stock_schema, "COUNT(1) <- Stock(p, t, y)")
+        assert query.aggregate == "COUNT"
+        assert query.aggregated_term == 1
+
+    def test_alternative_arrow(self, stock_schema):
+        query = parse_aggregation_query(stock_schema, "SUM(y) :- Stock(p, t, y)")
+        assert query.aggregate == "SUM"
+
+    def test_missing_arrow_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_aggregation_query(stock_schema, "SUM(y) Stock(p, t, y)")
+
+    def test_unknown_aggregate_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_aggregation_query(stock_schema, "MEDIAN(y) <- Stock(p, t, y)")
+
+    def test_aggregated_variable_must_be_in_body(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_aggregation_query(stock_schema, "SUM(zz) <- Stock(p, t, y)")
+
+    def test_count_distinct_alias(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "COUNT_DISTINCT(y) <- Stock(p, t, y)"
+        )
+        assert query.aggregate == "COUNT_DISTINCT"
+
+    def test_roundtrip_str_reparse(self, stock_schema):
+        text = "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        query = parse_aggregation_query(stock_schema, text)
+        reparsed = parse_aggregation_query(stock_schema, str(query))
+        assert reparsed == query

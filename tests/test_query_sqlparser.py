@@ -1,0 +1,123 @@
+"""Tests for the SQL SELECT-FROM-WHERE-GROUP BY parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.query.sqlparser import parse_sql_aggregation_query
+from repro.query.terms import Variable, is_variable
+
+
+class TestBasicParsing:
+    def test_paper_group_by_query(self, stock_schema):
+        sql = """
+            SELECT D.Name, SUM(S.Qty)
+            FROM Dealers AS D, Stock AS S
+            WHERE D.Town = S.Town
+            GROUP BY D.Name
+        """
+        query = parse_sql_aggregation_query(stock_schema, sql)
+        assert query.aggregate == "SUM"
+        assert len(query.body.atoms) == 2
+        assert len(query.free_variables) == 1
+        assert is_variable(query.aggregated_term)
+        assert query.aggregated_term.numeric
+
+    def test_constant_selection(self, stock_schema):
+        sql = """
+            SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S
+            WHERE D.Town = S.Town AND D.Name = 'Smith'
+        """
+        query = parse_sql_aggregation_query(stock_schema, sql)
+        dealers_atom = query.body.atom_for_relation("Dealers")
+        assert "Smith" in dealers_atom.terms
+        assert query.is_closed()
+
+    def test_join_variable_shared_between_atoms(self, stock_schema):
+        sql = "SELECT SUM(S.Qty) FROM Dealers D, Stock S WHERE D.Town = S.Town"
+        query = parse_sql_aggregation_query(stock_schema, sql)
+        dealers_town = query.body.atom_for_relation("Dealers").terms[1]
+        stock_town = query.body.atom_for_relation("Stock").terms[1]
+        assert dealers_town == stock_town
+
+    def test_alias_defaults_to_relation_name(self, stock_schema):
+        sql = "SELECT SUM(Qty) FROM Stock"
+        query = parse_sql_aggregation_query(stock_schema, sql)
+        assert query.body.atoms[0].relation == "Stock"
+
+    def test_count_star(self, stock_schema):
+        sql = "SELECT COUNT(*) FROM Stock"
+        query = parse_sql_aggregation_query(stock_schema, sql)
+        assert query.aggregate == "COUNT"
+        assert query.aggregated_term == 1
+
+    def test_numeric_literal_in_where(self, stock_schema):
+        sql = "SELECT COUNT(*) FROM Stock WHERE Stock.Qty = 35"
+        query = parse_sql_aggregation_query(stock_schema, sql)
+        assert 35 in query.body.atoms[0].terms
+
+    def test_case_insensitive_keywords(self, stock_schema):
+        sql = "select sum(S.Qty) from Stock as S where S.Town = 'Boston'"
+        query = parse_sql_aggregation_query(stock_schema, sql)
+        assert query.aggregate == "SUM"
+
+    def test_semicolon_tolerated(self, stock_schema):
+        query = parse_sql_aggregation_query(stock_schema, "SELECT MAX(Qty) FROM Stock;")
+        assert query.aggregate == "MAX"
+
+
+class TestEquivalenceWithDatalogForm:
+    def test_matches_hand_written_query(self, stock_schema, stock_instance):
+        from repro.core.range_answers import compute_range_answer
+        from repro.query.parser import parse_aggregation_query
+
+        sql = """
+            SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S
+            WHERE D.Town = S.Town AND D.Name = 'Smith'
+        """
+        from_sql = parse_sql_aggregation_query(stock_schema, sql)
+        from_datalog = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        assert (
+            compute_range_answer(from_sql, stock_instance).as_tuple()
+            == compute_range_answer(from_datalog, stock_instance).as_tuple()
+        )
+
+
+class TestErrors:
+    def test_zero_aggregates_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_sql_aggregation_query(stock_schema, "SELECT Name FROM Dealers")
+
+    def test_two_aggregates_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_sql_aggregation_query(
+                stock_schema, "SELECT SUM(Qty), MAX(Qty) FROM Stock"
+            )
+
+    def test_unknown_column_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_sql_aggregation_query(stock_schema, "SELECT SUM(Price) FROM Stock")
+
+    def test_ambiguous_column_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_sql_aggregation_query(
+                stock_schema,
+                "SELECT SUM(Qty) FROM Dealers AS D, Stock AS S WHERE Town = 'x'",
+            )
+
+    def test_duplicate_alias_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_sql_aggregation_query(
+                stock_schema, "SELECT SUM(Qty) FROM Stock AS S, Dealers AS S"
+            )
+
+    def test_star_only_for_count(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_sql_aggregation_query(stock_schema, "SELECT SUM(*) FROM Stock")
+
+    def test_contradictory_constants_rejected(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_sql_aggregation_query(
+                stock_schema, "SELECT COUNT(*) FROM Stock WHERE 1 = 2"
+            )

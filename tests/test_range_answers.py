@@ -1,0 +1,148 @@
+"""Tests for the public range-answers API (glb, lub, ⊥, GROUP BY, methods)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.core.evaluator import BOTTOM
+from repro.core.range_answers import (
+    RangeAnswer,
+    RangeConsistentAnswers,
+    compute_range_answer,
+    compute_range_answers,
+)
+from repro.query.parser import parse_aggregation_query
+from tests.conftest import make_random_instance
+
+
+class TestRangeAnswer:
+    def test_str_and_tuple(self):
+        answer = RangeAnswer(Fraction(1), Fraction(2))
+        assert answer.as_tuple() == (Fraction(1), Fraction(2))
+        assert str(answer) == "[1, 2]"
+        assert not answer.is_bottom
+
+    def test_bottom_answer(self):
+        answer = RangeAnswer(BOTTOM, BOTTOM)
+        assert answer.is_bottom
+        assert str(answer) == "⊥"
+
+
+class TestClosedQueries:
+    def test_fig1_range(self, stock_sum_query, stock_instance):
+        answer = compute_range_answer(stock_sum_query, stock_instance)
+        assert answer.glb == Fraction(70)
+        assert answer.lub == Fraction(96)
+
+    def test_running_example_range(self, running_query, running_instance):
+        answer = compute_range_answer(running_query, running_instance)
+        assert answer.glb == Fraction(9)
+        assert answer.lub == ExhaustiveRangeSolver(running_query).lub(running_instance)
+
+    def test_bottom_range(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)"
+        )
+        answer = compute_range_answer(query, stock_instance)
+        assert answer.is_bottom
+
+    def test_method_selection_reported(self, stock_sum_query):
+        auto = RangeConsistentAnswers(stock_sum_query)
+        assert auto.uses_rewriting("glb")
+        assert not auto.uses_rewriting("lub")
+        forced = RangeConsistentAnswers(stock_sum_query, method="branch_and_bound")
+        assert not forced.uses_rewriting("glb")
+
+    def test_invalid_method_rejected(self, stock_sum_query):
+        with pytest.raises(ValueError):
+            RangeConsistentAnswers(stock_sum_query, method="magic")
+
+    def test_forced_rewriting_lub_raises_for_sum(self, stock_sum_query, stock_instance):
+        answers = RangeConsistentAnswers(stock_sum_query, method="rewriting")
+        with pytest.raises(NotImplementedError):
+            answers.lub(stock_instance)
+
+    def test_all_methods_agree_on_glb(self, stock_sum_query, stock_instance):
+        values = {
+            method: RangeConsistentAnswers(stock_sum_query, method=method).glb(
+                stock_instance
+            )
+            for method in ("auto", "rewriting", "branch_and_bound", "exhaustive")
+        }
+        assert len(set(values.values())) == 1
+
+    def test_avg_query_falls_back_to_exact_solver(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "AVG(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        answers = RangeConsistentAnswers(query)
+        assert not answers.uses_rewriting("glb")
+        expected = ExhaustiveRangeSolver(query).range(stock_instance)
+        assert answers.glb(stock_instance) == expected[0]
+        assert answers.lub(stock_instance) == expected[1]
+
+    def test_min_max_lub_through_public_api(self, stock_schema, stock_instance):
+        for aggregate in ("MIN", "MAX"):
+            query = parse_aggregation_query(
+                stock_schema, f"{aggregate}(y) <- Dealers('Smith', t), Stock(p, t, y)"
+            )
+            answers = RangeConsistentAnswers(query)
+            assert answers.uses_rewriting("lub")
+            expected = ExhaustiveRangeSolver(query).range(stock_instance)
+            assert answers.range(stock_instance).as_tuple() == expected
+
+
+class TestGroupByQueries:
+    def test_per_dealer_answers(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        answers = compute_range_answers(query, stock_instance)
+        assert answers[("James",)].glb == Fraction(70)
+        assert answers[("James",)].lub == Fraction(75)
+        assert answers[("Smith",)].glb == Fraction(70)
+        assert answers[("Smith",)].lub == Fraction(96)
+
+    def test_group_by_requires_free_variables(self, stock_sum_query, stock_instance):
+        with pytest.raises(ValueError):
+            RangeConsistentAnswers(stock_sum_query).answers(stock_instance)
+
+    def test_consistent_answers_filter_bottom(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(p, SUM(y)) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        all_answers = RangeConsistentAnswers(query).answers(stock_instance)
+        consistent = RangeConsistentAnswers(query).consistent_answers(stock_instance)
+        assert set(consistent) <= set(all_answers)
+        # Tesla X is only stocked in Boston, and Smith may be in New York: ⊥.
+        assert all_answers[("Tesla X",)].is_bottom
+        assert ("Tesla X",) not in consistent
+        assert not consistent[("Tesla Y",)].is_bottom
+
+    def test_group_by_matches_exhaustive(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(x, COUNT(1)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        answers = compute_range_answers(query, stock_instance)
+        solver = ExhaustiveRangeSolver(query)
+        for candidate, answer in answers.items():
+            expected = solver.range(stock_instance, {"x": candidate[0]})
+            assert answer.as_tuple() == expected
+
+
+class TestRandomisedAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_auto_method_matches_exhaustive_for_sum(self, two_atom_schema, seed):
+        query = parse_aggregation_query(two_atom_schema, "SUM(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 400)
+        expected = ExhaustiveRangeSolver(query).range(instance)
+        answer = compute_range_answer(query, instance)
+        assert answer.as_tuple() == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_auto_method_matches_exhaustive_for_min(self, two_atom_schema, seed):
+        query = parse_aggregation_query(two_atom_schema, "MIN(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 500)
+        expected = ExhaustiveRangeSolver(query).range(instance)
+        assert compute_range_answer(query, instance).as_tuple() == expected

@@ -1,0 +1,169 @@
+"""Tests for the SQL compiler, the generated rewriting and the sqlite backend."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveRangeSolver
+from repro.certainty.checker import is_certain
+from repro.certainty.rewriting import consistent_rewriting
+from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import BackendError, NotRewritableError, UnsupportedAggregateError
+from repro.query.parser import parse_aggregation_query, parse_query
+from repro.sql.backend import SqliteBackend
+from repro.sql.compiler import FormulaSqlCompiler
+from repro.sql.dialect import quote_identifier, sql_literal
+from repro.sql.generator import SqlRewritingGenerator
+from tests.conftest import make_random_instance
+
+
+class TestDialect:
+    def test_quote_identifier(self):
+        assert quote_identifier("Stock") == '"Stock"'
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+    def test_sql_literal_strings_escaped(self):
+        assert sql_literal("O'Brien") == "'O''Brien'"
+
+    def test_sql_literal_numbers(self):
+        assert sql_literal(5) == "5"
+        assert sql_literal(Fraction(3, 1)) == "3"
+        assert sql_literal(Fraction(1, 2)) == "0.5"
+
+
+class TestCompiler:
+    def test_certainty_sentence_agrees_with_checker(self, stock_schema, stock_instance):
+        backend = SqliteBackend()
+        backend.load(stock_instance)
+        compiler = FormulaSqlCompiler()
+        for body_text, expected in [
+            ("Dealers('James', t), Stock(p, t, 35)", True),
+            ("Dealers('Smith', t), Stock(p, t, 95)", False),
+        ]:
+            query = parse_query(stock_schema, body_text)
+            formula = consistent_rewriting(query)
+            sql = compiler.compile_sentence(formula)
+            assert bool(backend.execute_scalar(sql)) == expected
+            assert is_certain(query, stock_instance) == expected
+        backend.close()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_compiled_certainty_matches_checker_on_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_query(two_atom_schema, "R(x, y), S(y, z, r)")
+        formula = consistent_rewriting(query)
+        instance = make_random_instance(two_atom_schema, seed + 600)
+        backend = SqliteBackend()
+        backend.load(instance)
+        sql = FormulaSqlCompiler().compile_sentence(formula)
+        assert bool(backend.execute_scalar(sql)) == is_certain(query, instance)
+        backend.close()
+
+
+class TestGenerator:
+    def test_running_example_sql(self, running_query, running_instance):
+        assert SqliteBackend().glb(running_query, running_instance) == Fraction(9)
+
+    def test_fig1_sql(self, stock_sum_query, stock_instance):
+        assert SqliteBackend().glb(stock_sum_query, stock_instance) == Fraction(70)
+
+    def test_bottom_case(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)"
+        )
+        assert SqliteBackend().glb(query, stock_instance) is BOTTOM
+
+    def test_count_query(self, running_schema, running_instance):
+        query = parse_aggregation_query(
+            running_schema, "COUNT(1) <- R(x,y), S(y,z,'d',r)"
+        )
+        expected = ExhaustiveRangeSolver(query).glb(running_instance)
+        assert SqliteBackend().glb(query, running_instance) == expected
+
+    def test_min_query(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "MIN(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        assert SqliteBackend().glb(query, stock_instance) == Fraction(35)
+
+    def test_max_query(self, running_schema, running_instance):
+        query = parse_aggregation_query(
+            running_schema, "MAX(r) <- R(x,y), S(y,z,'d',r)"
+        )
+        expected = OperationalRangeEvaluator(query).glb(running_instance)
+        assert SqliteBackend().glb(query, running_instance) == expected
+
+    def test_group_by_answers(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        answers = SqliteBackend().glb_answers(query, stock_instance)
+        assert answers[("James",)] == Fraction(70)
+        assert answers[("Smith",)] == Fraction(70)
+
+    def test_generated_sql_is_textual_and_readable(self, running_query):
+        generated = SqlRewritingGenerator(running_query).generate()
+        assert "WITH" in generated.value_sql
+        assert "forall_emb" in generated.value_sql
+        assert "EXISTS" in generated.certainty_sql
+        assert "SELECT" in generated.describe()
+
+    def test_free_variables_rejected_by_generator(self, stock_schema):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        with pytest.raises(BackendError):
+            SqlRewritingGenerator(query)
+
+    def test_cyclic_query_rejected(self):
+        schema = Schema(
+            [
+                RelationSignature("U", 2, 1, numeric_positions=(2,)),
+                RelationSignature("V", 2, 1),
+            ]
+        )
+        query = parse_aggregation_query(schema, "SUM(y) <- U(x, y), V(y, x)")
+        with pytest.raises(NotRewritableError):
+            SqlRewritingGenerator(query)
+
+    def test_avg_rejected(self, running_schema):
+        query = parse_aggregation_query(running_schema, "AVG(r) <- R(x,y), S(y,z,'d',r)")
+        with pytest.raises(UnsupportedAggregateError):
+            SqlRewritingGenerator(query)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sql_matches_operational_evaluator_on_random_instances(
+        self, two_atom_schema, seed
+    ):
+        query = parse_aggregation_query(two_atom_schema, "SUM(r) <- R(x, y), S(y, z, r)")
+        instance = make_random_instance(two_atom_schema, seed + 900)
+        operational = OperationalRangeEvaluator(query).glb(instance)
+        via_sql = SqliteBackend().glb(query, instance)
+        assert via_sql == operational
+
+
+class TestBackendLifecycle:
+    def test_connection_required(self):
+        backend = SqliteBackend()
+        with pytest.raises(BackendError):
+            backend.execute_scalar("SELECT 1")
+
+    def test_load_and_query_roundtrip(self, stock_instance):
+        backend = SqliteBackend()
+        backend.load(stock_instance)
+        count = backend.execute_scalar('SELECT COUNT(*) FROM "Stock"')
+        assert count == 5
+        backend.close()
+
+    def test_group_by_on_closed_query_rejected(self, stock_sum_query, stock_instance):
+        with pytest.raises(BackendError):
+            SqliteBackend().glb_answers(stock_sum_query, stock_instance)
+
+    def test_closed_query_on_group_by_helper_rejected(self, stock_schema, stock_instance):
+        query = parse_aggregation_query(
+            stock_schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+        )
+        with pytest.raises(BackendError):
+            SqliteBackend().glb(query, stock_instance)

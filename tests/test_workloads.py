@@ -1,0 +1,97 @@
+"""Tests for the synthetic workload generators and scenario databases."""
+
+import pytest
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.workloads.generators import (
+    InconsistentDatabaseGenerator,
+    WorkloadSpec,
+    generate_stock_workload,
+)
+from repro.workloads.queries import query_catalogue, stock_groupby_query, stock_sum_query
+from repro.workloads.scenarios import (
+    fig1_stock_instance,
+    fig3_running_example_instance,
+    theorem79_gadget,
+)
+
+
+class TestScenarios:
+    def test_fig1_instance_shape(self):
+        instance = fig1_stock_instance()
+        assert len(instance) == 8
+        assert instance.repair_count() == 8
+        assert len(instance.inconsistent_blocks()) == 3
+
+    def test_fig3_instance_shape(self):
+        instance = fig3_running_example_instance()
+        assert len(instance) == 13
+        assert len(instance.relation("R")) == 5
+        assert len(instance.relation("S")) == 8
+
+    def test_theorem79_gadget_contains_guard_and_negative_edges(self):
+        schema, instance = theorem79_gadget([("v1", "v2")])
+        t_values = [fact.values[2] for fact in instance.relation("T")]
+        assert -1 in t_values
+        assert 0 in t_values  # the ⊥-guard row
+        assert any(fact.values == ("_bot", "c1") for fact in instance.relation("S1"))
+
+
+class TestGenerators:
+    def test_deterministic_for_seed(self):
+        spec = WorkloadSpec(stock_facts=30, seed=5)
+        first = InconsistentDatabaseGenerator(spec).generate()
+        second = InconsistentDatabaseGenerator(spec).generate()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = InconsistentDatabaseGenerator(WorkloadSpec(stock_facts=30, seed=1)).generate()
+        second = InconsistentDatabaseGenerator(WorkloadSpec(stock_facts=30, seed=2)).generate()
+        assert first != second
+
+    def test_zero_inconsistency_gives_consistent_instance(self):
+        spec = WorkloadSpec(stock_facts=40, inconsistency=0.0, seed=3)
+        instance = InconsistentDatabaseGenerator(spec).generate()
+        assert instance.is_consistent()
+
+    def test_inconsistency_increases_block_conflicts(self):
+        low = InconsistentDatabaseGenerator(
+            WorkloadSpec(stock_facts=60, inconsistency=0.1, seed=4)
+        ).generate()
+        high = InconsistentDatabaseGenerator(
+            WorkloadSpec(stock_facts=60, inconsistency=0.6, seed=4)
+        ).generate()
+        assert len(high.inconsistent_blocks()) > len(low.inconsistent_blocks())
+
+    def test_generated_instance_matches_schema(self):
+        generator = InconsistentDatabaseGenerator(WorkloadSpec(stock_facts=20))
+        instance = generator.generate()
+        assert isinstance(instance, DatabaseInstance)
+        assert set(instance.relation_names()) <= {"Dealers", "Stock"}
+
+    def test_generate_stock_workload_sizes(self):
+        family = generate_stock_workload([10, 20], inconsistency=0.2, seed=0)
+        assert set(family) == {10, 20}
+        assert len(family[20]) >= len(family[10])
+
+    def test_spec_scaling(self):
+        spec = WorkloadSpec(stock_facts=100).scaled(0.5)
+        assert spec.stock_facts == 50
+
+
+class TestQueryCatalogue:
+    def test_catalogue_contains_expected_queries(self):
+        catalogue = query_catalogue()
+        assert {"stock_sum", "stock_count", "running_example_sum"} <= set(catalogue)
+
+    def test_workload_queries_parse_against_generated_schema(self):
+        generator = InconsistentDatabaseGenerator(WorkloadSpec(stock_facts=15, seed=2))
+        instance = generator.generate()
+        from repro.core.range_answers import RangeConsistentAnswers
+
+        query = stock_sum_query("dealer0")
+        answer = RangeConsistentAnswers(query).glb(instance)
+        assert answer is not None
+
+    def test_groupby_query_free_variable(self):
+        assert [v.name for v in stock_groupby_query().free_variables] == ["x"]
