@@ -12,6 +12,7 @@ import pytest
 from repro.baselines.branch_and_bound import BranchAndBoundSolver
 from repro.baselines.exhaustive import ExhaustiveRangeSolver
 from repro.core.evaluator import OperationalRangeEvaluator
+from repro.engine import ConsistentAnswerEngine
 from repro.workloads.generators import InconsistentDatabaseGenerator, WorkloadSpec
 from repro.workloads.queries import stock_sum_query
 
@@ -62,3 +63,14 @@ def test_rewriting_vs_inconsistency_ratio(benchmark, inconsistency):
     evaluator = OperationalRangeEvaluator(_QUERY)
     result = benchmark(evaluator.glb, instance)
     assert result is not None
+
+
+@pytest.mark.parametrize("blocks", [50, 200, 500])
+def test_engine_cached_plan_scalability(benchmark, blocks):
+    # The engine front door with a warm plan cache: the same path the
+    # production service takes once a query has been compiled.
+    instance = _instance(blocks)
+    engine = ConsistentAnswerEngine()
+    engine.compile(_QUERY)
+    result = benchmark(engine.glb, _QUERY, instance)
+    assert result == OperationalRangeEvaluator(_QUERY).glb(instance)

@@ -8,14 +8,17 @@ The example builds the dbStock instance of Fig. 1, asks the introduction's
 query g0 (total quantity of cars in Smith's town of operation), and prints the
 greatest lower bound / least upper bound of the answer across all repairs,
 both for the closed query and for the per-dealer GROUP BY variant.
+
+Everything goes through :class:`repro.ConsistentAnswerEngine`: the query is
+compiled once into a cached plan (classification + strategy selection) and
+repeated evaluations reuse it — the same front door a service would expose.
 """
 
 from repro import (
+    ConsistentAnswerEngine,
     DatabaseInstance,
     RelationSignature,
     Schema,
-    compute_range_answer,
-    compute_range_answers,
     parse_aggregation_query,
 )
 
@@ -65,20 +68,30 @@ def main() -> None:
         print("  " + " | ".join(sorted(str(f) for f in block)) + marker)
     print(f"number of repairs: {instance.repair_count()}\n")
 
+    engine = ConsistentAnswerEngine()
+
     query = parse_aggregation_query(
         schema, "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
     )
     print(f"query g0: {query}")
-    answer = compute_range_answer(query, instance)
+    answer = engine.answer(query, instance)
     print(f"range consistent answer [glb, lub] = {answer}")
     print("(the paper's Fig. 1 discussion: the dagger repair attains the glb 70)\n")
+
+    print("compiled plan:")
+    print(engine.explain(query))
+    print()
 
     groupby = parse_aggregation_query(
         schema, "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
     )
     print(f"GROUP BY query: {groupby}")
-    for group, group_answer in compute_range_answers(groupby, instance).items():
+    for group, group_answer in engine.answer_group_by(groupby, instance).items():
         print(f"  dealer {group[0]!r}: {group_answer}")
+
+    # Ask g0 again: the engine serves the compiled plan from its LRU cache.
+    engine.answer(query, instance)
+    print(f"\nplan cache: {engine.cache_stats()}")
 
 
 if __name__ == "__main__":

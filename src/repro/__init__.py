@@ -47,8 +47,16 @@ from repro.core import (
     compute_range_answer,
     compute_range_answers,
 )
+from repro.engine import (
+    BatchResult,
+    CacheStats,
+    ConsistentAnswerEngine,
+    QueryPlan,
+    available_backends,
+    register_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -75,4 +83,10 @@ __all__ = [
     "RangeConsistentAnswers",
     "compute_range_answer",
     "compute_range_answers",
+    "BatchResult",
+    "CacheStats",
+    "ConsistentAnswerEngine",
+    "QueryPlan",
+    "available_backends",
+    "register_backend",
 ]

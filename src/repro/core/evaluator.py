@@ -51,6 +51,15 @@ class _Bottom:
     def __bool__(self) -> bool:
         return False
 
+    def __reduce__(self):
+        # Keep ⊥ a singleton across pickling (the batch executor ships
+        # answers between processes and relies on ``answer is BOTTOM``).
+        return (_get_bottom, ())
+
+
+def _get_bottom() -> "_Bottom":
+    return BOTTOM
+
 
 BOTTOM = _Bottom()
 

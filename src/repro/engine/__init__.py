@@ -1,0 +1,58 @@
+"""repro.engine — cached, batched consistent-answering engine.
+
+The engine compiles each query once into an immutable
+:class:`~repro.engine.plan.QueryPlan` (attack-graph classification, strategy
+selection, executor preparation), caches plans in an LRU keyed by (schema
+fingerprint, normalized query), executes them on pluggable backends, and
+fans batches out across processes.
+"""
+
+from repro.engine.backends import (
+    BranchAndBoundBackend,
+    ExecutionBackend,
+    ExhaustiveBackend,
+    OperationalBackend,
+    PreparedExecutor,
+    SqliteExecutionBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.engine.batch import BatchResult, execute_batch
+from repro.engine.cache import CacheStats, PlanCache
+from repro.engine.engine import ConsistentAnswerEngine
+from repro.engine.plan import (
+    PlanKey,
+    QueryPlan,
+    STRATEGY_BRANCH_AND_BOUND,
+    STRATEGY_MINMAX,
+    STRATEGY_OPERATIONAL,
+    normalize_query,
+    plan_key,
+    schema_fingerprint,
+)
+
+__all__ = [
+    "BatchResult",
+    "BranchAndBoundBackend",
+    "CacheStats",
+    "ConsistentAnswerEngine",
+    "ExecutionBackend",
+    "ExhaustiveBackend",
+    "OperationalBackend",
+    "PlanCache",
+    "PlanKey",
+    "PreparedExecutor",
+    "QueryPlan",
+    "SqliteExecutionBackend",
+    "STRATEGY_BRANCH_AND_BOUND",
+    "STRATEGY_MINMAX",
+    "STRATEGY_OPERATIONAL",
+    "available_backends",
+    "create_backend",
+    "execute_batch",
+    "normalize_query",
+    "plan_key",
+    "register_backend",
+    "schema_fingerprint",
+]

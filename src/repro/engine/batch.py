@@ -1,0 +1,145 @@
+"""Batched execution: chunking, process fan-out and per-item timings.
+
+``execute_batch`` splits a sequence of (query, instance) pairs into
+contiguous chunks and executes them either serially on the calling engine
+(small batches — the shared plan cache stays warm) or on a pool of worker
+processes (large batches).  Each worker builds its own engine from the
+parent's configuration, so plans are compiled at most once per chunk even
+in the parallel path.
+
+The pool prefers the ``fork`` start method (cheap on Linux, inherits the
+imported library); when process pools are unavailable (restricted
+environments) execution degrades to the serial path rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.query.aggregation import AggregationQuery
+
+# Batches smaller than this never pay process start-up costs.
+_MIN_PARALLEL_ITEMS = 4
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch item.
+
+    ``answer`` is a :class:`~repro.core.range_answers.RangeAnswer` for a
+    closed query and a ``{group: RangeAnswer}`` dict for a GROUP BY query.
+    ``plan_cached`` records whether the executing engine already had the
+    plan when the item ran.
+    """
+
+    index: int
+    answer: object
+    seconds: float
+    glb_strategy: str
+    lub_strategy: str
+    plan_cached: bool
+
+
+def _answer_one(
+    engine, query: AggregationQuery, instance: DatabaseInstance, index: int
+) -> BatchResult:
+    cached = engine.is_cached(query)
+    started = time.perf_counter()
+    if query.free_variables:
+        answer = engine.answer_group_by(query, instance)
+    else:
+        answer = engine.answer(query, instance)
+    seconds = time.perf_counter() - started
+    plan = engine.compile(query)
+    return BatchResult(
+        index=index,
+        answer=answer,
+        seconds=seconds,
+        glb_strategy=plan.glb_strategy,
+        lub_strategy=plan.lub_strategy,
+        plan_cached=cached,
+    )
+
+
+def _run_chunk(config: dict, chunk: List[Tuple[int, AggregationQuery, DatabaseInstance]]):
+    """Worker entry point: build an engine from config, answer the chunk."""
+    from repro.engine.engine import ConsistentAnswerEngine
+
+    engine = ConsistentAnswerEngine(**config)
+    return [_answer_one(engine, query, instance, index) for index, query, instance in chunk]
+
+
+def _chunked(
+    items: Sequence[Tuple[AggregationQuery, DatabaseInstance]], chunk_size: int
+) -> List[List[Tuple[int, AggregationQuery, DatabaseInstance]]]:
+    indexed = [(i, query, instance) for i, (query, instance) in enumerate(items)]
+    return [indexed[i : i + chunk_size] for i in range(0, len(indexed), chunk_size)]
+
+
+def default_worker_count() -> int:
+    """Worker processes used when the caller does not pin ``max_workers``."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def execute_batch(
+    engine,
+    items: Sequence[Tuple[AggregationQuery, DatabaseInstance]],
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[BatchResult]:
+    """Answer every (query, instance) pair, returning results in order.
+
+    ``max_workers=1`` forces serial execution on the calling engine (and is
+    the only mode that warms *its* plan cache); higher values fan chunks out
+    across processes.  ``chunk_size`` defaults to an even split over the
+    workers, so repeated queries inside one chunk share the worker's plans.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = default_worker_count() if max_workers is None else max(1, max_workers)
+    workers = min(workers, len(items))
+    if workers == 1 or len(items) < _MIN_PARALLEL_ITEMS:
+        return [
+            _answer_one(engine, query, instance, index)
+            for index, (query, instance) in enumerate(items)
+        ]
+    if chunk_size is None:
+        chunk_size = -(-len(items) // workers)  # ceil division
+    chunks = _chunked(items, max(1, chunk_size))
+    results = _parallel_chunks(engine.config(), chunks, workers)
+    if results is None:  # pool unavailable: degrade gracefully
+        return [
+            _answer_one(engine, query, instance, index)
+            for index, (query, instance) in enumerate(items)
+        ]
+    return sorted(results, key=lambda r: r.index)
+
+
+def _parallel_chunks(
+    config: dict,
+    chunks: List[List[Tuple[int, AggregationQuery, DatabaseInstance]]],
+    workers: int,
+) -> Optional[List[BatchResult]]:
+    import concurrent.futures
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        context = multiprocessing.get_context()
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)), mp_context=context
+        ) as pool:
+            futures = [pool.submit(_run_chunk, config, chunk) for chunk in chunks]
+            collected: List[BatchResult] = []
+            for future in futures:
+                collected.extend(future.result())
+            return collected
+    except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
+        return None

@@ -1,0 +1,107 @@
+"""LRU plan cache with hit/miss/eviction statistics.
+
+The cache is keyed by :class:`~repro.engine.plan.PlanKey` (schema
+fingerprint + normalized query).  It is thread-safe: the engine may be
+shared across request-serving threads, and the batch executor probes the
+cache from its dispatch loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of the cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never probed)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
+            f"size={self.size}/{self.maxsize} hit_rate={self.hit_rate:.2%}"
+        )
+
+
+class PlanCache(Generic[V]):
+    """A bounded LRU mapping from plan keys to compiled plans."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError("plan cache maxsize must be >= 1")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def get(self, key: Hashable) -> Optional[V]:
+        """Return the cached value and mark it most-recently-used, or None."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

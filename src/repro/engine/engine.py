@@ -1,0 +1,278 @@
+"""The :class:`ConsistentAnswerEngine` facade.
+
+The engine is the front door the production service uses: it compiles each
+query once into a :class:`~repro.engine.plan.QueryPlan` (classification,
+strategy selection and executor preparation), caches the plan in an LRU
+keyed by (schema fingerprint, normalized query), dispatches execution to a
+pluggable backend, and fans batches out across processes.
+
+    >>> engine = ConsistentAnswerEngine()
+    >>> engine.answer(query, instance)          # RangeAnswer(glb, lub)
+    >>> engine.answer_group_by(groupby, inst)   # {group: RangeAnswer}
+    >>> engine.answer_many([(q1, db1), (q2, db2)])
+    >>> engine.cache_stats()                    # hits/misses/evictions
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.range_answers import RangeAnswer
+from repro.datamodel.facts import Constant
+from repro.datamodel.instance import DatabaseInstance
+from repro.embeddings.embeddings import embeddings_of
+from repro.exceptions import BackendError
+from repro.query.aggregation import AggregationQuery
+
+from repro.engine.backends import (
+    Binding,
+    ExecutionBackend,
+    PreparedExecutor,
+    create_backend,
+)
+from repro.engine.cache import CacheStats, PlanCache
+from repro.engine.plan import (
+    QueryPlan,
+    STRATEGY_BRANCH_AND_BOUND,
+    classify_both_directions,
+    plan_key,
+    select_strategy,
+)
+
+
+class ConsistentAnswerEngine:
+    """Cached, batched computation of range consistent answers.
+
+    Parameters
+    ----------
+    backend:
+        Name of the preferred backend for rewriting-based execution
+        (``"operational"`` or ``"sqlite"``; custom backends register with
+        :func:`repro.engine.backends.register_backend`).  Directions the
+        preferred backend cannot execute (e.g. lub on ``"sqlite"``) fall
+        back to the operational backend automatically.
+    fallback:
+        Backend used for non-rewritable directions (``"branch_and_bound"``
+        by default, ``"exhaustive"`` for ground-truth testing).
+    plan_cache_size:
+        Capacity of the LRU plan cache.
+    """
+
+    def __init__(
+        self,
+        backend: str = "operational",
+        fallback: str = "branch_and_bound",
+        plan_cache_size: int = 128,
+    ) -> None:
+        self._backend_name = backend
+        self._fallback_name = fallback
+        self._primary: ExecutionBackend = create_backend(backend)
+        self._operational: ExecutionBackend = (
+            self._primary if backend == "operational" else create_backend("operational")
+        )
+        self._fallback: ExecutionBackend = create_backend(fallback)
+        self._cache: PlanCache[QueryPlan] = PlanCache(plan_cache_size)
+
+    # -- configuration ----------------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend_name
+
+    @property
+    def fallback_name(self) -> str:
+        return self._fallback_name
+
+    def config(self) -> Dict[str, object]:
+        """Picklable constructor arguments (used by the batch executor)."""
+        return {
+            "backend": self._backend_name,
+            "fallback": self._fallback_name,
+            "plan_cache_size": self._cache.maxsize,
+        }
+
+    # -- plan compilation --------------------------------------------------------------
+
+    def compile(self, query: AggregationQuery) -> QueryPlan:
+        """Return the plan for ``query``, compiling it on a cache miss."""
+        key = plan_key(query.body.schema(), query)
+        plan = self._cache.get(key)
+        if plan is not None:
+            return plan
+        started = time.perf_counter()
+        normalized = key.query
+        glb_verdict, lub_verdict = classify_both_directions(normalized)
+        executors: Dict[str, PreparedExecutor] = {}
+        strategies: Dict[str, str] = {}
+        for direction, verdict in (("glb", glb_verdict), ("lub", lub_verdict)):
+            strategy = select_strategy(verdict, normalized.aggregate)
+            strategies[direction] = strategy
+            executors[direction] = self._prepare(normalized, strategy, direction)
+        plan = QueryPlan(
+            key=key,
+            query=normalized,
+            glb_verdict=glb_verdict,
+            lub_verdict=lub_verdict,
+            glb_strategy=strategies["glb"],
+            lub_strategy=strategies["lub"],
+            executors=executors,
+            compile_seconds=time.perf_counter() - started,
+        )
+        self._cache.put(key, plan)
+        return plan
+
+    def _prepare(
+        self, query: AggregationQuery, strategy: str, direction: str
+    ) -> PreparedExecutor:
+        if strategy == STRATEGY_BRANCH_AND_BOUND:
+            return self._fallback.prepare(query, strategy, direction)
+        if self._primary.supports(query, strategy, direction):
+            return self._primary.prepare(query, strategy, direction)
+        if self._operational.supports(query, strategy, direction):
+            return self._operational.prepare(query, strategy, direction)
+        # No rewriting executor can run this direction (e.g. lub of SUM,
+        # Theorem 7.8 gives no rewriting): exact fallback.
+        return self._fallback.prepare(query, STRATEGY_BRANCH_AND_BOUND, direction)
+
+    def explain(self, query: AggregationQuery) -> str:
+        """Compile (or fetch) the plan and describe it."""
+        return self.compile(query).explain()
+
+    # -- single-query execution --------------------------------------------------------
+
+    @staticmethod
+    def _checked_binding(plan: QueryPlan, binding: Optional[Binding]) -> Binding:
+        """Reject bindings that do not cover the free variables — a silently
+        ignored binding key would otherwise yield an unrelated answer."""
+        binding = dict(binding or {})
+        missing = [v.name for v in plan.query.free_variables if v.name not in binding]
+        if missing:
+            raise BackendError(
+                f"query has free variables; use answer_group_by() or pass a "
+                f"binding covering {missing}"
+            )
+        return binding
+
+    def glb(
+        self,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        binding: Optional[Binding] = None,
+    ):
+        """GLB-CQA through the compiled plan (⊥ when the body is not certain)."""
+        plan = self.compile(query)
+        return plan.executors["glb"].evaluate(
+            instance, self._checked_binding(plan, binding)
+        )
+
+    def lub(
+        self,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        binding: Optional[Binding] = None,
+    ):
+        """LUB-CQA through the compiled plan (⊥ when the body is not certain)."""
+        plan = self.compile(query)
+        return plan.executors["lub"].evaluate(
+            instance, self._checked_binding(plan, binding)
+        )
+
+    def answer(
+        self,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        binding: Optional[Binding] = None,
+    ) -> RangeAnswer:
+        """Both bounds for a closed query (or one instantiation of the free
+        variables via ``binding``)."""
+        plan = self.compile(query)
+        binding = self._checked_binding(plan, binding)
+        return RangeAnswer(
+            plan.executors["glb"].evaluate(instance, binding),
+            plan.executors["lub"].evaluate(instance, binding),
+        )
+
+    # -- GROUP BY execution ------------------------------------------------------------
+
+    def answer_group_by(
+        self, query: AggregationQuery, instance: DatabaseInstance
+    ) -> Dict[Tuple[Constant, ...], RangeAnswer]:
+        """Range consistent answers per possible answer tuple (Section 6.2).
+
+        Tuples that are not consistent answers map to ⊥ on both bounds, as
+        in Section 5.3.
+        """
+        plan = self.compile(query)
+        free = plan.query.free_variables
+        if not free:
+            raise BackendError("answer_group_by() requires a query with free variables")
+        candidates = self._possible_answers(plan, instance)
+        bindings = [
+            {v.name: value for v, value in zip(free, candidate)}
+            for candidate in candidates
+        ]
+        glbs = plan.executors["glb"].evaluate_many(instance, bindings)
+        lubs = plan.executors["lub"].evaluate_many(instance, bindings)
+        return {
+            candidate: RangeAnswer(glb, lub)
+            for candidate, glb, lub in zip(candidates, glbs, lubs)
+        }
+
+    def consistent_answers(
+        self, query: AggregationQuery, instance: DatabaseInstance
+    ) -> Dict[Tuple[Constant, ...], RangeAnswer]:
+        """Like :meth:`answer_group_by` but keeping only non-⊥ tuples."""
+        return {
+            candidate: answer
+            for candidate, answer in self.answer_group_by(query, instance).items()
+            if not answer.is_bottom
+        }
+
+    def _possible_answers(
+        self, plan: QueryPlan, instance: DatabaseInstance
+    ) -> List[Tuple[Constant, ...]]:
+        free = plan.query.free_variables
+        seen = set()
+        ordered: List[Tuple[Constant, ...]] = []
+        for embedding in embeddings_of(plan.query.body, instance):
+            candidate = tuple(embedding[v.name] for v in free)
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+        return sorted(ordered, key=repr)
+
+    # -- batch execution ---------------------------------------------------------------
+
+    def answer_many(
+        self,
+        items: Sequence[Tuple[AggregationQuery, DatabaseInstance]],
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        """Answer a batch of (query, instance) pairs with per-item timings.
+
+        Work is chunked and fanned out across processes when ``max_workers``
+        allows it; see :func:`repro.engine.batch.execute_batch`.  Closed
+        queries yield a :class:`RangeAnswer`, GROUP BY queries a per-group
+        dict.  Results come back in submission order.
+        """
+        from repro.engine.batch import execute_batch
+
+        return execute_batch(
+            self, items, max_workers=max_workers, chunk_size=chunk_size
+        )
+
+    # -- cache management --------------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the plan cache."""
+        return self._cache.stats()
+
+    def is_cached(self, query: AggregationQuery) -> bool:
+        """Whether a plan for ``query`` is currently cached (no side effects
+        on the hit/miss counters)."""
+        return plan_key(query.body.schema(), query) in self._cache
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -2,6 +2,9 @@
 
 These functions produce the rows behind the systems-style tables recorded in
 EXPERIMENTS.md (E5, E8, E9) and are what the corresponding benchmarks time.
+All execution paths go through :class:`~repro.engine.ConsistentAnswerEngine`,
+so the plans that pass the paper's figures are the same ones that drive the
+throughput numbers.
 """
 
 from __future__ import annotations
@@ -13,15 +16,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.attacks.attack_graph import AttackGraph
 from repro.baselines.branch_and_bound import BranchAndBoundSolver
 from repro.baselines.exhaustive import ExhaustiveRangeSolver
-from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
 from repro.core.rewriter import GlbRewriter
 from repro.datamodel.instance import DatabaseInstance
 from repro.datamodel.signature import RelationSignature, Schema
+from repro.engine import ConsistentAnswerEngine
 from repro.query.aggregation import AggregationQuery
 from repro.query.atom import Atom
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.terms import Variable
-from repro.sql.backend import SqliteBackend
 from repro.workloads.generators import generate_stock_workload
 from repro.workloads.queries import stock_sum_query
 
@@ -89,13 +91,15 @@ def run_scalability_experiment(
     """
     query = stock_sum_query("dealer0")
     instances = generate_stock_workload(sizes, inconsistency, seed)
+    operational = ConsistentAnswerEngine(backend="operational")
+    sql = ConsistentAnswerEngine(backend="sqlite")
     rows: List[ExperimentRow] = []
     for size, instance in instances.items():
         metrics: Dict[str, object] = {"facts": len(instance)}
-        value, seconds = _timed(lambda: OperationalRangeEvaluator(query).glb(instance))
+        value, seconds = _timed(lambda: operational.glb(query, instance))
         metrics["rewriting_glb"] = value
         metrics["rewriting_seconds"] = round(seconds, 4)
-        value, seconds = _timed(lambda: SqliteBackend().glb(query, instance))
+        value, seconds = _timed(lambda: sql.glb(query, instance))
         metrics["sql_glb"] = value
         metrics["sql_seconds"] = round(seconds, 4)
         if size <= include_branch_and_bound_up_to:
@@ -124,10 +128,12 @@ def run_solver_agreement_experiment(
     """E9: the three execution paths agree on every generated instance."""
     query = stock_sum_query("dealer0")
     instances = generate_stock_workload(sizes, inconsistency, seed)
+    operational_engine = ConsistentAnswerEngine(backend="operational")
+    sql_engine = ConsistentAnswerEngine(backend="sqlite")
     rows: List[ExperimentRow] = []
     for size, instance in instances.items():
-        operational = OperationalRangeEvaluator(query).glb(instance)
-        sql_value = SqliteBackend().glb(query, instance)
+        operational = operational_engine.glb(query, instance)
+        sql_value = sql_engine.glb(query, instance)
         bnb = BranchAndBoundSolver(query).glb(instance)
         rows.append(
             ExperimentRow(
@@ -165,6 +171,76 @@ def _chain_query(length: int) -> AggregationQuery:
         )
     body = ConjunctiveQuery(atoms)
     return AggregationQuery("SUM", Variable(f"x{length + 1}", numeric=True), body)
+
+
+def run_engine_throughput_experiment(
+    batch_size: int = 24,
+    blocks: int = 100,
+    inconsistency: float = 0.2,
+    seed: int = 3,
+    max_workers: Optional[int] = None,
+) -> List[ExperimentRow]:
+    """E10: plan-cache amortization and batched throughput through the engine.
+
+    One row for cold compilation (fresh engine), one for cached evaluation
+    of the same query, and one per batch mode (serial vs process fan-out)
+    over ``batch_size`` instances of the stock workload.
+    """
+    query = stock_sum_query("dealer0")
+    probe = generate_stock_workload([blocks], inconsistency, seed)[blocks]
+    workload = [
+        generate_stock_workload([blocks], inconsistency, seed + i)[blocks]
+        for i in range(batch_size)
+    ]
+    rows: List[ExperimentRow] = []
+
+    engine = ConsistentAnswerEngine()
+    _, cold_seconds = _timed(lambda: engine.glb(query, probe))
+    _, warm_seconds = _timed(lambda: engine.glb(query, probe))
+    stats = engine.cache_stats()
+    rows.append(
+        ExperimentRow(
+            "engine_plan_cache",
+            parameters={"stock_blocks": blocks},
+            metrics={
+                "cold_seconds": round(cold_seconds, 6),
+                "cached_seconds": round(warm_seconds, 6),
+                "speedup": round(cold_seconds / warm_seconds, 2)
+                if warm_seconds
+                else float("inf"),
+                "cache_hits": stats.hits,
+                "cache_misses": stats.misses,
+            },
+        )
+    )
+
+    from repro.engine.batch import default_worker_count
+
+    for label, workers in (("serial", 1), ("parallel", max_workers)):
+        batch_engine = ConsistentAnswerEngine()
+        items = [(query, instance) for instance in workload]
+        results, seconds = _timed(
+            lambda: batch_engine.answer_many(items, max_workers=workers)
+        )
+        effective = min(
+            default_worker_count() if workers is None else max(1, workers),
+            len(items),
+        )
+        rows.append(
+            ExperimentRow(
+                "engine_batch",
+                parameters={"mode": label, "batch_size": batch_size},
+                metrics={
+                    "workers": effective,
+                    "total_seconds": round(seconds, 4),
+                    "items_per_second": round(len(results) / seconds, 1)
+                    if seconds
+                    else float("inf"),
+                    "plans_reused": sum(1 for r in results if r.plan_cached),
+                },
+            )
+        )
+    return rows
 
 
 def run_decision_procedure_timing(

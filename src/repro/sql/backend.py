@@ -27,8 +27,24 @@ def _to_fraction(value) -> Fraction:
     if isinstance(value, int):
         return Fraction(value)
     if isinstance(value, float):
-        return Fraction(value).limit_denominator(10**9)
+        # Binary floats convert to Fraction exactly; limit_denominator would
+        # silently corrupt values such as 1/2**40 (denominator > 10**9).
+        return Fraction(value)
     return Fraction(str(value))
+
+
+def _to_sql_number(value: Fraction):
+    """An int or float storing ``value`` exactly, or :class:`BackendError`."""
+    if value.denominator == 1:
+        return int(value)
+    as_float = float(value)
+    if Fraction(as_float) != value:
+        raise BackendError(
+            f"quantity {value} is not exactly representable in the DBMS's "
+            "binary floats; the SQL backend would disagree with the exact "
+            "evaluators"
+        )
+    return as_float
 
 
 class SqliteBackend:
@@ -49,6 +65,14 @@ class SqliteBackend:
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+
+    def __enter__(self) -> "SqliteBackend":
+        """Use as ``with SqliteBackend() as backend:`` — closes on exit even
+        when the body raises, so error paths do not leak connections."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     @property
     def connection(self) -> sqlite3.Connection:
@@ -75,13 +99,20 @@ class SqliteBackend:
         self.connection.commit()
 
     def load_instance(self, instance: DatabaseInstance) -> None:
-        """Insert every fact of the instance."""
+        """Insert every fact of the instance.
+
+        Fractions are stored as SQL numbers.  A Fraction that is not exactly
+        representable as a binary float (e.g. 1/3) is rejected rather than
+        silently approximated: the operational evaluator is exact, and a
+        lossy store would make the two backends disagree.
+        """
         cursor = self.connection.cursor()
         for fact in instance:
             signature = instance.schema.relation(fact.relation)
             placeholders = ", ".join("?" for _ in range(signature.arity))
             values = [
-                float(v) if isinstance(v, Fraction) else v for v in fact.values
+                _to_sql_number(v) if isinstance(v, Fraction) else v
+                for v in fact.values
             ]
             cursor.execute(
                 f"INSERT INTO {quote_identifier(fact.relation)} VALUES ({placeholders})",

@@ -167,3 +167,77 @@ class TestBackendLifecycle:
         )
         with pytest.raises(BackendError):
             SqliteBackend().glb(query, stock_instance)
+
+
+class TestContextManager:
+    def test_with_block_closes_connection(self, stock_instance):
+        with SqliteBackend() as backend:
+            backend.load(stock_instance)
+            assert backend.execute_scalar('SELECT COUNT(*) FROM "Stock"') == 5
+        with pytest.raises(BackendError):
+            backend.execute_scalar("SELECT 1")
+
+    def test_with_block_closes_on_error(self, stock_instance):
+        backend = SqliteBackend()
+        with pytest.raises(RuntimeError):
+            with backend:
+                backend.load(stock_instance)
+                raise RuntimeError("boom")
+        with pytest.raises(BackendError):
+            backend.execute_scalar("SELECT 1")
+
+    def test_unconnected_with_block_is_harmless(self):
+        with SqliteBackend() as backend:
+            assert backend is not None
+
+
+class TestFractionConversion:
+    def test_float_roundtrip_is_exact(self):
+        from repro.sql.backend import _to_fraction
+
+        # 1/2**40 is exactly representable as a float but its denominator
+        # exceeds 10**9: the old limit_denominator(10**9) collapsed it to 0.
+        value = 1 / 2**40
+        assert _to_fraction(value) == Fraction(1, 2**40)
+        assert _to_fraction(value) != 0
+
+    def test_int_and_string_conversion(self):
+        from repro.sql.backend import _to_fraction
+
+        assert _to_fraction(7) == Fraction(7)
+        assert _to_fraction("3.5") == Fraction(7, 2)
+
+    def test_fractional_quantity_survives_sql_roundtrip(self, stock_schema):
+        from repro.datamodel.instance import DatabaseInstance
+
+        tiny = Fraction(1, 2**40)
+        instance = DatabaseInstance.from_rows(
+            stock_schema,
+            {
+                "Dealers": [("Smith", "Boston")],
+                "Stock": [("Tesla X", "Boston", tiny)],
+            },
+        )
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        assert SqliteBackend().glb(query, instance) == tiny
+
+    def test_non_dyadic_quantity_rejected_not_approximated(self, stock_schema):
+        # 1/3 has no exact binary-float representation: storing it would make
+        # the SQL backend disagree with the exact evaluators, so loading
+        # fails loudly instead.
+        from repro.datamodel.instance import DatabaseInstance
+
+        instance = DatabaseInstance.from_rows(
+            stock_schema,
+            {
+                "Dealers": [("Smith", "Boston")],
+                "Stock": [("Tesla X", "Boston", Fraction(1, 3))],
+            },
+        )
+        query = parse_aggregation_query(
+            stock_schema, "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        )
+        with pytest.raises(BackendError, match="not exactly representable"):
+            SqliteBackend().glb(query, instance)
