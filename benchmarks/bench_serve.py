@@ -1,0 +1,150 @@
+"""Serving-layer benchmark: boot a server, drive a mixed load, emit JSON.
+
+Unlike the pytest-benchmark suites, this is a standalone script — the
+measurement needs a live server and a concurrent client, not a timed
+function call.  It boots :class:`ConsistentAnswerServer` in-process on an
+ephemeral port, fires a mixed workload (closed aggregates, GROUP BY,
+batches, metrics probes) through :class:`LoadGenerator`, and writes a
+``BENCH_serve.json`` with throughput, p50/p95 latency, per-status counts
+and the server-side cache hit rates — the start of the serving perf
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --requests 100 --concurrency 8 --out BENCH_serve.json
+
+``--check-no-5xx`` makes the script exit non-zero when any response had a
+5xx status (the CI smoke contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.serve.app import ConsistentAnswerServer, ServeConfig
+from repro.serve.client import LoadGenerator
+
+STOCK_SUM = "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+STOCK_COUNT = "COUNT(1) <- Dealers('Smith', t), Stock(p, t, y)"
+STOCK_MAX = "MAX(y) <- Dealers('Smith', t), Stock(p, t, y)"
+STOCK_GROUP_BY = "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+RUNNING_SUM = "SUM(r) <- R(x,y), S(y,z,'d',r)"
+RUNNING_AVG = "AVG(r) <- R(x,y), S(y,z,'d',r)"
+
+
+def mixed_workload(requests: int):
+    """A deterministic mixed request plan of the given size.
+
+    The mix exercises every serving path: rewriting-based closed queries,
+    MIN/MAX, GROUP BY, the exact fallback, small batches and the read-only
+    endpoints — weighted towards the hot /answer path.
+    """
+    rotation = [
+        ("POST", "/answer", {"instance": "stock", "query": STOCK_SUM}),
+        ("POST", "/answer", {"instance": "stock", "query": STOCK_COUNT}),
+        ("POST", "/answer", {"instance": "stock", "query": STOCK_MAX}),
+        ("POST", "/answer", {"instance": "running_example", "query": RUNNING_SUM}),
+        ("POST", "/answer", {"instance": "running_example", "query": RUNNING_AVG}),
+        ("POST", "/answer_group_by", {"instance": "stock", "query": STOCK_GROUP_BY}),
+        (
+            "POST",
+            "/answer_many",
+            {
+                "items": [
+                    {"instance": "stock", "query": STOCK_SUM},
+                    {"instance": "stock", "query": STOCK_GROUP_BY},
+                    {"instance": "running_example", "query": RUNNING_SUM},
+                ]
+            },
+        ),
+        ("GET", "/metrics", None),
+        ("GET", "/healthz", None),
+    ]
+    return [rotation[i % len(rotation)] for i in range(requests)]
+
+
+async def run_bench(requests: int, concurrency: int, workers: int) -> dict:
+    server = ConsistentAnswerServer(
+        ServeConfig(port=0, workers=workers, max_pending=max(64, requests))
+    )
+    host, port = await server.start()
+    try:
+        generator = LoadGenerator(host, port, concurrency=concurrency)
+        report = await generator.run(mixed_workload(requests))
+        server_metrics = server.metrics.snapshot()
+        cache = server.engine.cache_stats()
+        per_endpoint = {
+            endpoint: {
+                "count": snap["count"],
+                "p50_ms": snap["p50_ms"],
+                "p95_ms": snap["p95_ms"],
+            }
+            for endpoint, snap in server_metrics["latency"].items()
+        }
+        return {
+            "benchmark": "serve",
+            "timestamp": time.time(),
+            "config": {
+                "requests": requests,
+                "concurrency": concurrency,
+                "workers": workers,
+                "backend": server.engine.backend_name,
+            },
+            **report.summary(),
+            "per_endpoint": per_endpoint,
+            "plan_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 4),
+            },
+        }
+    finally:
+        await server.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--check-no-5xx",
+        action="store_true",
+        help="exit 1 when any response had a 5xx status (CI smoke contract)",
+    )
+    parser.add_argument(
+        "--check-cache-hits",
+        action="store_true",
+        help="exit 1 unless concurrent requests shared cached plans",
+    )
+    args = parser.parse_args(argv)
+
+    result = asyncio.run(run_bench(args.requests, args.concurrency, args.workers))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+
+    if args.check_no_5xx and result["errors_5xx"]:
+        print(
+            f"FAIL: {result['errors_5xx']} responses had 5xx statuses",
+            file=sys.stderr,
+        )
+        return 1
+    if result["statuses"].get("599"):
+        print("FAIL: transport-level failures occurred", file=sys.stderr)
+        return 1
+    if args.check_cache_hits and not result["plan_cache"]["hits"]:
+        print("FAIL: no plan-cache hits; plans were not reused", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

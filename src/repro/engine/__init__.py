@@ -15,10 +15,17 @@ from repro.engine.backends import (
     PreparedExecutor,
     SqliteExecutionBackend,
     available_backends,
+    clear_sql_memo,
     create_backend,
     register_backend,
+    sql_memo_stats,
 )
-from repro.engine.batch import BatchResult, execute_batch
+from repro.engine.batch import (
+    BatchResult,
+    default_min_parallel_items,
+    default_worker_count,
+    execute_batch,
+)
 from repro.engine.cache import CacheStats, PlanCache
 from repro.engine.engine import ConsistentAnswerEngine
 from repro.engine.plan import (
@@ -49,10 +56,14 @@ __all__ = [
     "STRATEGY_MINMAX",
     "STRATEGY_OPERATIONAL",
     "available_backends",
+    "clear_sql_memo",
     "create_backend",
+    "default_min_parallel_items",
+    "default_worker_count",
     "execute_batch",
     "normalize_query",
     "plan_key",
     "register_backend",
     "schema_fingerprint",
+    "sql_memo_stats",
 ]

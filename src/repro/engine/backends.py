@@ -33,14 +33,68 @@ from repro.query.aggregation import AggregationQuery
 from repro.sql.backend import SqliteBackend
 from repro.sql.generator import GeneratedSql, SqlRewritingGenerator
 
+from repro.engine.cache import PlanCache
 from repro.engine.plan import (
+    PlanKey,
     REWRITING_STRATEGIES,
     STRATEGY_BRANCH_AND_BOUND,
     STRATEGY_MINMAX,
     STRATEGY_OPERATIONAL,
+    plan_key,
 )
 
 Binding = Dict[str, Constant]
+
+
+# -- process-wide generated-SQL memo ----------------------------------------------------
+#
+# GROUP BY plans generate one rewriting per (free-variable) instantiation.
+# Memoizing those only on the executor would make every fresh engine — e.g.
+# each worker of the batch executor or a serving pool — regenerate identical
+# SQL, so the memo lives at module (process) level, keyed by
+# (dialect, plan key, instantiation constants).  Instantiations are
+# client-controlled in a serving deployment, so the memo is a bounded LRU
+# (reusing PlanCache), not an ever-growing dict.
+
+_SQL_MEMO_SIZE = 1024
+_SQL_MEMO: "PlanCache[GeneratedSql]" = None  # type: ignore[assignment]
+
+
+def _memoized_sql(
+    dialect: str,
+    key: PlanKey,
+    constants: Tuple[Constant, ...],
+    generate: Callable[[], GeneratedSql],
+) -> GeneratedSql:
+    """Return the memoized rewriting for one instantiation, generating once."""
+    memo_key = (dialect, key, constants)
+    cached = _SQL_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    generated = generate()
+    _SQL_MEMO.put(memo_key, generated)
+    return generated
+
+
+def sql_memo_stats() -> Dict[str, int]:
+    """Counters of the process-wide generated-SQL memo."""
+    stats = _SQL_MEMO.stats()
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "size": stats.size,
+        "maxsize": stats.maxsize,
+    }
+
+
+def clear_sql_memo(maxsize: int = _SQL_MEMO_SIZE) -> None:
+    """Reset the memo (entries *and* counters), optionally resizing it."""
+    global _SQL_MEMO
+    _SQL_MEMO = PlanCache(maxsize)
+
+
+clear_sql_memo()
 
 
 class PreparedExecutor:
@@ -128,18 +182,26 @@ class OperationalBackend(ExecutionBackend):
 
 class _SqlExecutor(PreparedExecutor):
     backend_name = "sqlite"
+    dialect = "sqlite"
 
     def __init__(self, query: AggregationQuery, strategy: str, direction: str) -> None:
         self.strategy = strategy
         self.direction = direction
         self._query = query
-        # For closed queries the rewriting is generated once at compile time;
-        # group-by plans generate per binding (free variables become
-        # constants, Section 6.2) and memoize per instantiation.
+        # Rewritings are memoized process-wide by (dialect, plan key,
+        # instantiation): closed queries under the empty instantiation at
+        # compile time, group-by plans per binding (free variables become
+        # constants, Section 6.2) at execution time.  Fresh executors — e.g.
+        # in batch or serving workers — reuse SQL generated by earlier ones.
+        self._memo_key = plan_key(query.body.schema(), query)
         self._generated: Optional[GeneratedSql] = None
-        self._per_binding: Dict[Tuple, GeneratedSql] = {}
         if query.is_closed():
-            self._generated = SqlRewritingGenerator(query).generate()
+            self._generated = _memoized_sql(
+                self.dialect,
+                self._memo_key,
+                (),
+                SqlRewritingGenerator(query).generate,
+            )
 
     def _sql_for(self, binding: Binding) -> GeneratedSql:
         if self._generated is not None:
@@ -151,13 +213,12 @@ class _SqlExecutor(PreparedExecutor):
                 f"binding does not cover free variables {missing}"
             )
         constants = tuple(binding[v.name] for v in free)
-        try:
-            return self._per_binding[constants]
-        except KeyError:
+
+        def generate() -> GeneratedSql:
             closed = self._query.instantiate_free_variables(constants)
-            generated = SqlRewritingGenerator(closed).generate()
-            self._per_binding[constants] = generated
-            return generated
+            return SqlRewritingGenerator(closed).generate()
+
+        return _memoized_sql(self.dialect, self._memo_key, constants, generate)
 
     def evaluate(self, instance: DatabaseInstance, binding: Optional[Binding] = None):
         generated = self._sql_for(dict(binding or {}))

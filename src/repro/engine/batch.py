@@ -10,6 +10,12 @@ in the parallel path.
 The pool prefers the ``fork`` start method (cheap on Linux, inherits the
 imported library); when process pools are unavailable (restricted
 environments) execution degrades to the serial path rather than failing.
+
+Parallelism is tunable: the engine passes its ``batch_workers`` /
+``min_parallel_items`` configuration down, and both fall back to the
+``REPRO_BATCH_WORKERS`` / ``REPRO_MIN_PARALLEL_ITEMS`` environment
+variables so deployments (e.g. the serving layer) can size pools without
+code changes.
 """
 
 from __future__ import annotations
@@ -24,6 +30,20 @@ from repro.query.aggregation import AggregationQuery
 
 # Batches smaller than this never pay process start-up costs.
 _MIN_PARALLEL_ITEMS = 4
+
+#: Environment overrides for deployments that cannot pass constructor kwargs.
+ENV_BATCH_WORKERS = "REPRO_BATCH_WORKERS"
+ENV_MIN_PARALLEL_ITEMS = "REPRO_MIN_PARALLEL_ITEMS"
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -81,8 +101,25 @@ def _chunked(
 
 
 def default_worker_count() -> int:
-    """Worker processes used when the caller does not pin ``max_workers``."""
+    """Worker processes used when the caller does not pin ``max_workers``.
+
+    ``REPRO_BATCH_WORKERS`` overrides the cpu-derived default.
+    """
+    env = _env_int(ENV_BATCH_WORKERS)
+    if env is not None:
+        return max(1, env)
     return max(1, min(os.cpu_count() or 1, 8))
+
+
+def default_min_parallel_items() -> int:
+    """Batch size below which execution is always serial.
+
+    ``REPRO_MIN_PARALLEL_ITEMS`` overrides the built-in threshold.
+    """
+    env = _env_int(ENV_MIN_PARALLEL_ITEMS)
+    if env is not None:
+        return max(1, env)
+    return _MIN_PARALLEL_ITEMS
 
 
 def execute_batch(
@@ -90,6 +127,7 @@ def execute_batch(
     items: Sequence[Tuple[AggregationQuery, DatabaseInstance]],
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    min_parallel_items: Optional[int] = None,
 ) -> List[BatchResult]:
     """Answer every (query, instance) pair, returning results in order.
 
@@ -97,13 +135,20 @@ def execute_batch(
     the only mode that warms *its* plan cache); higher values fan chunks out
     across processes.  ``chunk_size`` defaults to an even split over the
     workers, so repeated queries inside one chunk share the worker's plans.
+    ``min_parallel_items`` is the batch size below which process start-up is
+    never paid (engine configuration / environment override by default).
     """
     items = list(items)
     if not items:
         return []
     workers = default_worker_count() if max_workers is None else max(1, max_workers)
     workers = min(workers, len(items))
-    if workers == 1 or len(items) < _MIN_PARALLEL_ITEMS:
+    threshold = (
+        default_min_parallel_items()
+        if min_parallel_items is None
+        else max(1, min_parallel_items)
+    )
+    if workers == 1 or len(items) < threshold:
         return [
             _answer_one(engine, query, instance, index)
             for index, (query, instance) in enumerate(items)

@@ -57,6 +57,14 @@ class ConsistentAnswerEngine:
         by default, ``"exhaustive"`` for ground-truth testing).
     plan_cache_size:
         Capacity of the LRU plan cache.
+    batch_workers:
+        Default worker-process count for :meth:`answer_many` (``None`` defers
+        to ``REPRO_BATCH_WORKERS`` or a cpu-derived default; servers size
+        their pools through this knob).
+    min_parallel_items:
+        Batch size below which :meth:`answer_many` always runs serially on
+        this engine (``None`` defers to ``REPRO_MIN_PARALLEL_ITEMS`` or the
+        built-in threshold).
     """
 
     def __init__(
@@ -64,6 +72,8 @@ class ConsistentAnswerEngine:
         backend: str = "operational",
         fallback: str = "branch_and_bound",
         plan_cache_size: int = 128,
+        batch_workers: Optional[int] = None,
+        min_parallel_items: Optional[int] = None,
     ) -> None:
         self._backend_name = backend
         self._fallback_name = fallback
@@ -73,6 +83,10 @@ class ConsistentAnswerEngine:
         )
         self._fallback: ExecutionBackend = create_backend(fallback)
         self._cache: PlanCache[QueryPlan] = PlanCache(plan_cache_size)
+        self._batch_workers = None if batch_workers is None else max(1, batch_workers)
+        self._min_parallel_items = (
+            None if min_parallel_items is None else max(1, min_parallel_items)
+        )
 
     # -- configuration ----------------------------------------------------------------
 
@@ -84,12 +98,36 @@ class ConsistentAnswerEngine:
     def fallback_name(self) -> str:
         return self._fallback_name
 
+    @property
+    def batch_workers(self) -> int:
+        """Effective worker count for batches (kwarg, else env/cpu default)."""
+        from repro.engine.batch import default_worker_count
+
+        return (
+            self._batch_workers
+            if self._batch_workers is not None
+            else default_worker_count()
+        )
+
+    @property
+    def min_parallel_items(self) -> int:
+        """Effective serial/parallel threshold for batches."""
+        from repro.engine.batch import default_min_parallel_items
+
+        return (
+            self._min_parallel_items
+            if self._min_parallel_items is not None
+            else default_min_parallel_items()
+        )
+
     def config(self) -> Dict[str, object]:
         """Picklable constructor arguments (used by the batch executor)."""
         return {
             "backend": self._backend_name,
             "fallback": self._fallback_name,
             "plan_cache_size": self._cache.maxsize,
+            "batch_workers": self._batch_workers,
+            "min_parallel_items": self._min_parallel_items,
         }
 
     # -- plan compilation --------------------------------------------------------------
@@ -255,12 +293,17 @@ class ConsistentAnswerEngine:
         Work is chunked and fanned out across processes when ``max_workers``
         allows it; see :func:`repro.engine.batch.execute_batch`.  Closed
         queries yield a :class:`RangeAnswer`, GROUP BY queries a per-group
-        dict.  Results come back in submission order.
+        dict.  Results come back in submission order.  ``max_workers``
+        defaults to the engine's ``batch_workers`` configuration.
         """
         from repro.engine.batch import execute_batch
 
         return execute_batch(
-            self, items, max_workers=max_workers, chunk_size=chunk_size
+            self,
+            items,
+            max_workers=self._batch_workers if max_workers is None else max_workers,
+            chunk_size=chunk_size,
+            min_parallel_items=self._min_parallel_items,
         )
 
     # -- cache management --------------------------------------------------------------

@@ -1,0 +1,100 @@
+"""``python -m repro.serve`` — boot the consistent-answering server.
+
+Examples::
+
+    python -m repro.serve                         # 127.0.0.1:8421, builtins
+    python -m repro.serve --port 0                # ephemeral port
+    python -m repro.serve --backend sqlite --workers 8 --max-pending 256
+    REPRO_BATCH_WORKERS=4 python -m repro.serve --max-batch-workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.serve.app import ServeConfig, run_server
+
+
+def build_parser() -> argparse.ArgumentParser:
+    defaults = ServeConfig()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve range consistent answers over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument(
+        "--port", type=int, default=defaults.port, help="0 picks an ephemeral port"
+    )
+    parser.add_argument(
+        "--backend",
+        default=defaults.backend,
+        help="engine backend for rewriting-based execution (operational, sqlite, ...)",
+    )
+    parser.add_argument(
+        "--fallback",
+        default=defaults.fallback,
+        help="backend for non-rewritable directions",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="engine worker threads (default: cpu-derived)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=defaults.max_pending,
+        help="admission-queue slots beyond the in-flight workers (503 when full)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=defaults.request_timeout_s,
+        metavar="SECONDS",
+        help="per-request execution budget (504 when exceeded)",
+    )
+    parser.add_argument(
+        "--max-batch-workers",
+        type=int,
+        default=defaults.max_batch_workers,
+        help="process fan-out cap for /answer_many (1 = serial, cache-warming)",
+    )
+    parser.add_argument(
+        "--plan-cache-size", type=int, default=defaults.plan_cache_size
+    )
+    parser.add_argument(
+        "--no-builtins",
+        action="store_true",
+        help="do not pre-register the paper's example instances",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        fallback=args.fallback,
+        plan_cache_size=args.plan_cache_size,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        request_timeout_s=args.request_timeout,
+        max_batch_workers=args.max_batch_workers,
+        register_builtins=not args.no_builtins,
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(run_server(config_from_args(args)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

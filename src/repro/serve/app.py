@@ -1,0 +1,665 @@
+"""The asyncio HTTP/JSON server fronting the :class:`ConsistentAnswerEngine`.
+
+Architecture (stdlib only — no third-party web framework):
+
+* one asyncio event loop accepts connections and parses a minimal but
+  correct subset of HTTP/1.1 (keep-alive, ``Content-Length`` bodies);
+* query execution is CPU-bound library code, so handlers dispatch it to a
+  fixed thread pool via ``run_in_executor``; the engine's plan cache and the
+  process-wide SQL memo are thread-safe and shared by every worker, so one
+  request's compiled plan is every later request's cache hit;
+* admission control is a counting gate sized ``workers + max_pending``:
+  when it is full the server answers ``503`` *immediately* instead of
+  queueing unboundedly (load-shedding beats collapse);
+* every engine-bound request has a timeout (server default, optionally
+  lowered per request) and times out with ``504`` — the worker thread
+  finishes in the background but the client is released;
+* batched requests (``POST /answer_many``) reuse the
+  :mod:`repro.engine.batch` machinery; the server caps their process
+  fan-out (``max_batch_workers``, default serial) because the serial path
+  is what warms the shared plan cache.
+
+Endpoints::
+
+    POST /answer           {"instance", "query", "binding"?, "timeout_s"?}
+    POST /answer_group_by  {"instance", "query", "timeout_s"?}
+    POST /answer_many      {"items": [{"instance", "query"}, ...], ...}
+    POST /instances        {"name", "schema", "rows", "replace"?}
+    GET  /instances        registered instances + schema fingerprints
+    GET  /metrics          counters, latency histograms, cache hit rates
+    GET  /healthz          liveness + config summary
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.range_answers import RangeAnswer
+from repro.engine import ConsistentAnswerEngine, sql_memo_stats
+from repro.exceptions import (
+    BackendError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.query.aggregation import AggregationQuery
+from repro.query.parser import parse_aggregation_query
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_constant,
+    dumps,
+    encode_group_answers,
+    encode_range_answer,
+    error_body,
+    loads,
+)
+from repro.serve.registry import (
+    DuplicateInstanceError,
+    InstanceRegistry,
+    RegisteredInstance,
+    UnknownInstanceError,
+    builtin_registry,
+)
+
+SERVER_NAME = "repro-serve"
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class AdmissionError(ReproError):
+    """The request queue is full; the server sheds load instead of queueing."""
+
+
+class AdmissionGate:
+    """Counting gate bounding engine-bound work (in-flight + queued).
+
+    ``try_acquire`` never blocks: a full gate is an immediate ``503``.  The
+    gate is intentionally test-accessible — filling it by hand is the
+    deterministic way to exercise the rejection path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("admission gate capacity must be >= 1")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._in_use = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self._in_use
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._in_use >= self._capacity:
+                return False
+            self._in_use += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._in_use > 0:
+                self._in_use -= 1
+
+
+def _default_workers() -> int:
+    return max(2, min(os.cpu_count() or 2, 8))
+
+
+@dataclass
+class ServeConfig:
+    """Boot configuration of the serving layer.
+
+    ``workers`` sizes the engine thread pool (``None`` → cpu-derived);
+    ``max_pending`` bounds the admission queue beyond the in-flight slots;
+    ``max_batch_workers`` caps the process fan-out a single ``/answer_many``
+    request may ask for.  The default of 1 (always the serial,
+    cache-warming path) is also the safe one: raising it makes batch
+    requests fork a process pool from this multithreaded server, which on
+    fork-start-method platforms can inherit locks held by other request
+    threads — only raise it on deployments that accept that risk.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    backend: str = "operational"
+    fallback: str = "branch_and_bound"
+    plan_cache_size: int = 256
+    workers: Optional[int] = None
+    max_pending: int = 64
+    request_timeout_s: float = 30.0
+    max_batch_workers: int = 1
+    max_body_bytes: int = 16 * 1024 * 1024
+    register_builtins: bool = True
+
+    def resolved_workers(self) -> int:
+        return self.workers if self.workers else _default_workers()
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+class _HttpError(Exception):
+    """An error with a fixed HTTP status and a structured body."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+def _classify_exception(exc: Exception) -> Tuple[int, str]:
+    """Map an exception to (status, error type) for the structured body."""
+    if isinstance(exc, _HttpError):
+        return exc.status, exc.error_type
+    if isinstance(exc, UnknownInstanceError):
+        return 404, type(exc).__name__
+    if isinstance(exc, DuplicateInstanceError):
+        return 409, type(exc).__name__
+    if isinstance(exc, AdmissionError):
+        return 503, type(exc).__name__
+    if isinstance(exc, (ProtocolError, ParseError, QueryError, SchemaError)):
+        return 400, type(exc).__name__
+    if isinstance(exc, BackendError):
+        return 500, type(exc).__name__
+    if isinstance(exc, ReproError):
+        return 400, type(exc).__name__
+    return 500, type(exc).__name__
+
+
+class ConsistentAnswerServer:
+    """The serving app: registry + engine pool + router, bound to a socket."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        engine: Optional[ConsistentAnswerEngine] = None,
+        registry: Optional[InstanceRegistry] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        workers = self.config.resolved_workers()
+        self.engine = engine or ConsistentAnswerEngine(
+            backend=self.config.backend,
+            fallback=self.config.fallback,
+            plan_cache_size=self.config.plan_cache_size,
+            batch_workers=self.config.max_batch_workers,
+        )
+        if registry is not None:
+            self.registry = registry
+        elif self.config.register_builtins:
+            self.registry = builtin_registry()
+        else:
+            self.registry = InstanceRegistry()
+        self.metrics = ServerMetrics()
+        self.gate = AdmissionGate(workers + max(0, self.config.max_pending))
+        self._workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._routes: Dict[Tuple[str, str], Callable] = {
+            ("POST", "/answer"): self._handle_answer,
+            ("POST", "/answer_group_by"): self._handle_answer_group_by,
+            ("POST", "/answer_many"): self._handle_answer_many,
+            ("POST", "/instances"): self._handle_register_instance,
+            ("GET", "/instances"): self._handle_list_instances,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/healthz"): self._handle_healthz,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket (``port=0`` picks an ephemeral one) and accept."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.config.host, port=self.config.port
+        )
+        sock = self._server.sockets[0]
+        self._address = sock.getsockname()[:2]
+        return self._address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("server is not started")
+        return self._address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def __aenter__(self) -> "ConsistentAnswerServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling -----------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        error_body(exc.error_type, str(exc)),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                status, payload = await self._process(request)
+                await self._write_response(
+                    writer, status, payload, keep_alive=request.keep_alive
+                )
+                if not request.keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down with the connection open
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise _HttpError(400, "ProtocolError", "request line too long")
+        if not request_line:
+            return None  # clean EOF between keep-alive requests
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "ProtocolError", "malformed request line")
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                raise _HttpError(400, "ProtocolError", "header line too long")
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                return None  # EOF mid-headers: treat as a closed connection
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, "ProtocolError", "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "ProtocolError", "bad Content-Length")
+        if length < 0:
+            raise _HttpError(400, "ProtocolError", "bad Content-Length")
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413,
+                "ProtocolError",
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes} byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method=method.upper(), path=path, headers=headers, body=body)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        keep_alive: bool,
+    ) -> None:
+        body = dumps(payload)
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Server: {SERVER_NAME}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------------------
+
+    async def _process(self, request: _Request) -> Tuple[int, object]:
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            known_methods = [m for m, p in self._routes if p == request.path]
+            if known_methods:
+                endpoint, status = request.path, 405
+                payload = error_body(
+                    "MethodNotAllowed",
+                    f"{request.path} supports {sorted(known_methods)}",
+                )
+            else:
+                endpoint, status = "unknown", 404
+                payload = error_body("NotFound", f"no route for {request.path!r}")
+            self.metrics.request_started()
+            self.metrics.request_finished(endpoint, status, 0.0)
+            return status, payload
+        endpoint = f"{request.method} {request.path}"
+        self.metrics.request_started()
+        started = time.perf_counter()
+        try:
+            payload_in = loads(request.body)
+            status, payload = await handler(payload_in)
+        except asyncio.TimeoutError:
+            status = 504
+            payload = error_body(
+                "Timeout",
+                f"request exceeded its {self._effective_timeout(None):.3f}s budget",
+            )
+        except Exception as exc:  # noqa: BLE001 — every error becomes JSON
+            status, error_type = _classify_exception(exc)
+            payload = error_body(error_type, str(exc))
+        self.metrics.request_finished(endpoint, status, time.perf_counter() - started)
+        return status, payload
+
+    # -- engine dispatch ---------------------------------------------------------------
+
+    def _effective_timeout(self, requested: Optional[float]) -> float:
+        timeout = self.config.request_timeout_s
+        if requested is not None and requested > 0:
+            timeout = min(timeout, requested)
+        return timeout
+
+    async def _dispatch(self, fn: Callable[[], object], timeout_s: float) -> object:
+        """Run ``fn`` on the engine pool under admission control + timeout.
+
+        ``asyncio.wait_for`` would block until a *running* executor job
+        finishes (thread futures do not cancel), so the timeout is enforced
+        with ``asyncio.wait``: the client gets its 504 immediately and the
+        worker thread finishes (and warms caches) in the background.
+
+        The gate slot is released when the *job* completes, not when the
+        request does — a timed-out request whose thread is still computing
+        keeps its slot, so the workers+max_pending bound holds under
+        timeout storms instead of the executor queue growing unboundedly.
+        """
+        if not self.gate.try_acquire():
+            raise AdmissionError(
+                f"server at capacity ({self.gate.capacity} in flight or queued); "
+                f"retry later"
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            job = self._executor.submit(fn)
+        except BaseException:
+            self.gate.release()
+            raise
+        # The release hangs off the *concurrent* future: its callbacks fire
+        # only when the job really finished (or was dropped unstarted) —
+        # cancelling the asyncio wrapper below would fire immediately and
+        # free a slot whose thread is still computing.
+        job.add_done_callback(lambda f: self.gate.release())
+        future = asyncio.wrap_future(job, loop=loop)
+        done, _pending = await asyncio.wait({future}, timeout=timeout_s)
+        if not done:
+            job.cancel()  # drops the job if it has not started yet
+            # Consume any late failure so it never logs as unretrieved.
+            future.add_done_callback(lambda f: f.cancelled() or f.exception())
+            raise asyncio.TimeoutError
+        return future.result()
+
+    # -- request parsing helpers -------------------------------------------------------
+
+    @staticmethod
+    def _require_object(payload: object) -> Mapping:
+        if not isinstance(payload, Mapping):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _require_str(payload: Mapping, field: str) -> str:
+        value = payload.get(field)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"request requires a non-empty string {field!r}")
+        return value
+
+    def _parse_query_request(
+        self, payload: Mapping
+    ) -> Tuple[RegisteredInstance, AggregationQuery]:
+        entry = self.registry.get(self._require_str(payload, "instance"))
+        query_text = self._require_str(payload, "query")
+        query = parse_aggregation_query(entry.instance.schema, query_text)
+        return entry, query
+
+    @staticmethod
+    def _parse_binding(payload: Mapping) -> Dict[str, object]:
+        raw = payload.get("binding") or {}
+        if not isinstance(raw, Mapping):
+            raise ProtocolError("'binding' must be an object of {variable: constant}")
+        return {str(name): decode_constant(value) for name, value in raw.items()}
+
+    @staticmethod
+    def _timeout_of(payload: Mapping) -> Optional[float]:
+        raw = payload.get("timeout_s")
+        if raw is None:
+            return None
+        if not isinstance(raw, (int, float)) or raw <= 0:
+            raise ProtocolError("'timeout_s' must be a positive number")
+        return float(raw)
+
+    @staticmethod
+    def _plan_summary(plan, was_cached: bool) -> Dict[str, object]:
+        return {
+            "glb_strategy": plan.glb_strategy,
+            "lub_strategy": plan.lub_strategy,
+            "certainty_class": plan.certainty_class,
+            "cached": was_cached,
+        }
+
+    # -- handlers ----------------------------------------------------------------------
+
+    async def _handle_answer(self, payload: object) -> Tuple[int, object]:
+        payload = self._require_object(payload)
+        entry, query = self._parse_query_request(payload)
+        binding = self._parse_binding(payload)
+        missing = [v.name for v in query.free_variables if v.name not in binding]
+        if missing:
+            raise ProtocolError(
+                f"query has free variables {missing}; bind them via 'binding' "
+                f"or use /answer_group_by"
+            )
+        timeout = self._effective_timeout(self._timeout_of(payload))
+        was_cached = self.engine.is_cached(query)
+
+        def work():
+            # Plan metadata is fetched on the worker too: compile() after
+            # answer() is a guaranteed cache hit, and the event loop never
+            # runs classification even if the plan was evicted mid-flight.
+            answer = self.engine.answer(query, entry.instance, binding)
+            return answer, self.engine.compile(query)
+
+        answer, plan = await self._dispatch(work, timeout)
+        assert isinstance(answer, RangeAnswer)
+        return 200, {
+            "instance": entry.name,
+            "answer": encode_range_answer(answer),
+            "plan": self._plan_summary(plan, was_cached),
+        }
+
+    async def _handle_answer_group_by(self, payload: object) -> Tuple[int, object]:
+        payload = self._require_object(payload)
+        entry, query = self._parse_query_request(payload)
+        if not query.free_variables:
+            raise ProtocolError(
+                "query has no free variables; use /answer for closed queries"
+            )
+        timeout = self._effective_timeout(self._timeout_of(payload))
+        was_cached = self.engine.is_cached(query)
+
+        def work():
+            answers = self.engine.answer_group_by(query, entry.instance)
+            return answers, self.engine.compile(query)
+
+        answers, plan = await self._dispatch(work, timeout)
+        return 200, {
+            "instance": entry.name,
+            "group_by": [v.name for v in query.free_variables],
+            "groups": encode_group_answers(answers),
+            "plan": self._plan_summary(plan, was_cached),
+        }
+
+    async def _handle_answer_many(self, payload: object) -> Tuple[int, object]:
+        payload = self._require_object(payload)
+        raw_items = payload.get("items")
+        if not isinstance(raw_items, list) or not raw_items:
+            raise ProtocolError("request requires a non-empty 'items' list")
+        pairs = []
+        names = []
+        for position, raw in enumerate(raw_items):
+            if not isinstance(raw, Mapping):
+                raise ProtocolError(f"items[{position}] must be an object")
+            try:
+                entry, query = self._parse_query_request(raw)
+            except ReproError as exc:
+                raise type(exc)(f"items[{position}]: {exc}") from exc
+            pairs.append((query, entry.instance))
+            names.append(entry.name)
+        requested_workers = payload.get("max_workers")
+        if requested_workers is not None and (
+            not isinstance(requested_workers, int) or requested_workers < 1
+        ):
+            raise ProtocolError("'max_workers' must be a positive integer")
+        workers = min(
+            requested_workers or 1, max(1, self.config.max_batch_workers)
+        )
+        timeout = self._effective_timeout(self._timeout_of(payload))
+        results = await self._dispatch(
+            lambda: self.engine.answer_many(pairs, max_workers=workers), timeout
+        )
+        encoded = []
+        for result, name in zip(results, names):
+            item: Dict[str, object] = {
+                "index": result.index,
+                "instance": name,
+                "seconds": result.seconds,
+                "glb_strategy": result.glb_strategy,
+                "lub_strategy": result.lub_strategy,
+                "plan_cached": result.plan_cached,
+            }
+            if isinstance(result.answer, RangeAnswer):
+                item["answer"] = encode_range_answer(result.answer)
+            else:
+                item["groups"] = encode_group_answers(result.answer)
+            encoded.append(item)
+        return 200, {"results": encoded}
+
+    async def _handle_register_instance(self, payload: object) -> Tuple[int, object]:
+        payload = self._require_object(payload)
+        replace = bool(payload.get("replace", False))
+        entry = self.registry.register_payload(payload, replace=replace)
+        return 201, {"registered": entry.describe()}
+
+    async def _handle_list_instances(self, payload: object) -> Tuple[int, object]:
+        return 200, {"instances": self.registry.describe_all()}
+
+    async def _handle_metrics(self, payload: object) -> Tuple[int, object]:
+        stats = self.engine.cache_stats()
+        snapshot = self.metrics.snapshot()
+        snapshot.update(
+            {
+                "plan_cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "size": stats.size,
+                    "maxsize": stats.maxsize,
+                    "hit_rate": stats.hit_rate,
+                },
+                "sql_memo": sql_memo_stats(),
+                "admission": {
+                    "capacity": self.gate.capacity,
+                    "in_use": self.gate.in_use,
+                    "workers": self._workers,
+                    "max_pending": self.config.max_pending,
+                },
+                "instances": self.registry.names(),
+            }
+        )
+        return 200, snapshot
+
+    async def _handle_healthz(self, payload: object) -> Tuple[int, object]:
+        return 200, {
+            "status": "ok",
+            "uptime_seconds": self.metrics.uptime_seconds(),
+            "backend": self.engine.backend_name,
+            "fallback": self.engine.fallback_name,
+            "workers": self._workers,
+            "instances": len(self.registry),
+        }
+
+
+async def run_server(config: Optional[ServeConfig] = None) -> None:
+    """Boot a server and serve until cancelled (the ``__main__`` entry)."""
+    server = ConsistentAnswerServer(config)
+    host, port = await server.start()
+    print(f"{SERVER_NAME}: listening on http://{host}:{port}")
+    print(f"{SERVER_NAME}: instances registered: {server.registry.names()}")
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

@@ -1,0 +1,174 @@
+"""Server metrics: request counters, latency histograms, cache hit rates.
+
+The serving layer is the repo's first long-running process, so observability
+is part of the subsystem, not an afterthought.  :class:`ServerMetrics`
+aggregates
+
+* per-endpoint request counts broken down by HTTP status,
+* per-endpoint latency histograms with estimated p50/p95 (fixed
+  Prometheus-style buckets — cheap, bounded memory, mergeable),
+* admission-control rejections and request timeouts,
+* plan-cache and generated-SQL-memo statistics surfaced from the engine.
+
+Everything is guarded by one lock; observations are O(#buckets) and the
+snapshot is an immutable dict ready for JSON serialization at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+#: Upper bucket bounds in seconds (the last bucket is +Inf).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation.
+
+    Percentiles are estimated as the upper bound of the bucket containing
+    the requested rank — the standard histogram-quantile approximation.
+    """
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self._bounds = tuple(sorted(buckets))
+        self._counts = [0] * (len(self._bounds) + 1)  # +1 for the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect_left(self._bounds, seconds)] += 1
+        self._sum += seconds
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, quantile: float) -> Optional[float]:
+        """Estimated latency (seconds) at ``quantile`` in [0, 1], or None."""
+        if self._count == 0:
+            return None
+        rank = quantile * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self._bounds):
+                    return self._bounds[index]
+                return self._max_seen_bound()
+        return self._max_seen_bound()
+
+    def _max_seen_bound(self) -> float:
+        # Observations beyond the largest bound: report the mean of the
+        # overflow as a best effort rather than pretending it fits a bucket.
+        return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {str(bound): count for bound, count in zip(self._bounds, self._counts)}
+        buckets["+Inf"] = self._counts[-1]
+        return {
+            "count": self._count,
+            "sum_seconds": self._sum,
+            "p50_ms": _to_ms(self.percentile(0.50)),
+            "p95_ms": _to_ms(self.percentile(0.95)),
+            "p99_ms": _to_ms(self.percentile(0.99)),
+            "buckets": buckets,
+        }
+
+
+def _to_ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1000.0, 3)
+
+
+class ServerMetrics:
+    """Thread-safe aggregation of everything ``GET /metrics`` reports."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._started_at = time.time()
+        self._requests: Dict[str, Dict[str, int]] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self._in_flight = 0
+        self._rejected = 0
+        self._timeouts = 0
+
+    # -- recording ---------------------------------------------------------------------
+
+    def request_started(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def request_finished(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            by_status = self._requests.setdefault(endpoint, {})
+            key = str(status)
+            by_status[key] = by_status.get(key, 0) + 1
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+            histogram.observe(seconds)
+            if status == 503:
+                self._rejected += 1
+            elif status == 504:
+                self._timeouts += 1
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            requests = {
+                endpoint: dict(by_status)
+                for endpoint, by_status in sorted(self._requests.items())
+            }
+            latency = {
+                endpoint: histogram.snapshot()
+                for endpoint, histogram in sorted(self._latency.items())
+            }
+            return {
+                "started_at": self._started_at,
+                "uptime_seconds": self.uptime_seconds(),
+                "in_flight": self._in_flight,
+                "rejected_total": self._rejected,
+                "timeout_total": self._timeouts,
+                "requests_total": requests,
+                "latency": latency,
+            }
+
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(
+                count
+                for by_status in self._requests.values()
+                for count in by_status.values()
+            )
+
+    def status_counts(self) -> Dict[str, int]:
+        """Aggregate request counts by status across every endpoint."""
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for by_status in self._requests.values():
+                for status, count in by_status.items():
+                    totals[status] = totals.get(status, 0) + count
+            return totals

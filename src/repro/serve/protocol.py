@@ -1,0 +1,236 @@
+"""Wire protocol of the serving layer: JSON encoding of the repro datamodel.
+
+Everything that crosses the HTTP boundary is JSON.  The encoding must be
+loss-free for the library's exact arithmetic, so the protocol defines a
+tagged representation for values JSON cannot carry natively:
+
+* :class:`~fractions.Fraction` — ``{"$fraction": "70/3"}`` (exact);
+* the ``BOTTOM`` sentinel (query not certain) — ``null``;
+* strings and ints pass through as JSON strings / numbers; floats are
+  accepted on input but answers coming out of the engine are exact.
+
+Range answers serialize as ``{"glb": v, "lub": v, "bottom": flag}``; GROUP BY
+results as a list of ``{"key": [...], "glb": ..., "lub": ..., "bottom": ...}``
+rows (JSON objects cannot be keyed by tuples).  Database instances ship as
+``{"name", "schema": {"relations": [...]}, "rows": {relation: [[...], ...]}}``
+so a client can register an instance it built locally.
+
+Errors use a structured body ``{"error": {"type", "message"}}``; the type
+is the exception class name, so clients can switch on it.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.evaluator import BOTTOM
+from repro.core.range_answers import RangeAnswer
+from repro.datamodel.facts import Constant
+from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.signature import RelationSignature, Schema
+from repro.exceptions import ReproError
+
+PROTOCOL_VERSION = 1
+
+_FRACTION_TAG = "$fraction"
+
+
+class ProtocolError(ReproError):
+    """A request body does not conform to the wire protocol."""
+
+
+# -- constants and answer values --------------------------------------------------------
+
+
+def encode_constant(value: Constant) -> object:
+    """Encode one database constant as a JSON-compatible value."""
+    if isinstance(value, bool):  # bool is an int subclass; keep it explicit
+        return value
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return int(value)
+        return {_FRACTION_TAG: f"{value.numerator}/{value.denominator}"}
+    if isinstance(value, (str, int, float)):
+        return value
+    raise ProtocolError(f"cannot encode constant of type {type(value).__name__}")
+
+
+def decode_constant(raw: object) -> Constant:
+    """Decode a JSON value produced by :func:`encode_constant`."""
+    if isinstance(raw, Mapping):
+        tag = raw.get(_FRACTION_TAG)
+        if tag is None or len(raw) != 1:
+            raise ProtocolError(f"unknown tagged constant: {raw!r}")
+        try:
+            return Fraction(str(tag))
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ProtocolError(f"bad fraction literal {tag!r}") from exc
+    if isinstance(raw, (str, int, float, bool)):
+        return raw
+    raise ProtocolError(f"cannot decode constant: {raw!r}")
+
+
+def encode_value(value: object) -> object:
+    """Encode an answer value: a constant, or ``None`` for ⊥."""
+    if value is BOTTOM:
+        return None
+    return encode_constant(value)
+
+
+def decode_value(raw: object) -> object:
+    """Inverse of :func:`encode_value` (``None`` → ``BOTTOM``)."""
+    if raw is None:
+        return BOTTOM
+    return decode_constant(raw)
+
+
+def encode_range_answer(answer: RangeAnswer) -> Dict[str, object]:
+    return {
+        "glb": encode_value(answer.glb),
+        "lub": encode_value(answer.lub),
+        "bottom": answer.is_bottom,
+    }
+
+
+def decode_range_answer(payload: Mapping) -> RangeAnswer:
+    try:
+        return RangeAnswer(decode_value(payload["glb"]), decode_value(payload["lub"]))
+    except KeyError as exc:
+        raise ProtocolError(f"range answer missing field {exc.args[0]!r}") from exc
+
+
+def encode_group_answers(
+    answers: Mapping[Tuple[Constant, ...], RangeAnswer]
+) -> List[Dict[str, object]]:
+    """Encode a GROUP BY result as a list of keyed rows (stable order)."""
+    return [
+        {"key": [encode_constant(c) for c in key], **encode_range_answer(answer)}
+        for key, answer in answers.items()
+    ]
+
+
+def decode_group_answers(
+    rows: Sequence[Mapping],
+) -> Dict[Tuple[Constant, ...], RangeAnswer]:
+    decoded: Dict[Tuple[Constant, ...], RangeAnswer] = {}
+    for row in rows:
+        if "key" not in row:
+            raise ProtocolError("group answer row missing 'key'")
+        key = tuple(decode_constant(c) for c in row["key"])
+        decoded[key] = decode_range_answer(row)
+    return decoded
+
+
+# -- schemas and instances --------------------------------------------------------------
+
+
+def schema_to_payload(schema: Schema) -> Dict[str, object]:
+    return {
+        "relations": [
+            {
+                "name": sig.name,
+                "arity": sig.arity,
+                "key_size": sig.key_size,
+                "numeric_positions": list(sig.numeric_positions),
+                "attribute_names": list(sig.attribute_names),
+            }
+            for sig in schema
+        ]
+    }
+
+
+def schema_from_payload(payload: Mapping) -> Schema:
+    relations = payload.get("relations")
+    if not isinstance(relations, list) or not relations:
+        raise ProtocolError("schema payload requires a non-empty 'relations' list")
+    signatures = []
+    for raw in relations:
+        if not isinstance(raw, Mapping):
+            raise ProtocolError("each relation must be an object")
+        try:
+            signatures.append(
+                RelationSignature(
+                    name=str(raw["name"]),
+                    arity=int(raw["arity"]),
+                    key_size=int(raw["key_size"]),
+                    numeric_positions=tuple(
+                        int(p) for p in raw.get("numeric_positions", ())
+                    ),
+                    attribute_names=tuple(
+                        str(a) for a in raw.get("attribute_names", ())
+                    ),
+                )
+            )
+        except KeyError as exc:
+            raise ProtocolError(
+                f"relation payload missing field {exc.args[0]!r}"
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed relation payload: {exc}") from exc
+    return Schema(signatures)
+
+
+def instance_to_payload(name: str, instance: DatabaseInstance) -> Dict[str, object]:
+    """Serialize an instance (with its schema) for ``POST /instances``."""
+    rows: Dict[str, List[List[object]]] = {}
+    for fact in sorted(instance, key=repr):
+        rows.setdefault(fact.relation, []).append(
+            [encode_constant(v) for v in fact.values]
+        )
+    return {
+        "name": name,
+        "schema": schema_to_payload(instance.schema),
+        "rows": rows,
+    }
+
+
+def instance_from_payload(payload: Mapping) -> Tuple[str, DatabaseInstance]:
+    """Build a named :class:`DatabaseInstance` from a registration payload."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("instance payload must be a JSON object")
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("instance payload requires a non-empty 'name'")
+    schema_payload = payload.get("schema")
+    if not isinstance(schema_payload, Mapping):
+        raise ProtocolError("instance payload requires a 'schema' object")
+    schema = schema_from_payload(schema_payload)
+    raw_rows = payload.get("rows", {})
+    if not isinstance(raw_rows, Mapping):
+        raise ProtocolError("'rows' must map relation names to row lists")
+    instance = DatabaseInstance(schema)
+    for relation, relation_rows in raw_rows.items():
+        if not isinstance(relation_rows, list):
+            raise ProtocolError(f"rows for {relation!r} must be a list")
+        for row in relation_rows:
+            if not isinstance(row, list):
+                raise ProtocolError(f"each row of {relation!r} must be a list")
+            instance.add_row(str(relation), *(decode_constant(v) for v in row))
+    return name, instance
+
+
+# -- errors and body framing ------------------------------------------------------------
+
+
+def error_body(error_type: str, message: str) -> Dict[str, object]:
+    """The structured error body every non-2xx response carries."""
+    return {"error": {"type": error_type, "message": message}}
+
+
+def dumps(payload: object) -> bytes:
+    """Serialize a response payload (compact separators, UTF-8)."""
+    return json.dumps(payload, separators=(",", ":"), ensure_ascii=False).encode(
+        "utf-8"
+    )
+
+
+def loads(body: bytes) -> Any:
+    """Parse a request body, raising :class:`ProtocolError` on bad JSON."""
+    if not body:
+        return {}
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc

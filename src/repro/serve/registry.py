@@ -1,0 +1,161 @@
+"""The instance registry: named databases the server answers queries over.
+
+Clients never ship a database per request; they register it once (or the
+operator loads it at boot) and subsequent requests reference it by name.
+Every registered instance carries its schema fingerprint, so the registry
+makes explicit which instances share plan-cache entries: two instances with
+the same fingerprint are served by the same compiled plans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.engine.plan import schema_fingerprint
+from repro.exceptions import ReproError
+from repro.serve.protocol import instance_from_payload
+
+
+class RegistryError(ReproError):
+    """Base class for registry failures."""
+
+
+class UnknownInstanceError(RegistryError):
+    """A request referenced an instance name that is not registered."""
+
+
+class DuplicateInstanceError(RegistryError):
+    """An instance name is already registered (and ``replace`` was not set)."""
+
+
+@dataclass(frozen=True)
+class RegisteredInstance:
+    """One named database plus the metadata the server reports about it."""
+
+    name: str
+    instance: DatabaseInstance
+    fingerprint: str
+    registered_at: float
+
+    def describe(self) -> Dict[str, object]:
+        """The JSON-facing description used by ``GET /instances``."""
+        instance = self.instance
+        return {
+            "name": self.name,
+            "schema_fingerprint": self.fingerprint,
+            "relations": list(instance.schema.relation_names()),
+            "facts": len(instance),
+            "blocks": len(instance.blocks()),
+            "inconsistent_blocks": len(instance.inconsistent_blocks()),
+            "registered_at": self.registered_at,
+        }
+
+
+class InstanceRegistry:
+    """Thread-safe mapping from instance names to registered databases.
+
+    The serving app reads from request-handling threads and writes from the
+    admin endpoint, so every access takes the registry lock.
+    """
+
+    def __init__(
+        self, instances: Optional[Mapping[str, DatabaseInstance]] = None
+    ) -> None:
+        self._lock = threading.Lock()
+        self._instances: Dict[str, RegisteredInstance] = {}
+        for name, instance in (instances or {}).items():
+            self.register(name, instance)
+
+    def register(
+        self, name: str, instance: DatabaseInstance, replace: bool = False
+    ) -> RegisteredInstance:
+        """Register ``instance`` under ``name``; refuses silent overwrites."""
+        if not name:
+            raise RegistryError("instance name must be non-empty")
+        entry = RegisteredInstance(
+            name=name,
+            instance=instance,
+            fingerprint=schema_fingerprint(instance.schema),
+            registered_at=time.time(),
+        )
+        with self._lock:
+            if name in self._instances and not replace:
+                raise DuplicateInstanceError(
+                    f"instance {name!r} is already registered (pass replace=true "
+                    f"to overwrite)"
+                )
+            self._instances[name] = entry
+        return entry
+
+    def register_payload(
+        self, payload: Mapping, replace: bool = False
+    ) -> RegisteredInstance:
+        """Register an instance shipped over the wire (``POST /instances``)."""
+        name, instance = instance_from_payload(payload)
+        return self.register(name, instance, replace=replace)
+
+    def get(self, name: str) -> RegisteredInstance:
+        with self._lock:
+            try:
+                return self._instances[name]
+            except KeyError:
+                known = sorted(self._instances)
+                raise UnknownInstanceError(
+                    f"unknown instance {name!r}; registered: {known}"
+                ) from None
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instances)
+
+    def describe_all(self) -> List[Dict[str, object]]:
+        with self._lock:
+            entries = sorted(self._instances.values(), key=lambda e: e.name)
+        return [entry.describe() for entry in entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instances)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._instances
+
+
+#: Loaders for the paper's worked examples, registered at boot by default so
+#: a freshly started server answers the README queries out of the box.
+BUILTIN_INSTANCES: Dict[str, Callable[[], DatabaseInstance]] = {}
+
+
+def _register_builtin(name: str):
+    def wrap(loader: Callable[[], DatabaseInstance]):
+        BUILTIN_INSTANCES[name] = loader
+        return loader
+
+    return wrap
+
+
+@_register_builtin("stock")
+def _load_stock() -> DatabaseInstance:
+    from repro.workloads.scenarios import fig1_stock_instance
+
+    return fig1_stock_instance()
+
+
+@_register_builtin("running_example")
+def _load_running_example() -> DatabaseInstance:
+    from repro.workloads.scenarios import fig3_running_example_instance
+
+    return fig3_running_example_instance()
+
+
+def builtin_registry() -> InstanceRegistry:
+    """A registry pre-loaded with the paper's example databases."""
+    registry = InstanceRegistry()
+    for name, loader in BUILTIN_INSTANCES.items():
+        registry.register(name, loader())
+    return registry

@@ -437,3 +437,111 @@ class TestSerialization:
         answer = RangeAnswer(BOTTOM, BOTTOM)
         restored = pickle.loads(pickle.dumps(answer))
         assert restored.is_bottom
+
+
+# -- tunable batch parallelism (engine kwargs + env overrides) ---------------------------
+
+
+class TestBatchConfiguration:
+    def test_constructor_kwargs_surface_in_config(self):
+        engine = ConsistentAnswerEngine(batch_workers=3, min_parallel_items=7)
+        config = engine.config()
+        assert config["batch_workers"] == 3
+        assert config["min_parallel_items"] == 7
+        assert engine.batch_workers == 3
+        assert engine.min_parallel_items == 7
+        # The config rebuilds an identically-tuned engine (worker processes).
+        clone = ConsistentAnswerEngine(**config)
+        assert clone.batch_workers == 3
+        assert clone.min_parallel_items == 7
+
+    def test_env_override_for_worker_count(self, monkeypatch):
+        from repro.engine.batch import default_worker_count
+
+        monkeypatch.setenv("REPRO_BATCH_WORKERS", "5")
+        assert default_worker_count() == 5
+        # An unconfigured engine picks the env default up lazily.
+        assert ConsistentAnswerEngine().batch_workers == 5
+        # Explicit kwargs beat the environment.
+        assert ConsistentAnswerEngine(batch_workers=2).batch_workers == 2
+
+    def test_env_override_for_min_parallel_items(self, monkeypatch):
+        from repro.engine.batch import default_min_parallel_items
+
+        monkeypatch.setenv("REPRO_MIN_PARALLEL_ITEMS", "9")
+        assert default_min_parallel_items() == 9
+        assert ConsistentAnswerEngine().min_parallel_items == 9
+
+    def test_garbage_env_values_fall_back_to_defaults(self, monkeypatch):
+        from repro.engine.batch import default_worker_count
+
+        monkeypatch.setenv("REPRO_BATCH_WORKERS", "not-a-number")
+        assert default_worker_count() >= 1
+
+    def test_high_threshold_keeps_batches_serial_and_warms_cache(self):
+        engine = ConsistentAnswerEngine(batch_workers=8, min_parallel_items=100)
+        instance = fig1_stock_instance()
+        items = [(stock_sum_query(), instance)] * 6
+        results = engine.answer_many(items)
+        # Serial path: the calling engine executed everything itself, so its
+        # own plan cache is warm and later items saw the cached plan.
+        assert engine.is_cached(stock_sum_query())
+        assert [r.plan_cached for r in results] == [False] + [True] * 5
+
+
+# -- process-wide generated-SQL memo -----------------------------------------------------
+
+
+class TestSqlMemo:
+    def setup_method(self):
+        from repro.engine import clear_sql_memo
+
+        clear_sql_memo()
+
+    def test_fresh_engines_share_generated_sql(self):
+        from repro.engine import sql_memo_stats
+
+        instance = fig1_stock_instance()
+        query = stock_groupby_query()
+
+        first = ConsistentAnswerEngine(backend="sqlite").answer_group_by(
+            query, instance
+        )
+        after_first = sql_memo_stats()
+        assert after_first["misses"] > 0
+        assert after_first["size"] == after_first["misses"]
+
+        # A fresh engine (e.g. a new serving worker) re-prepares executors
+        # but must not regenerate identical per-binding SQL.
+        second = ConsistentAnswerEngine(backend="sqlite").answer_group_by(
+            query, instance
+        )
+        after_second = sql_memo_stats()
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["hits"] > after_first["hits"]
+        assert first == second
+
+    def test_closed_query_sql_memoized_across_engines(self):
+        from repro.engine import sql_memo_stats
+
+        instance = fig1_stock_instance()
+        query = stock_sum_query()
+        answers = [
+            ConsistentAnswerEngine(backend="sqlite").answer(query, instance)
+            for _ in range(3)
+        ]
+        stats = sql_memo_stats()
+        assert stats["misses"] == 1  # generated exactly once process-wide
+        assert stats["hits"] >= 2
+        assert answers[0] == answers[1] == answers[2]
+
+    def test_memo_distinguishes_instantiations(self):
+        from repro.engine import sql_memo_stats
+
+        instance = fig1_stock_instance()
+        engine = ConsistentAnswerEngine(backend="sqlite")
+        engine.answer(stock_sum_query("Smith"), instance)
+        engine.answer(stock_sum_query("James"), instance)
+        stats = sql_memo_stats()
+        # Different constants are different rewritings: two distinct entries.
+        assert stats["size"] == 2
