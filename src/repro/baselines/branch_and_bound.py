@@ -53,10 +53,36 @@ class BranchAndBoundSolver:
     ) -> Tuple[object, object]:
         return (self.glb(instance, binding), self.lub(instance, binding))
 
+    def extremum(
+        self,
+        instance: DatabaseInstance,
+        binding: Optional[Dict[str, Constant]] = None,
+        maximize: bool = False,
+    ) -> Optional[Fraction]:
+        """Extremum of the aggregate over repairs with at least one embedding.
+
+        Unlike :meth:`glb` / :meth:`lub` this skips the certainty gate:
+        repairs on which the body has no embedding are simply ignored rather
+        than turning the whole answer into ⊥.  Returns ``None`` when no
+        repair has an embedding at all.  The sharded executor uses this to
+        summarise shards whose body is not locally certain (the empty-repair
+        case is accounted for by the merge operators, not by ⊥).
+        """
+        value = self._solve(
+            instance, dict(binding or {}), maximize=maximize, check_certainty=False
+        )
+        return None if value is BOTTOM else value
+
     # -- search ------------------------------------------------------------------------
 
-    def _solve(self, instance: DatabaseInstance, binding: Dict[str, Constant], maximize: bool):
-        if not self._body_is_certain(instance, binding):
+    def _solve(
+        self,
+        instance: DatabaseInstance,
+        binding: Dict[str, Constant],
+        maximize: bool,
+        check_certainty: bool = True,
+    ):
+        if check_certainty and not self._body_is_certain(instance, binding):
             return BOTTOM
 
         relevant = set(self._query.body.relation_names)

@@ -38,12 +38,33 @@ from repro.engine.plan import (
     plan_key,
     schema_fingerprint,
 )
+from repro.engine.sharding import (
+    DirectionSummary,
+    SHARD_ANSWER_IDENTITY,
+    SHARD_IDENTITY,
+    SHARDABLE_AGGREGATES,
+    ShardAnswer,
+    ShardPlan,
+    ShardPlanner,
+    clear_shard_plan_cache,
+    combine_values,
+    execute_sharded,
+    finalize_answer,
+    finalize_group_answers,
+    merge_direction,
+    merge_group_answers,
+    merge_shard_answers,
+    shard_plan_cache_stats,
+    summarize_shard,
+    summarize_shard_groups,
+)
 
 __all__ = [
     "BatchResult",
     "BranchAndBoundBackend",
     "CacheStats",
     "ConsistentAnswerEngine",
+    "DirectionSummary",
     "ExecutionBackend",
     "ExhaustiveBackend",
     "OperationalBackend",
@@ -51,19 +72,36 @@ __all__ = [
     "PlanKey",
     "PreparedExecutor",
     "QueryPlan",
+    "SHARD_ANSWER_IDENTITY",
+    "SHARD_IDENTITY",
+    "SHARDABLE_AGGREGATES",
+    "ShardAnswer",
+    "ShardPlan",
+    "ShardPlanner",
     "SqliteExecutionBackend",
     "STRATEGY_BRANCH_AND_BOUND",
     "STRATEGY_MINMAX",
     "STRATEGY_OPERATIONAL",
     "available_backends",
+    "clear_shard_plan_cache",
     "clear_sql_memo",
+    "combine_values",
     "create_backend",
     "default_min_parallel_items",
     "default_worker_count",
     "execute_batch",
+    "execute_sharded",
+    "finalize_answer",
+    "finalize_group_answers",
+    "merge_direction",
+    "merge_group_answers",
+    "merge_shard_answers",
     "normalize_query",
     "plan_key",
     "register_backend",
     "schema_fingerprint",
+    "shard_plan_cache_stats",
     "sql_memo_stats",
+    "summarize_shard",
+    "summarize_shard_groups",
 ]

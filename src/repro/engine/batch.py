@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.datamodel.instance import DatabaseInstance
 from repro.query.aggregation import AggregationQuery
@@ -36,6 +37,17 @@ ENV_BATCH_WORKERS = "REPRO_BATCH_WORKERS"
 ENV_MIN_PARALLEL_ITEMS = "REPRO_MIN_PARALLEL_ITEMS"
 
 
+#: Environment names a malformed-value warning was already issued for.  A
+#: deployment typo (``REPRO_BATCH_WORKERS=eight``) should be visible, but
+#: exactly once — ``_env_int`` runs on every batch dispatch.
+_WARNED_ENV_NAMES: Set[str] = set()
+
+
+def _reset_env_warnings() -> None:
+    """Re-arm the warn-once guard (test hook)."""
+    _WARNED_ENV_NAMES.clear()
+
+
 def _env_int(name: str) -> Optional[int]:
     raw = os.environ.get(name)
     if raw is None or not raw.strip():
@@ -43,6 +55,14 @@ def _env_int(name: str) -> Optional[int]:
     try:
         return int(raw)
     except ValueError:
+        if name not in _WARNED_ENV_NAMES:
+            _WARNED_ENV_NAMES.add(name)
+            warnings.warn(
+                f"ignoring malformed {name}={raw!r} (expected an integer); "
+                f"using the built-in default",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return None
 
 
@@ -165,11 +185,20 @@ def execute_batch(
     return sorted(results, key=lambda r: r.index)
 
 
-def _parallel_chunks(
-    config: dict,
-    chunks: List[List[Tuple[int, AggregationQuery, DatabaseInstance]]],
-    workers: int,
-) -> Optional[List[BatchResult]]:
+def run_in_fork_pool(worker, payloads: Sequence[tuple], workers: int) -> Optional[list]:
+    """Run ``worker(*payload)`` for every payload on a process pool.
+
+    Prefers the ``fork`` start method (cheap on Linux, inherits the imported
+    library); results come back in payload order.  Returns ``None`` when
+    process pools are unavailable (restricted environments) so callers can
+    degrade to their serial path instead of failing.  The batch executor and
+    the sharded executor share this scaffolding — a fix to the pool policy
+    lands in both.
+
+    Forking a process that already runs threads can inherit held locks into
+    the child; callers embedded in threaded servers keep ``workers`` at 1
+    (the serving layer's default) unless the deployment accepts that risk.
+    """
     import concurrent.futures
     import multiprocessing
 
@@ -179,12 +208,22 @@ def _parallel_chunks(
         context = multiprocessing.get_context()
     try:
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)), mp_context=context
+            max_workers=min(workers, len(payloads)), mp_context=context
         ) as pool:
-            futures = [pool.submit(_run_chunk, config, chunk) for chunk in chunks]
-            collected: List[BatchResult] = []
-            for future in futures:
-                collected.extend(future.result())
-            return collected
+            futures = [pool.submit(worker, *payload) for payload in payloads]
+            return [future.result() for future in futures]
     except (OSError, PermissionError, concurrent.futures.process.BrokenProcessPool):
         return None
+
+
+def _parallel_chunks(
+    config: dict,
+    chunks: List[List[Tuple[int, AggregationQuery, DatabaseInstance]]],
+    workers: int,
+) -> Optional[List[BatchResult]]:
+    chunk_results = run_in_fork_pool(
+        _run_chunk, [(config, chunk) for chunk in chunks], workers
+    )
+    if chunk_results is None:
+        return None
+    return [result for chunk in chunk_results for result in chunk]

@@ -15,6 +15,7 @@ pluggable backend, and fans batches out across processes.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +88,13 @@ class ConsistentAnswerEngine:
         self._min_parallel_items = (
             None if min_parallel_items is None else max(1, min_parallel_items)
         )
+        self._shard_lock = threading.Lock()
+        self._shard_stats: Dict[str, int] = {
+            "requests": 0,
+            "sharded": 0,
+            "fallbacks": 0,
+            "shards_planned": 0,
+        }
 
     # -- configuration ----------------------------------------------------------------
 
@@ -221,11 +229,24 @@ class ConsistentAnswerEngine:
         query: AggregationQuery,
         instance: DatabaseInstance,
         binding: Optional[Binding] = None,
+        shards: Optional[int] = None,
     ) -> RangeAnswer:
         """Both bounds for a closed query (or one instantiation of the free
-        variables via ``binding``)."""
+        variables via ``binding``).
+
+        ``shards=N`` (N > 1) partitions the instance into block-closed fact
+        shards, evaluates the compiled plan per shard (fanning out across
+        the process pool when ``batch_workers`` allows), and merges the
+        per-shard summaries exactly; see :mod:`repro.engine.sharding`.
+        Queries the sharding seam cannot merge fall back to the unsharded
+        path transparently.
+        """
         plan = self.compile(query)
         binding = self._checked_binding(plan, binding)
+        if shards is not None and shards > 1:
+            from repro.engine.sharding import execute_sharded
+
+            return execute_sharded(self, query, instance, shards, binding=binding)
         return RangeAnswer(
             plan.executors["glb"].evaluate(instance, binding),
             plan.executors["lub"].evaluate(instance, binding),
@@ -234,17 +255,27 @@ class ConsistentAnswerEngine:
     # -- GROUP BY execution ------------------------------------------------------------
 
     def answer_group_by(
-        self, query: AggregationQuery, instance: DatabaseInstance
+        self,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        shards: Optional[int] = None,
     ) -> Dict[Tuple[Constant, ...], RangeAnswer]:
         """Range consistent answers per possible answer tuple (Section 6.2).
 
         Tuples that are not consistent answers map to ⊥ on both bounds, as
-        in Section 5.3.
+        in Section 5.3.  ``shards=N`` evaluates each shard's local groups
+        against that shard only and merges the per-group summaries — on top
+        of process parallelism this shrinks the per-group evaluation cost
+        from O(groups × instance) to O(groups × shard).
         """
         plan = self.compile(query)
         free = plan.query.free_variables
         if not free:
             raise BackendError("answer_group_by() requires a query with free variables")
+        if shards is not None and shards > 1:
+            from repro.engine.sharding import execute_sharded
+
+            return execute_sharded(self, query, instance, shards)
         candidates = self._possible_answers(plan, instance)
         bindings = [
             {v.name: value for v, value in zip(free, candidate)}
@@ -305,6 +336,24 @@ class ConsistentAnswerEngine:
             chunk_size=chunk_size,
             min_parallel_items=self._min_parallel_items,
         )
+
+    # -- sharding telemetry ------------------------------------------------------------
+
+    def _record_shard_execution(self, shard_plan) -> None:
+        """Called by the sharded executor once per planned execution."""
+        with self._shard_lock:
+            self._shard_stats["requests"] += 1
+            if shard_plan.is_sharded:
+                self._shard_stats["sharded"] += 1
+                self._shard_stats["shards_planned"] += len(shard_plan.shards)
+            else:
+                self._shard_stats["fallbacks"] += 1
+
+    def shard_stats(self) -> Dict[str, int]:
+        """Counters of the sharded execution path (requests / sharded /
+        fallbacks / shards_planned)."""
+        with self._shard_lock:
+            return dict(self._shard_stats)
 
     # -- cache management --------------------------------------------------------------
 

@@ -1,0 +1,714 @@
+"""Fact-partition sharding: split one instance, answer per shard, merge exactly.
+
+The paper's key-equal blocks are independent repair units: a repair of the
+whole database is a free combination of one-fact-per-block choices, so any
+partition of the *blocks* factorises the repair space.  This module turns
+that observation into the engine's horizontal-scaling seam:
+
+* :class:`ShardPlanner` partitions a :class:`DatabaseInstance` into
+  *block-closed* fact shards — a key-equal block is never split — that are
+  additionally *embedding-closed* for the query at hand: no embedding of the
+  query body can span two shards.  Embedding closure is computed by a
+  union-find over blocks, connecting facts of join-adjacent atoms that agree
+  on their shared variables (a conservative overapproximation of "co-occur
+  in an embedding").  Components are assigned to shards balanced by block
+  weight, or by a stable hash of the component's smallest block key.
+* Each shard is summarised *per direction* by a :class:`DirectionSummary`:
+  whether the shard's body is locally certain, and the directional extremum
+  of the aggregate over the shard's repairs that have at least one embedding.
+  Shards whose body is locally certain get both numbers straight from the
+  compiled plan's executors (so every backend — operational, sqlite,
+  branch_and_bound, exhaustive — takes its own code path); locally uncertain
+  shards fall back to :meth:`BranchAndBoundSolver.extremum`, which ignores
+  empty repairs instead of collapsing to ⊥.
+* :func:`merge_direction` combines summaries with explicit, aggregate-aware
+  operators.  The merge is exactly the summary of the union instance, which
+  makes it associative, commutative, and neutral on the identity summary
+  (the differential parity harness and the property-based merge tests pin
+  this down).  ⊥ propagates through the merge: the final answer is ⊥ iff
+  *no* shard is locally certain, which coincides with the unsharded
+  certainty of the full instance.
+
+Why this is exact (the invariant ``tests/test_shard_parity.py`` checks):
+for a block- and embedding-closed partition ``db = S₁ ⊎ … ⊎ Sₙ``,
+
+* repairs of ``db`` are exactly the products of shard repairs, and the
+  multiset of aggregated values of a repair is the disjoint union of the
+  per-shard multisets;
+* ``CERTAIN(q, db)`` holds iff ``CERTAIN(q, Sᵢ)`` holds for *some* shard: a
+  falsifying repair of ``db`` needs a falsifying repair in every shard
+  simultaneously;
+* for a combining operator that is monotone in each argument (SUM/COUNT
+  combine by ``+``, MIN by ``min``, MAX by ``max``) the extremum over
+  independent products is the combine of per-shard extrema, with empty
+  shard repairs handled by the feasibility cases of :func:`merge_direction`.
+
+Aggregates without a monotone combine over disjoint unions (AVG, PRODUCT,
+the DISTINCT family) are not sharded: the planner reports a fallback reason
+and the engine transparently answers unsharded, so ``shards=N`` is always
+safe to request.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import weakref
+from collections import defaultdict
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.branch_and_bound import BranchAndBoundSolver
+from repro.core.evaluator import BOTTOM
+from repro.core.range_answers import RangeAnswer
+from repro.datamodel.facts import Constant, Fact
+from repro.datamodel.instance import BlockKey, DatabaseInstance
+from repro.embeddings.embeddings import embeddings_of
+from repro.exceptions import BackendError
+from repro.query.aggregation import AggregationQuery
+from repro.util import stable_hash_64
+
+from repro.engine.plan import QueryPlan
+
+Binding = Dict[str, Constant]
+GroupKey = Tuple[Constant, ...]
+
+#: Shard-assignment strategies of the planner.
+STRATEGY_BALANCED = "balanced"
+STRATEGY_HASHED = "hashed"
+
+#: How two non-empty per-shard aggregate values combine into the value of the
+#: union repair.  Every operator here is monotone in each argument — the
+#: property the merge-of-extrema argument needs.
+_COMBINE: Dict[str, Callable[[Fraction, Fraction], Fraction]] = {
+    "SUM": lambda a, b: a + b,
+    "COUNT": lambda a, b: a + b,
+    "MIN": min,
+    "MAX": max,
+}
+
+#: Aggregates the sharded executor can merge exactly.
+SHARDABLE_AGGREGATES: Tuple[str, ...] = tuple(sorted(_COMBINE))
+
+
+# -- per-shard summaries and merge operators --------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectionSummary:
+    """What one shard contributes to one direction (glb or lub).
+
+    ``certain`` — every repair of the shard embeds the query body at least
+    once (local certainty).  ``value`` — the directional extremum of the
+    aggregate over the shard's repairs that have at least one embedding
+    (``None`` when no repair has any: the shard is irrelevant to the query
+    and behaves as the merge identity).
+    """
+
+    certain: bool
+    value: Optional[Fraction]
+
+
+#: The summary of the empty shard: never certain, no non-empty repair.
+#: Merging it into anything is a no-op (identity-shard neutrality).
+SHARD_IDENTITY = DirectionSummary(certain=False, value=None)
+
+
+@dataclass(frozen=True)
+class ShardAnswer:
+    """Both direction summaries of one shard (the sharded RangeAnswer)."""
+
+    glb: DirectionSummary
+    lub: DirectionSummary
+
+
+#: A whole shard that never embeds the body: identity for closed answers.
+SHARD_ANSWER_IDENTITY = ShardAnswer(SHARD_IDENTITY, SHARD_IDENTITY)
+
+
+def combine_values(aggregate: str, a: Fraction, b: Fraction) -> Fraction:
+    """The value of a union repair from two non-empty per-shard values."""
+    try:
+        return _COMBINE[aggregate.upper()](a, b)
+    except KeyError:
+        raise BackendError(
+            f"aggregate {aggregate!r} has no shard-merge operator; shardable "
+            f"aggregates: {list(SHARDABLE_AGGREGATES)}"
+        ) from None
+
+
+def merge_direction(
+    aggregate: str, direction: str, a: DirectionSummary, b: DirectionSummary
+) -> DirectionSummary:
+    """Summary of the union of two shards from their individual summaries.
+
+    A repair of the union pairs one repair of each side, and exactly one of
+    three cases applies — both sides non-empty (feasible when both sides
+    have a non-empty repair), or either side empty (feasible only when that
+    side is *not* locally certain).  The result's value is the directional
+    extremum over the feasible cases, which makes the merge associative and
+    commutative with :data:`SHARD_IDENTITY` as neutral element.
+    """
+    if direction not in ("glb", "lub"):
+        raise ValueError("direction must be 'glb' or 'lub'")
+    candidates: List[Fraction] = []
+    if a.value is not None and b.value is not None:
+        candidates.append(combine_values(aggregate, a.value, b.value))
+    if a.value is not None and not b.certain:
+        candidates.append(a.value)
+    if b.value is not None and not a.certain:
+        candidates.append(b.value)
+    if not candidates:
+        value: Optional[Fraction] = None
+    else:
+        value = min(candidates) if direction == "glb" else max(candidates)
+    return DirectionSummary(certain=a.certain or b.certain, value=value)
+
+
+def merge_shard_answers(aggregate: str, a: ShardAnswer, b: ShardAnswer) -> ShardAnswer:
+    """Merge both directions of two shard answers."""
+    return ShardAnswer(
+        glb=merge_direction(aggregate, "glb", a.glb, b.glb),
+        lub=merge_direction(aggregate, "lub", a.lub, b.lub),
+    )
+
+
+def merge_group_answers(
+    aggregate: str,
+    a: Dict[GroupKey, ShardAnswer],
+    b: Dict[GroupKey, ShardAnswer],
+) -> Dict[GroupKey, ShardAnswer]:
+    """Merge per-group shard answers; missing groups contribute the identity.
+
+    A shard that never embeds the body under a group's binding would
+    summarise to :data:`SHARD_ANSWER_IDENTITY` for that group, so leaving
+    the group out of the shard's map is equivalent to (and cheaper than)
+    carrying the identity explicitly.
+    """
+    merged = dict(a)
+    for group, answer in b.items():
+        present = merged.get(group)
+        merged[group] = (
+            answer
+            if present is None
+            else merge_shard_answers(aggregate, present, answer)
+        )
+    return merged
+
+
+def finalize_answer(merged: ShardAnswer) -> RangeAnswer:
+    """Turn the fully merged summary into the engine's :class:`RangeAnswer`.
+
+    The answer is ⊥ exactly when no shard was locally certain — which, for
+    a block- and embedding-closed partition, is exactly when the full
+    instance's body is not certain.
+    """
+    glb = merged.glb.value if merged.glb.certain else BOTTOM
+    lub = merged.lub.value if merged.lub.certain else BOTTOM
+    if glb is None or lub is None:  # certain yet valueless: impossible
+        return RangeAnswer(BOTTOM, BOTTOM)
+    return RangeAnswer(glb, lub)
+
+
+def finalize_group_answers(
+    merged: Dict[GroupKey, ShardAnswer]
+) -> Dict[GroupKey, RangeAnswer]:
+    """Finalize every group, in the engine's deterministic group order."""
+    return {
+        group: finalize_answer(merged[group]) for group in sorted(merged, key=repr)
+    }
+
+
+# -- the shard planner ------------------------------------------------------------------
+
+
+class _UnionFind:
+    """Union-find over block keys with path compression."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[BlockKey, BlockKey] = {}
+
+    def add(self, key: BlockKey) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: BlockKey) -> BlockKey:
+        parent = self._parent
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:  # path compression
+            parent[key], key = root, parent[key]
+        return root
+
+    def union(self, a: BlockKey, b: BlockKey) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def keys(self) -> Sequence[BlockKey]:
+        return list(self._parent)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The outcome of partitioning one instance for one query.
+
+    ``shards`` always covers every fact of the source instance exactly once.
+    When sharding does not apply (``fallback_reason`` is set) or only one
+    shard was requested, ``shards`` holds the full instance and the executor
+    takes the ordinary unsharded path.
+    """
+
+    shards: Tuple[DatabaseInstance, ...]
+    strategy: str
+    component_count: int
+    weights: Tuple[int, ...]
+    fallback_reason: Optional[str] = None
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.fallback_reason is None and len(self.shards) > 1
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-facing description (benchmarks and ``/metrics`` drill-down)."""
+        return {
+            "shards": len(self.shards),
+            "strategy": self.strategy,
+            "components": self.component_count,
+            "weights": list(self.weights),
+            "fallback_reason": self.fallback_reason,
+        }
+
+
+class ShardPlanner:
+    """Partitions an instance into block- and embedding-closed fact shards.
+
+    Parameters
+    ----------
+    strategy:
+        ``"balanced"`` (default) assigns components to shards greedily by
+        descending weight onto the currently lightest shard;  ``"hashed"``
+        assigns each component by a stable hash of its smallest block key —
+        cheaper, order-independent, and the natural choice when shards map
+        to long-lived workers that must see a stable assignment.
+    """
+
+    def __init__(self, strategy: str = STRATEGY_BALANCED) -> None:
+        if strategy not in (STRATEGY_BALANCED, STRATEGY_HASHED):
+            raise ValueError(
+                f"unknown shard strategy {strategy!r}; use "
+                f"{STRATEGY_BALANCED!r} or {STRATEGY_HASHED!r}"
+            )
+        self._strategy = strategy
+
+    # -- shardability -------------------------------------------------------------------
+
+    @staticmethod
+    def fallback_reason(query: AggregationQuery) -> Optional[str]:
+        """Why ``query`` cannot be sharded, or ``None`` when it can.
+
+        Two conditions: the aggregate must have a monotone combine over
+        disjoint unions, and the body's join graph must be connected —
+        a cartesian product pairs embeddings *across* any fact partition,
+        so no block-closed partition is embedding-closed for it.
+        """
+        aggregate = query.aggregate
+        if aggregate not in _COMBINE:
+            return (
+                f"aggregate {aggregate} does not merge over disjoint unions "
+                f"(shardable: {list(SHARDABLE_AGGREGATES)})"
+            )
+        if not query.body.is_self_join_free():
+            return "query body is not self-join-free"
+        atoms = query.body.atoms
+        if not atoms:
+            return "query body has no atoms"
+        # BFS over the join graph: atoms are nodes, shared variables edges.
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            index = frontier.pop()
+            for other in range(len(atoms)):
+                if other in reached:
+                    continue
+                if atoms[index].variables & atoms[other].variables:
+                    reached.add(other)
+                    frontier.append(other)
+        if len(reached) != len(atoms):
+            return "query body joins are disconnected (cartesian product)"
+        return None
+
+    # -- partitioning -------------------------------------------------------------------
+
+    def plan(
+        self, query: AggregationQuery, instance: DatabaseInstance, shards: int
+    ) -> ShardPlan:
+        """Partition ``instance`` into at most ``shards`` embedding-closed parts."""
+        shards = max(1, int(shards))
+        reason = self.fallback_reason(query)
+        if reason is not None or shards == 1:
+            return ShardPlan(
+                shards=(instance,),
+                strategy=self._strategy,
+                component_count=0,
+                weights=(len(instance),),
+                fallback_reason=reason,
+            )
+        blocks = self._blocks_of(instance)
+        components = self._components(query, instance, blocks)
+        component_weights = [
+            sum(len(blocks[block_key]) for block_key in component)
+            for component in components
+        ]
+        assignment = self._assign(components, component_weights, shards)
+        schema = instance.schema
+        shard_facts: List[List[Fact]] = [[] for _ in range(shards)]
+        for component, shard_index in zip(components, assignment):
+            for block_key in component:
+                shard_facts[shard_index].extend(blocks[block_key])
+        shard_instances = tuple(
+            DatabaseInstance(schema, facts) for facts in shard_facts
+        )
+        return ShardPlan(
+            shards=shard_instances,
+            strategy=self._strategy,
+            component_count=len(components),
+            weights=tuple(len(facts) for facts in shard_facts),
+        )
+
+    @staticmethod
+    def _blocks_of(instance: DatabaseInstance) -> Dict[BlockKey, List[Fact]]:
+        schema = instance.schema
+        key_sizes = {
+            fact_relation: schema.relation(fact_relation).key_size
+            for fact_relation in instance.relation_names()
+        }
+        blocks: Dict[BlockKey, List[Fact]] = defaultdict(list)
+        for fact in sorted(instance, key=repr):
+            blocks[(fact.relation, fact.key(key_sizes[fact.relation]))].append(fact)
+        return blocks
+
+    def _components(
+        self,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        blocks: Dict[BlockKey, List[Fact]],
+    ) -> List[List[BlockKey]]:
+        """Group blocks into embedding-closed components via union-find.
+
+        For every pair of atoms sharing variables, facts that agree on the
+        shared variables could co-occur in an embedding, so their blocks are
+        unioned (bucketed by the shared projection — linear, not quadratic).
+        The overapproximation is conservative: it can only merge components
+        that an exact embedding analysis would keep apart, never split a
+        genuine dependency.
+        """
+        union = _UnionFind()
+        for block_key in blocks:
+            union.add(block_key)
+
+        atoms = query.body.atoms
+        atom_of = {atom.relation: atom for atom in atoms}
+        key_size_of = {
+            relation: instance.schema.relation(relation).key_size
+            for relation in atom_of
+        }
+        # Match bindings of every participating fact, computed once.
+        matches: Dict[str, List[Tuple[BlockKey, Dict[str, Constant]]]] = {}
+        for relation, atom in atom_of.items():
+            entries = []
+            for fact in instance.relation(relation):
+                match = atom.match(fact)
+                if match is not None:
+                    block_key = (relation, fact.key(key_size_of[relation]))
+                    entries.append((block_key, match))
+            matches[relation] = entries
+
+        for left in range(len(atoms)):
+            for right in range(left + 1, len(atoms)):
+                shared = sorted(
+                    v.name
+                    for v in atoms[left].variables & atoms[right].variables
+                )
+                if not shared:
+                    continue
+                buckets: Dict[Tuple[Constant, ...], BlockKey] = {}
+                for atom in (atoms[left], atoms[right]):
+                    for block_key, match in matches[atom.relation]:
+                        projection = tuple(match[name] for name in shared)
+                        anchor = buckets.setdefault(projection, block_key)
+                        if anchor != block_key:
+                            union.union(anchor, block_key)
+
+        grouped: Dict[BlockKey, List[BlockKey]] = defaultdict(list)
+        for block_key in union.keys():
+            grouped[union.find(block_key)].append(block_key)
+        # Deterministic order: components by their smallest block key.
+        components = [sorted(member, key=repr) for member in grouped.values()]
+        components.sort(key=lambda component: repr(component[0]))
+        return components
+
+    def _assign(
+        self, components: List[List[BlockKey]], weights: List[int], shards: int
+    ) -> List[int]:
+        """Map each component to a shard index.
+
+        ``weights`` are fact counts: balancing by facts (not block counts)
+        keeps per-shard evaluation cost even when block sizes are skewed.
+        Greedy heaviest-first onto the lightest shard bounds the max/min
+        load gap by the heaviest single component.
+        """
+        if self._strategy == STRATEGY_HASHED:
+            return [
+                self._stable_hash(repr(component[0])) % shards
+                for component in components
+            ]
+        order = sorted(
+            range(len(components)),
+            key=lambda i: (-weights[i], repr(components[i][0])),
+        )
+        heap = [(0, shard_index) for shard_index in range(shards)]
+        heapq.heapify(heap)
+        assignment = [0] * len(components)
+        for index in order:
+            load, shard_index = heapq.heappop(heap)
+            assignment[index] = shard_index
+            heapq.heappush(heap, (load + weights[index], shard_index))
+        return assignment
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @staticmethod
+    def _stable_hash(text: str) -> int:
+        """A process-stable hash (builtin ``hash`` is salted per process)."""
+        return stable_hash_64(text)
+
+
+# -- shard-plan cache -------------------------------------------------------------------
+#
+# A serving deployment answers many requests against the same registered
+# instance, and the partition depends only on (compiled plan, instance,
+# shard count, strategy) — recomputing the union-find per request would
+# waste exactly the work the engine's plan cache exists to avoid.  The cache
+# is weak-keyed by the instance so entries die with the database, and every
+# hit is guarded by the fact count: ``add_fact`` (the only mutator) strictly
+# grows the instance, so a stale plan for a mutated instance can never be
+# served.
+
+_SHARD_PLAN_LOCK = threading.Lock()
+_SHARD_PLAN_CACHE: "weakref.WeakKeyDictionary[DatabaseInstance, Dict[tuple, Tuple[int, ShardPlan]]]" = (
+    weakref.WeakKeyDictionary()
+)
+_SHARD_PLAN_HITS = [0]
+
+
+def _cached_shard_plan(
+    planner: ShardPlanner, plan: QueryPlan, instance: DatabaseInstance, shards: int
+) -> ShardPlan:
+    key = (plan.key, shards, planner.strategy)
+    with _SHARD_PLAN_LOCK:
+        per_instance = _SHARD_PLAN_CACHE.get(instance)
+        if per_instance is not None:
+            entry = per_instance.get(key)
+            if entry is not None and entry[0] == len(instance):
+                _SHARD_PLAN_HITS[0] += 1
+                return entry[1]
+    shard_plan = planner.plan(plan.query, instance, shards)
+    with _SHARD_PLAN_LOCK:
+        _SHARD_PLAN_CACHE.setdefault(instance, {})[key] = (len(instance), shard_plan)
+    return shard_plan
+
+
+def shard_plan_cache_stats() -> Dict[str, int]:
+    """Hit/size counters of the process-wide shard-plan cache."""
+    with _SHARD_PLAN_LOCK:
+        return {
+            "hits": _SHARD_PLAN_HITS[0],
+            "instances": len(_SHARD_PLAN_CACHE),
+        }
+
+
+def clear_shard_plan_cache() -> None:
+    """Reset the shard-plan cache and its counters (test hook)."""
+    with _SHARD_PLAN_LOCK:
+        _SHARD_PLAN_CACHE.clear()
+        _SHARD_PLAN_HITS[0] = 0
+
+
+# -- per-shard summarisation ------------------------------------------------------------
+
+
+def summarize_shard(
+    plan: QueryPlan, shard: DatabaseInstance, binding: Optional[Binding] = None
+) -> ShardAnswer:
+    """Summarise one shard for a closed query (or one binding).
+
+    Locally certain shards are summarised by the compiled plan's own
+    executors (each backend exercises its normal code path); locally
+    uncertain shards need the empty-repair-aware extremum, which only the
+    exact solver provides.
+    """
+    binding = dict(binding or {})
+    glb = plan.executors["glb"].evaluate(shard, binding)
+    lub = plan.executors["lub"].evaluate(shard, binding)
+    if glb is BOTTOM or lub is BOTTOM:
+        return _uncertain_summary(plan.query, shard, binding)
+    return ShardAnswer(
+        glb=DirectionSummary(certain=True, value=glb),
+        lub=DirectionSummary(certain=True, value=lub),
+    )
+
+
+def _uncertain_summary(
+    query: AggregationQuery, shard: DatabaseInstance, binding: Binding
+) -> ShardAnswer:
+    solver = BranchAndBoundSolver(query)
+    return ShardAnswer(
+        glb=DirectionSummary(
+            certain=False, value=solver.extremum(shard, binding, maximize=False)
+        ),
+        lub=DirectionSummary(
+            certain=False, value=solver.extremum(shard, binding, maximize=True)
+        ),
+    )
+
+
+def summarize_shard_groups(
+    plan: QueryPlan, shard: DatabaseInstance
+) -> Dict[GroupKey, ShardAnswer]:
+    """Summarise one shard of a GROUP BY query: one summary per local group.
+
+    Groups the shard never embeds are omitted — they are the merge identity.
+    The union of per-shard group sets is exactly the unsharded possible-answer
+    set because no embedding spans two shards.
+    """
+    free = plan.query.free_variables
+    seen = set()
+    candidates: List[GroupKey] = []
+    for embedding in embeddings_of(plan.query.body, shard):
+        candidate = tuple(embedding[v.name] for v in free)
+        if candidate not in seen:
+            seen.add(candidate)
+            candidates.append(candidate)
+    candidates.sort(key=repr)
+    bindings = [
+        {v.name: value for v, value in zip(free, candidate)}
+        for candidate in candidates
+    ]
+    glbs = plan.executors["glb"].evaluate_many(shard, bindings)
+    lubs = plan.executors["lub"].evaluate_many(shard, bindings)
+    summaries: Dict[GroupKey, ShardAnswer] = {}
+    for candidate, binding, glb, lub in zip(candidates, bindings, glbs, lubs):
+        if glb is BOTTOM or lub is BOTTOM:
+            summaries[candidate] = _uncertain_summary(plan.query, shard, binding)
+        else:
+            summaries[candidate] = ShardAnswer(
+                glb=DirectionSummary(certain=True, value=glb),
+                lub=DirectionSummary(certain=True, value=lub),
+            )
+    return summaries
+
+
+# -- the sharded executor ---------------------------------------------------------------
+
+
+def _shard_worker(
+    config: dict,
+    query: AggregationQuery,
+    shard: DatabaseInstance,
+    binding: Optional[Binding],
+    grouped: bool,
+):
+    """Process-pool entry point: rebuild the engine, summarise one shard."""
+    from repro.engine.engine import ConsistentAnswerEngine
+
+    engine = ConsistentAnswerEngine(**config)
+    plan = engine.compile(query)
+    if grouped:
+        return summarize_shard_groups(plan, shard)
+    return summarize_shard(plan, shard, binding)
+
+
+def _parallel_summaries(
+    config: dict,
+    query: AggregationQuery,
+    shards: Sequence[DatabaseInstance],
+    binding: Optional[Binding],
+    grouped: bool,
+    workers: int,
+) -> Optional[List[object]]:
+    """Fan shard summarisation out across processes; None when unavailable.
+
+    Shares the batch executor's fork-pool scaffolding (and its caveat:
+    forking from a threaded process can inherit held locks, so threaded
+    servers keep their engine's ``batch_workers`` at 1 — the serving
+    default — unless the deployment accepts that risk)."""
+    from repro.engine.batch import run_in_fork_pool
+
+    return run_in_fork_pool(
+        _shard_worker,
+        [(config, query, shard, binding, grouped) for shard in shards],
+        workers,
+    )
+
+
+def execute_sharded(
+    engine,
+    query: AggregationQuery,
+    instance: DatabaseInstance,
+    shards: int,
+    binding: Optional[Binding] = None,
+    strategy: str = STRATEGY_BALANCED,
+    max_workers: Optional[int] = None,
+):
+    """Answer ``query`` by partitioning ``instance`` into ``shards`` parts.
+
+    Returns what the corresponding unsharded engine call would: a
+    :class:`RangeAnswer` for closed execution (``binding`` given or no free
+    variables), a ``{group: RangeAnswer}`` dict for GROUP BY execution.
+    Non-shardable queries transparently fall back to the unsharded path.
+
+    ``max_workers`` caps the process fan-out (``None`` defers to the
+    engine's ``batch_workers`` configuration; 1 forces in-process
+    summarisation on the calling engine, which keeps its plan cache warm).
+    """
+    plan = engine.compile(query)
+    grouped = bool(plan.query.free_variables) and binding is None
+    planner = ShardPlanner(strategy)
+    shard_plan = _cached_shard_plan(planner, plan, instance, shards)
+    record = getattr(engine, "_record_shard_execution", None)
+    if record is not None:
+        record(shard_plan)
+    if not shard_plan.is_sharded:
+        if grouped:
+            return engine.answer_group_by(query, instance)
+        return engine.answer(query, instance, binding)
+
+    workers = engine.batch_workers if max_workers is None else max(1, max_workers)
+    workers = min(workers, len(shard_plan.shards))
+    summaries: Optional[List[object]] = None
+    if workers > 1:
+        summaries = _parallel_summaries(
+            engine.config(), plan.query, shard_plan.shards, binding, grouped, workers
+        )
+    if summaries is None:  # serial path (requested, or pool unavailable)
+        summaries = [
+            summarize_shard_groups(plan, shard)
+            if grouped
+            else summarize_shard(plan, shard, binding)
+            for shard in shard_plan.shards
+        ]
+
+    aggregate = plan.query.aggregate
+    if grouped:
+        merged_groups: Dict[GroupKey, ShardAnswer] = {}
+        for summary in summaries:
+            merged_groups = merge_group_answers(aggregate, merged_groups, summary)
+        return finalize_group_answers(merged_groups)
+    merged = SHARD_ANSWER_IDENTITY
+    for summary in summaries:
+        merged = merge_shard_answers(aggregate, merged, summary)
+    return finalize_answer(merged)

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.core.range_answers import RangeAnswer
-from repro.engine import ConsistentAnswerEngine, sql_memo_stats
+from repro.engine import ConsistentAnswerEngine, shard_plan_cache_stats, sql_memo_stats
 from repro.exceptions import (
     BackendError,
     ParseError,
@@ -141,7 +141,10 @@ class ServeConfig:
     cache-warming path) is also the safe one: raising it makes batch
     requests fork a process pool from this multithreaded server, which on
     fork-start-method platforms can inherit locks held by other request
-    threads — only raise it on deployments that accept that risk.
+    threads — only raise it on deployments that accept that risk.  The
+    same knob governs sharded execution: the engine's ``batch_workers`` is
+    built from it, so shard summarisation for instances registered with
+    ``shards > 1`` stays serial (in-thread, no fork) at the default of 1.
     """
 
     host: str = "127.0.0.1"
@@ -503,6 +506,11 @@ class ConsistentAnswerServer:
         return float(raw)
 
     @staticmethod
+    def _shards_for(entry: RegisteredInstance) -> Optional[int]:
+        """The opt-in shard count for an instance (None = unsharded path)."""
+        return entry.shards if entry.shards > 1 else None
+
+    @staticmethod
     def _plan_summary(plan, was_cached: bool) -> Dict[str, object]:
         return {
             "glb_strategy": plan.glb_strategy,
@@ -525,12 +533,13 @@ class ConsistentAnswerServer:
             )
         timeout = self._effective_timeout(self._timeout_of(payload))
         was_cached = self.engine.is_cached(query)
+        shards = self._shards_for(entry)
 
         def work():
             # Plan metadata is fetched on the worker too: compile() after
             # answer() is a guaranteed cache hit, and the event loop never
             # runs classification even if the plan was evicted mid-flight.
-            answer = self.engine.answer(query, entry.instance, binding)
+            answer = self.engine.answer(query, entry.instance, binding, shards=shards)
             return answer, self.engine.compile(query)
 
         answer, plan = await self._dispatch(work, timeout)
@@ -539,6 +548,7 @@ class ConsistentAnswerServer:
             "instance": entry.name,
             "answer": encode_range_answer(answer),
             "plan": self._plan_summary(plan, was_cached),
+            "shards": entry.shards,
         }
 
     async def _handle_answer_group_by(self, payload: object) -> Tuple[int, object]:
@@ -550,9 +560,12 @@ class ConsistentAnswerServer:
             )
         timeout = self._effective_timeout(self._timeout_of(payload))
         was_cached = self.engine.is_cached(query)
+        shards = self._shards_for(entry)
 
         def work():
-            answers = self.engine.answer_group_by(query, entry.instance)
+            answers = self.engine.answer_group_by(
+                query, entry.instance, shards=shards
+            )
             return answers, self.engine.compile(query)
 
         answers, plan = await self._dispatch(work, timeout)
@@ -561,6 +574,7 @@ class ConsistentAnswerServer:
             "group_by": [v.name for v in query.free_variables],
             "groups": encode_group_answers(answers),
             "plan": self._plan_summary(plan, was_cached),
+            "shards": entry.shards,
         }
 
     async def _handle_answer_many(self, payload: object) -> Tuple[int, object]:
@@ -631,6 +645,10 @@ class ConsistentAnswerServer:
                     "hit_rate": stats.hit_rate,
                 },
                 "sql_memo": sql_memo_stats(),
+                "sharding": {
+                    **self.engine.shard_stats(),
+                    "plan_cache": shard_plan_cache_stats(),
+                },
                 "admission": {
                     "capacity": self.gate.capacity,
                     "in_use": self.gate.in_use,

@@ -205,10 +205,16 @@ class ServeClient:
         return result["results"]
 
     async def register_instance(
-        self, name: str, instance: DatabaseInstance, replace: bool = False
+        self,
+        name: str,
+        instance: DatabaseInstance,
+        replace: bool = False,
+        shards: Optional[int] = None,
     ) -> Dict[str, object]:
         payload = instance_to_payload(name, instance)
         payload["replace"] = replace
+        if shards is not None:
+            payload["shards"] = shards
         status, body = await self.request("POST", "/instances", payload)
         return self._checked(status, body)["registered"]
 

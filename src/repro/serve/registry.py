@@ -34,12 +34,19 @@ class DuplicateInstanceError(RegistryError):
 
 @dataclass(frozen=True)
 class RegisteredInstance:
-    """One named database plus the metadata the server reports about it."""
+    """One named database plus the metadata the server reports about it.
+
+    ``shards`` is the per-instance sharding configuration: when greater
+    than 1, engine-bound requests against this instance take the sharded
+    execution path of :mod:`repro.engine.sharding` with that shard count
+    (queries the sharding seam cannot merge still answer unsharded).
+    """
 
     name: str
     instance: DatabaseInstance
     fingerprint: str
     registered_at: float
+    shards: int = 1
 
     def describe(self) -> Dict[str, object]:
         """The JSON-facing description used by ``GET /instances``."""
@@ -52,6 +59,7 @@ class RegisteredInstance:
             "blocks": len(instance.blocks()),
             "inconsistent_blocks": len(instance.inconsistent_blocks()),
             "registered_at": self.registered_at,
+            "shards": self.shards,
         }
 
 
@@ -71,16 +79,23 @@ class InstanceRegistry:
             self.register(name, instance)
 
     def register(
-        self, name: str, instance: DatabaseInstance, replace: bool = False
+        self,
+        name: str,
+        instance: DatabaseInstance,
+        replace: bool = False,
+        shards: int = 1,
     ) -> RegisteredInstance:
         """Register ``instance`` under ``name``; refuses silent overwrites."""
         if not name:
             raise RegistryError("instance name must be non-empty")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise RegistryError("'shards' must be a positive integer")
         entry = RegisteredInstance(
             name=name,
             instance=instance,
             fingerprint=schema_fingerprint(instance.schema),
             registered_at=time.time(),
+            shards=shards,
         )
         with self._lock:
             if name in self._instances and not replace:
@@ -94,9 +109,14 @@ class InstanceRegistry:
     def register_payload(
         self, payload: Mapping, replace: bool = False
     ) -> RegisteredInstance:
-        """Register an instance shipped over the wire (``POST /instances``)."""
+        """Register an instance shipped over the wire (``POST /instances``).
+
+        An optional ``"shards"`` key opts the instance into sharded
+        execution for every subsequent engine-bound request against it.
+        """
         name, instance = instance_from_payload(payload)
-        return self.register(name, instance, replace=replace)
+        shards = payload.get("shards", 1)
+        return self.register(name, instance, replace=replace, shards=shards)
 
     def get(self, name: str) -> RegisteredInstance:
         with self._lock:

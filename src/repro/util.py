@@ -1,0 +1,15 @@
+"""Small shared utilities with no dependencies on the rest of the package."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash_64(text: str) -> int:
+    """A process- and run-stable 64-bit hash of ``text``.
+
+    The builtin ``hash`` is salted per process, so anything that must be
+    reproducible across runs — derived workload seeds, hashed shard
+    assignment — goes through this instead.
+    """
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")

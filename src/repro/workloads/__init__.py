@@ -10,11 +10,14 @@ from repro.workloads.scenarios import (
 from repro.workloads.generators import (
     InconsistentDatabaseGenerator,
     WorkloadSpec,
+    derive_seed,
     generate_stock_workload,
 )
 from repro.workloads.queries import (
     stock_sum_query,
     stock_groupby_query,
+    stock_total_query,
+    stock_town_groupby_query,
     running_example_query,
     query_catalogue,
 )
@@ -27,9 +30,12 @@ __all__ = [
     "theorem79_gadget",
     "WorkloadSpec",
     "InconsistentDatabaseGenerator",
+    "derive_seed",
     "generate_stock_workload",
     "stock_sum_query",
     "stock_groupby_query",
+    "stock_total_query",
+    "stock_town_groupby_query",
     "running_example_query",
     "query_catalogue",
 ]

@@ -10,8 +10,10 @@ All generators are deterministic given a seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util import stable_hash_64
 
 from repro.datamodel.instance import DatabaseInstance
 from repro.datamodel.signature import RelationSignature, Schema
@@ -60,6 +62,21 @@ class WorkloadSpec:
             seed=self.seed,
         )
 
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        """The same workload shape under a different seed."""
+        return replace(self, seed=seed)
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """A stable sub-seed from a base seed and arbitrary labels.
+
+    Tests and benchmarks that generate *families* of instances use this so
+    every member has an explicit, reproducible seed of its own — reporting
+    ``derive_seed(base, size)`` in a failure message is enough to regenerate
+    the offending instance exactly.
+    """
+    return stable_hash_64(":".join([str(base), *map(str, parts)]))
+
 
 class InconsistentDatabaseGenerator:
     """Generates Stock-like instances matching a :class:`WorkloadSpec`."""
@@ -82,9 +99,14 @@ class InconsistentDatabaseGenerator:
             ]
         )
 
-    def generate(self) -> DatabaseInstance:
-        """Produce the instance (deterministic for a given spec)."""
-        spec = self._spec
+    def generate(self, seed: Optional[int] = None) -> DatabaseInstance:
+        """Produce the instance (deterministic for a given spec).
+
+        ``seed`` overrides the spec's seed for this one generation, so a
+        single spec can drive a reproducible family of instances without
+        rebuilding the generator per member.
+        """
+        spec = self._spec if seed is None else self._spec.with_seed(seed)
         rng = random.Random(spec.seed)
         schema = self.schema
         instance = DatabaseInstance(schema)

@@ -42,6 +42,30 @@ def stock_count_query(dealer: str = "Smith") -> AggregationQuery:
     )
 
 
+def stock_total_query(aggregate: str = "SUM") -> AggregationQuery:
+    """Closed aggregate over the whole Stock relation (no dealer join).
+
+    Every Stock block is its own repair unit for this query, which makes it
+    the canonical *shardable* closed workload: the sharded executor splits
+    the blocks evenly and merges the per-shard bounds.
+    """
+    return parse_aggregation_query(
+        fig1_stock_schema(), f"{aggregate}(y) <- Stock(p, t, y)"
+    )
+
+
+def stock_town_groupby_query() -> AggregationQuery:
+    """Per-town total stock: ``(t, SUM(y)) <- Stock(p, t, y)``.
+
+    The GROUP BY workload of the sharding benchmark: groups are spread
+    across shards, so each shard evaluates its own groups against its own
+    (much smaller) sub-instance.
+    """
+    return parse_aggregation_query(
+        fig1_stock_schema(), "(t, SUM(y)) <- Stock(p, t, y)"
+    )
+
+
 def running_example_query() -> AggregationQuery:
     """The running example of Section 6.1: SUM(r) <- R(x,y), S(y,z,'d',r)."""
     return parse_aggregation_query(
@@ -65,6 +89,8 @@ def query_catalogue() -> Dict[str, AggregationQuery]:
         "stock_max": stock_query("MAX"),
         "stock_min": stock_query("MIN"),
         "stock_groupby_sum": stock_groupby_query(),
+        "stock_total_sum": stock_total_query(),
+        "stock_town_groupby_sum": stock_town_groupby_query(),
         "running_example_sum": running_example_query(),
         "theorem79_sum": theorem79_query(),
     }

@@ -472,11 +472,56 @@ class TestBatchConfiguration:
         assert default_min_parallel_items() == 9
         assert ConsistentAnswerEngine().min_parallel_items == 9
 
-    def test_garbage_env_values_fall_back_to_defaults(self, monkeypatch):
-        from repro.engine.batch import default_worker_count
+    def test_garbage_env_values_fall_back_to_defaults_with_warning(self, monkeypatch):
+        from repro.engine.batch import _reset_env_warnings, default_worker_count
 
+        _reset_env_warnings()
         monkeypatch.setenv("REPRO_BATCH_WORKERS", "not-a-number")
-        assert default_worker_count() >= 1
+        with pytest.warns(RuntimeWarning, match="REPRO_BATCH_WORKERS"):
+            assert default_worker_count() >= 1
+
+    def test_garbage_min_parallel_env_warns_and_falls_back(self, monkeypatch):
+        from repro.engine.batch import (
+            _MIN_PARALLEL_ITEMS,
+            _reset_env_warnings,
+            default_min_parallel_items,
+        )
+
+        _reset_env_warnings()
+        monkeypatch.setenv("REPRO_MIN_PARALLEL_ITEMS", "3.5")
+        with pytest.warns(RuntimeWarning, match="REPRO_MIN_PARALLEL_ITEMS"):
+            assert default_min_parallel_items() == _MIN_PARALLEL_ITEMS
+
+    def test_malformed_env_warns_exactly_once(self, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.engine.batch import _reset_env_warnings, default_worker_count
+
+        _reset_env_warnings()
+        monkeypatch.setenv("REPRO_BATCH_WORKERS", "eight")
+        with pytest.warns(RuntimeWarning):
+            default_worker_count()
+        # The second read is silent: the warn-once guard holds.
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert default_worker_count() >= 1
+
+    def test_valid_env_values_do_not_warn(self, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.engine.batch import (
+            _reset_env_warnings,
+            default_min_parallel_items,
+            default_worker_count,
+        )
+
+        _reset_env_warnings()
+        monkeypatch.setenv("REPRO_BATCH_WORKERS", "5")
+        monkeypatch.setenv("REPRO_MIN_PARALLEL_ITEMS", "9")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert default_worker_count() == 5
+            assert default_min_parallel_items() == 9
 
     def test_high_threshold_keeps_batches_serial_and_warms_cache(self):
         engine = ConsistentAnswerEngine(batch_workers=8, min_parallel_items=100)

@@ -1,0 +1,213 @@
+"""Property-based tests for the shard merge operators.
+
+The sharded executor's correctness reduces to the merge being a commutative
+monoid on per-shard summaries (``merge(summary(A), summary(B)) ==
+summary(A ∪ B)``), so these tests pin the algebra down directly:
+associativity, commutativity, identity-shard neutrality and ⊥ propagation,
+under random summaries, random aggregates and random shard orderings.
+All randomness is seeded through the session ``repro_seed`` fixture.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from functools import reduce
+from itertools import product
+
+import pytest
+
+from repro.core.evaluator import BOTTOM
+from repro.engine.sharding import (
+    SHARD_ANSWER_IDENTITY,
+    SHARD_IDENTITY,
+    SHARDABLE_AGGREGATES,
+    DirectionSummary,
+    ShardAnswer,
+    combine_values,
+    finalize_answer,
+    merge_direction,
+    merge_group_answers,
+    merge_shard_answers,
+)
+from repro.exceptions import BackendError
+from repro.workloads.generators import derive_seed
+
+DIRECTIONS = ("glb", "lub")
+TRIALS = 200
+
+
+def _random_summary(rng: random.Random) -> DirectionSummary:
+    """A random per-shard summary, biased toward the interesting edge states.
+
+    Includes the unreachable ``certain=True, value=None`` state on purpose:
+    the algebra is total, and keeping it lawful means a buggy summariser
+    can degrade parity but never the merge's algebraic invariants.
+    """
+    certain = rng.random() < 0.5
+    if rng.random() < 0.25:
+        value = None
+    else:
+        value = Fraction(rng.randint(-30, 30), rng.randint(1, 6))
+    return DirectionSummary(certain=certain, value=value)
+
+
+def _random_answer(rng: random.Random) -> ShardAnswer:
+    return ShardAnswer(glb=_random_summary(rng), lub=_random_summary(rng))
+
+
+@pytest.fixture
+def rng(repro_seed, request):
+    return random.Random(derive_seed(repro_seed, request.node.nodeid))
+
+
+class TestMergeAlgebra:
+    @pytest.mark.parametrize("aggregate", SHARDABLE_AGGREGATES)
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    def test_associative(self, aggregate, direction, rng):
+        for _ in range(TRIALS):
+            a, b, c = (_random_summary(rng) for _ in range(3))
+            left = merge_direction(
+                aggregate, direction, a, merge_direction(aggregate, direction, b, c)
+            )
+            right = merge_direction(
+                aggregate, direction, merge_direction(aggregate, direction, a, b), c
+            )
+            assert left == right, (a, b, c)
+
+    @pytest.mark.parametrize("aggregate", SHARDABLE_AGGREGATES)
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    def test_commutative(self, aggregate, direction, rng):
+        for _ in range(TRIALS):
+            a, b = _random_summary(rng), _random_summary(rng)
+            assert merge_direction(aggregate, direction, a, b) == merge_direction(
+                aggregate, direction, b, a
+            ), (a, b)
+
+    @pytest.mark.parametrize("aggregate", SHARDABLE_AGGREGATES)
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    def test_identity_shard_is_neutral(self, aggregate, direction, rng):
+        for _ in range(TRIALS):
+            a = _random_summary(rng)
+            assert merge_direction(aggregate, direction, a, SHARD_IDENTITY) == a
+            assert merge_direction(aggregate, direction, SHARD_IDENTITY, a) == a
+
+    @pytest.mark.parametrize("aggregate", SHARDABLE_AGGREGATES)
+    def test_random_shard_orderings_agree(self, aggregate, rng):
+        """Fold order never matters: any shuffle of the shard list merges to
+        the same summary (this is what lets the executor merge results in
+        completion order rather than submission order)."""
+        for _ in range(50):
+            answers = [_random_answer(rng) for _ in range(rng.randint(2, 6))]
+            merge = lambda x, y: merge_shard_answers(aggregate, x, y)
+            baseline = reduce(merge, answers, SHARD_ANSWER_IDENTITY)
+            for _ in range(4):
+                shuffled = answers[:]
+                rng.shuffle(shuffled)
+                assert reduce(merge, shuffled, SHARD_ANSWER_IDENTITY) == baseline
+
+
+class TestBottomPropagation:
+    @pytest.mark.parametrize("aggregate", SHARDABLE_AGGREGATES)
+    def test_all_uncertain_shards_finalize_to_bottom(self, aggregate, rng):
+        """No locally certain shard anywhere ⇒ the body is not certain on
+        the full instance ⇒ both bounds are ⊥, whatever values exist."""
+        for _ in range(TRIALS):
+            answers = [
+                ShardAnswer(
+                    glb=DirectionSummary(False, _random_summary(rng).value),
+                    lub=DirectionSummary(False, _random_summary(rng).value),
+                )
+                for _ in range(rng.randint(1, 5))
+            ]
+            merged = reduce(
+                lambda x, y: merge_shard_answers(aggregate, x, y),
+                answers,
+                SHARD_ANSWER_IDENTITY,
+            )
+            final = finalize_answer(merged)
+            assert final.glb is BOTTOM and final.lub is BOTTOM
+
+    @pytest.mark.parametrize("aggregate", SHARDABLE_AGGREGATES)
+    def test_one_certain_shard_defeats_bottom(self, aggregate, rng):
+        """A single locally certain shard makes the merged answer non-⊥ —
+        certainty is an OR over shards, exactly as for the full instance."""
+        for _ in range(TRIALS):
+            value = Fraction(rng.randint(-10, 10))
+            certain = ShardAnswer(
+                glb=DirectionSummary(True, value), lub=DirectionSummary(True, value)
+            )
+            noise = [
+                ShardAnswer(
+                    glb=DirectionSummary(False, _random_summary(rng).value),
+                    lub=DirectionSummary(False, _random_summary(rng).value),
+                )
+                for _ in range(rng.randint(0, 4))
+            ]
+            shards = noise + [certain]
+            rng.shuffle(shards)
+            merged = reduce(
+                lambda x, y: merge_shard_answers(aggregate, x, y),
+                shards,
+                SHARD_ANSWER_IDENTITY,
+            )
+            final = finalize_answer(merged)
+            assert final.glb is not BOTTOM and final.lub is not BOTTOM
+
+    def test_finalize_identity_is_bottom(self):
+        answer = finalize_answer(SHARD_ANSWER_IDENTITY)
+        assert answer.glb is BOTTOM and answer.lub is BOTTOM
+
+
+class TestMergeSemantics:
+    """Spot checks that the direction extremum picks the right feasible case."""
+
+    def test_sum_glb_prefers_empty_side_over_positive_value(self):
+        # An uncertain shard with a positive-only contribution can be
+        # skipped by picking its empty repair: glb ignores it, lub adds it.
+        certain = DirectionSummary(True, Fraction(5))
+        uncertain = DirectionSummary(False, Fraction(7))
+        glb = merge_direction("SUM", "glb", certain, uncertain)
+        lub = merge_direction("SUM", "lub", certain, uncertain)
+        assert glb == DirectionSummary(True, Fraction(5))
+        assert lub == DirectionSummary(True, Fraction(12))
+
+    def test_sum_glb_takes_negative_uncertain_contribution(self):
+        # With a negative contribution the minimum *includes* the shard.
+        certain = DirectionSummary(True, Fraction(5))
+        uncertain = DirectionSummary(False, Fraction(-3))
+        glb = merge_direction("SUM", "glb", certain, uncertain)
+        assert glb == DirectionSummary(True, Fraction(2))
+
+    def test_min_lub_ignores_uncertain_shard(self):
+        # lub(MIN): an uncertain shard can always be emptied, so it cannot
+        # cap the least upper bound.
+        certain = DirectionSummary(True, Fraction(9))
+        uncertain = DirectionSummary(False, Fraction(2))
+        lub = merge_direction("MIN", "lub", certain, uncertain)
+        assert lub == DirectionSummary(True, Fraction(9))
+        glb = merge_direction("MIN", "glb", certain, uncertain)
+        assert glb == DirectionSummary(True, Fraction(2))
+
+    def test_combine_values_per_aggregate(self):
+        assert combine_values("SUM", Fraction(2), Fraction(3)) == Fraction(5)
+        assert combine_values("COUNT", Fraction(2), Fraction(3)) == Fraction(5)
+        assert combine_values("MIN", Fraction(2), Fraction(3)) == Fraction(2)
+        assert combine_values("MAX", Fraction(2), Fraction(3)) == Fraction(3)
+        with pytest.raises(BackendError):
+            combine_values("AVG", Fraction(1), Fraction(2))
+
+    def test_group_merge_missing_groups_are_identity(self):
+        left = {("a",): ShardAnswer(DirectionSummary(True, Fraction(1)),
+                                    DirectionSummary(True, Fraction(2)))}
+        right = {("b",): ShardAnswer(DirectionSummary(True, Fraction(3)),
+                                     DirectionSummary(True, Fraction(4)))}
+        merged = merge_group_answers("SUM", left, right)
+        assert set(merged) == {("a",), ("b",)}
+        assert merged[("a",)] == left[("a",)]
+        assert merged[("b",)] == right[("b",)]
+        # Explicit identity entries behave identically to absence.
+        padded = merge_group_answers(
+            "SUM", left, {**right, ("a",): SHARD_ANSWER_IDENTITY}
+        )
+        assert padded == merged
