@@ -3,19 +3,34 @@
 Unlike the pytest-benchmark suites, this is a standalone script — the
 measurement needs a live server and a concurrent client, not a timed
 function call.  It boots :class:`ConsistentAnswerServer` in-process on an
-ephemeral port, fires a mixed workload (closed aggregates, GROUP BY,
-batches, metrics probes) through :class:`LoadGenerator`, and writes a
+ephemeral port, fires a workload (closed aggregates, GROUP BY, batches,
+metrics probes) through :class:`LoadGenerator`, and writes a
 ``BENCH_serve.json`` with throughput, p50/p95 latency, per-status counts
-and the server-side cache hit rates — the start of the serving perf
-trajectory.
+and the server-side cache hit rates — the serving perf trajectory.
+
+Two workload profiles:
+
+* ``mixed`` (default) — the original light mix over the paper's worked
+  examples, weighted towards the hot ``/answer`` path (the CI smoke
+  contract and the committed baseline).
+* ``cpu`` — a CPU-bound mix over a generated scalability instance
+  (hundreds of facts): whole-relation MIN/MAX and per-town GROUP BY SUM.
+  This is the profile where thread-pool execution is GIL-bound and the
+  process worker pool should win.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py \
         --requests 100 --concurrency 8 --out BENCH_serve.json
 
+    # process worker-pool mode: measures a thread-mode baseline first and
+    # reports speedup_vs_threads
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --workers 2 --profile cpu --check-no-5xx --check-speedup 1.2
+
 ``--check-no-5xx`` makes the script exit non-zero when any response had a
-5xx status (the CI smoke contract).
+5xx status (the CI smoke contract); ``--check-speedup X`` additionally
+requires pool-mode throughput ≥ X times the thread-mode baseline.
 """
 
 from __future__ import annotations
@@ -28,6 +43,7 @@ import time
 
 from repro.serve.app import ConsistentAnswerServer, ServeConfig
 from repro.serve.client import LoadGenerator
+from repro.workloads.generators import InconsistentDatabaseGenerator, WorkloadSpec
 
 STOCK_SUM = "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
 STOCK_COUNT = "COUNT(1) <- Dealers('Smith', t), Stock(p, t, y)"
@@ -35,6 +51,24 @@ STOCK_MAX = "MAX(y) <- Dealers('Smith', t), Stock(p, t, y)"
 STOCK_GROUP_BY = "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
 RUNNING_SUM = "SUM(r) <- R(x,y), S(y,z,'d',r)"
 RUNNING_AVG = "AVG(r) <- R(x,y), S(y,z,'d',r)"
+
+WORKLOAD_INSTANCE = "workload"
+WORKLOAD_MAX = "MAX(y) <- Stock(p, t, y)"
+WORKLOAD_MIN = "MIN(y) <- Stock(p, t, y)"
+WORKLOAD_TOWN_SUM = "(t, SUM(y)) <- Stock(p, t, y)"
+
+
+def workload_instance(blocks: int = 160, inconsistency: float = 0.2, seed: int = 7):
+    """The CPU-bound profile's generated instance (scalability-shaped)."""
+    spec = WorkloadSpec(
+        dealers=max(5, blocks // 10),
+        products=max(5, blocks // 10),
+        towns=max(5, blocks // 20),
+        stock_facts=blocks,
+        inconsistency=inconsistency,
+        seed=seed,
+    )
+    return InconsistentDatabaseGenerator(spec).generate()
 
 
 def mixed_workload(requests: int):
@@ -68,14 +102,61 @@ def mixed_workload(requests: int):
     return [rotation[i % len(rotation)] for i in range(requests)]
 
 
-async def run_bench(requests: int, concurrency: int, workers: int) -> dict:
+def cpu_workload(requests: int):
+    """A CPU-bound request plan over the generated scalability instance.
+
+    Every rotation slot runs a plan whose evaluation cost dominates HTTP
+    and serialization overheads, so thread-mode throughput is GIL-bound
+    and the worker pool's process parallelism is visible.
+    """
+    rotation = [
+        ("POST", "/answer", {"instance": WORKLOAD_INSTANCE, "query": WORKLOAD_MAX}),
+        ("POST", "/answer", {"instance": WORKLOAD_INSTANCE, "query": WORKLOAD_MIN}),
+        (
+            "POST",
+            "/answer_group_by",
+            {"instance": WORKLOAD_INSTANCE, "query": WORKLOAD_TOWN_SUM},
+        ),
+        ("POST", "/answer", {"instance": "stock", "query": STOCK_SUM}),
+        (
+            "POST",
+            "/answer_many",
+            {
+                "items": [
+                    {"instance": WORKLOAD_INSTANCE, "query": WORKLOAD_MAX},
+                    {"instance": WORKLOAD_INSTANCE, "query": WORKLOAD_MIN},
+                ]
+            },
+        ),
+    ]
+    return [rotation[i % len(rotation)] for i in range(requests)]
+
+
+PROFILES = {"mixed": mixed_workload, "cpu": cpu_workload}
+
+
+async def run_load(
+    requests: int,
+    concurrency: int,
+    threads: int,
+    worker_processes: int,
+    profile: str,
+) -> dict:
+    """Boot one server in the given mode, drive the profile, report."""
     server = ConsistentAnswerServer(
-        ServeConfig(port=0, workers=workers, max_pending=max(64, requests))
+        ServeConfig(
+            port=0,
+            workers=threads,
+            max_pending=max(64, requests),
+            worker_processes=worker_processes,
+        )
     )
-    host, port = await server.start()
+    await server.start()
     try:
-        generator = LoadGenerator(host, port, concurrency=concurrency)
-        report = await generator.run(mixed_workload(requests))
+        if profile == "cpu":
+            server.registry.register(WORKLOAD_INSTANCE, workload_instance())
+        generator = LoadGenerator(server.address[0], server.address[1], concurrency)
+        report = await generator.run(PROFILES[profile](requests))
         server_metrics = server.metrics.snapshot()
         cache = server.engine.cache_stats()
         per_endpoint = {
@@ -86,15 +167,8 @@ async def run_bench(requests: int, concurrency: int, workers: int) -> dict:
             }
             for endpoint, snap in server_metrics["latency"].items()
         }
+        pool = server.engine.shard_stats().get("worker_pool")
         return {
-            "benchmark": "serve",
-            "timestamp": time.time(),
-            "config": {
-                "requests": requests,
-                "concurrency": concurrency,
-                "workers": workers,
-                "backend": server.engine.backend_name,
-            },
             **report.summary(),
             "per_endpoint": per_endpoint,
             "plan_cache": {
@@ -102,16 +176,72 @@ async def run_bench(requests: int, concurrency: int, workers: int) -> dict:
                 "misses": cache.misses,
                 "hit_rate": round(cache.hit_rate, 4),
             },
+            "worker_pool": pool or {"enabled": False},
         }
     finally:
         await server.stop()
+
+
+async def run_bench(
+    requests: int,
+    concurrency: int,
+    threads: int,
+    worker_processes: int,
+    profile: str,
+) -> dict:
+    result = {
+        "benchmark": "serve",
+        "timestamp": time.time(),
+        "config": {
+            "requests": requests,
+            "concurrency": concurrency,
+            "workers": worker_processes,
+            "threads": threads,
+            "profile": profile,
+        },
+    }
+    if worker_processes > 0:
+        # Thread-mode baseline first (same profile, same load) so the JSON
+        # carries the apples-to-apples speedup of the process pool.
+        baseline = await run_load(requests, concurrency, threads, 0, profile)
+        pooled = await run_load(
+            requests, concurrency, threads, worker_processes, profile
+        )
+        result.update(pooled)
+        result["baseline_threads"] = {
+            key: baseline[key]
+            for key in ("throughput_rps", "p50_ms", "p95_ms", "statuses", "errors_5xx")
+        }
+        base_rps = baseline["throughput_rps"] or 1e-9
+        result["speedup_vs_threads"] = round(pooled["throughput_rps"] / base_rps, 3)
+    else:
+        result.update(await run_load(requests, concurrency, threads, 0, profile))
+    return result
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--concurrency", type=int, default=8)
-    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="engine worker *processes* (long-lived pool; 0 = thread-pool "
+        "mode).  With N > 0 a thread-mode baseline runs first and the "
+        "report includes speedup_vs_threads.",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=4, help="engine worker threads per server"
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="mixed",
+        help="request mix: 'mixed' (light, every endpoint) or 'cpu' "
+        "(CPU-bound plans over a generated instance)",
+    )
     parser.add_argument("--out", default="BENCH_serve.json")
     parser.add_argument(
         "--check-no-5xx",
@@ -123,9 +253,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="exit 1 unless concurrent requests shared cached plans",
     )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless pool-mode throughput is >= X times the "
+        "thread-mode baseline (requires --workers > 0)",
+    )
     args = parser.parse_args(argv)
 
-    result = asyncio.run(run_bench(args.requests, args.concurrency, args.workers))
+    result = asyncio.run(
+        run_bench(
+            args.requests, args.concurrency, args.threads, args.workers, args.profile
+        )
+    )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2)
         handle.write("\n")
@@ -143,6 +285,18 @@ def main(argv=None) -> int:
     if args.check_cache_hits and not result["plan_cache"]["hits"]:
         print("FAIL: no plan-cache hits; plans were not reused", file=sys.stderr)
         return 1
+    if args.check_speedup is not None:
+        speedup = result.get("speedup_vs_threads")
+        if speedup is None:
+            print("FAIL: --check-speedup requires --workers > 0", file=sys.stderr)
+            return 1
+        if speedup < args.check_speedup:
+            print(
+                f"FAIL: pool speedup {speedup}x < required "
+                f"{args.check_speedup}x over the thread-mode baseline",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

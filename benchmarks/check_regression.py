@@ -1,0 +1,146 @@
+"""Benchmark regression gate: compare a fresh BENCH json against the baseline.
+
+CI produces a fresh ``BENCH_serve.json`` / ``BENCH_shard.json`` on every
+run; this script compares it against the baseline committed at the repo
+root and fails (exit 1) when a headline metric regressed by more than
+``--max-ratio`` (default 2x — wide enough to absorb runner-hardware noise,
+tight enough to catch a real perf cliff):
+
+* ``serve``  — p95 latency (lower is better) and throughput_rps (higher
+  is better) of the mixed load;
+* ``shard``  — per-query best sharded speedup (higher is better; a
+  dimensionless ratio, so it is hardware-portable) and the sharded
+  wall-clock of the best configuration (lower is better).
+
+Metrics missing on either side are reported and skipped rather than
+failing, so the gate survives schema evolution of the bench reports.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.fresh.json
+    python benchmarks/check_regression.py --kind serve \
+        --baseline BENCH_serve.json --fresh BENCH_serve.fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: (metric name, json path, direction) — direction is "higher" or "lower".
+Metric = Tuple[str, List[str], str]
+
+SERVE_METRICS: List[Metric] = [
+    ("throughput_rps", ["throughput_rps"], "higher"),
+    ("p95_ms", ["p95_ms"], "lower"),
+]
+
+
+def _dig(payload: dict, path: List[str]) -> Optional[float]:
+    node: object = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _shard_metrics(baseline: dict, fresh: dict) -> List[Metric]:
+    """One speedup + one wall-clock metric per query present in both files."""
+    metrics: List[Metric] = []
+    base_queries = baseline.get("queries", {})
+    fresh_queries = fresh.get("queries", {})
+    for name in sorted(set(base_queries) & set(fresh_queries)):
+        metrics.append((f"{name}.best_speedup", ["queries", name, "best_speedup"], "higher"))
+        shard_counts = base_queries[name].get("sharded", {})
+        if shard_counts:
+            best = min(
+                shard_counts,
+                key=lambda count: shard_counts[count].get("seconds", float("inf")),
+            )
+            if best in fresh_queries[name].get("sharded", {}):
+                metrics.append(
+                    (
+                        f"{name}.sharded[{best}].seconds",
+                        ["queries", name, "sharded", best, "seconds"],
+                        "lower",
+                    )
+                )
+    return metrics
+
+
+def compare(
+    kind: str, baseline: dict, fresh: dict, max_ratio: float
+) -> Tuple[List[str], List[str]]:
+    """Return (report lines, failure lines)."""
+    if kind == "serve":
+        metrics = SERVE_METRICS
+    else:
+        metrics = _shard_metrics(baseline, fresh)
+    lines: List[str] = []
+    failures: List[str] = []
+    for name, path, direction in metrics:
+        base_value = _dig(baseline, path)
+        fresh_value = _dig(fresh, path)
+        if base_value is None or fresh_value is None:
+            lines.append(f"  skip {name}: missing on one side")
+            continue
+        if base_value <= 0 or fresh_value <= 0:
+            lines.append(f"  skip {name}: non-positive value")
+            continue
+        if direction == "lower":
+            ratio = fresh_value / base_value
+        else:
+            ratio = base_value / fresh_value
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        lines.append(
+            f"  {verdict:4} {name}: baseline={base_value:g} fresh={fresh_value:g} "
+            f"regression-ratio={ratio:.2f} ({direction} is better)"
+        )
+        if ratio > max_ratio:
+            failures.append(
+                f"{name} regressed {ratio:.2f}x (baseline {base_value:g} -> "
+                f"fresh {fresh_value:g}, limit {max_ratio}x)"
+            )
+    return lines, failures
+
+
+def _load(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kind", choices=("serve", "shard"), required=True)
+    parser.add_argument("--baseline", required=True, help="committed BENCH json")
+    parser.add_argument("--fresh", required=True, help="freshly produced BENCH json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="maximum tolerated regression factor (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    lines, failures = compare(args.kind, baseline, fresh, args.max_ratio)
+    print(f"benchmark regression gate ({args.kind}), limit {args.max_ratio}x:")
+    for line in lines:
+        print(line)
+    if not lines:
+        print("  no comparable metrics found", file=sys.stderr)
+        return 1
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("no regression beyond the limit")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

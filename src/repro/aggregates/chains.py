@@ -15,12 +15,7 @@ from fractions import Fraction
 from typing import Callable, Optional, Union
 
 from repro.aggregates.duals import DualAggregateOperator
-from repro.aggregates.operators import (
-    AVG,
-    PRODUCT,
-    SUM,
-    AggregateOperator,
-)
+from repro.aggregates.operators import AggregateOperator
 
 AnyOperator = Union[AggregateOperator, DualAggregateOperator]
 

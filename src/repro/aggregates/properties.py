@@ -11,10 +11,9 @@ theorem.
 
 from __future__ import annotations
 
-import itertools
 import random
 from fractions import Fraction
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.aggregates.duals import DualAggregateOperator
 from repro.aggregates.operators import AggregateOperator

@@ -9,9 +9,9 @@ AGGR[FOL]-rewritability of ``GLB-CQA(g())`` (Theorem 1.1).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.attacks.fds import FunctionalDependency, closure, implies_fd, key_fds
+from repro.attacks.fds import FunctionalDependency, closure, implies_fd
 from repro.exceptions import QueryError
 from repro.query.atom import Atom
 from repro.query.conjunctive import ConjunctiveQuery

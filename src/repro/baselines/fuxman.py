@@ -23,7 +23,7 @@ This module provides:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.aggregates.operators import get_operator
 from repro.attacks.attack_graph import AttackGraph

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from repro.baselines.fuxman import is_cforest
 from repro.query.aggregation import AggregationQuery
-from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.terms import is_variable
 
 

@@ -21,7 +21,7 @@ from repro.datamodel.instance import DatabaseInstance
 from repro.exceptions import NotRewritableError
 from repro.query.atom import Atom
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.query.terms import Variable, is_variable
+from repro.query.terms import is_variable
 
 Binding = Dict[str, Constant]
 

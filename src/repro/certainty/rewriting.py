@@ -20,7 +20,7 @@ where ``w̄`` are fresh variables for the non-key positions, ``cond_j`` forces
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.attacks.attack_graph import AttackGraph
 from repro.exceptions import NotRewritableError

@@ -32,7 +32,7 @@ from repro.embeddings.forall import ForallEmbeddingComputer
 from repro.exceptions import NotRewritableError, UnsupportedAggregateError
 from repro.query.aggregation import AggregationQuery
 from repro.query.atom import Atom
-from repro.query.terms import Variable, is_variable
+from repro.query.terms import is_variable
 
 
 class _Bottom:

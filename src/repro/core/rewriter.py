@@ -25,10 +25,8 @@ the same computation is :class:`~repro.core.evaluator.OperationalRangeEvaluator`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.aggregates.operators import get_operator
 from repro.aggregates.properties import is_covered_by_separation_theorem
 from repro.attacks.attack_graph import AttackGraph
 from repro.attacks.classification import SeparationVerdict, classify_aggregation_query

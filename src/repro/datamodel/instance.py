@@ -13,7 +13,7 @@ from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datamodel.facts import Constant, Fact
-from repro.datamodel.signature import RelationSignature, Schema
+from repro.datamodel.signature import Schema
 from repro.exceptions import SchemaError
 
 BlockKey = Tuple[str, Tuple[Constant, ...]]

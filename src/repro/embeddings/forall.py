@@ -30,7 +30,6 @@ from repro.fol.builders import conjunction
 from repro.fol.syntax import Formula, RelationAtom
 from repro.query.atom import Atom
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.query.terms import Variable, is_variable
 
 Binding = Dict[str, Constant]
 

@@ -10,7 +10,7 @@ this module is used for ground truth on small inputs (Corollary 6.4).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Sequence, Set
 
 from repro.datamodel.valuation import Valuation
 from repro.query.conjunctive import ConjunctiveQuery

@@ -38,6 +38,13 @@ from repro.engine.plan import (
     plan_key,
     schema_fingerprint,
 )
+from repro.engine.workers import (
+    InstanceRef,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerPoolError,
+    shard_worker_of,
+)
 from repro.engine.sharding import (
     DirectionSummary,
     SHARD_ANSWER_IDENTITY,
@@ -67,6 +74,10 @@ __all__ = [
     "DirectionSummary",
     "ExecutionBackend",
     "ExhaustiveBackend",
+    "InstanceRef",
+    "WorkerCrashError",
+    "WorkerPool",
+    "WorkerPoolError",
     "OperationalBackend",
     "PlanCache",
     "PlanKey",
@@ -101,6 +112,7 @@ __all__ = [
     "register_backend",
     "schema_fingerprint",
     "shard_plan_cache_stats",
+    "shard_worker_of",
     "sql_memo_stats",
     "summarize_shard",
     "summarize_shard_groups",

@@ -28,7 +28,7 @@ from repro.core.evaluator import OperationalRangeEvaluator
 from repro.core.minmax import MinMaxRangeEvaluator
 from repro.datamodel.facts import Constant
 from repro.datamodel.instance import DatabaseInstance
-from repro.exceptions import BackendError, ReproError
+from repro.exceptions import BackendError
 from repro.query.aggregation import AggregationQuery
 from repro.sql.backend import SqliteBackend
 from repro.sql.generator import GeneratedSql, SqlRewritingGenerator
@@ -37,7 +37,6 @@ from repro.engine.cache import PlanCache
 from repro.engine.plan import (
     PlanKey,
     REWRITING_STRATEGIES,
-    STRATEGY_BRANCH_AND_BOUND,
     STRATEGY_MINMAX,
     STRATEGY_OPERATIONAL,
     plan_key,

@@ -2,10 +2,13 @@
 
 ``execute_batch`` splits a sequence of (query, instance) pairs into
 contiguous chunks and executes them either serially on the calling engine
-(small batches — the shared plan cache stays warm) or on a pool of worker
-processes (large batches).  Each worker builds its own engine from the
-parent's configuration, so plans are compiled at most once per chunk even
-in the parallel path.
+(small batches — the shared plan cache stays warm) or on worker processes
+(large batches).  When the engine has a long-lived
+:class:`~repro.engine.workers.WorkerPool` attached, chunks are submitted to
+its persistent workers (warm plan caches, instances transferred once);
+otherwise each call fans out over a fresh fork pool whose workers rebuild an
+engine from the parent's configuration, so plans are compiled at most once
+per chunk even in that path.
 
 The pool prefers the ``fork`` start method (cheap on Linux, inherits the
 imported library); when process pools are unavailable (restricted
@@ -161,7 +164,15 @@ def execute_batch(
     items = list(items)
     if not items:
         return []
-    workers = default_worker_count() if max_workers is None else max(1, max_workers)
+    pool = getattr(engine, "worker_pool", None)
+    pool_running = pool is not None and pool.is_running
+    if max_workers is not None:
+        workers = max(1, max_workers)
+    elif pool_running:
+        # A long-lived pool sizes the fan-out: one chunk per persistent worker.
+        workers = pool.size
+    else:
+        workers = default_worker_count()
     workers = min(workers, len(items))
     threshold = (
         default_min_parallel_items()
@@ -176,13 +187,40 @@ def execute_batch(
     if chunk_size is None:
         chunk_size = -(-len(items) // workers)  # ceil division
     chunks = _chunked(items, max(1, chunk_size))
-    results = _parallel_chunks(engine.config(), chunks, workers)
+    results = _pool_chunks(engine, chunks)
+    if results is None:
+        results = _parallel_chunks(engine.config(), chunks, workers)
     if results is None:  # pool unavailable: degrade gracefully
         return [
             _answer_one(engine, query, instance, index)
             for index, (query, instance) in enumerate(items)
         ]
     return sorted(results, key=lambda r: r.index)
+
+
+def _pool_chunks(engine, chunks) -> Optional[List[BatchResult]]:
+    """Run the chunks on the engine's attached worker pool, if one is running.
+
+    Returns ``None`` when no pool is attached (callers fall through to the
+    per-call fork pool) or when the pool fails mid-batch after exhausting
+    its crash retries (callers degrade to the fork/serial path rather than
+    losing the batch).
+    """
+    pool = getattr(engine, "worker_pool", None)
+    if pool is None or not pool.is_running:
+        return None
+    from repro.engine.workers import WorkerPoolError
+
+    try:
+        return list(pool.run_chunks(chunks))
+    except WorkerPoolError as exc:
+        warnings.warn(
+            f"worker pool failed mid-batch ({exc}); degrading to the "
+            f"per-call executor",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
 
 
 def run_in_fork_pool(worker, payloads: Sequence[tuple], workers: int) -> Optional[list]:

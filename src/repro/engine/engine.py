@@ -95,6 +95,7 @@ class ConsistentAnswerEngine:
             "fallbacks": 0,
             "shards_planned": 0,
         }
+        self._worker_pool = None
 
     # -- configuration ----------------------------------------------------------------
 
@@ -129,7 +130,11 @@ class ConsistentAnswerEngine:
         )
 
     def config(self) -> Dict[str, object]:
-        """Picklable constructor arguments (used by the batch executor)."""
+        """Picklable constructor arguments (used by the batch executor).
+
+        The attached worker pool is deliberately excluded: worker engines
+        rebuilt from this config must never hold (or fork) pools themselves.
+        """
         return {
             "backend": self._backend_name,
             "fallback": self._fallback_name,
@@ -137,6 +142,20 @@ class ConsistentAnswerEngine:
             "batch_workers": self._batch_workers,
             "min_parallel_items": self._min_parallel_items,
         }
+
+    @property
+    def worker_pool(self):
+        """The attached :class:`~repro.engine.workers.WorkerPool` (or None)."""
+        return self._worker_pool
+
+    def set_worker_pool(self, pool) -> None:
+        """Attach (or detach, with ``None``) a long-lived worker pool.
+
+        While a running pool is attached, :meth:`answer_many` chunks and
+        sharded summarisation are submitted to its persistent workers
+        instead of forking per-call process pools.
+        """
+        self._worker_pool = pool
 
     # -- plan compilation --------------------------------------------------------------
 
@@ -349,11 +368,16 @@ class ConsistentAnswerEngine:
             else:
                 self._shard_stats["fallbacks"] += 1
 
-    def shard_stats(self) -> Dict[str, int]:
+    def shard_stats(self) -> Dict[str, object]:
         """Counters of the sharded execution path (requests / sharded /
-        fallbacks / shards_planned)."""
+        fallbacks / shards_planned), plus per-worker pool statistics when a
+        worker pool is attached."""
         with self._shard_lock:
-            return dict(self._shard_stats)
+            stats: Dict[str, object] = dict(self._shard_stats)
+        pool = self._worker_pool
+        if pool is not None:
+            stats["worker_pool"] = pool.stats()
+        return stats
 
     # -- cache management --------------------------------------------------------------
 

@@ -655,6 +655,39 @@ def _parallel_summaries(
     )
 
 
+def _pool_summaries(
+    pool,
+    query: AggregationQuery,
+    instance: DatabaseInstance,
+    shard_plan: ShardPlan,
+    binding: Optional[Binding],
+    grouped: bool,
+    strategy: str,
+) -> Optional[List[object]]:
+    """Summarise shards on the long-lived worker pool; None on pool failure.
+
+    Each shard is summarised by its stably assigned worker
+    (:func:`repro.engine.workers.shard_worker_of`): the worker holds the
+    instance resident, recomputes the deterministic partition into its own
+    shard-plan cache, and only shard *indices* cross the pipe.  A pool that
+    fails after exhausting its crash retries degrades to the caller's serial
+    path instead of losing the request.
+    """
+    from repro.engine.workers import WorkerPoolError
+
+    try:
+        return pool.summarize_shards(
+            query,
+            instance,
+            len(shard_plan.shards),
+            strategy,
+            binding=binding,
+            grouped=grouped,
+        )
+    except WorkerPoolError:
+        return None
+
+
 def execute_sharded(
     engine,
     query: AggregationQuery,
@@ -687,13 +720,30 @@ def execute_sharded(
             return engine.answer_group_by(query, instance)
         return engine.answer(query, instance, binding)
 
-    workers = engine.batch_workers if max_workers is None else max(1, max_workers)
+    pool = getattr(engine, "worker_pool", None)
+    pool_running = pool is not None and pool.is_running
+    if max_workers is not None:
+        workers = max(1, max_workers)
+    elif pool_running:
+        workers = pool.size
+    else:
+        workers = engine.batch_workers
     workers = min(workers, len(shard_plan.shards))
     summaries: Optional[List[object]] = None
     if workers > 1:
-        summaries = _parallel_summaries(
-            engine.config(), plan.query, shard_plan.shards, binding, grouped, workers
-        )
+        if pool_running:
+            summaries = _pool_summaries(
+                pool, plan.query, instance, shard_plan, binding, grouped, strategy
+            )
+        else:
+            summaries = _parallel_summaries(
+                engine.config(),
+                plan.query,
+                shard_plan.shards,
+                binding,
+                grouped,
+                workers,
+            )
     if summaries is None:  # serial path (requested, or pool unavailable)
         summaries = [
             summarize_shard_groups(plan, shard)

@@ -1,0 +1,890 @@
+"""Long-lived engine worker processes: the process pool behind the serving layer.
+
+The batch executor and the sharded executor historically spun up a fresh
+``ProcessPoolExecutor`` per call: every request paid process start-up, cold
+plan caches, and a re-pickle of the database per chunk.  :class:`WorkerPool`
+replaces that with the executor-pool shape every production database serving
+stack uses:
+
+* each worker process holds a **persistent**
+  :class:`~repro.engine.engine.ConsistentAnswerEngine` — its plan cache, the
+  process-wide SQL memo and the shard-plan cache stay warm across requests;
+* databases are transferred **once**: :meth:`WorkerPool.ref_for` pickles an
+  instance a single time into the pool's disk spool and hands out a thin
+  :class:`InstanceRef` — N workers read one file instead of receiving N
+  pickles, job payloads never carry the database, and workers keep the
+  loaded instance resident keyed by (name, version, schema fingerprint)
+  until it is invalidated or replaced;
+* three job kinds cover the engine's CPU-bound surface — single answers
+  (closed or GROUP BY), ``answer_many`` chunks, and per-shard summarisation
+  with a **stable hashed shard→worker assignment**
+  (:func:`shard_worker_of`): a given shard of a given schema always lands on
+  the same worker, so its caches stay warm across requests and survive
+  instance re-registration;
+* workers that crash are respawned and their in-flight jobs are retried
+  once on the fresh process; a job that crashes its worker twice fails with
+  a :class:`WorkerCrashError` instead of hanging the caller.
+
+The pool attaches to an engine via
+:meth:`~repro.engine.engine.ConsistentAnswerEngine.set_worker_pool`; the
+batch executor (:mod:`repro.engine.batch`) and the sharded executor
+(:mod:`repro.engine.sharding`) then submit to it instead of forking, and
+``repro.serve`` exposes the whole thing as the opt-in ``--workers N`` mode.
+
+Transport is one job pipe and one result pipe per worker: per-worker job
+pipes are what make the stable shard assignment possible, and per-worker
+result pipes mean a killed worker can never corrupt a queue shared with its
+siblings — the collector thread multiplexes over every result pipe *and*
+every process sentinel, so a crash is observed the moment it happens.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+import weakref
+from concurrent.futures import Future
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.instance import DatabaseInstance
+from repro.exceptions import ReproError
+from repro.query.aggregation import AggregationQuery
+from repro.util import stable_hash_64
+
+
+class WorkerPoolError(ReproError):
+    """Base class for worker-pool failures (maps to a structured 500)."""
+
+
+class WorkerCrashError(WorkerPoolError):
+    """A job crashed its worker and exhausted its retry budget."""
+
+
+def default_pool_start_method() -> str:
+    """``fork`` where available (cheap, inherits the imported library)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+def shard_worker_of(fingerprint: str, shards: int, shard_index: int, workers: int) -> int:
+    """The stable worker index owning one shard of one schema.
+
+    Hashing the *schema fingerprint* (not the registration key or the
+    instance object) means the assignment survives instance re-registration:
+    replacing a database under the same schema re-routes every shard to the
+    worker that already holds its caches.
+    """
+    return stable_hash_64(f"{fingerprint}:{shards}:{shard_index}") % max(1, workers)
+
+
+# -- instance references ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InstanceRef:
+    """A pickled-once handle to a database, shippable to every worker.
+
+    ``key`` identifies the logical instance (registration name or an
+    auto-generated token), ``version`` increments on replacement or observed
+    mutation, and ``fingerprint`` is the schema fingerprint — the identity
+    the stable shard assignment hashes.  The pickle itself lives in the
+    pool's disk spool (``spool_path``): job payloads carry only this thin
+    record, a worker reads the file once per version on a residency miss,
+    and a respawned worker can always re-load from disk.
+    """
+
+    key: str
+    version: int
+    fingerprint: str
+    size: int
+    spool_path: str
+
+    def load(self) -> DatabaseInstance:
+        with open(self.spool_path, "rb") as handle:
+            return pickle.load(handle)
+
+
+# -- the worker process -----------------------------------------------------------------
+
+
+def _encode_failure(exc: BaseException) -> Tuple[str, object]:
+    """Serialize a worker-side exception, preserving its type when possible.
+
+    The original exception class matters at the parent: the serving layer
+    classifies it into an HTTP status, and a client error (``ParseError``,
+    ``QueryError``) must stay a 400 in worker mode exactly as in thread
+    mode.  Exceptions that do not survive a pickle round-trip degrade to a
+    typed text form that the parent wraps in :class:`WorkerPoolError`.
+    """
+    try:
+        blob = pickle.dumps(exc)
+        pickle.loads(blob)
+        return ("pickle", blob)
+    except Exception:  # noqa: BLE001 — any serialization failure degrades
+        return ("text", (type(exc).__name__, str(exc)))
+
+
+def _decode_failure(payload: Tuple[str, object]) -> BaseException:
+    form, data = payload
+    if form == "pickle":
+        try:
+            exc = pickle.loads(data)
+            if isinstance(exc, BaseException):
+                return exc
+        except Exception:  # noqa: BLE001 — fall through to the typed wrapper
+            pass
+        return WorkerPoolError("worker job failed with an undecodable error")
+    error_type, error_message = data
+    return WorkerPoolError(f"worker job failed: {error_type}: {error_message}")
+
+
+def _worker_stats(engine, resident: Dict, counters: Dict[str, int]) -> Dict[str, object]:
+    cache = engine.cache_stats()
+    return {
+        **counters,
+        "plan_cache": {"hits": cache.hits, "misses": cache.misses, "size": cache.size},
+        "resident_instances": len(resident),
+    }
+
+
+def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> None:
+    """Worker entry point: serve jobs forever on a persistent engine."""
+    from repro.engine.batch import _answer_one
+    from repro.engine.engine import ConsistentAnswerEngine
+    from repro.engine.sharding import (
+        ShardPlanner,
+        _cached_shard_plan,
+        summarize_shard,
+        summarize_shard_groups,
+    )
+
+    config = dict(engine_config or {})
+    config["batch_workers"] = 1  # a worker never forks a nested pool
+    engine = ConsistentAnswerEngine(**config)
+    resident: Dict[str, Tuple[int, DatabaseInstance]] = {}
+    counters: Dict[str, int] = {
+        "jobs": 0,
+        "answer_jobs": 0,
+        "chunk_jobs": 0,
+        "shard_jobs": 0,
+        "instance_loads": 0,
+    }
+
+    def resolve(ref: InstanceRef) -> DatabaseInstance:
+        entry = resident.get(ref.key)
+        if entry is None or entry[0] != ref.version:
+            resident[ref.key] = (ref.version, ref.load())
+            counters["instance_loads"] += 1
+        return resident[ref.key][1]
+
+    def handle(kind: str, payload: tuple) -> object:
+        if kind == "answer":
+            ref, query, binding, shards = payload
+            counters["answer_jobs"] += 1
+            instance = resolve(ref)
+            if query.free_variables and binding is None:
+                return engine.answer_group_by(query, instance, shards=shards)
+            return engine.answer(query, instance, binding or {}, shards=shards)
+        if kind == "chunk":
+            (items,) = payload
+            counters["chunk_jobs"] += 1
+            return [
+                _answer_one(engine, query, resolve(ref), index)
+                for index, query, ref in items
+            ]
+        if kind == "shards":
+            ref, query, shards, strategy, indices, binding, grouped = payload
+            counters["shard_jobs"] += 1
+            instance = resolve(ref)
+            plan = engine.compile(query)
+            shard_plan = _cached_shard_plan(
+                ShardPlanner(strategy), plan, instance, shards
+            )
+            if len(shard_plan.shards) != shards:
+                raise WorkerPoolError(
+                    f"worker partition has {len(shard_plan.shards)} shards, "
+                    f"parent expected {shards}"
+                )
+            return [
+                (
+                    index,
+                    summarize_shard_groups(plan, shard_plan.shards[index])
+                    if grouped
+                    else summarize_shard(plan, shard_plan.shards[index], binding),
+                )
+                for index in indices
+            ]
+        if kind == "invalidate":
+            (key,) = payload
+            return resident.pop(key, None) is not None
+        if kind == "ping":
+            return "pong"
+        if kind == "sleep":  # diagnostic hook: deterministic mid-job crashes in tests
+            (seconds,) = payload
+            time.sleep(seconds)
+            return seconds
+        raise WorkerPoolError(f"unknown job kind {kind!r}")
+
+    while True:
+        try:
+            job = job_conn.recv()
+        except (EOFError, OSError):
+            break
+        if job is None:
+            break
+        job_id, kind, payload = job
+        try:
+            result = handle(kind, payload)
+            counters["jobs"] += 1
+            message = (job_id, True, result, _worker_stats(engine, resident, counters))
+        except BaseException as exc:  # noqa: BLE001 — every failure becomes a message
+            message = (
+                job_id,
+                False,
+                _encode_failure(exc),
+                _worker_stats(engine, resident, counters),
+            )
+        try:
+            result_conn.send(message)
+        except (BrokenPipeError, OSError):
+            break
+
+
+# -- the pool ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PendingJob:
+    """Parent-side bookkeeping for one submitted, unresolved job."""
+
+    job_id: int
+    kind: str
+    payload: tuple
+    future: Future
+    worker_index: int
+    generation: int
+    attempts: int = 0
+
+
+class _WorkerHandle:
+    """One worker process plus its pipes and parent-side counters."""
+
+    def __init__(self, index: int, generation: int, context, engine_config: dict) -> None:
+        self.index = index
+        self.generation = generation
+        job_recv, job_send = context.Pipe(duplex=False)
+        result_recv, result_send = context.Pipe(duplex=False)
+        self.job_conn = job_send
+        self.result_conn = result_recv
+        self.send_lock = threading.Lock()
+        self.stats: Dict[str, object] = {}
+        self.process = context.Process(
+            target=_worker_main,
+            args=(index, engine_config, job_recv, result_send),
+            daemon=True,
+            name=f"repro-worker-{index}",
+        )
+        self.process.start()
+        # The child owns these ends now; closing the parent copies makes the
+        # child's death observable as EOF on ``result_conn``.
+        job_recv.close()
+        result_send.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """A fixed-size pool of long-lived engine worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.
+    engine_config:
+        Constructor kwargs for each worker's persistent engine (typically
+        ``engine.config()`` of the engine the pool attaches to).
+    max_retries:
+        How many times a job is retried after crashing its worker (each
+        retry runs on the respawned process).
+    start_method:
+        Multiprocessing start method (default: ``fork`` when available).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        engine_config: Optional[dict] = None,
+        max_retries: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self._size = max(1, int(workers))
+        self._engine_config = dict(engine_config or {})
+        self._max_retries = max(0, int(max_retries))
+        self._context = multiprocessing.get_context(
+            start_method or default_pool_start_method()
+        )
+        # Crash replacements never fork: at boot the process is quiescent,
+        # but a respawn happens under full traffic, where a forked child
+        # could inherit a module-level lock (plan cache, SQL memo, shard
+        # plans) held mid-acquire by a serving thread and deadlock on its
+        # first job.  ``spawn`` pays a fresh-interpreter start-up only on
+        # the rare crash path.
+        self._respawn_context = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._handles: List[_WorkerHandle] = []
+        self._pending: Dict[int, _PendingJob] = {}
+        self._job_ids = itertools.count(1)
+        self._generations = itertools.count(1)
+        self._started = False
+        self._closed = False
+        self._collector: Optional[threading.Thread] = None
+        self._spool_dir: Optional[str] = None
+        self._restarts = 0
+        self._retries = 0
+        self._jobs_submitted = 0
+        # Instance-ref bookkeeping.  The identity index maps id(instance) to
+        # its current ref — identity, not equality, because a mutated
+        # instance must keep its key and bump its version; a weak finalizer
+        # drops the entry when the database dies, and the paired weakref
+        # guards against CPython id reuse serving a stale pickle.  Named
+        # refs additionally survive object replacement with a version bump
+        # (and are also entered in the identity index, so anonymous lookups
+        # of a registered object reuse the named ref instead of re-pickling
+        # it under a second key).
+        self._ref_lock = threading.Lock()
+        self._spool_lock = threading.Lock()
+        self._identity_refs: Dict[int, Tuple[weakref.ref, InstanceRef]] = {}
+        self._named_refs: Dict[str, Tuple[weakref.ref, InstanceRef]] = {}
+        self._retired_spools: Dict[str, str] = {}
+        self._auto_keys = itertools.count(1)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn the workers and the collector thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise WorkerPoolError("worker pool is shut down")
+            if self._started:
+                return self
+            if self._spool_dir is None:  # refs may have been built pre-start
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-pool-")
+            self._handles = [
+                _WorkerHandle(
+                    index, next(self._generations), self._context, self._engine_config
+                )
+                for index in range(self._size)
+            ]
+            self._started = True
+            self._collector = threading.Thread(
+                target=self._collect_loop, name="repro-pool-collector", daemon=True
+            )
+            self._collector.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop every worker and fail outstanding jobs (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for handle in handles:
+            try:
+                with handle.send_lock:
+                    handle.job_conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            for conn in (handle.job_conn, handle.result_conn):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)
+        for job in pending:
+            if not job.future.done():
+                job.future.set_exception(WorkerPoolError("worker pool is shut down"))
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def is_running(self) -> bool:
+        with self._lock:
+            return self._started and not self._closed
+
+    def worker_pids(self) -> List[Optional[int]]:
+        with self._lock:
+            return [handle.pid for handle in self._handles]
+
+    # -- instance references ------------------------------------------------------------
+
+    def _build_ref(
+        self,
+        key: str,
+        version: int,
+        instance: DatabaseInstance,
+        replaces: Optional[InstanceRef] = None,
+    ) -> InstanceRef:
+        """Pickle ``instance`` once into the disk spool and return the thin ref.
+
+        Job payloads only ever carry the returned record (a few hundred
+        bytes), never the pickle itself: workers read the spool file once
+        per version on a residency miss, and a respawned worker re-loads
+        from the same file.  Spool files retire on a grandfather schedule —
+        building version ``v`` deletes version ``v-2``'s file, never the
+        immediately replaced one, so an in-flight job holding the previous
+        ref can still load it; disk usage stays at ≤2 pickles per key.
+        """
+        from repro.engine.plan import schema_fingerprint
+
+        if self._closed:
+            raise WorkerPoolError("worker pool is shut down")
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-pool-")
+        path = os.path.join(self._spool_dir, f"{stable_hash_64(key):016x}-{version}.pkl")
+        with open(path, "wb") as handle:
+            pickle.dump(instance, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        grandparent = self._retired_spools.pop(key, None)
+        if grandparent is not None and grandparent != path:
+            try:
+                os.unlink(grandparent)
+            except OSError:
+                pass
+        if replaces is not None:
+            self._retired_spools[key] = replaces.spool_path
+        return InstanceRef(
+            key=key,
+            version=version,
+            fingerprint=schema_fingerprint(instance.schema),
+            size=len(instance),
+            spool_path=path,
+        )
+
+    def _store_identity(self, instance: DatabaseInstance, ref: InstanceRef) -> None:
+        ident = id(instance)
+        cleanup = weakref.ref(
+            instance, lambda _wr: self._identity_refs.pop(ident, None)
+        )
+        self._identity_refs[ident] = (cleanup, ref)
+
+    def _fresh_ref(
+        self, instance: DatabaseInstance, name: Optional[str]
+    ) -> Optional[InstanceRef]:
+        """The current ref when it is still valid for ``instance`` (caller
+        holds ``_ref_lock``).  The weakref guard matters: a freed instance's
+        id can be reused by a new allocation of the same cardinality, and a
+        bare (id, size) check would then serve the *old* pickle."""
+        entry = (
+            self._identity_refs.get(id(instance))
+            if name is None
+            else self._named_refs.get(name)
+        )
+        if entry is not None:
+            holder, ref = entry
+            if holder() is instance and ref.size == len(instance):
+                return ref
+        return None
+
+    def ref_for(self, instance: DatabaseInstance, name: Optional[str] = None) -> InstanceRef:
+        """The pickled-once handle for ``instance`` (registering on first use).
+
+        Anonymous instances are keyed by object identity (the ref dies with
+        the object) but reuse the named ref when the object is registered;
+        named instances are keyed by ``name`` so a replacement database
+        re-uses the key with a bumped version — which is what lets the
+        stable shard assignment survive re-registration.  A mutated
+        instance (``add_fact`` strictly grows it) is re-pickled under the
+        next version, so workers can never serve a stale copy.
+
+        Lock discipline: lookups only touch ``_ref_lock`` (briefly), while
+        the pickle + disk write of a (re-)registration runs under
+        ``_spool_lock`` alone — a request for an already-registered
+        instance is never stalled behind another instance's pickling.
+        """
+        with self._ref_lock:
+            ref = self._fresh_ref(instance, name)
+            if ref is not None:
+                return ref
+        with self._spool_lock:
+            with self._ref_lock:
+                ref = self._fresh_ref(instance, name)
+                if ref is not None:  # another thread built it meanwhile
+                    return ref
+                if name is None:
+                    entry = self._identity_refs.get(id(instance))
+                    old = (
+                        entry[1]
+                        if entry is not None and entry[0]() is instance
+                        else None
+                    )
+                    key = (
+                        old.key
+                        if old is not None
+                        else f"instance-{next(self._auto_keys)}"
+                    )
+                else:
+                    key = name
+                    entry = self._named_refs.get(name)
+                    old = entry[1] if entry is not None else None
+                version = old.version + 1 if old is not None else 1
+            ref = self._build_ref(key, version, instance, replaces=old)
+            with self._ref_lock:
+                if name is not None:
+                    self._named_refs[name] = (weakref.ref(instance), ref)
+                self._store_identity(instance, ref)
+            return ref
+
+    def register_instance(
+        self, name: str, instance: DatabaseInstance
+    ) -> InstanceRef:
+        """Explicitly (re-)register a named instance, bumping its version."""
+        with self._spool_lock:
+            with self._ref_lock:
+                entry = self._named_refs.get(name)
+                old = entry[1] if entry is not None else None
+                version = old.version + 1 if old is not None else 1
+            ref = self._build_ref(name, version, instance, replaces=old)
+            with self._ref_lock:
+                self._named_refs[name] = (weakref.ref(instance), ref)
+                self._store_identity(instance, ref)
+        return ref
+
+    def invalidate(self, name: str) -> None:
+        """Drop a named instance from the pool and every worker's residency."""
+        with self._ref_lock:
+            self._named_refs.pop(name, None)
+            stale = [
+                ident
+                for ident, (_holder, ref) in self._identity_refs.items()
+                if ref.key == name
+            ]
+            for ident in stale:
+                self._identity_refs.pop(ident, None)
+        with self._lock:
+            indices = [handle.index for handle in self._handles]
+        for index in indices:
+            try:
+                self._submit(index, "invalidate", (name,))
+            except WorkerPoolError:
+                return
+
+    # -- job submission -----------------------------------------------------------------
+
+    def _ensure_running(self) -> None:
+        if not self.is_running:
+            raise WorkerPoolError("worker pool is not running")
+
+    def _submit(self, worker_index: int, kind: str, payload: tuple) -> Future:
+        future: Future = Future()
+        with self._lock:
+            if not self._started or self._closed:
+                raise WorkerPoolError("worker pool is not running")
+            handle = self._handles[worker_index % self._size]
+            job_id = next(self._job_ids)
+            job = _PendingJob(
+                job_id=job_id,
+                kind=kind,
+                payload=payload,
+                future=future,
+                worker_index=handle.index,
+                generation=handle.generation,
+            )
+            self._pending[job_id] = job
+            self._jobs_submitted += 1
+        self._send(handle, job)
+        return future
+
+    def _send(self, handle: _WorkerHandle, job: _PendingJob) -> None:
+        try:
+            with handle.send_lock:
+                handle.job_conn.send((job.job_id, job.kind, job.payload))
+        except (BrokenPipeError, OSError):
+            # The worker died before (or while) receiving the job; the
+            # collector's sentinel wakeup handles the respawn — here we only
+            # make sure *this* job is retried or failed rather than lost.
+            self._recover_worker(handle, extra_failed_job=job.job_id)
+
+    def _least_busy_worker(self) -> int:
+        with self._lock:
+            inflight = [0] * self._size
+            for job in self._pending.values():
+                inflight[job.worker_index % self._size] += 1
+            return min(range(self._size), key=lambda i: (inflight[i], i))
+
+    # -- crash detection and recovery ---------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                handles = list(self._handles)
+            waitables = []
+            by_conn = {}
+            by_sentinel = {}
+            for handle in handles:
+                waitables.append(handle.result_conn)
+                by_conn[handle.result_conn] = handle
+                try:
+                    sentinel = handle.process.sentinel
+                except ValueError:  # process already closed
+                    continue
+                waitables.append(sentinel)
+                by_sentinel[sentinel] = handle
+            try:
+                ready = mp_connection.wait(waitables, timeout=0.1)
+            except OSError:
+                continue
+            for item in ready:
+                handle = by_conn.get(item)
+                if handle is not None:
+                    self._drain_results(handle)
+                else:
+                    self._recover_worker(by_sentinel[item])
+
+    def _drain_results(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                if not handle.result_conn.poll():
+                    return
+                message = handle.result_conn.recv()
+            except (EOFError, OSError):
+                self._recover_worker(handle)
+                return
+            job_id, ok, payload, stats = message
+            with self._lock:
+                handle.stats = stats
+                job = self._pending.pop(job_id, None)
+            if job is None:  # resolved elsewhere (e.g. failed during recovery)
+                continue
+            if ok:
+                job.future.set_result(payload)
+            else:
+                job.future.set_exception(_decode_failure(payload))
+
+    def _recover_worker(
+        self, handle: _WorkerHandle, extra_failed_job: Optional[int] = None
+    ) -> None:
+        """Respawn a dead worker and retry (once) or fail its in-flight jobs."""
+        with self._lock:
+            current = self._handles[handle.index % self._size]
+            if current.generation != handle.generation:
+                # Another thread already recovered this generation; at most
+                # re-route the job whose send just failed.
+                orphans = []
+                if extra_failed_job is not None:
+                    job = self._pending.get(extra_failed_job)
+                    if job is not None and job.generation == handle.generation:
+                        orphans = [self._pending.pop(extra_failed_job)]
+            else:
+                if handle.process.is_alive() and extra_failed_job is None:
+                    return  # spurious wakeup
+                self._restarts += 1
+                orphans = [
+                    self._pending.pop(job_id)
+                    for job_id, job in list(self._pending.items())
+                    if job.worker_index == handle.index
+                    and job.generation == handle.generation
+                ]
+                handle.process.join(timeout=0.5)
+                for conn in (handle.job_conn, handle.result_conn):
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                if not self._closed:
+                    self._handles[handle.index] = _WorkerHandle(
+                        handle.index,
+                        next(self._generations),
+                        self._respawn_context,
+                        self._engine_config,
+                    )
+        for job in orphans:
+            self._retry_or_fail(job)
+
+    def _retry_or_fail(self, job: _PendingJob) -> None:
+        if job.attempts >= self._max_retries or self._closed:
+            if not job.future.done():
+                job.future.set_exception(
+                    WorkerCrashError(
+                        f"worker {job.worker_index} crashed while running a "
+                        f"{job.kind!r} job (after {job.attempts + 1} attempt(s))"
+                    )
+                )
+            return
+        with self._lock:
+            if self._closed:
+                handle = None
+            else:
+                handle = self._handles[job.worker_index % self._size]
+                job.attempts += 1
+                job.generation = handle.generation
+                self._pending[job.job_id] = job
+                self._retries += 1
+        if handle is None:
+            if not job.future.done():
+                job.future.set_exception(WorkerPoolError("worker pool is shut down"))
+            return
+        self._send(handle, job)
+
+    # -- high-level job helpers ---------------------------------------------------------
+
+    def answer(
+        self,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        binding: Optional[Dict] = None,
+        shards: Optional[int] = None,
+        name: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Answer one query on a worker (GROUP BY when free variables and no
+        binding).  The instance is transferred once via :meth:`ref_for`."""
+        self._ensure_running()
+        ref = self.ref_for(instance, name=name)
+        future = self._submit(
+            self._least_busy_worker(), "answer", (ref, query, binding, shards)
+        )
+        return self._result(future, timeout)
+
+    def run_chunks(
+        self,
+        chunks: Sequence[Sequence[Tuple[int, AggregationQuery, DatabaseInstance]]],
+        timeout: Optional[float] = None,
+    ) -> List[object]:
+        """Run ``answer_many`` chunks across the workers, preserving item order.
+
+        Each chunk is a list of ``(index, query, instance)``; the return
+        value is the flat list of :class:`~repro.engine.batch.BatchResult`
+        (unsorted — the caller orders by index, as with the fork pool).
+        """
+        self._ensure_running()
+        futures = []
+        for position, chunk in enumerate(chunks):
+            payload_chunk = [
+                (index, query, self.ref_for(instance))
+                for index, query, instance in chunk
+            ]
+            futures.append(
+                self._submit(position % self._size, "chunk", (payload_chunk,))
+            )
+        results: List[object] = []
+        for future in futures:
+            results.extend(self._result(future, timeout))
+        return results
+
+    def summarize_shards(
+        self,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        shards: int,
+        strategy: str,
+        binding: Optional[Dict] = None,
+        grouped: bool = False,
+        name: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List[object]:
+        """Summarise every shard of ``instance`` on its stably assigned worker.
+
+        Workers recompute the (deterministic, worker-side cached) shard plan
+        from the resident instance, so shard contents never cross the pipe —
+        only the shard *indices* each worker owns.
+        """
+        self._ensure_running()
+        ref = self.ref_for(instance, name=name)
+        assignment: Dict[int, List[int]] = {}
+        for shard_index in range(shards):
+            worker = shard_worker_of(ref.fingerprint, shards, shard_index, self._size)
+            assignment.setdefault(worker, []).append(shard_index)
+        futures = [
+            self._submit(
+                worker,
+                "shards",
+                (ref, query, shards, strategy, indices, binding, grouped),
+            )
+            for worker, indices in sorted(assignment.items())
+        ]
+        indexed: List[Tuple[int, object]] = []
+        for future in futures:
+            indexed.extend(self._result(future, timeout))
+        indexed.sort(key=lambda pair: pair[0])
+        return [summary for _index, summary in indexed]
+
+    def shard_assignment(self, instance: DatabaseInstance, shards: int) -> List[int]:
+        """The worker index owning each shard index (stable across requests,
+        pools of the same size, and instance re-registration)."""
+        from repro.engine.plan import schema_fingerprint
+
+        fingerprint = schema_fingerprint(instance.schema)
+        return [
+            shard_worker_of(fingerprint, shards, index, self._size)
+            for index in range(shards)
+        ]
+
+    @staticmethod
+    def _result(future: Future, timeout: Optional[float]):
+        try:
+            return future.result(timeout)
+        except (TimeoutError, concurrent.futures.TimeoutError):
+            raise WorkerPoolError("worker job timed out") from None
+
+    # -- observability ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Pool- and per-worker counters for ``shard_stats()`` and ``/metrics``."""
+        with self._lock:
+            per_worker = [
+                {
+                    "worker": handle.index,
+                    "pid": handle.pid,
+                    "alive": handle.alive(),
+                    **(handle.stats or {"jobs": 0, "resident_instances": 0}),
+                }
+                for handle in self._handles
+            ]
+            return {
+                "enabled": True,
+                "workers": self._size,
+                "running": self._started and not self._closed,
+                "jobs_submitted": self._jobs_submitted,
+                "in_flight": len(self._pending),
+                "restarts": self._restarts,
+                "retries": self._retries,
+                "per_worker": per_worker,
+            }

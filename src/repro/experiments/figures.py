@@ -8,7 +8,7 @@ one; the benchmarks in ``benchmarks/`` time the same computations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
@@ -16,7 +16,7 @@ from repro.attacks.attack_graph import AttackGraph
 from repro.baselines.branch_and_bound import BranchAndBoundSolver
 from repro.baselines.exhaustive import ExhaustiveRangeSolver
 from repro.baselines.fuxman import FuxmanIndependentBlockSolver, is_caggforest
-from repro.core.evaluator import BOTTOM, OperationalRangeEvaluator
+from repro.core.evaluator import OperationalRangeEvaluator
 from repro.core.minmax import MinMaxRangeEvaluator
 from repro.core.range_answers import RangeConsistentAnswers
 from repro.embeddings.forall import forall_embeddings

@@ -13,12 +13,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.attacks.attack_graph import AttackGraph
 from repro.baselines.branch_and_bound import BranchAndBoundSolver
 from repro.baselines.exhaustive import ExhaustiveRangeSolver
 from repro.core.rewriter import GlbRewriter
-from repro.datamodel.instance import DatabaseInstance
-from repro.datamodel.signature import RelationSignature, Schema
+from repro.datamodel.signature import RelationSignature
 from repro.engine import ConsistentAnswerEngine
 from repro.query.aggregation import AggregationQuery
 from repro.query.atom import Atom
@@ -156,7 +154,6 @@ def _chain_query(length: int) -> AggregationQuery:
         RelationSignature(f"R{i}", 2, 1, numeric_positions=(2,) if i == length else ())
         for i in range(1, length + 1)
     ]
-    schema = Schema(signatures)
     atoms = []
     for i, signature in enumerate(signatures, start=1):
         numeric = i == length

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.aggregates.operators import get_operator
 from repro.datamodel.facts import Constant, is_numeric_constant

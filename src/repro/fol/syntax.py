@@ -9,9 +9,9 @@ trees; evaluation lives in :mod:`repro.fol.evaluation` and SQL compilation in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import FrozenSet, Sequence, Tuple, Union
+from typing import FrozenSet, Tuple, Union
 
 from repro.query.atom import Atom
 from repro.query.terms import Variable, is_variable, term_str

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Optional, Sequence, Tuple, Union
+from typing import Sequence, Tuple
 
 from repro.datamodel.facts import is_numeric_constant
 from repro.exceptions import QueryError

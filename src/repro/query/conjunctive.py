@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.datamodel.signature import Schema
 from repro.exceptions import NotSelfJoinFreeError, QueryError
 from repro.query.atom import Atom
-from repro.query.terms import Term, Variable, is_variable
+from repro.query.terms import Term, Variable
 
 
 class ConjunctiveQuery:

@@ -23,7 +23,7 @@ import re
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.datamodel.signature import RelationSignature, Schema
+from repro.datamodel.signature import Schema
 from repro.exceptions import ParseError
 from repro.query.aggregation import AggregationQuery
 from repro.query.atom import Atom

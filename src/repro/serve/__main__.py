@@ -4,16 +4,23 @@ Examples::
 
     python -m repro.serve                         # 127.0.0.1:8421, builtins
     python -m repro.serve --port 0                # ephemeral port
-    python -m repro.serve --backend sqlite --workers 8 --max-pending 256
+    python -m repro.serve --workers 4             # 4 engine worker processes
+    python -m repro.serve --backend sqlite --threads 8 --max-pending 256
     REPRO_BATCH_WORKERS=4 python -m repro.serve --max-batch-workers 4
+
+``--workers N`` is the process mode: CPU-bound plan execution runs on a
+long-lived pool of N engine worker processes (GIL-free parallelism, warm
+per-worker caches, crash respawn).  Without it the server executes on the
+``--threads``-sized thread pool, as before.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import sys
 
-from repro.serve.app import ServeConfig, run_server
+from repro.serve.app import SERVER_NAME, ServeConfig, run_server
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,8 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers",
         type=int,
+        default=0,
+        metavar="N",
+        help="engine worker *processes* (long-lived pool; 0 = thread-pool "
+        "execution, the default)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
         default=None,
-        help="engine worker threads (default: cpu-derived)",
+        help="engine worker threads (default: cpu-derived); with --workers "
+        "the threads only wait on the process pool",
     )
     parser.add_argument(
         "--max-pending",
@@ -79,11 +95,12 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         backend=args.backend,
         fallback=args.fallback,
         plan_cache_size=args.plan_cache_size,
-        workers=args.workers,
+        workers=args.threads,
         max_pending=args.max_pending,
         request_timeout_s=args.request_timeout,
         max_batch_workers=args.max_batch_workers,
         register_builtins=not args.no_builtins,
+        worker_processes=max(0, args.workers),
     )
 
 
@@ -93,6 +110,16 @@ def main(argv=None) -> int:
         asyncio.run(run_server(config_from_args(args)))
     except KeyboardInterrupt:
         pass
+    except OSError as exc:
+        # Most commonly the port is already bound: fail with a structured
+        # one-line error instead of a traceback (and run_server has already
+        # torn the worker pool down).
+        print(
+            f"{SERVER_NAME}: error: cannot listen on "
+            f"{args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

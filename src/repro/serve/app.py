@@ -8,6 +8,14 @@ Architecture (stdlib only — no third-party web framework):
   fixed thread pool via ``run_in_executor``; the engine's plan cache and the
   process-wide SQL memo are thread-safe and shared by every worker, so one
   request's compiled plan is every later request's cache hit;
+* with ``worker_processes > 0`` (the CLI's ``--workers N``) the server
+  additionally runs a long-lived :class:`~repro.engine.workers.WorkerPool`
+  and the thread pool merely *waits* on it: CPU-bound plan execution
+  happens on persistent worker processes (sidestepping the GIL), instances
+  transfer to the workers once, sharded instances fan out with stable
+  shard→worker assignment, and ``/answer_many`` parallelises across the
+  pool by default; threads remain the execution fallback when the pool is
+  off or fails;
 * admission control is a counting gate sized ``workers + max_pending``:
   when it is full the server answers ``503`` *immediately* instead of
   queueing unboundedly (load-shedding beats collapse);
@@ -41,7 +49,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.core.range_answers import RangeAnswer
-from repro.engine import ConsistentAnswerEngine, shard_plan_cache_stats, sql_memo_stats
+from repro.engine import (
+    ConsistentAnswerEngine,
+    WorkerPool,
+    WorkerPoolError,
+    shard_plan_cache_stats,
+    sql_memo_stats,
+)
 from repro.exceptions import (
     BackendError,
     ParseError,
@@ -145,6 +159,14 @@ class ServeConfig:
     same knob governs sharded execution: the engine's ``batch_workers`` is
     built from it, so shard summarisation for instances registered with
     ``shards > 1`` stays serial (in-thread, no fork) at the default of 1.
+
+    ``worker_processes`` is the opt-in process mode that replaces both
+    caveats above: the server boots a long-lived
+    :class:`~repro.engine.workers.WorkerPool` of that many engine worker
+    processes at ``start()`` — no per-request forking — and dispatches
+    CPU-bound plan execution, ``/answer_many`` chunks and shard
+    summarisation to it.  Threads remain the fallback (``0`` keeps the
+    pure thread-pool behaviour).
     """
 
     host: str = "127.0.0.1"
@@ -158,6 +180,7 @@ class ServeConfig:
     max_batch_workers: int = 1
     max_body_bytes: int = 16 * 1024 * 1024
     register_builtins: bool = True
+    worker_processes: int = 0
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers else _default_workers()
@@ -196,7 +219,7 @@ def _classify_exception(exc: Exception) -> Tuple[int, str]:
         return 503, type(exc).__name__
     if isinstance(exc, (ProtocolError, ParseError, QueryError, SchemaError)):
         return 400, type(exc).__name__
-    if isinstance(exc, BackendError):
+    if isinstance(exc, (BackendError, WorkerPoolError)):
         return 500, type(exc).__name__
     if isinstance(exc, ReproError):
         return 400, type(exc).__name__
@@ -214,11 +237,30 @@ class ConsistentAnswerServer:
     ) -> None:
         self.config = config or ServeConfig()
         workers = self.config.resolved_workers()
-        self.engine = engine or ConsistentAnswerEngine(
-            backend=self.config.backend,
-            fallback=self.config.fallback,
-            plan_cache_size=self.config.plan_cache_size,
-            batch_workers=self.config.max_batch_workers,
+        pool_size = max(0, self.config.worker_processes)
+        if engine is not None:
+            self.engine = engine
+        elif pool_size > 0:
+            # Process mode: batches default to the pool width, and even
+            # small batches are worth dispatching (workers are warm).
+            self.engine = ConsistentAnswerEngine(
+                backend=self.config.backend,
+                fallback=self.config.fallback,
+                plan_cache_size=self.config.plan_cache_size,
+                batch_workers=pool_size,
+                min_parallel_items=2,
+            )
+        else:
+            self.engine = ConsistentAnswerEngine(
+                backend=self.config.backend,
+                fallback=self.config.fallback,
+                plan_cache_size=self.config.plan_cache_size,
+                batch_workers=self.config.max_batch_workers,
+            )
+        self._pool: Optional[WorkerPool] = (
+            WorkerPool(workers=pool_size, engine_config=self.engine.config())
+            if pool_size > 0
+            else None
         )
         if registry is not None:
             self.registry = registry
@@ -247,7 +289,22 @@ class ConsistentAnswerServer:
     # -- lifecycle ---------------------------------------------------------------------
 
     async def start(self) -> Tuple[str, int]:
-        """Bind the socket (``port=0`` picks an ephemeral one) and accept."""
+        """Bind the socket (``port=0`` picks an ephemeral one) and accept.
+
+        The worker pool (if configured) starts *before* the socket binds:
+        workers fork while the process is still single-request, and a
+        port-bind failure tears the pool down again via :meth:`stop`.
+        """
+        if self._pool is not None and not self._pool.is_running:
+            try:
+                self._pool.start()
+            except WorkerPoolError:  # restarted server: the old pool is gone
+                self._pool = WorkerPool(
+                    workers=max(1, self.config.worker_processes),
+                    engine_config=self.engine.config(),
+                )
+                self._pool.start()
+            self.engine.set_worker_pool(self._pool)
         self._server = await asyncio.start_server(
             self._serve_connection, host=self.config.host, port=self.config.port
         )
@@ -274,6 +331,9 @@ class ConsistentAnswerServer:
             await self._server.wait_closed()
             self._server = None
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not None:
+            self.engine.set_worker_pool(None)
+            self._pool.shutdown()
 
     async def __aenter__(self) -> "ConsistentAnswerServer":
         await self.start()
@@ -519,6 +579,39 @@ class ConsistentAnswerServer:
             "cached": was_cached,
         }
 
+    def _execute_answer(
+        self,
+        entry: RegisteredInstance,
+        query: AggregationQuery,
+        binding: Optional[Dict[str, object]],
+        shards: Optional[int],
+    ):
+        """Run one engine-bound request on a serving thread.
+
+        In process mode, unsharded execution goes to a worker's persistent
+        engine (the instance ships once, keyed by registry name so the
+        shard assignment survives re-registration); sharded execution stays
+        on the parent engine, whose sharded executor fans the shard
+        summaries out across the pool with stable assignment.  ``binding``
+        of ``None`` with free variables means GROUP BY (both here and on
+        the worker).
+        """
+        pool = self._pool
+        if pool is not None and pool.is_running and shards is None:
+            # The asyncio layer 504s the client at the request timeout; this
+            # backstop bounds the *thread*, so a wedged pool job cannot hold
+            # an executor thread and its admission slot forever.
+            return pool.answer(
+                query,
+                entry.instance,
+                binding,
+                name=entry.name,
+                timeout=self.config.request_timeout_s * 2 + 5,
+            )
+        if binding is None and query.free_variables:
+            return self.engine.answer_group_by(query, entry.instance, shards=shards)
+        return self.engine.answer(query, entry.instance, binding or {}, shards=shards)
+
     # -- handlers ----------------------------------------------------------------------
 
     async def _handle_answer(self, payload: object) -> Tuple[int, object]:
@@ -539,7 +632,7 @@ class ConsistentAnswerServer:
             # Plan metadata is fetched on the worker too: compile() after
             # answer() is a guaranteed cache hit, and the event loop never
             # runs classification even if the plan was evicted mid-flight.
-            answer = self.engine.answer(query, entry.instance, binding, shards=shards)
+            answer = self._execute_answer(entry, query, binding, shards)
             return answer, self.engine.compile(query)
 
         answer, plan = await self._dispatch(work, timeout)
@@ -563,9 +656,7 @@ class ConsistentAnswerServer:
         shards = self._shards_for(entry)
 
         def work():
-            answers = self.engine.answer_group_by(
-                query, entry.instance, shards=shards
-            )
+            answers = self._execute_answer(entry, query, None, shards)
             return answers, self.engine.compile(query)
 
         answers, plan = await self._dispatch(work, timeout)
@@ -584,6 +675,7 @@ class ConsistentAnswerServer:
             raise ProtocolError("request requires a non-empty 'items' list")
         pairs = []
         names = []
+        entries = []
         for position, raw in enumerate(raw_items):
             if not isinstance(raw, Mapping):
                 raise ProtocolError(f"items[{position}] must be an object")
@@ -593,14 +685,27 @@ class ConsistentAnswerServer:
                 raise type(exc)(f"items[{position}]: {exc}") from exc
             pairs.append((query, entry.instance))
             names.append(entry.name)
+            entries.append(entry)
         requested_workers = payload.get("max_workers")
         if requested_workers is not None and (
             not isinstance(requested_workers, int) or requested_workers < 1
         ):
             raise ProtocolError("'max_workers' must be a positive integer")
-        workers = min(
-            requested_workers or 1, max(1, self.config.max_batch_workers)
-        )
+        pool = self._pool
+        if pool is not None and pool.is_running:
+            # Process mode: batches parallelise across the persistent pool
+            # by default (no fork risk — the workers already exist).  Prime
+            # the *named* refs first so the batch path shares each registry
+            # entry's pickled-once ref instead of minting anonymous keys
+            # (one resident copy per worker, invalidatable by name).
+            for entry in entries:
+                pool.ref_for(entry.instance, name=entry.name)
+            default_workers, cap = pool.size, max(
+                pool.size, self.config.max_batch_workers
+            )
+        else:
+            default_workers, cap = 1, max(1, self.config.max_batch_workers)
+        workers = min(requested_workers or default_workers, cap)
         timeout = self._effective_timeout(self._timeout_of(payload))
         results = await self._dispatch(
             lambda: self.engine.answer_many(pairs, max_workers=workers), timeout
@@ -655,6 +760,11 @@ class ConsistentAnswerServer:
                     "workers": self._workers,
                     "max_pending": self.config.max_pending,
                 },
+                "worker_pool": (
+                    self._pool.stats()
+                    if self._pool is not None
+                    else {"enabled": False}
+                ),
                 "instances": self.registry.names(),
             }
         )
@@ -667,17 +777,27 @@ class ConsistentAnswerServer:
             "backend": self.engine.backend_name,
             "fallback": self.engine.fallback_name,
             "workers": self._workers,
+            "worker_processes": self._pool.size if self._pool is not None else 0,
             "instances": len(self.registry),
         }
 
 
 async def run_server(config: Optional[ServeConfig] = None) -> None:
-    """Boot a server and serve until cancelled (the ``__main__`` entry)."""
+    """Boot a server and serve until cancelled (the ``__main__`` entry).
+
+    ``stop()`` runs even when ``start()`` itself fails (e.g. the port is
+    already bound), so a started worker pool never outlives the attempt.
+    """
     server = ConsistentAnswerServer(config)
-    host, port = await server.start()
-    print(f"{SERVER_NAME}: listening on http://{host}:{port}")
-    print(f"{SERVER_NAME}: instances registered: {server.registry.names()}")
     try:
+        host, port = await server.start()
+        print(f"{SERVER_NAME}: listening on http://{host}:{port}")
+        if server.config.worker_processes > 0:
+            print(
+                f"{SERVER_NAME}: worker pool: "
+                f"{server.config.worker_processes} engine processes"
+            )
+        print(f"{SERVER_NAME}: instances registered: {server.registry.names()}")
         await server.serve_forever()
     finally:
         await server.stop()

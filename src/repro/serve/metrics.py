@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from bisect import bisect_left
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 #: Upper bucket bounds in seconds (the last bucket is +Inf).
 DEFAULT_BUCKETS: Tuple[float, ...] = (

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import sqlite3
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.evaluator import BOTTOM
-from repro.datamodel.facts import Constant, Fact, is_numeric_constant
+from repro.datamodel.facts import Constant
 from repro.datamodel.instance import DatabaseInstance
-from repro.datamodel.signature import RelationSignature, Schema
+from repro.datamodel.signature import Schema
 from repro.exceptions import BackendError
 from repro.query.aggregation import AggregationQuery
 from repro.sql.dialect import quote_identifier

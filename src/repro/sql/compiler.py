@@ -17,7 +17,6 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.datamodel.facts import Constant
 from repro.exceptions import BackendError
 from repro.fol.syntax import (
     And,

@@ -11,7 +11,6 @@ technology".
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Union
 
 from repro.datamodel.facts import Constant, is_numeric_constant
 

@@ -24,7 +24,7 @@ rewriting of Theorem 7.10 (plain MIN over the body join).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from repro.aggregates.properties import is_covered_by_separation_theorem
 from repro.attacks.attack_graph import AttackGraph
@@ -33,7 +33,7 @@ from repro.core.evaluator import _normalise_query
 from repro.exceptions import BackendError, NotRewritableError, UnsupportedAggregateError
 from repro.query.aggregation import AggregationQuery
 from repro.query.atom import Atom
-from repro.query.terms import Variable, is_variable
+from repro.query.terms import is_variable
 from repro.sql.compiler import FormulaSqlCompiler
 from repro.sql.dialect import quote_identifier, sql_aggregate_function, sql_literal
 

@@ -10,7 +10,7 @@ All generators are deterministic given a seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.util import stable_hash_64

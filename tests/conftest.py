@@ -9,7 +9,7 @@ import pytest
 
 from repro.datamodel.instance import DatabaseInstance
 from repro.datamodel.signature import RelationSignature, Schema
-from repro.query.parser import parse_aggregation_query, parse_query
+from repro.query.parser import parse_aggregation_query
 from repro.workloads.scenarios import (
     fig1_stock_instance,
     fig1_stock_schema,

@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.aggregates.chains import DescendingChain, descending_chain_witness
 from repro.aggregates.duals import dual_of

@@ -121,7 +121,7 @@ class TestConsistentRewriting:
 
     def test_rewriting_size_is_polynomial(self, stock_schema):
         query = parse_query(stock_schema, "Dealers('Smith', t), Stock(p, t, y)")
-        formula = consistent_rewriter_size = formula_size(consistent_rewriting(query))
+        formula = formula_size(consistent_rewriting(query))
         assert formula < 200
 
     def test_cyclic_query_not_rewritable(self):

@@ -1,6 +1,5 @@
 """Tests for the experiment harness and the figure reproductions."""
 
-import pytest
 
 from repro.experiments.figures import (
     all_figure_results,

@@ -25,7 +25,6 @@ from repro.fol.syntax import (
     TrueFormula,
     formula_size,
 )
-from repro.query.atom import Atom
 from repro.query.parser import parse_atom
 from repro.query.terms import Variable
 

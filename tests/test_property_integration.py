@@ -11,9 +11,7 @@ the library's central invariants end to end:
 * ⊥ occurs exactly when some repair has no embedding of the body.
 """
 
-from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.exceptions import ParseError
 from repro.query.sqlparser import parse_sql_aggregation_query
-from repro.query.terms import Variable, is_variable
+from repro.query.terms import is_variable
 
 
 class TestBasicParsing:

@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 from functools import reduce
-from itertools import product
 
 import pytest
 
@@ -97,9 +96,11 @@ class TestMergeAlgebra:
         """Fold order never matters: any shuffle of the shard list merges to
         the same summary (this is what lets the executor merge results in
         completion order rather than submission order)."""
+        def merge(x, y):
+            return merge_shard_answers(aggregate, x, y)
+
         for _ in range(50):
             answers = [_random_answer(rng) for _ in range(rng.randint(2, 6))]
-            merge = lambda x, y: merge_shard_answers(aggregate, x, y)
             baseline = reduce(merge, answers, SHARD_ANSWER_IDENTITY)
             for _ in range(4):
                 shuffled = answers[:]

@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generators and scenario databases."""
 
-import pytest
 
 from repro.datamodel.instance import DatabaseInstance
 from repro.workloads.generators import (
