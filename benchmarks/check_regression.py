@@ -12,8 +12,12 @@ tight enough to catch a real perf cliff):
   dimensionless ratio, so it is hardware-portable) and the sharded
   wall-clock of the best configuration (lower is better).
 
-Metrics missing on either side are reported and skipped rather than
-failing, so the gate survives schema evolution of the bench reports.
+Metrics missing or malformed on either side are reported and skipped
+(with a warning) rather than failing, so the gate survives schema
+evolution of the bench reports: a fresh report that dropped or reshaped a
+key the committed baseline still has must not hard-fail CI.  A run with
+*no* comparable metrics at all warns loudly and exits 0 for the same
+reason (pass ``--require-metrics`` to restore the strict behaviour).
 
 Usage::
 
@@ -44,30 +48,53 @@ def _dig(payload: dict, path: List[str]) -> Optional[float]:
         if not isinstance(node, dict) or key not in node:
             return None
         node = node[key]
-    return float(node) if isinstance(node, (int, float)) else None
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
 
 
 def _shard_metrics(baseline: dict, fresh: dict) -> List[Metric]:
-    """One speedup + one wall-clock metric per query present in both files."""
+    """One speedup + one wall-clock metric per query present in both files.
+
+    Defensive by design: a report whose schema evolved (a query entry that
+    is no longer an object, a ``sharded`` table of a different shape, a
+    renamed key) contributes no metric for the malformed part instead of
+    raising — the caller reports anything it cannot compare as a skip.
+    """
     metrics: List[Metric] = []
-    base_queries = baseline.get("queries", {})
-    fresh_queries = fresh.get("queries", {})
+    base_queries = baseline.get("queries")
+    fresh_queries = fresh.get("queries")
+    if not isinstance(base_queries, dict) or not isinstance(fresh_queries, dict):
+        return metrics
     for name in sorted(set(base_queries) & set(fresh_queries)):
-        metrics.append((f"{name}.best_speedup", ["queries", name, "best_speedup"], "higher"))
-        shard_counts = base_queries[name].get("sharded", {})
-        if shard_counts:
-            best = min(
-                shard_counts,
-                key=lambda count: shard_counts[count].get("seconds", float("inf")),
-            )
-            if best in fresh_queries[name].get("sharded", {}):
-                metrics.append(
-                    (
-                        f"{name}.sharded[{best}].seconds",
-                        ["queries", name, "sharded", best, "seconds"],
-                        "lower",
-                    )
+        base_entry = base_queries.get(name)
+        fresh_entry = fresh_queries.get(name)
+        if not isinstance(base_entry, dict) or not isinstance(fresh_entry, dict):
+            continue
+        metrics.append(
+            (f"{name}.best_speedup", ["queries", name, "best_speedup"], "higher")
+        )
+        shard_counts = base_entry.get("sharded")
+        if not isinstance(shard_counts, dict) or not shard_counts:
+            continue
+        timed = {
+            count: entry["seconds"]
+            for count, entry in shard_counts.items()
+            if isinstance(entry, dict)
+            and isinstance(entry.get("seconds"), (int, float))
+        }
+        if not timed:
+            continue
+        best = min(timed, key=timed.__getitem__)
+        fresh_sharded = fresh_entry.get("sharded")
+        if isinstance(fresh_sharded, dict) and best in fresh_sharded:
+            metrics.append(
+                (
+                    f"{name}.sharded[{best}].seconds",
+                    ["queries", name, "sharded", best, "seconds"],
+                    "lower",
                 )
+            )
     return metrics
 
 
@@ -85,7 +112,16 @@ def compare(
         base_value = _dig(baseline, path)
         fresh_value = _dig(fresh, path)
         if base_value is None or fresh_value is None:
-            lines.append(f"  skip {name}: missing on one side")
+            if base_value is not None:
+                side = "fresh"
+            elif fresh_value is not None:
+                side = "baseline"
+            else:
+                side = "both sides"
+            lines.append(
+                f"  skip {name}: missing or non-numeric on {side} "
+                f"(bench schema evolution?)"
+            )
             continue
         if base_value <= 0 or fresh_value <= 0:
             lines.append(f"  skip {name}: non-positive value")
@@ -123,6 +159,12 @@ def main(argv=None) -> int:
         default=2.0,
         help="maximum tolerated regression factor (default: 2.0)",
     )
+    parser.add_argument(
+        "--require-metrics",
+        action="store_true",
+        help="fail (exit 1) when no metric is comparable, instead of the "
+        "default skip-with-warning for bench schema evolution",
+    )
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -131,9 +173,14 @@ def main(argv=None) -> int:
     print(f"benchmark regression gate ({args.kind}), limit {args.max_ratio}x:")
     for line in lines:
         print(line)
-    if not lines:
-        print("  no comparable metrics found", file=sys.stderr)
-        return 1
+    compared = [line for line in lines if not line.lstrip().startswith("skip")]
+    if not compared:
+        print(
+            "WARNING: no comparable metrics found — bench report schemas "
+            "have diverged from the committed baseline; nothing gated",
+            file=sys.stderr,
+        )
+        return 1 if args.require_metrics else 0
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -31,6 +31,7 @@ class DatabaseInstance:
         self._schema = schema
         self._facts: set[Fact] = set()
         self._blocks: Dict[BlockKey, set[Fact]] = defaultdict(set)
+        self._data_version = 0
         for fact in facts or ():
             self.add_fact(fact)
 
@@ -60,10 +61,47 @@ class DatabaseInstance:
             return
         self._facts.add(fact)
         self._blocks[(fact.relation, fact.key(signature.key_size))].add(fact)
+        self._data_version += 1
 
     def add_row(self, relation: str, *values: Constant) -> None:
         """Convenience wrapper: ``add_row("R", 1, 2)`` adds the fact ``R(1, 2)``."""
         self.add_fact(Fact(relation, tuple(values)))
+
+    def remove_fact(self, fact: Fact) -> None:
+        """Remove a fact, maintaining the block index.
+
+        Raises :class:`KeyError` when the fact is not in the instance (use
+        :meth:`discard_fact` for the tolerant variant).  Emptied blocks are
+        deleted from the index so block enumeration and repair counting
+        never see phantom empty blocks.
+        """
+        if fact not in self._facts:
+            raise KeyError(fact)
+        signature = self._schema.relation(fact.relation)
+        self._facts.remove(fact)
+        block_key = (fact.relation, fact.key(signature.key_size))
+        block = self._blocks[block_key]
+        block.discard(fact)
+        if not block:
+            del self._blocks[block_key]
+        self._data_version += 1
+
+    def discard_fact(self, fact: Fact) -> bool:
+        """Remove a fact if present; returns whether anything was removed."""
+        if fact not in self._facts:
+            return False
+        self.remove_fact(fact)
+        return True
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter: bumps on every add/remove.
+
+        Fact-content caches (shard plans, worker-pool instance refs) guard
+        their entries with this token — a bare ``len`` check would be fooled
+        by a remove+add of the same cardinality.
+        """
+        return self._data_version
 
     # -- basic accessors -------------------------------------------------------
 

@@ -494,9 +494,10 @@ class ShardPlanner:
 # shard count, strategy) — recomputing the union-find per request would
 # waste exactly the work the engine's plan cache exists to avoid.  The cache
 # is weak-keyed by the instance so entries die with the database, and every
-# hit is guarded by the fact count: ``add_fact`` (the only mutator) strictly
-# grows the instance, so a stale plan for a mutated instance can never be
-# served.
+# hit is guarded by the instance's ``data_version`` mutation token: any
+# in-place ``add_fact``/``remove_fact`` bumps the token, so a stale plan for
+# a mutated instance can never be served (a bare fact count would be fooled
+# by a remove+add of the same cardinality).
 
 _SHARD_PLAN_LOCK = threading.Lock()
 _SHARD_PLAN_CACHE: "weakref.WeakKeyDictionary[DatabaseInstance, Dict[tuple, Tuple[int, ShardPlan]]]" = (
@@ -513,12 +514,15 @@ def _cached_shard_plan(
         per_instance = _SHARD_PLAN_CACHE.get(instance)
         if per_instance is not None:
             entry = per_instance.get(key)
-            if entry is not None and entry[0] == len(instance):
+            if entry is not None and entry[0] == instance.data_version:
                 _SHARD_PLAN_HITS[0] += 1
                 return entry[1]
     shard_plan = planner.plan(plan.query, instance, shards)
     with _SHARD_PLAN_LOCK:
-        _SHARD_PLAN_CACHE.setdefault(instance, {})[key] = (len(instance), shard_plan)
+        _SHARD_PLAN_CACHE.setdefault(instance, {})[key] = (
+            instance.data_version,
+            shard_plan,
+        )
     return shard_plan
 
 

@@ -107,10 +107,23 @@ class InstanceRef:
     fingerprint: str
     size: int
     spool_path: str
+    #: The instance's mutation token at pickling time; guards parent-side
+    #: ref reuse against in-place mutation (a bare size check would be
+    #: fooled by a remove+add of the same cardinality).
+    data_version: int = 0
 
     def load(self) -> DatabaseInstance:
+        """Unpickle the spooled instance.
+
+        The spool file is either a raw pickled :class:`DatabaseInstance`
+        (written by the pool) or a :class:`~repro.store.StoreSnapshot`
+        (the durable store's snapshot file, adopted at boot so the two
+        on-disk formats are one); the snapshot wrapper is unwrapped here.
+        """
         with open(self.spool_path, "rb") as handle:
-            return pickle.load(handle)
+            payload = pickle.load(handle)
+        instance = getattr(payload, "instance", None)
+        return instance if isinstance(instance, DatabaseInstance) else payload
 
 
 # -- the worker process -----------------------------------------------------------------
@@ -370,6 +383,9 @@ class WorkerPool:
         self._identity_refs: Dict[int, Tuple[weakref.ref, InstanceRef]] = {}
         self._named_refs: Dict[str, Tuple[weakref.ref, InstanceRef]] = {}
         self._retired_spools: Dict[str, str] = {}
+        # Spool files the pool does not own (the durable store's snapshot
+        # files adopted at boot): never unlinked by the retirement schedule.
+        self._external_spools: set = set()
         self._auto_keys = itertools.count(1)
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -481,7 +497,11 @@ class WorkerPool:
         with open(path, "wb") as handle:
             pickle.dump(instance, handle, protocol=pickle.HIGHEST_PROTOCOL)
         grandparent = self._retired_spools.pop(key, None)
-        if grandparent is not None and grandparent != path:
+        if (
+            grandparent is not None
+            and grandparent != path
+            and grandparent not in self._external_spools
+        ):
             try:
                 os.unlink(grandparent)
             except OSError:
@@ -494,6 +514,7 @@ class WorkerPool:
             fingerprint=schema_fingerprint(instance.schema),
             size=len(instance),
             spool_path=path,
+            data_version=instance.data_version,
         )
 
     def _store_identity(self, instance: DatabaseInstance, ref: InstanceRef) -> None:
@@ -517,7 +538,11 @@ class WorkerPool:
         )
         if entry is not None:
             holder, ref = entry
-            if holder() is instance and ref.size == len(instance):
+            if (
+                holder() is instance
+                and ref.size == len(instance)
+                and ref.data_version == instance.data_version
+            ):
                 return ref
         return None
 
@@ -583,6 +608,64 @@ class WorkerPool:
             with self._ref_lock:
                 self._named_refs[name] = (weakref.ref(instance), ref)
                 self._store_identity(instance, ref)
+        return ref
+
+    def adopt_named_ref(
+        self,
+        name: str,
+        instance: DatabaseInstance,
+        spool_path: str,
+        version: int = 1,
+    ) -> InstanceRef:
+        """Register a named instance whose pickle already exists on disk.
+
+        The serving layer's durable store writes snapshot files the ref
+        loader can read directly (:meth:`InstanceRef.load` unwraps them),
+        so boot hands the pool the store's own bytes instead of
+        re-pickling an instance that was just unpickled from them.  The
+        ref points at a **hard link** of the store file inside the pool's
+        own spool (falling back to a byte copy across filesystems): pool
+        spool entries must be immutable per version, and the store's
+        compaction atomically *replaces* its snapshot path — a ref aliased
+        to the live path could serve post-mutation bytes under the old
+        version.  Only if neither link nor copy is possible does the ref
+        alias the store's file directly, in which case it is excluded from
+        spool-retirement deletes.  A later mutation re-pickles into the
+        pool's spool under ``version + 1`` via the ordinary
+        :meth:`ref_for` path.
+        """
+        from repro.engine.plan import schema_fingerprint
+
+        if not os.path.exists(spool_path):
+            raise WorkerPoolError(f"cannot adopt missing spool file {spool_path!r}")
+        with self._spool_lock:
+            if self._spool_dir is None:
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-pool-")
+            adopted = os.path.join(
+                self._spool_dir,
+                f"adopted-{stable_hash_64(name):016x}-{version}.pkl",
+            )
+            if not os.path.exists(adopted):
+                try:
+                    os.link(spool_path, adopted)
+                except OSError:
+                    try:
+                        shutil.copy2(spool_path, adopted)
+                    except OSError:
+                        adopted = spool_path  # alias the store's live file
+        ref = InstanceRef(
+            key=name,
+            version=version,
+            fingerprint=schema_fingerprint(instance.schema),
+            size=len(instance),
+            spool_path=adopted,
+            data_version=instance.data_version,
+        )
+        with self._ref_lock:
+            if adopted == spool_path:
+                self._external_spools.add(spool_path)
+            self._named_refs[name] = (weakref.ref(instance), ref)
+            self._store_identity(instance, ref)
         return ref
 
     def invalidate(self, name: str) -> None:
@@ -793,16 +876,20 @@ class WorkerPool:
         Each chunk is a list of ``(index, query, instance)``; the return
         value is the flat list of :class:`~repro.engine.batch.BatchResult`
         (unsorted — the caller orders by index, as with the fork pool).
+        Chunks are routed by **least queue depth** (like single answers),
+        not round-robin: a worker wedged on a slow job stops receiving new
+        chunks until its backlog drains, since every submission counts
+        toward its pending depth.
         """
         self._ensure_running()
         futures = []
-        for position, chunk in enumerate(chunks):
+        for chunk in chunks:
             payload_chunk = [
                 (index, query, self.ref_for(instance))
                 for index, query, instance in chunk
             ]
             futures.append(
-                self._submit(position % self._size, "chunk", (payload_chunk,))
+                self._submit(self._least_busy_worker(), "chunk", (payload_chunk,))
             )
         results: List[object] = []
         for future in futures:
@@ -869,11 +956,15 @@ class WorkerPool:
     def stats(self) -> Dict[str, object]:
         """Pool- and per-worker counters for ``shard_stats()`` and ``/metrics``."""
         with self._lock:
+            depth = [0] * self._size
+            for job in self._pending.values():
+                depth[job.worker_index % self._size] += 1
             per_worker = [
                 {
                     "worker": handle.index,
                     "pid": handle.pid,
                     "alive": handle.alive(),
+                    "queue_depth": depth[handle.index % self._size],
                     **(handle.stats or {"jobs": 0, "resident_instances": 0}),
                 }
                 for handle in self._handles

@@ -14,6 +14,11 @@ The serving subsystem turns the cached, batched
 * :mod:`repro.serve.client` — async client + load generator used by the
   benchmarks and the CI smoke test.
 
+With ``--store-dir DIR`` the registry is backed by the durable
+:mod:`repro.store` subsystem: instances persist as snapshots, mutations
+(``POST /instances/{name}/facts``) append to a fsync'd fact log, and a
+restart reloads everything with versions intact.
+
 Boot a server with ``python -m repro.serve`` (see ``--help``).
 """
 
@@ -35,10 +40,13 @@ from repro.serve.protocol import (
     ProtocolError,
     decode_constant,
     decode_group_answers,
+    decode_mutation_ops,
     decode_range_answer,
     encode_constant,
     encode_group_answers,
+    encode_mutation_op,
     encode_range_answer,
+    expected_version_of,
     instance_from_payload,
     instance_to_payload,
     schema_from_payload,
@@ -48,9 +56,11 @@ from repro.serve.registry import (
     BUILTIN_INSTANCES,
     DuplicateInstanceError,
     InstanceRegistry,
+    MutationError,
     RegisteredInstance,
     RegistryError,
     UnknownInstanceError,
+    VersionConflictError,
     builtin_registry,
 )
 
@@ -64,6 +74,7 @@ __all__ = [
     "LatencyHistogram",
     "LoadGenerator",
     "LoadReport",
+    "MutationError",
     "ProtocolError",
     "RegisteredInstance",
     "RegistryError",
@@ -72,13 +83,17 @@ __all__ = [
     "ServeConfig",
     "ServerMetrics",
     "UnknownInstanceError",
+    "VersionConflictError",
     "builtin_registry",
     "decode_constant",
     "decode_group_answers",
+    "decode_mutation_ops",
     "decode_range_answer",
     "encode_constant",
     "encode_group_answers",
+    "encode_mutation_op",
     "encode_range_answer",
+    "expected_version_of",
     "instance_from_payload",
     "instance_to_payload",
     "run_server",

@@ -6,6 +6,7 @@ Examples::
     python -m repro.serve --port 0                # ephemeral port
     python -m repro.serve --workers 4             # 4 engine worker processes
     python -m repro.serve --backend sqlite --threads 8 --max-pending 256
+    python -m repro.serve --store-dir ./instances  # durable registry
     REPRO_BATCH_WORKERS=4 python -m repro.serve --max-batch-workers 4
 
 ``--workers N`` is the process mode: CPU-bound plan execution runs on a
@@ -81,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-cache-size", type=int, default=defaults.plan_cache_size
     )
     parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="durable instance store: persist registered instances and "
+        "mutations under DIR and reload them at boot",
+    )
+    parser.add_argument(
+        "--store-compact-every",
+        type=int,
+        default=defaults.store_compact_every,
+        metavar="N",
+        help="fold an instance's fact log into a fresh snapshot every N "
+        "records (0 disables auto-compaction)",
+    )
+    parser.add_argument(
         "--no-builtins",
         action="store_true",
         help="do not pre-register the paper's example instances",
@@ -101,6 +117,8 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         max_batch_workers=args.max_batch_workers,
         register_builtins=not args.no_builtins,
         worker_processes=max(0, args.workers),
+        store_dir=args.store_dir,
+        store_compact_every=max(0, args.store_compact_every),
     )
 
 

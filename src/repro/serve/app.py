@@ -27,15 +27,25 @@ Architecture (stdlib only — no third-party web framework):
   fan-out (``max_batch_workers``, default serial) because the serial path
   is what warms the shared plan cache.
 
+* with ``store_dir`` set (the CLI's ``--store-dir``) the registry is backed
+  by a durable :class:`~repro.store.InstanceStore`: every registered
+  instance persists as a snapshot, every ``POST /instances/{name}/facts``
+  mutation appends to its fsync'd fact log before becoming visible, and a
+  restarted server reloads the whole registry — versions intact — from the
+  same directory.  Writes take an optional ``expected_version``
+  precondition (``409`` on mismatch).
+
 Endpoints::
 
-    POST /answer           {"instance", "query", "binding"?, "timeout_s"?}
-    POST /answer_group_by  {"instance", "query", "timeout_s"?}
-    POST /answer_many      {"items": [{"instance", "query"}, ...], ...}
-    POST /instances        {"name", "schema", "rows", "replace"?}
-    GET  /instances        registered instances + schema fingerprints
-    GET  /metrics          counters, latency histograms, cache hit rates
-    GET  /healthz          liveness + config summary
+    POST   /answer                  {"instance", "query", "binding"?, "timeout_s"?}
+    POST   /answer_group_by         {"instance", "query", "timeout_s"?}
+    POST   /answer_many             {"items": [{"instance", "query"}, ...], ...}
+    POST   /instances               {"name", "schema", "rows", "replace"?}
+    POST   /instances/{name}/facts  {"ops": [...], "expected_version"?}
+    DELETE /instances/{name}        {"expected_version"?}
+    GET    /instances               registered instances + fingerprints + versions
+    GET    /metrics                 counters, histograms, cache + store stats
+    GET    /healthz                 liveness + config summary
 """
 
 from __future__ import annotations
@@ -46,7 +56,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.range_answers import RangeAnswer
 from repro.engine import (
@@ -69,10 +79,12 @@ from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import (
     ProtocolError,
     decode_constant,
+    decode_mutation_ops,
     dumps,
     encode_group_answers,
     encode_range_answer,
     error_body,
+    expected_version_of,
     loads,
 )
 from repro.serve.registry import (
@@ -80,8 +92,10 @@ from repro.serve.registry import (
     InstanceRegistry,
     RegisteredInstance,
     UnknownInstanceError,
+    VersionConflictError,
     builtin_registry,
 )
+from repro.store import InstanceStore
 
 SERVER_NAME = "repro-serve"
 
@@ -167,6 +181,11 @@ class ServeConfig:
     CPU-bound plan execution, ``/answer_many`` chunks and shard
     summarisation to it.  Threads remain the fallback (``0`` keeps the
     pure thread-pool behaviour).
+
+    ``store_dir`` opts into durability: registered instances and their
+    mutations persist under that directory and are reloaded at boot.
+    ``store_compact_every`` is the per-instance log depth at which the
+    store folds the log into a fresh snapshot (0 disables auto-compaction).
     """
 
     host: str = "127.0.0.1"
@@ -181,6 +200,8 @@ class ServeConfig:
     max_body_bytes: int = 16 * 1024 * 1024
     register_builtins: bool = True
     worker_processes: int = 0
+    store_dir: Optional[str] = None
+    store_compact_every: int = 64
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers else _default_workers()
@@ -213,7 +234,7 @@ def _classify_exception(exc: Exception) -> Tuple[int, str]:
         return exc.status, exc.error_type
     if isinstance(exc, UnknownInstanceError):
         return 404, type(exc).__name__
-    if isinstance(exc, DuplicateInstanceError):
+    if isinstance(exc, (DuplicateInstanceError, VersionConflictError)):
         return 409, type(exc).__name__
     if isinstance(exc, AdmissionError):
         return 503, type(exc).__name__
@@ -262,12 +283,30 @@ class ConsistentAnswerServer:
             if pool_size > 0
             else None
         )
+        self.store: Optional[InstanceStore] = (
+            InstanceStore(
+                self.config.store_dir,
+                compact_every=self.config.store_compact_every,
+            )
+            if self.config.store_dir
+            else None
+        )
         if registry is not None:
+            if self.store is not None and registry.store is not self.store:
+                # Silently serving a store-less registry while /healthz
+                # advertises durability would lose every write on restart.
+                raise ValueError(
+                    "store_dir is configured but the explicit registry is "
+                    "not attached to it; build the registry with "
+                    "InstanceRegistry(store=...) (or omit one of the two)"
+                )
             self.registry = registry
         elif self.config.register_builtins:
-            self.registry = builtin_registry()
+            self.registry = builtin_registry(store=self.store)
         else:
-            self.registry = InstanceRegistry()
+            self.registry = InstanceRegistry(store=self.store)
+            self.registry.load_store()
+        self.registry.subscribe(self._on_registry_event)
         self.metrics = ServerMetrics()
         self.gate = AdmissionGate(workers + max(0, self.config.max_pending))
         self._workers = workers
@@ -285,6 +324,22 @@ class ConsistentAnswerServer:
             ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/healthz"): self._handle_healthz,
         }
+
+    # -- registry events ---------------------------------------------------------------
+
+    def _on_registry_event(self, event: str, name: str) -> None:
+        """Broadcast write-path invalidation to the worker pool.
+
+        A drop frees the workers' resident copy immediately.  Mutations and
+        replacements need no push: the registry swapped in a new instance
+        object, so the pool's named ref goes stale and the next request
+        re-pickles under a bumped version (the existing version-bump
+        machinery).  Plan caches are untouched either way — the schema
+        fingerprint is unchanged by fact-level writes.
+        """
+        pool = self._pool
+        if event == "drop" and pool is not None and pool.is_running:
+            pool.invalidate(name)
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -305,12 +360,33 @@ class ConsistentAnswerServer:
                 )
                 self._pool.start()
             self.engine.set_worker_pool(self._pool)
+            self._adopt_store_spools()
         self._server = await asyncio.start_server(
             self._serve_connection, host=self.config.host, port=self.config.port
         )
         sock = self._server.sockets[0]
         self._address = sock.getsockname()[:2]
         return self._address
+
+    def _adopt_store_spools(self) -> None:
+        """Point the worker pool's instance refs at the store's snapshots.
+
+        The boot reload compacts dirty logs, so every loaded instance's
+        snapshot file is current — the pool serves its bytes (via a hard
+        link into the pool spool) as the pickled-once instance transfer
+        instead of re-pickling what is already on disk (the two on-disk
+        formats are one).  Instances that mutate later re-pickle into the
+        pool's own spool under a bumped version; the store-owned files are
+        never deleted by the pool.
+        """
+        if self._pool is None or self.store is None:
+            return
+        for entry in self.registry.entries():
+            path = self.store.snapshot_path(entry.name)
+            if path is not None:
+                self._pool.adopt_named_ref(
+                    entry.name, entry.instance, path, version=entry.version
+                )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -446,15 +522,64 @@ class ConsistentAnswerServer:
 
     # -- routing -----------------------------------------------------------------------
 
+    def _match_dynamic(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Callable], Tuple[str, ...], Optional[str], List[str]]:
+        """Match the parametrized instance routes.
+
+        Returns ``(handler, args, endpoint_template, allowed_methods)`` —
+        handler ``None`` with non-empty ``allowed_methods`` means 405, and
+        all-empty means 404.  The endpoint template (not the raw instance
+        name) labels the metrics in *both* the matched and the 405 case,
+        bounding their cardinality.
+        """
+        from urllib.parse import unquote
+
+        segments = path.strip("/").split("/")
+        if len(segments) == 2 and segments[0] == "instances" and segments[1]:
+            if method == "DELETE":
+                return (
+                    self._handle_drop_instance,
+                    (unquote(segments[1]),),
+                    "DELETE /instances/{name}",
+                    [],
+                )
+            return None, (), "/instances/{name}", ["DELETE"]
+        if (
+            len(segments) == 3
+            and segments[0] == "instances"
+            and segments[1]
+            and segments[2] == "facts"
+        ):
+            if method == "POST":
+                return (
+                    self._handle_mutate_instance,
+                    (unquote(segments[1]),),
+                    "POST /instances/{name}/facts",
+                    [],
+                )
+            return None, (), "/instances/{name}/facts", ["POST"]
+        return None, (), None, []
+
     async def _process(self, request: _Request) -> Tuple[int, object]:
         handler = self._routes.get((request.method, request.path))
+        handler_args: Tuple[str, ...] = ()
+        endpoint = f"{request.method} {request.path}"
         if handler is None:
-            known_methods = [m for m, p in self._routes if p == request.path]
+            handler, handler_args, template, allowed = self._match_dynamic(
+                request.method, request.path
+            )
+            if handler is not None:
+                endpoint = template
+        if handler is None:
+            known_methods = sorted(
+                set(m for m, p in self._routes if p == request.path) | set(allowed)
+            )
             if known_methods:
-                endpoint, status = request.path, 405
+                endpoint, status = template or request.path, 405
                 payload = error_body(
                     "MethodNotAllowed",
-                    f"{request.path} supports {sorted(known_methods)}",
+                    f"{request.path} supports {known_methods}",
                 )
             else:
                 endpoint, status = "unknown", 404
@@ -462,12 +587,11 @@ class ConsistentAnswerServer:
             self.metrics.request_started()
             self.metrics.request_finished(endpoint, status, 0.0)
             return status, payload
-        endpoint = f"{request.method} {request.path}"
         self.metrics.request_started()
         started = time.perf_counter()
         try:
             payload_in = loads(request.body)
-            status, payload = await handler(payload_in)
+            status, payload = await handler(payload_in, *handler_args)
         except asyncio.TimeoutError:
             status = 504
             payload = error_body(
@@ -730,8 +854,55 @@ class ConsistentAnswerServer:
     async def _handle_register_instance(self, payload: object) -> Tuple[int, object]:
         payload = self._require_object(payload)
         replace = bool(payload.get("replace", False))
-        entry = self.registry.register_payload(payload, replace=replace)
+        timeout = self._effective_timeout(self._timeout_of(payload))
+        # Registration builds the instance and — with a store attached —
+        # pickles and fsyncs it; like every write it runs on the engine
+        # pool so the event loop never blocks on disk.
+        entry = await self._dispatch(
+            lambda: self.registry.register_payload(payload, replace=replace),
+            timeout,
+        )
         return 201, {"registered": entry.describe()}
+
+    async def _handle_mutate_instance(
+        self, payload: object, name: str
+    ) -> Tuple[int, object]:
+        """``POST /instances/{name}/facts`` — the durable write path.
+
+        The mutation (copy-on-write apply + fsync'd log append) runs on the
+        engine pool via :meth:`_dispatch` so disk I/O never blocks the
+        event loop; ``expected_version`` turns concurrent writers into
+        clean 409s instead of silent interleavings.
+
+        Timeout semantics are at-most-once-but-maybe-committed: a 504 means
+        the *response* was abandoned, while the mutation thread may still
+        commit in the background (threads cannot be cancelled).  Clients
+        that see a 504 on a write should confirm with ``GET /instances``
+        before retrying — which is exactly what ``expected_version`` makes
+        safe: a retry of an already-committed write fails with 409 instead
+        of applying twice.
+        """
+        payload = self._require_object(payload)
+        ops = decode_mutation_ops(payload)
+        expected = expected_version_of(payload)
+        timeout = self._effective_timeout(self._timeout_of(payload))
+        entry = await self._dispatch(
+            lambda: self.registry.mutate(name, ops, expected_version=expected),
+            timeout,
+        )
+        return 200, {"mutated": entry.describe(), "applied": len(ops)}
+
+    async def _handle_drop_instance(
+        self, payload: object, name: str
+    ) -> Tuple[int, object]:
+        """``DELETE /instances/{name}`` — unregister and durably drop."""
+        payload = self._require_object(payload)
+        expected = expected_version_of(payload)
+        timeout = self._effective_timeout(self._timeout_of(payload))
+        entry = await self._dispatch(
+            lambda: self.registry.drop(name, expected_version=expected), timeout
+        )
+        return 200, {"dropped": name, "version": entry.version}
 
     async def _handle_list_instances(self, payload: object) -> Tuple[int, object]:
         return 200, {"instances": self.registry.describe_all()}
@@ -765,12 +936,29 @@ class ConsistentAnswerServer:
                     if self._pool is not None
                     else {"enabled": False}
                 ),
+                "store": (
+                    self.store.stats()
+                    if self.store is not None
+                    else {"enabled": False}
+                ),
                 "instances": self.registry.names(),
             }
         )
         return 200, snapshot
 
     async def _handle_healthz(self, payload: object) -> Tuple[int, object]:
+        if self.store is not None:
+            store_stats = self.store.stats()
+            store_summary: Dict[str, object] = {
+                "enabled": True,
+                "dir": store_stats["dir"],
+                "instances": store_stats["instances"],
+                "versions": store_stats["versions"],
+                "log_records_pending": store_stats["log_records_pending"],
+                "last_compaction_at": store_stats["last_compaction_at"],
+            }
+        else:
+            store_summary = {"enabled": False}
         return 200, {
             "status": "ok",
             "uptime_seconds": self.metrics.uptime_seconds(),
@@ -779,6 +967,7 @@ class ConsistentAnswerServer:
             "workers": self._workers,
             "worker_processes": self._pool.size if self._pool is not None else 0,
             "instances": len(self.registry),
+            "store": store_summary,
         }
 
 
@@ -796,6 +985,12 @@ async def run_server(config: Optional[ServeConfig] = None) -> None:
             print(
                 f"{SERVER_NAME}: worker pool: "
                 f"{server.config.worker_processes} engine processes"
+            )
+        if server.store is not None:
+            print(
+                f"{SERVER_NAME}: durable store: {server.store.root} "
+                f"({len(server.registry)} instance(s) loaded, "
+                f"compact_every={server.store.compact_every})"
             )
         print(f"{SERVER_NAME}: instances registered: {server.registry.names()}")
         await server.serve_forever()

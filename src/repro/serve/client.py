@@ -28,6 +28,7 @@ from repro.serve.protocol import (
     decode_range_answer,
     dumps,
     encode_constant,
+    encode_mutation_op,
     instance_to_payload,
     loads,
 )
@@ -217,6 +218,47 @@ class ServeClient:
             payload["shards"] = shards
         status, body = await self.request("POST", "/instances", payload)
         return self._checked(status, body)["registered"]
+
+    async def mutate_instance(
+        self,
+        name: str,
+        ops: Sequence[object],
+        expected_version: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Apply fact mutations to a registered instance (the write path).
+
+        ``ops`` are ``("add"|"remove", relation, values)`` triples (or
+        equivalently shaped mappings); ``expected_version`` turns a lost
+        optimistic-concurrency race into a
+        :class:`ServeClientError` with status 409.  Returns the mutated
+        instance's description (bumped ``version`` included).
+        """
+        from urllib.parse import quote
+
+        payload: Dict[str, object] = {"ops": [encode_mutation_op(op) for op in ops]}
+        if expected_version is not None:
+            payload["expected_version"] = expected_version
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        status, body = await self.request(
+            "POST", f"/instances/{quote(name, safe='')}/facts", payload
+        )
+        return self._checked(status, body)["mutated"]
+
+    async def drop_instance(
+        self, name: str, expected_version: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Unregister (and durably drop, if the server has a store) ``name``."""
+        from urllib.parse import quote
+
+        payload: Dict[str, object] = {}
+        if expected_version is not None:
+            payload["expected_version"] = expected_version
+        status, body = await self.request(
+            "DELETE", f"/instances/{quote(name, safe='')}", payload
+        )
+        return self._checked(status, body)
 
     async def instances(self) -> List[Dict[str, object]]:
         status, body = await self.request("GET", "/instances")

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from fractions import Fraction
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.evaluator import BOTTOM
 from repro.core.range_answers import RangeAnswer
@@ -209,6 +209,86 @@ def instance_from_payload(payload: Mapping) -> Tuple[str, DatabaseInstance]:
                 raise ProtocolError(f"each row of {relation!r} must be a list")
             instance.add_row(str(relation), *(decode_constant(v) for v in row))
     return name, instance
+
+
+# -- mutation ops -----------------------------------------------------------------------
+
+#: Wire spellings accepted for each canonical log-record kind.
+_OP_ALIASES = {
+    "add": "add_fact",
+    "add_fact": "add_fact",
+    "remove": "remove_fact",
+    "remove_fact": "remove_fact",
+}
+
+#: One decoded mutation op: (kind, relation, values).
+MutationOpPayload = Tuple[str, str, Tuple[Constant, ...]]
+
+
+def decode_mutation_ops(payload: Mapping) -> List[MutationOpPayload]:
+    """Decode the ``"ops"`` list of ``POST /instances/{name}/facts``.
+
+    Each op is ``{"op": "add"|"remove", "relation": R, "values": [...]}``
+    (the long spellings ``add_fact`` / ``remove_fact`` are accepted too);
+    constants use the same tagged encoding as bindings and rows.
+    """
+    raw_ops = payload.get("ops")
+    if not isinstance(raw_ops, list) or not raw_ops:
+        raise ProtocolError("mutation requires a non-empty 'ops' list")
+    ops: List[MutationOpPayload] = []
+    for position, raw in enumerate(raw_ops):
+        if not isinstance(raw, Mapping):
+            raise ProtocolError(f"ops[{position}] must be an object")
+        raw_kind = raw.get("op")
+        kind = _OP_ALIASES.get(raw_kind) if isinstance(raw_kind, str) else None
+        if kind is None:
+            raise ProtocolError(
+                f"ops[{position}]: 'op' must be one of {sorted(set(_OP_ALIASES))}"
+            )
+        relation = raw.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise ProtocolError(
+                f"ops[{position}] requires a non-empty string 'relation'"
+            )
+        values = raw.get("values")
+        if not isinstance(values, list) or not values:
+            raise ProtocolError(f"ops[{position}] requires a non-empty 'values' list")
+        ops.append(
+            (kind, relation, tuple(decode_constant(value) for value in values))
+        )
+    return ops
+
+
+def encode_mutation_op(op: object) -> Dict[str, object]:
+    """Encode one client-side op: a ``(op, relation, values)`` triple or an
+    already-shaped mapping (values encoded either way)."""
+    if isinstance(op, Mapping):
+        kind, relation, values = op.get("op"), op.get("relation"), op.get("values")
+    else:
+        try:
+            kind, relation, values = op
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"mutation op must be (op, relation, values) or a mapping, "
+                f"got {op!r}"
+            ) from None
+    if not isinstance(kind, str) or _OP_ALIASES.get(kind) is None:
+        raise ProtocolError(f"'op' must be one of {sorted(set(_OP_ALIASES))}")
+    return {
+        "op": kind,
+        "relation": relation,
+        "values": [encode_constant(value) for value in values],
+    }
+
+
+def expected_version_of(payload: Mapping) -> Optional[int]:
+    """The optional ``expected_version`` precondition of a write request."""
+    raw = payload.get("expected_version")
+    if raw is None:
+        return None
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < 1:
+        raise ProtocolError("'expected_version' must be a positive integer")
+    return raw
 
 
 # -- errors and body framing ------------------------------------------------------------

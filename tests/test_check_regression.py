@@ -1,0 +1,144 @@
+"""Tests for the benchmark regression gate's schema-evolution tolerance.
+
+A fresh ``BENCH_*.json`` that dropped or reshaped a key the committed
+baseline still has must skip-with-warning, not raise or hard-fail CI.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "check_regression.py",
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+BASELINE_SHARD = {
+    "queries": {
+        "q1": {
+            "best_speedup": 2.0,
+            "sharded": {"2": {"seconds": 0.5}, "4": {"seconds": 0.25}},
+        },
+        "q2": {"best_speedup": 3.0, "sharded": {"2": {"seconds": 0.1}}},
+    }
+}
+
+
+class TestShardMetricsTolerance:
+    def test_identical_reports_compare_cleanly(self, gate):
+        lines, failures = gate.compare("shard", BASELINE_SHARD, BASELINE_SHARD, 2.0)
+        assert not failures
+        assert all("ok" in line for line in lines)
+
+    def test_fresh_missing_key_is_skipped_not_keyerror(self, gate):
+        fresh = {
+            "queries": {
+                "q1": {"sharded": {"4": {"seconds": 0.3}}},  # best_speedup gone
+                "q2": {"best_speedup": 3.1},  # sharded table gone
+            }
+        }
+        lines, failures = gate.compare("shard", BASELINE_SHARD, fresh, 2.0)
+        assert not failures
+        assert any("skip" in line for line in lines)
+
+    def test_reshaped_entries_do_not_raise(self, gate):
+        fresh = {
+            "queries": {
+                "q1": ["not", "an", "object"],
+                "q2": {"best_speedup": 3.0, "sharded": "reshaped"},
+            }
+        }
+        lines, failures = gate.compare("shard", BASELINE_SHARD, fresh, 2.0)
+        assert not failures
+        baseline_bad = {
+            "queries": {
+                "q1": {"best_speedup": 2.0, "sharded": {"2": "weird"}},
+                "q2": True,
+            }
+        }
+        lines, failures = gate.compare("shard", baseline_bad, BASELINE_SHARD, 2.0)
+        assert not failures
+
+    def test_queries_table_of_wrong_type_yields_no_metrics(self, gate):
+        assert gate._shard_metrics({"queries": "gone"}, BASELINE_SHARD) == []
+        assert gate._shard_metrics(BASELINE_SHARD, {}) == []
+
+    def test_real_regression_still_fails(self, gate):
+        fresh = {
+            "queries": {
+                "q1": {
+                    "best_speedup": 0.5,  # 4x worse than the 2.0 baseline
+                    "sharded": {"2": {"seconds": 0.5}, "4": {"seconds": 0.25}},
+                },
+                "q2": {"best_speedup": 3.0, "sharded": {"2": {"seconds": 0.1}}},
+            }
+        }
+        _lines, failures = gate.compare("shard", BASELINE_SHARD, fresh, 2.0)
+        assert failures and "q1.best_speedup" in failures[0]
+
+    def test_non_numeric_values_are_skipped(self, gate):
+        baseline = {"throughput_rps": 100.0, "p95_ms": 5.0}
+        fresh = {"throughput_rps": "fast", "p95_ms": True}
+        lines, failures = gate.compare("serve", baseline, fresh, 2.0)
+        assert not failures
+        assert all("skip" in line for line in lines)
+
+
+class TestGateCli:
+    def _write(self, tmp_path, name, payload):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_no_comparable_metrics_warns_and_exits_zero(self, gate, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", BASELINE_SHARD)
+        fresh = self._write(tmp_path, "fresh.json", {"schema": "v2"})
+        assert (
+            gate.main(["--kind", "shard", "--baseline", baseline, "--fresh", fresh])
+            == 0
+        )
+        assert "no comparable metrics" in capsys.readouterr().err
+
+    def test_all_skipped_metrics_also_warn_and_exit_zero(self, gate, tmp_path, capsys):
+        """Metrics that exist but are all skipped must count as 'nothing
+        gated' — SERVE_METRICS is static, so skips alone must trigger the
+        warning path, not a silent pass."""
+        baseline = self._write(
+            tmp_path, "base.json", {"throughput_rps": 100.0, "p95_ms": 5.0}
+        )
+        fresh = self._write(tmp_path, "fresh.json", {"schema": "v2"})
+        args = ["--kind", "serve", "--baseline", baseline, "--fresh", fresh]
+        assert gate.main(args) == 0
+        assert "no comparable metrics" in capsys.readouterr().err
+        assert gate.main(args + ["--require-metrics"]) == 1
+
+    def test_require_metrics_restores_strictness(self, gate, tmp_path):
+        baseline = self._write(tmp_path, "base.json", BASELINE_SHARD)
+        fresh = self._write(tmp_path, "fresh.json", {"schema": "v2"})
+        assert (
+            gate.main(
+                [
+                    "--kind",
+                    "shard",
+                    "--baseline",
+                    baseline,
+                    "--fresh",
+                    fresh,
+                    "--require-metrics",
+                ]
+            )
+            == 1
+        )
