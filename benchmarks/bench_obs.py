@@ -1,0 +1,158 @@
+"""Observability overhead benchmark: the same load with tracing on vs off.
+
+The tracing tentpole promises near-zero overhead: span creation is two
+``ContextVar`` operations plus a ``perf_counter`` pair, and every site is a
+no-op when tracing is disabled.  This bench makes that budget measurable —
+it boots the server twice per round (tracing off, then on), drives the
+identical ``mixed`` workload from :mod:`bench_serve` through each, and
+reports the best-of-rounds p95 per mode plus the relative overhead.
+
+Rounds alternate modes (off/on, off/on, ...) and the report keeps the best
+p95 per mode, so one-off noise (page cache warmup, a GC pause, a noisy CI
+neighbour) lands on both sides instead of masquerading as tracing cost.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py \
+        --requests 200 --concurrency 8 --rounds 3 --out BENCH_obs.json
+
+    # CI gate: fail when tracing costs more than 5% of best p95
+    PYTHONPATH=src python benchmarks/bench_obs.py --check-overhead 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from bench_serve import mixed_workload
+
+from repro.serve.app import ConsistentAnswerServer, ServeConfig
+from repro.serve.client import LoadGenerator
+
+
+async def run_load(
+    tracing: bool, requests: int, concurrency: int, threads: int
+) -> dict:
+    """Boot one server with the given tracing mode and drive the mixed load."""
+    server = ConsistentAnswerServer(
+        ServeConfig(
+            port=0,
+            workers=threads,
+            max_pending=max(64, requests),
+            tracing=tracing,
+        )
+    )
+    await server.start()
+    try:
+        generator = LoadGenerator(server.address[0], server.address[1], concurrency)
+        report = await generator.run(mixed_workload(requests))
+        return report.summary()
+    finally:
+        await server.stop()
+
+
+def _best(rounds: list) -> dict:
+    """The round with the lowest p95 (plus the per-round trail for context)."""
+    best = min(rounds, key=lambda r: r["p95_ms"] or float("inf"))
+    return {
+        "p50_ms": best["p50_ms"],
+        "p95_ms": best["p95_ms"],
+        "p99_ms": best["p99_ms"],
+        "throughput_rps": best["throughput_rps"],
+        "errors_5xx": best["errors_5xx"],
+        "rounds_p95_ms": [r["p95_ms"] for r in rounds],
+    }
+
+
+async def run_bench(
+    requests: int, concurrency: int, threads: int, rounds: int
+) -> dict:
+    by_mode = {False: [], True: []}
+    for _ in range(rounds):
+        for tracing in (False, True):  # alternating, off first
+            by_mode[tracing].append(
+                await run_load(tracing, requests, concurrency, threads)
+            )
+    off, on = _best(by_mode[False]), _best(by_mode[True])
+    p95_off = off["p95_ms"] or 1e-9
+    p95_ratio = (on["p95_ms"] or 0.0) / p95_off
+    rps_off = off["throughput_rps"] or 1e-9
+    return {
+        "benchmark": "obs",
+        "timestamp": time.time(),
+        "config": {
+            "requests": requests,
+            "concurrency": concurrency,
+            "threads": threads,
+            "rounds": rounds,
+            "profile": "mixed",
+        },
+        "tracing_off": off,
+        "tracing_on": on,
+        "overhead": {
+            "p95_ratio": round(p95_ratio, 4),
+            "p95_pct": round((p95_ratio - 1.0) * 100.0, 2),
+            "throughput_pct": round(
+                (1.0 - (on["throughput_rps"] or 0.0) / rps_off) * 100.0, 2
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument(
+        "--threads", type=int, default=4, help="engine worker threads per server"
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="alternating off/on rounds; the report keeps the best p95 per mode",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument(
+        "--check-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 when tracing-on best p95 exceeds tracing-off best p95 "
+        "by more than PCT percent",
+    )
+    args = parser.parse_args(argv)
+
+    result = asyncio.run(
+        run_bench(args.requests, args.concurrency, args.threads, max(1, args.rounds))
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+
+    if result["tracing_on"]["errors_5xx"] or result["tracing_off"]["errors_5xx"]:
+        print("FAIL: 5xx responses during the bench", file=sys.stderr)
+        return 1
+    if args.check_overhead is not None:
+        overhead = result["overhead"]["p95_pct"]
+        if overhead > args.check_overhead:
+            print(
+                f"FAIL: tracing p95 overhead {overhead}% exceeds the "
+                f"{args.check_overhead}% budget",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"tracing p95 overhead {overhead}% within the "
+            f"{args.check_overhead}% budget"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

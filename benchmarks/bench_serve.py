@@ -164,6 +164,7 @@ async def run_load(
                 "count": snap["count"],
                 "p50_ms": snap["p50_ms"],
                 "p95_ms": snap["p95_ms"],
+                "p99_ms": snap["p99_ms"],
             }
             for endpoint, snap in server_metrics["latency"].items()
         }
@@ -210,7 +211,14 @@ async def run_bench(
         result.update(pooled)
         result["baseline_threads"] = {
             key: baseline[key]
-            for key in ("throughput_rps", "p50_ms", "p95_ms", "statuses", "errors_5xx")
+            for key in (
+                "throughput_rps",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "statuses",
+                "errors_5xx",
+            )
         }
         base_rps = baseline["throughput_rps"] or 1e-9
         result["speedup_vs_threads"] = round(pooled["throughput_rps"] / base_rps, 3)

@@ -10,7 +10,9 @@ tight enough to catch a real perf cliff):
   is better) of the mixed load;
 * ``shard``  — per-query best sharded speedup (higher is better; a
   dimensionless ratio, so it is hardware-portable) and the sharded
-  wall-clock of the best configuration (lower is better).
+  wall-clock of the best configuration (lower is better);
+* ``obs``    — best p95 with tracing on and off, plus their ratio (the
+  tracing overhead — dimensionless, hardware-portable).
 
 Metrics missing or malformed on either side are reported and skipped
 (with a warning) rather than failing, so the gate survives schema
@@ -39,6 +41,12 @@ Metric = Tuple[str, List[str], str]
 SERVE_METRICS: List[Metric] = [
     ("throughput_rps", ["throughput_rps"], "higher"),
     ("p95_ms", ["p95_ms"], "lower"),
+]
+
+OBS_METRICS: List[Metric] = [
+    ("tracing_on.p95_ms", ["tracing_on", "p95_ms"], "lower"),
+    ("tracing_off.p95_ms", ["tracing_off", "p95_ms"], "lower"),
+    ("overhead.p95_ratio", ["overhead", "p95_ratio"], "lower"),
 ]
 
 
@@ -104,6 +112,8 @@ def compare(
     """Return (report lines, failure lines)."""
     if kind == "serve":
         metrics = SERVE_METRICS
+    elif kind == "obs":
+        metrics = OBS_METRICS
     else:
         metrics = _shard_metrics(baseline, fresh)
     lines: List[str] = []
@@ -150,7 +160,7 @@ def _load(path: str) -> Dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--kind", choices=("serve", "shard"), required=True)
+    parser.add_argument("--kind", choices=("serve", "shard", "obs"), required=True)
     parser.add_argument("--baseline", required=True, help="committed BENCH json")
     parser.add_argument("--fresh", required=True, help="freshly produced BENCH json")
     parser.add_argument(

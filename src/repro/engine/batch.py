@@ -214,6 +214,11 @@ def _pool_chunks(engine, chunks) -> Optional[List[BatchResult]]:
     try:
         return list(pool.run_chunks(chunks))
     except WorkerPoolError as exc:
+        from repro.obs.log import get_logger
+
+        get_logger("batch").warning(
+            "pool_degraded", error=str(exc), chunks=len(chunks)
+        )
         warnings.warn(
             f"worker pool failed mid-batch ({exc}); degrading to the "
             f"per-call executor",

@@ -24,6 +24,8 @@ from repro.datamodel.facts import Constant
 from repro.datamodel.instance import DatabaseInstance
 from repro.embeddings.embeddings import embeddings_of
 from repro.exceptions import BackendError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 from repro.query.aggregation import AggregationQuery
 
 from repro.engine.backends import (
@@ -40,6 +42,25 @@ from repro.engine.plan import (
     plan_key,
     select_strategy,
 )
+
+
+def _fallback_reason_slug(reason: Optional[str]) -> str:
+    """A bounded-cardinality label for the shard-fallback counter.
+
+    The planner's human-readable reasons embed query details (aggregate
+    names etc.); metric labels must not, or the series would be unbounded.
+    """
+    if reason is None:
+        return "single_shard"
+    if "does not merge" in reason:
+        return "non_mergeable_aggregate"
+    if "self-join-free" in reason:
+        return "not_self_join_free"
+    if "no atoms" in reason:
+        return "empty_body"
+    if "disconnected" in reason:
+        return "disconnected_joins"
+    return "other"
 
 
 class ConsistentAnswerEngine:
@@ -162,28 +183,35 @@ class ConsistentAnswerEngine:
     def compile(self, query: AggregationQuery) -> QueryPlan:
         """Return the plan for ``query``, compiling it on a cache miss."""
         key = plan_key(query.body.schema(), query)
-        plan = self._cache.get(key)
+        with obs_span("plan.lookup") as lookup:
+            plan = self._cache.get(key)
+            if lookup is not None:
+                lookup.set_tag("hit", plan is not None)
         if plan is not None:
             return plan
-        started = time.perf_counter()
-        normalized = key.query
-        glb_verdict, lub_verdict = classify_both_directions(normalized)
-        executors: Dict[str, PreparedExecutor] = {}
-        strategies: Dict[str, str] = {}
-        for direction, verdict in (("glb", glb_verdict), ("lub", lub_verdict)):
-            strategy = select_strategy(verdict, normalized.aggregate)
-            strategies[direction] = strategy
-            executors[direction] = self._prepare(normalized, strategy, direction)
-        plan = QueryPlan(
-            key=key,
-            query=normalized,
-            glb_verdict=glb_verdict,
-            lub_verdict=lub_verdict,
-            glb_strategy=strategies["glb"],
-            lub_strategy=strategies["lub"],
-            executors=executors,
-            compile_seconds=time.perf_counter() - started,
-        )
+        with obs_span("plan.compile") as compiling:
+            started = time.perf_counter()
+            normalized = key.query
+            glb_verdict, lub_verdict = classify_both_directions(normalized)
+            executors: Dict[str, PreparedExecutor] = {}
+            strategies: Dict[str, str] = {}
+            for direction, verdict in (("glb", glb_verdict), ("lub", lub_verdict)):
+                strategy = select_strategy(verdict, normalized.aggregate)
+                strategies[direction] = strategy
+                executors[direction] = self._prepare(normalized, strategy, direction)
+            plan = QueryPlan(
+                key=key,
+                query=normalized,
+                glb_verdict=glb_verdict,
+                lub_verdict=lub_verdict,
+                glb_strategy=strategies["glb"],
+                lub_strategy=strategies["lub"],
+                executors=executors,
+                compile_seconds=time.perf_counter() - started,
+            )
+            if compiling is not None:
+                compiling.set_tag("glb_strategy", plan.glb_strategy)
+                compiling.set_tag("lub_strategy", plan.lub_strategy)
         self._cache.put(key, plan)
         return plan
 
@@ -266,10 +294,11 @@ class ConsistentAnswerEngine:
             from repro.engine.sharding import execute_sharded
 
             return execute_sharded(self, query, instance, shards, binding=binding)
-        return RangeAnswer(
-            plan.executors["glb"].evaluate(instance, binding),
-            plan.executors["lub"].evaluate(instance, binding),
-        )
+        with obs_span("execute.glb", strategy=plan.glb_strategy):
+            glb = plan.executors["glb"].evaluate(instance, binding)
+        with obs_span("execute.lub", strategy=plan.lub_strategy):
+            lub = plan.executors["lub"].evaluate(instance, binding)
+        return RangeAnswer(glb, lub)
 
     # -- GROUP BY execution ------------------------------------------------------------
 
@@ -295,13 +324,18 @@ class ConsistentAnswerEngine:
             from repro.engine.sharding import execute_sharded
 
             return execute_sharded(self, query, instance, shards)
-        candidates = self._possible_answers(plan, instance)
+        with obs_span("groupby.candidates") as candidates_span:
+            candidates = self._possible_answers(plan, instance)
+            if candidates_span is not None:
+                candidates_span.set_tag("groups", len(candidates))
         bindings = [
             {v.name: value for v, value in zip(free, candidate)}
             for candidate in candidates
         ]
-        glbs = plan.executors["glb"].evaluate_many(instance, bindings)
-        lubs = plan.executors["lub"].evaluate_many(instance, bindings)
+        with obs_span("execute.glb", strategy=plan.glb_strategy, groups=len(bindings)):
+            glbs = plan.executors["glb"].evaluate_many(instance, bindings)
+        with obs_span("execute.lub", strategy=plan.lub_strategy, groups=len(bindings)):
+            lubs = plan.executors["lub"].evaluate_many(instance, bindings)
         return {
             candidate: RangeAnswer(glb, lub)
             for candidate, glb, lub in zip(candidates, glbs, lubs)
@@ -367,6 +401,11 @@ class ConsistentAnswerEngine:
                 self._shard_stats["shards_planned"] += len(shard_plan.shards)
             else:
                 self._shard_stats["fallbacks"] += 1
+        if not shard_plan.is_sharded:
+            REGISTRY.counter(
+                "repro_shard_fallback_total",
+                "Sharded executions that fell back to the unsharded path, by reason.",
+            ).inc(reason=_fallback_reason_slug(shard_plan.fallback_reason))
 
     def shard_stats(self) -> Dict[str, object]:
         """Counters of the sharded execution path (requests / sharded /

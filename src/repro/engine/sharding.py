@@ -66,6 +66,7 @@ from repro.datamodel.facts import Constant, Fact
 from repro.datamodel.instance import BlockKey, DatabaseInstance
 from repro.embeddings.embeddings import embeddings_of
 from repro.exceptions import BackendError
+from repro.obs.trace import span as obs_span
 from repro.query.aggregation import AggregationQuery
 from repro.util import stable_hash_64
 
@@ -715,7 +716,12 @@ def execute_sharded(
     plan = engine.compile(query)
     grouped = bool(plan.query.free_variables) and binding is None
     planner = ShardPlanner(strategy)
-    shard_plan = _cached_shard_plan(planner, plan, instance, shards)
+    with obs_span("shard.plan", requested=shards) as planning:
+        shard_plan = _cached_shard_plan(planner, plan, instance, shards)
+        if planning is not None:
+            planning.set_tag("planned", len(shard_plan.shards))
+            if shard_plan.fallback_reason is not None:
+                planning.set_tag("fallback_reason", shard_plan.fallback_reason)
     record = getattr(engine, "_record_shard_execution", None)
     if record is not None:
         record(shard_plan)
@@ -749,20 +755,23 @@ def execute_sharded(
                 workers,
             )
     if summaries is None:  # serial path (requested, or pool unavailable)
-        summaries = [
-            summarize_shard_groups(plan, shard)
-            if grouped
-            else summarize_shard(plan, shard, binding)
-            for shard in shard_plan.shards
-        ]
+        summaries = []
+        for index, shard in enumerate(shard_plan.shards):
+            with obs_span("shard.summarize", shard=index, facts=len(shard)):
+                summaries.append(
+                    summarize_shard_groups(plan, shard)
+                    if grouped
+                    else summarize_shard(plan, shard, binding)
+                )
 
     aggregate = plan.query.aggregate
-    if grouped:
-        merged_groups: Dict[GroupKey, ShardAnswer] = {}
+    with obs_span("shard.merge", shards=len(summaries)):
+        if grouped:
+            merged_groups: Dict[GroupKey, ShardAnswer] = {}
+            for summary in summaries:
+                merged_groups = merge_group_answers(aggregate, merged_groups, summary)
+            return finalize_group_answers(merged_groups)
+        merged = SHARD_ANSWER_IDENTITY
         for summary in summaries:
-            merged_groups = merge_group_answers(aggregate, merged_groups, summary)
-        return finalize_group_answers(merged_groups)
-    merged = SHARD_ANSWER_IDENTITY
-    for summary in summaries:
-        merged = merge_shard_answers(aggregate, merged, summary)
-    return finalize_answer(merged)
+            merged = merge_shard_answers(aggregate, merged, summary)
+        return finalize_answer(merged)

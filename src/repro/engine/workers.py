@@ -57,8 +57,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datamodel.instance import DatabaseInstance
 from repro.exceptions import ReproError
+from repro.obs.log import get_logger
+from repro.obs.trace import remote_root, span as obs_span
 from repro.query.aggregation import AggregationQuery
 from repro.util import stable_hash_64
+
+_LOG = get_logger("workers")
 
 
 class WorkerPoolError(ReproError):
@@ -190,13 +194,17 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
         "chunk_jobs": 0,
         "shard_jobs": 0,
         "instance_loads": 0,
+        "resident_hits": 0,
     }
 
     def resolve(ref: InstanceRef) -> DatabaseInstance:
         entry = resident.get(ref.key)
         if entry is None or entry[0] != ref.version:
-            resident[ref.key] = (ref.version, ref.load())
+            with obs_span("worker.instance_load", key=ref.key, version=ref.version):
+                resident[ref.key] = (ref.version, ref.load())
             counters["instance_loads"] += 1
+        else:
+            counters["resident_hits"] += 1
         return resident[ref.key][1]
 
     def handle(kind: str, payload: tuple) -> object:
@@ -227,15 +235,19 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
                     f"worker partition has {len(shard_plan.shards)} shards, "
                     f"parent expected {shards}"
                 )
-            return [
-                (
-                    index,
-                    summarize_shard_groups(plan, shard_plan.shards[index])
-                    if grouped
-                    else summarize_shard(plan, shard_plan.shards[index], binding),
-                )
-                for index in indices
-            ]
+            summaries = []
+            for index in indices:
+                shard = shard_plan.shards[index]
+                with obs_span("shard.summarize", shard=index, facts=len(shard)):
+                    summaries.append(
+                        (
+                            index,
+                            summarize_shard_groups(plan, shard)
+                            if grouped
+                            else summarize_shard(plan, shard, binding),
+                        )
+                    )
+            return summaries
         if kind == "invalidate":
             (key,) = payload
             return resident.pop(key, None) is not None
@@ -254,17 +266,29 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
             break
         if job is None:
             break
-        job_id, kind, payload = job
+        job_id, kind, payload, trace_ctx = job
+        # The worker's spans hang off a local root parented on the span id
+        # shipped with the job; the finished tree rides the result message
+        # back and is re-parented under the dispatching span client-side.
+        root_span = None
         try:
-            result = handle(kind, payload)
+            with remote_root(f"worker.{kind}", trace_ctx, worker=worker_id) as root_span:
+                result = handle(kind, payload)
             counters["jobs"] += 1
-            message = (job_id, True, result, _worker_stats(engine, resident, counters))
+            message = (
+                job_id,
+                True,
+                result,
+                _worker_stats(engine, resident, counters),
+                [root_span.to_dict()] if root_span is not None else [],
+            )
         except BaseException as exc:  # noqa: BLE001 — every failure becomes a message
             message = (
                 job_id,
                 False,
                 _encode_failure(exc),
                 _worker_stats(engine, resident, counters),
+                [root_span.to_dict()] if root_span is not None else [],
             )
         try:
             result_conn.send(message)
@@ -286,6 +310,15 @@ class _PendingJob:
     worker_index: int
     generation: int
     attempts: int = 0
+    #: The dispatching span worker-side spans re-parent under (or None).
+    parent_span: Optional[object] = None
+
+    @property
+    def trace_ctx(self) -> Optional[Tuple[str, str]]:
+        span = self.parent_span
+        if span is None:
+            return None
+        return (span.trace_id, span.span_id)
 
 
 class _WorkerHandle:
@@ -693,7 +726,13 @@ class WorkerPool:
         if not self.is_running:
             raise WorkerPoolError("worker pool is not running")
 
-    def _submit(self, worker_index: int, kind: str, payload: tuple) -> Future:
+    def _submit(
+        self,
+        worker_index: int,
+        kind: str,
+        payload: tuple,
+        parent_span: Optional[object] = None,
+    ) -> Future:
         future: Future = Future()
         with self._lock:
             if not self._started or self._closed:
@@ -707,6 +746,7 @@ class WorkerPool:
                 future=future,
                 worker_index=handle.index,
                 generation=handle.generation,
+                parent_span=parent_span,
             )
             self._pending[job_id] = job
             self._jobs_submitted += 1
@@ -716,7 +756,9 @@ class WorkerPool:
     def _send(self, handle: _WorkerHandle, job: _PendingJob) -> None:
         try:
             with handle.send_lock:
-                handle.job_conn.send((job.job_id, job.kind, job.payload))
+                handle.job_conn.send(
+                    (job.job_id, job.kind, job.payload, job.trace_ctx)
+                )
         except (BrokenPipeError, OSError):
             # The worker died before (or while) receiving the job; the
             # collector's sentinel wakeup handles the respawn — here we only
@@ -770,12 +812,17 @@ class WorkerPool:
             except (EOFError, OSError):
                 self._recover_worker(handle)
                 return
-            job_id, ok, payload, stats = message
+            job_id, ok, payload, stats, spans = message
             with self._lock:
                 handle.stats = stats
                 job = self._pending.pop(job_id, None)
             if job is None:  # resolved elsewhere (e.g. failed during recovery)
                 continue
+            # Graft the worker's spans *before* resolving the future: the
+            # waiter closes the dispatch span right after, and the future
+            # resolution is the happens-before edge that publishes them.
+            if spans and job.parent_span is not None:
+                job.parent_span.add_remote_children(spans)
             if ok:
                 job.future.set_result(payload)
             else:
@@ -785,6 +832,7 @@ class WorkerPool:
         self, handle: _WorkerHandle, extra_failed_job: Optional[int] = None
     ) -> None:
         """Respawn a dead worker and retry (once) or fail its in-flight jobs."""
+        respawned = False
         with self._lock:
             current = self._handles[handle.index % self._size]
             if current.generation != handle.generation:
@@ -818,6 +866,14 @@ class WorkerPool:
                         self._respawn_context,
                         self._engine_config,
                     )
+                    respawned = True
+        if respawned:
+            _LOG.warning(
+                "worker_respawned",
+                worker=handle.index,
+                dead_pid=handle.pid,
+                orphaned_jobs=len(orphans),
+            )
         for job in orphans:
             self._retry_or_fail(job)
 
@@ -861,10 +917,12 @@ class WorkerPool:
         binding).  The instance is transferred once via :meth:`ref_for`."""
         self._ensure_running()
         ref = self.ref_for(instance, name=name)
-        future = self._submit(
-            self._least_busy_worker(), "answer", (ref, query, binding, shards)
-        )
-        return self._result(future, timeout)
+        worker = self._least_busy_worker()
+        with obs_span("pool.answer", worker=worker) as dispatch:
+            future = self._submit(
+                worker, "answer", (ref, query, binding, shards), parent_span=dispatch
+            )
+            return self._result(future, timeout)
 
     def run_chunks(
         self,
@@ -882,19 +940,25 @@ class WorkerPool:
         toward its pending depth.
         """
         self._ensure_running()
-        futures = []
-        for chunk in chunks:
-            payload_chunk = [
-                (index, query, self.ref_for(instance))
-                for index, query, instance in chunk
-            ]
-            futures.append(
-                self._submit(self._least_busy_worker(), "chunk", (payload_chunk,))
-            )
-        results: List[object] = []
-        for future in futures:
-            results.extend(self._result(future, timeout))
-        return results
+        with obs_span("pool.chunks", chunks=len(chunks)) as dispatch:
+            futures = []
+            for chunk in chunks:
+                payload_chunk = [
+                    (index, query, self.ref_for(instance))
+                    for index, query, instance in chunk
+                ]
+                futures.append(
+                    self._submit(
+                        self._least_busy_worker(),
+                        "chunk",
+                        (payload_chunk,),
+                        parent_span=dispatch,
+                    )
+                )
+            results: List[object] = []
+            for future in futures:
+                results.extend(self._result(future, timeout))
+            return results
 
     def summarize_shards(
         self,
@@ -919,19 +983,23 @@ class WorkerPool:
         for shard_index in range(shards):
             worker = shard_worker_of(ref.fingerprint, shards, shard_index, self._size)
             assignment.setdefault(worker, []).append(shard_index)
-        futures = [
-            self._submit(
-                worker,
-                "shards",
-                (ref, query, shards, strategy, indices, binding, grouped),
-            )
-            for worker, indices in sorted(assignment.items())
-        ]
-        indexed: List[Tuple[int, object]] = []
-        for future in futures:
-            indexed.extend(self._result(future, timeout))
-        indexed.sort(key=lambda pair: pair[0])
-        return [summary for _index, summary in indexed]
+        with obs_span(
+            "pool.shards", shards=shards, workers=len(assignment)
+        ) as dispatch:
+            futures = [
+                self._submit(
+                    worker,
+                    "shards",
+                    (ref, query, shards, strategy, indices, binding, grouped),
+                    parent_span=dispatch,
+                )
+                for worker, indices in sorted(assignment.items())
+            ]
+            indexed: List[Tuple[int, object]] = []
+            for future in futures:
+                indexed.extend(self._result(future, timeout))
+            indexed.sort(key=lambda pair: pair[0])
+            return [summary for _index, summary in indexed]
 
     def shard_assignment(self, instance: DatabaseInstance, shards: int) -> List[int]:
         """The worker index owning each shard index (stable across requests,

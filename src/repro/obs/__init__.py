@@ -1,0 +1,66 @@
+"""Observability: request tracing, structured logging, Prometheus metrics.
+
+This package is the stack's cross-cutting layer.  It imports nothing from
+``repro.serve`` / ``repro.engine`` / ``repro.store``, so every layer can
+depend on it without cycles:
+
+* :mod:`repro.obs.trace` — ``contextvars``-based span trees opened at HTTP
+  ingress and threaded through engine, shards, worker processes, and store.
+* :mod:`repro.obs.buffer` — bounded retention of recent traces for
+  ``GET /traces/{id}`` and explain mode.
+* :mod:`repro.obs.log` — one-line structured-JSON logging that stamps the
+  active trace id.
+* :mod:`repro.obs.metrics` — process-global counters/gauges/histograms for
+  signals below the HTTP layer (spool hits, fsync latency, ...).
+* :mod:`repro.obs.prometheus` — hand-rolled text exposition over both the
+  server snapshot and the registry.
+"""
+
+from repro.obs.buffer import TraceBuffer
+from repro.obs.log import StructuredLogger, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.prometheus import render as render_prometheus
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    propagation_context,
+    remote_root,
+    reparent,
+    set_tracing,
+    span,
+    start_trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "TraceBuffer",
+    "current_span",
+    "current_trace_id",
+    "get_logger",
+    "new_trace_id",
+    "propagation_context",
+    "remote_root",
+    "render_prometheus",
+    "reparent",
+    "set_tracing",
+    "span",
+    "start_trace",
+    "tracing_enabled",
+]

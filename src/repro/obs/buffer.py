@@ -1,0 +1,53 @@
+"""A bounded in-memory ring of recently completed traces.
+
+The serving layer records every finished root span here (as an already
+serialized dict — recording happens after the request completes, so the
+tree is immutable by then).  ``GET /traces/{id}`` and the ``explain``
+machinery read from it.  Capacity is fixed; the oldest trace is evicted
+when a new one arrives, so memory is bounded regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+class TraceBuffer:
+    """Keep the last ``capacity`` trace trees, addressable by trace id."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("TraceBuffer capacity must be >= 1")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(self, trace: Dict[str, object]) -> None:
+        trace_id = trace.get("trace_id")
+        if not isinstance(trace_id, str):
+            return
+        with self._lock:
+            # A retried request may re-record the same id; latest wins.
+            self._traces.pop(trace_id, None)
+            self._traces[trace_id] = trace
+            while len(self._traces) > self._capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def trace_ids(self) -> List[str]:
+        """Retained ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

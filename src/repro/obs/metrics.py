@@ -1,0 +1,208 @@
+"""Process-wide counters, gauges, and histograms for Prometheus exposition.
+
+:class:`ServerMetrics` (in :mod:`repro.serve.metrics`) owns the per-endpoint
+request accounting; this registry holds everything *below* the HTTP layer —
+spool hits in worker processes, store fsync latency, shard fallback reasons
+— where importing the serving layer would be a cycle.  ``repro.obs`` imports
+nothing from ``serve``/``engine``/``store``, so any layer can record here.
+
+The registry is deliberately tiny: three instrument kinds, label support as
+a sorted ``(key, value)`` tuple, one lock per instrument.  Rendering to the
+Prometheus text format lives in :mod:`repro.obs.prometheus`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default histogram bounds in seconds (the final bucket is +Inf).  Tighter
+#: at the low end than the serving buckets: fsyncs are sub-millisecond on a
+#: healthy disk and the interesting signal is the tail above that.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic counter, optionally broken down by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._values: Dict[LabelSet, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _labels_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_labels_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[str, LabelSet, float]]:
+        with self._lock:
+            return [(self.name, key, value) for key, value in sorted(self._values.items())]
+
+
+class Gauge:
+    """Point-in-time value, optionally broken down by labels."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._values: Dict[LabelSet, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[_labels_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_labels_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[str, LabelSet, float]]:
+        with self._lock:
+            return [(self.name, key, value) for key, value in sorted(self._values.items())]
+
+
+class Histogram:
+    """Fixed-bucket histogram (seconds), Prometheus-shaped.
+
+    ``samples()`` emits cumulative ``_bucket{le=...}`` series plus ``_sum``
+    and ``_count``, ready for text exposition.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.bounds = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += seconds
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            buckets = {
+                str(bound): count for bound, count in zip(self.bounds, self._counts)
+            }
+            buckets["+Inf"] = self._counts[-1]
+            return {"count": self._count, "sum_seconds": self._sum, "buckets": buckets}
+
+    def samples(self) -> List[Tuple[str, LabelSet, float]]:
+        with self._lock:
+            out: List[Tuple[str, LabelSet, float]] = []
+            cumulative = 0
+            for bound, count in zip(self.bounds, self._counts):
+                cumulative += count
+                out.append(
+                    (f"{self.name}_bucket", (("le", repr(bound)),), float(cumulative))
+                )
+            cumulative += self._counts[-1]
+            out.append((f"{self.name}_bucket", (("le", "+Inf"),), float(cumulative)))
+            out.append((f"{self.name}_sum", (), self._sum))
+            out.append((f"{self.name}_count", (), float(self._count)))
+            return out
+
+
+class MetricsRegistry:
+    """Create-or-get registry for the process's obs instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as {type(existing).__name__}"
+                    )
+                return existing
+            instrument = cls(name, help_text, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        kwargs = {"buckets": buckets} if buckets is not None else {}
+        return self._get_or_create(Histogram, name, help_text, **kwargs)
+
+    def instruments(self) -> Iterable[object]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly dump (used by the worker stats plumbing and tests)."""
+        out: Dict[str, object] = {}
+        for instrument in self.instruments():
+            if isinstance(instrument, Histogram):
+                out[instrument.name] = instrument.snapshot()
+            else:
+                out[instrument.name] = {
+                    ",".join(f"{k}={v}" for k, v in key) or "_": value
+                    for _, key, value in instrument.samples()
+                }
+        return out
+
+
+#: The process-global registry every layer records into.
+REGISTRY = MetricsRegistry()

@@ -101,6 +101,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not pre-register the paper's example instances",
     )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable the per-request span tree (trace ids still echo)",
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=defaults.trace_buffer,
+        metavar="N",
+        help="how many finished traces GET /traces/{id} can look up",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log the full span tree of any request at least this slow "
+        "(0 logs every request; default: disabled)",
+    )
     return parser
 
 
@@ -119,6 +139,9 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         worker_processes=max(0, args.workers),
         store_dir=args.store_dir,
         store_compact_every=max(0, args.store_compact_every),
+        tracing=not args.no_tracing,
+        trace_buffer=max(1, args.trace_buffer),
+        slow_query_ms=args.slow_query_ms,
     )
 
 

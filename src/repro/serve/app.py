@@ -45,12 +45,20 @@ Endpoints::
     DELETE /instances/{name}        {"expected_version"?}
     GET    /instances               registered instances + fingerprints + versions
     GET    /metrics                 counters, histograms, cache + store stats
+                                    (``?format=prometheus`` → text exposition)
+    GET    /traces/{id}             retained span tree of a recent request
     GET    /healthz                 liveness + config summary
+
+Every response (errors included) echoes ``X-Repro-Trace-Id``: the id the
+request carried in, or a freshly minted one.  ``"explain": true`` on the
+answer endpoints inlines the request's finished span tree in the response;
+``slow_query_ms`` logs the same tree as one structured-JSON line.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import os
 import threading
 import time
@@ -73,6 +81,14 @@ from repro.exceptions import (
     ReproError,
     SchemaError,
 )
+from repro.obs import (
+    REGISTRY,
+    TRACE_HEADER,
+    TraceBuffer,
+    get_logger,
+    render_prometheus,
+)
+from repro.obs.trace import current_span, new_trace_id, set_tracing, start_trace
 from repro.query.aggregation import AggregationQuery
 from repro.query.parser import parse_aggregation_query
 from repro.serve.metrics import ServerMetrics
@@ -98,6 +114,9 @@ from repro.serve.registry import (
 from repro.store import InstanceStore
 
 SERVER_NAME = "repro-serve"
+
+_LOG = get_logger("serve")
+_TRACE_HEADER_LOWER = TRACE_HEADER.lower()
 
 _REASONS = {
     200: "OK",
@@ -202,6 +221,13 @@ class ServeConfig:
     worker_processes: int = 0
     store_dir: Optional[str] = None
     store_compact_every: int = 64
+    #: Per-process tracing switch; off turns every span site into a no-op.
+    tracing: bool = True
+    #: How many finished traces ``GET /traces/{id}`` can still see.
+    trace_buffer: int = 256
+    #: Requests at or above this wall time (ms) log their full span tree;
+    #: ``None`` disables the slow-query log, ``0`` logs every request.
+    slow_query_ms: Optional[float] = None
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers else _default_workers()
@@ -213,10 +239,19 @@ class _Request:
     path: str
     headers: Dict[str, str]
     body: bytes
+    query: str = ""
 
     @property
     def keep_alive(self) -> bool:
         return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+@dataclass
+class _TextResponse:
+    """A non-JSON response body (the Prometheus exposition page)."""
+
+    text: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _HttpError(Exception):
@@ -307,6 +342,8 @@ class ConsistentAnswerServer:
             self.registry = InstanceRegistry(store=self.store)
             self.registry.load_store()
         self.registry.subscribe(self._on_registry_event)
+        set_tracing(self.config.tracing)
+        self.traces = TraceBuffer(max(1, self.config.trace_buffer))
         self.metrics = ServerMetrics()
         self.gate = AdmissionGate(workers + max(0, self.config.max_pending))
         self._workers = workers
@@ -428,18 +465,28 @@ class ConsistentAnswerServer:
                 try:
                     request = await self._read_request(reader)
                 except _HttpError as exc:
+                    # The request never got far enough to carry a trace, but
+                    # the error response still correlates via a fresh id.
+                    trace_id = new_trace_id()
+                    payload = error_body(exc.error_type, str(exc))
+                    payload["error"]["trace_id"] = trace_id
                     await self._write_response(
                         writer,
                         exc.status,
-                        error_body(exc.error_type, str(exc)),
+                        payload,
                         keep_alive=False,
+                        extra_headers={TRACE_HEADER: trace_id},
                     )
                     break
                 if request is None:
                     break
-                status, payload = await self._process(request)
+                status, payload, extra_headers = await self._process(request)
                 await self._write_response(
-                    writer, status, payload, keep_alive=request.keep_alive
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=request.keep_alive,
+                    extra_headers=extra_headers,
                 )
                 if not request.keep_alive:
                     break
@@ -469,7 +516,7 @@ class ConsistentAnswerServer:
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             raise _HttpError(400, "ProtocolError", "malformed request line")
         method, target, _version = parts
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
         headers: Dict[str, str] = {}
         while True:
             try:
@@ -498,7 +545,9 @@ class ConsistentAnswerServer:
                 f"{self.config.max_body_bytes} byte limit",
             )
         body = await reader.readexactly(length) if length else b""
-        return _Request(method=method.upper(), path=path, headers=headers, body=body)
+        return _Request(
+            method=method.upper(), path=path, headers=headers, body=body, query=query
+        )
 
     async def _write_response(
         self,
@@ -506,15 +555,25 @@ class ConsistentAnswerServer:
         status: int,
         payload: object,
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = dumps(payload)
+        if isinstance(payload, _TextResponse):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = dumps(payload)
+            content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Server: {SERVER_NAME}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             f"\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -559,9 +618,70 @@ class ConsistentAnswerServer:
                     [],
                 )
             return None, (), "/instances/{name}/facts", ["POST"]
+        if len(segments) == 2 and segments[0] == "traces" and segments[1]:
+            if method == "GET":
+                return (
+                    self._handle_get_trace,
+                    (unquote(segments[1]),),
+                    "GET /traces/{id}",
+                    [],
+                )
+            return None, (), "/traces/{id}", ["GET"]
         return None, (), None, []
 
-    async def _process(self, request: _Request) -> Tuple[int, object]:
+    async def _process(self, request: _Request) -> Tuple[int, object, Dict[str, str]]:
+        """Trace one request end to end, then answer it.
+
+        The root span opens here (honoring an inbound ``X-Repro-Trace-Id``
+        or minting one) and every layer below hangs children off it via the
+        context variable.  After the span closes, the finished tree is
+        retained in the trace buffer, emitted as one structured-JSON line
+        when the request breaches ``slow_query_ms``, and inlined into the
+        response for ``"explain": true`` requests.  The trace id is echoed
+        on *every* response, errors included.
+        """
+        incoming = request.headers.get(_TRACE_HEADER_LOWER) or None
+        trace_id = incoming or new_trace_id()
+        with start_trace(
+            "http.request",
+            trace_id=trace_id,
+            method=request.method,
+            path=request.path,
+        ) as root:
+            status, payload = await self._process_inner(request)
+            if root is not None:
+                root.set_tag("status", status)
+        if (
+            status >= 400
+            and isinstance(payload, dict)
+            and isinstance(payload.get("error"), dict)
+        ):
+            payload["error"].setdefault("trace_id", trace_id)
+        if root is not None:
+            tree = root.to_dict()
+            self.traces.record(tree)
+            threshold = self.config.slow_query_ms
+            duration_ms = root.duration_ms or 0.0
+            if threshold is not None and duration_ms >= threshold:
+                _LOG.warning(
+                    "slow_query",
+                    trace_id=trace_id,
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                    duration_ms=round(duration_ms, 3),
+                    trace=tree,
+                )
+            if (
+                root.tags.get("explain")
+                and 200 <= status < 300
+                and isinstance(payload, dict)
+            ):
+                payload = dict(payload)
+                payload["trace"] = tree
+        return status, payload, {TRACE_HEADER: trace_id}
+
+    async def _process_inner(self, request: _Request) -> Tuple[int, object]:
         handler = self._routes.get((request.method, request.path))
         handler_args: Tuple[str, ...] = ()
         endpoint = f"{request.method} {request.path}"
@@ -587,6 +707,8 @@ class ConsistentAnswerServer:
             self.metrics.request_started()
             self.metrics.request_finished(endpoint, status, 0.0)
             return status, payload
+        if handler == self._handle_metrics:  # bound methods: compare, not `is`
+            handler_args = (request.query,)
         self.metrics.request_started()
         started = time.perf_counter()
         try:
@@ -631,8 +753,12 @@ class ConsistentAnswerServer:
                 f"retry later"
             )
         loop = asyncio.get_running_loop()
+        # contextvars do not flow into executor threads on their own; the
+        # copied context carries the active span so engine/store spans land
+        # under this request's trace.
+        context = contextvars.copy_context()
         try:
-            job = self._executor.submit(fn)
+            job = self._executor.submit(context.run, fn)
         except BaseException:
             self.gate.release()
             raise
@@ -690,6 +816,20 @@ class ConsistentAnswerServer:
         return float(raw)
 
     @staticmethod
+    def _mark_explain(payload: Mapping) -> None:
+        """Tag the request's root span when the client asked to explain.
+
+        Handlers run on the event-loop context inside :meth:`_process`'s
+        ``start_trace`` block, so the current span *is* the root; the tag
+        tells :meth:`_process` to inline the finished tree into the
+        response.  A no-op when tracing is disabled.
+        """
+        if payload.get("explain"):
+            active = current_span()
+            if active is not None:
+                active.set_tag("explain", True)
+
+    @staticmethod
     def _shards_for(entry: RegisteredInstance) -> Optional[int]:
         """The opt-in shard count for an instance (None = unsharded path)."""
         return entry.shards if entry.shards > 1 else None
@@ -740,6 +880,7 @@ class ConsistentAnswerServer:
 
     async def _handle_answer(self, payload: object) -> Tuple[int, object]:
         payload = self._require_object(payload)
+        self._mark_explain(payload)
         entry, query = self._parse_query_request(payload)
         binding = self._parse_binding(payload)
         missing = [v.name for v in query.free_variables if v.name not in binding]
@@ -770,6 +911,7 @@ class ConsistentAnswerServer:
 
     async def _handle_answer_group_by(self, payload: object) -> Tuple[int, object]:
         payload = self._require_object(payload)
+        self._mark_explain(payload)
         entry, query = self._parse_query_request(payload)
         if not query.free_variables:
             raise ProtocolError(
@@ -907,7 +1049,58 @@ class ConsistentAnswerServer:
     async def _handle_list_instances(self, payload: object) -> Tuple[int, object]:
         return 200, {"instances": self.registry.describe_all()}
 
-    async def _handle_metrics(self, payload: object) -> Tuple[int, object]:
+    async def _handle_get_trace(
+        self, payload: object, trace_id: str
+    ) -> Tuple[int, object]:
+        """``GET /traces/{id}`` — a retained trace's full span tree."""
+        trace = self.traces.get(trace_id)
+        if trace is None:
+            raise _HttpError(
+                404,
+                "NotFound",
+                f"no retained trace {trace_id!r} "
+                f"(buffer keeps the last {self.traces.capacity})",
+            )
+        return 200, {"trace": trace}
+
+    def _refresh_registry_gauges(self) -> None:
+        """Re-derive pool-sourced gauges at scrape time.
+
+        Queue depth and spool (resident-instance) hits are observed inside
+        the worker machinery and surface through ``pool.stats()``; setting
+        them lazily at exposition keeps the request path free of extra
+        bookkeeping.
+        """
+        pool = self._pool
+        if pool is None or not pool.is_running:
+            return
+        stats = pool.stats()
+        queue_gauge = REGISTRY.gauge(
+            "repro_worker_queue_depth", "Jobs queued or running per worker process."
+        )
+        spool_gauge = REGISTRY.gauge(
+            "repro_worker_spool_hits",
+            "Cumulative resident-instance (spool) hits reported by workers.",
+        )
+        total_hits = 0.0
+        for worker in stats.get("per_worker", []):
+            queue_gauge.set(
+                float(worker.get("queue_depth", 0)),
+                worker=worker.get("worker", "?"),
+            )
+            total_hits += float(worker.get("resident_hits", 0) or 0)
+        spool_gauge.set(total_hits)
+
+    async def _handle_metrics(
+        self, payload: object, query: str = ""
+    ) -> Tuple[int, object]:
+        from urllib.parse import parse_qs
+
+        wants_prometheus = "prometheus" in parse_qs(query).get("format", [])
+        if wants_prometheus:
+            self._refresh_registry_gauges()
+            page = render_prometheus(self.metrics.snapshot(), REGISTRY)
+            return 200, _TextResponse(page)
         stats = self.engine.cache_stats()
         snapshot = self.metrics.snapshot()
         snapshot.update(
@@ -980,19 +1173,20 @@ async def run_server(config: Optional[ServeConfig] = None) -> None:
     server = ConsistentAnswerServer(config)
     try:
         host, port = await server.start()
-        print(f"{SERVER_NAME}: listening on http://{host}:{port}")
+        _LOG.info("listening", server=SERVER_NAME, host=host, port=port)
         if server.config.worker_processes > 0:
-            print(
-                f"{SERVER_NAME}: worker pool: "
-                f"{server.config.worker_processes} engine processes"
+            _LOG.info(
+                "worker_pool_started",
+                processes=server.config.worker_processes,
             )
         if server.store is not None:
-            print(
-                f"{SERVER_NAME}: durable store: {server.store.root} "
-                f"({len(server.registry)} instance(s) loaded, "
-                f"compact_every={server.store.compact_every})"
+            _LOG.info(
+                "store_attached",
+                dir=server.store.root,
+                instances_loaded=len(server.registry),
+                compact_every=server.store.compact_every,
             )
-        print(f"{SERVER_NAME}: instances registered: {server.registry.names()}")
+        _LOG.info("instances_registered", names=server.registry.names())
         await server.serve_forever()
     finally:
         await server.stop()

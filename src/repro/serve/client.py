@@ -22,6 +22,7 @@ from repro.core.range_answers import RangeAnswer
 from repro.datamodel.facts import Constant
 from repro.datamodel.instance import DatabaseInstance
 from repro.exceptions import ReproError
+from repro.obs.trace import TRACE_HEADER
 from repro.serve.protocol import (
     ProtocolError,
     decode_group_answers,
@@ -35,12 +36,27 @@ from repro.serve.protocol import (
 
 
 class ServeClientError(ReproError):
-    """A non-2xx response surfaced as an exception by the typed helpers."""
+    """A non-2xx response surfaced as an exception by the typed helpers.
 
-    def __init__(self, status: int, error_type: str, message: str) -> None:
-        super().__init__(f"[{status} {error_type}] {message}")
+    Carries the server's ``X-Repro-Trace-Id`` (``trace_id``) and the
+    structured error body (``body``), so a failed call can be correlated
+    with the server-side trace and slow-query log without re-issuing it.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        trace_id: Optional[str] = None,
+        body: Optional[object] = None,
+    ) -> None:
+        suffix = f" (trace {trace_id})" if trace_id else ""
+        super().__init__(f"[{status} {error_type}] {message}{suffix}")
         self.status = status
         self.error_type = error_type
+        self.trace_id = trace_id
+        self.body = body
 
 
 class ServeClient:
@@ -52,6 +68,8 @@ class ServeClient:
         self._timeout_s = timeout_s
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        #: Trace id echoed by the most recent response (None before any).
+        self.last_trace_id: Optional[str] = None
 
     # -- connection management ---------------------------------------------------------
 
@@ -141,6 +159,9 @@ class ServeClient:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
+        trace_id = headers.get(TRACE_HEADER.lower())
+        if trace_id:
+            self.last_trace_id = trace_id
         if headers.get("connection", "").lower() == "close":
             await self.close()
         return status, loads(raw)
@@ -152,7 +173,11 @@ class ServeClient:
         if isinstance(payload, dict):
             error = payload.get("error") or {}
         raise ServeClientError(
-            status, error.get("type", "Unknown"), error.get("message", "")
+            status,
+            error.get("type", "Unknown"),
+            error.get("message", ""),
+            trace_id=error.get("trace_id") or self.last_trace_id,
+            body=payload,
         )
 
     # -- typed endpoint helpers --------------------------------------------------------
@@ -268,6 +293,15 @@ class ServeClient:
         status, body = await self.request("GET", "/metrics")
         return self._checked(status, body)
 
+    async def trace(self, trace_id: str) -> Dict[str, object]:
+        """Fetch a retained trace's span tree from ``GET /traces/{id}``."""
+        from urllib.parse import quote
+
+        status, body = await self.request(
+            "GET", f"/traces/{quote(trace_id, safe='')}"
+        )
+        return self._checked(status, body)["trace"]
+
     async def healthz(self) -> Dict[str, object]:
         status, body = await self.request("GET", "/healthz")
         return self._checked(status, body)
@@ -326,6 +360,7 @@ class LoadReport:
             "throughput_rps": round(self.throughput_rps, 2),
             "p50_ms": self.percentile_ms(0.50),
             "p95_ms": self.percentile_ms(0.95),
+            "p99_ms": self.percentile_ms(0.99),
             "statuses": self.status_counts(),
             "errors_5xx": self.error_5xx(),
         }

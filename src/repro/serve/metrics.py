@@ -42,8 +42,10 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 class LatencyHistogram:
     """Fixed-bucket latency histogram with percentile estimation.
 
-    Percentiles are estimated as the upper bound of the bucket containing
-    the requested rank — the standard histogram-quantile approximation.
+    Percentiles interpolate linearly *within* the bucket containing the
+    requested rank (the ``histogram_quantile`` estimator), so a p50 whose
+    bucket spans 1–2.5ms reports where in that range the rank falls rather
+    than pessimistically returning the 2.5ms upper bound.
     """
 
     def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -68,11 +70,17 @@ class LatencyHistogram:
         rank = quantile * self._count
         cumulative = 0
         for index, bucket_count in enumerate(self._counts):
+            below = cumulative
             cumulative += bucket_count
             if cumulative >= rank:
-                if index < len(self._bounds):
-                    return self._bounds[index]
-                return self._max_seen_bound()
+                if index >= len(self._bounds):
+                    return self._max_seen_bound()
+                upper = self._bounds[index]
+                if bucket_count == 0:
+                    return upper
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                fraction = min(1.0, max(0.0, (rank - below) / bucket_count))
+                return lower + (upper - lower) * fraction
         return self._max_seen_bound()
 
     def _max_seen_bound(self) -> float:

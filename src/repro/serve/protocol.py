@@ -15,8 +15,10 @@ rows (JSON objects cannot be keyed by tuples).  Database instances ship as
 ``{"name", "schema": {"relations": [...]}, "rows": {relation: [[...], ...]}}``
 so a client can register an instance it built locally.
 
-Errors use a structured body ``{"error": {"type", "message"}}``; the type
-is the exception class name, so clients can switch on it.
+Errors use a structured body ``{"error": {"type", "message", "trace_id"}}``;
+the type is the exception class name, so clients can switch on it, and
+``trace_id`` matches the response's ``X-Repro-Trace-Id`` header so an error
+can be correlated with the server's trace buffer and slow-query log.
 """
 
 from __future__ import annotations
@@ -294,9 +296,19 @@ def expected_version_of(payload: Mapping) -> Optional[int]:
 # -- errors and body framing ------------------------------------------------------------
 
 
-def error_body(error_type: str, message: str) -> Dict[str, object]:
-    """The structured error body every non-2xx response carries."""
-    return {"error": {"type": error_type, "message": message}}
+def error_body(
+    error_type: str, message: str, trace_id: Optional[str] = None
+) -> Dict[str, object]:
+    """The structured error body every non-2xx response carries.
+
+    ``trace_id`` (when known) mirrors the ``X-Repro-Trace-Id`` response
+    header into the body, so clients that only keep the payload can still
+    quote the id back at ``GET /traces/{id}`` or a log search.
+    """
+    error: Dict[str, object] = {"type": error_type, "message": message}
+    if trace_id is not None:
+        error["trace_id"] = trace_id
+    return {"error": error}
 
 
 def dumps(payload: object) -> bytes:

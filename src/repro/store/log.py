@@ -32,14 +32,21 @@ import io
 import os
 import pickle
 import struct
+import time
 import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
 
 _HEADER = struct.Struct(">II")
+
+_LOG = get_logger("store")
+
+_FSYNC_HELP = "Latency of fact-log fsync calls on the durable write path."
 
 #: The record kinds the write path emits (wire ops map onto the first two).
 RECORD_KINDS = ("add_fact", "remove_fact", "replace", "drop")
@@ -149,7 +156,11 @@ class FactLog:
             try:
                 handle.write(blob)
                 handle.flush()
+                started = time.perf_counter()
                 os.fsync(handle.fileno())
+                REGISTRY.histogram("repro_store_fsync_seconds", _FSYNC_HELP).observe(
+                    time.perf_counter() - started
+                )
             except OSError:
                 try:
                     handle.truncate(offset)
@@ -170,6 +181,13 @@ class FactLog:
             return [], []
         records, ends, bad_offset = _scan(raw)
         if bad_offset is not None:
+            _LOG.warning(
+                "log_tail_truncated",
+                path=self._path,
+                bad_offset=bad_offset,
+                file_bytes=len(raw),
+                records_kept=len(records),
+            )
             warnings.warn(
                 f"fact log {self._path!r}: torn or corrupt record at byte "
                 f"{bad_offset} of {len(raw)}; truncating "

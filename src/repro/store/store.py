@@ -46,8 +46,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datamodel.facts import Fact
 from repro.datamodel.instance import DatabaseInstance
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 from repro.store.log import FactLog, LogCorruptionWarning, LogRecord, StoreError
 from repro.util import stable_hash_64
+
+_OBSLOG = get_logger("store")
+
+_FSYNC_HELP = "Latency of fact-log fsync calls on the durable write path."
 
 _FORMAT = 1
 _SNAPSHOT = "snapshot.pkl"
@@ -187,25 +194,32 @@ class InstanceStore:
     # -- snapshot I/O ------------------------------------------------------------------
 
     def _write_snapshot(self, snapshot: StoreSnapshot) -> str:
-        directory = self._dir_of(snapshot.name)
-        os.makedirs(directory, exist_ok=True)
-        meta_path = os.path.join(directory, _META)
-        if not os.path.exists(meta_path):
-            with open(meta_path, "w", encoding="utf-8") as handle:
-                json.dump({"name": snapshot.name, "format": _FORMAT}, handle)
+        with obs_span(
+            "store.snapshot", instance=snapshot.name, version=snapshot.version
+        ):
+            directory = self._dir_of(snapshot.name)
+            os.makedirs(directory, exist_ok=True)
+            meta_path = os.path.join(directory, _META)
+            if not os.path.exists(meta_path):
+                with open(meta_path, "w", encoding="utf-8") as handle:
+                    json.dump({"name": snapshot.name, "format": _FORMAT}, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            final = os.path.join(directory, _SNAPSHOT)
+            temp = final + ".tmp"
+            with open(temp, "wb") as handle:
+                pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 handle.flush()
+                started = time.perf_counter()
                 os.fsync(handle.fileno())
-        final = os.path.join(directory, _SNAPSHOT)
-        temp = final + ".tmp"
-        with open(temp, "wb") as handle:
-            pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, final)
-        _fsync_dir(directory)
-        with self._meta_lock:
-            self._snapshots_written += 1
-        return final
+                REGISTRY.histogram("repro_store_fsync_seconds", _FSYNC_HELP).observe(
+                    time.perf_counter() - started
+                )
+            os.replace(temp, final)
+            _fsync_dir(directory)
+            with self._meta_lock:
+                self._snapshots_written += 1
+            return final
 
     def _read_snapshot(self, name: str) -> Optional[StoreSnapshot]:
         path = os.path.join(self._dir_of(name), _SNAPSHOT)
@@ -289,7 +303,8 @@ class InstanceStore:
                         commit=position == len(ops) - 1,
                     )
                 )
-            self._log_of(name).append_batch(records)
+            with obs_span("store.log_append", instance=name, records=len(records)):
+                self._log_of(name).append_batch(records)
             depth = meta[1] + len(records)
             with self._meta_lock:
                 self._appends += len(records)
@@ -318,9 +333,10 @@ class InstanceStore:
             if meta is None or meta[2]:
                 self.save(name, instance, version=version, shards=shards)
                 return
-            self._log_of(name).append(
-                LogRecord(kind="replace", version=version, data=(instance, shards))
-            )
+            with obs_span("store.log_append", instance=name, records=1):
+                self._log_of(name).append(
+                    LogRecord(kind="replace", version=version, data=(instance, shards))
+                )
             depth = meta[1] + 1
             with self._meta_lock:
                 self._appends += 1
@@ -384,6 +400,7 @@ class InstanceStore:
             with self._meta_lock:
                 self._compactions += 1
                 self._last_compaction_at = time.time()
+            _OBSLOG.info("compacted", instance=name, version=version)
             return StoredInstance(
                 name=name,
                 instance=instance,
@@ -415,6 +432,12 @@ class InstanceStore:
             if record.commit:
                 committed = index + 1
         if committed < len(records):
+            _OBSLOG.warning(
+                "uncommitted_batch_dropped",
+                instance=name,
+                records_dropped=len(records) - committed,
+                records_kept=committed,
+            )
             warnings.warn(
                 f"store instance {name!r}: dropping "
                 f"{len(records) - committed} uncommitted log record(s) "

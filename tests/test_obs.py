@@ -1,0 +1,625 @@
+"""Observability tests: span trees, cross-process re-parenting, structured
+logs, the metrics registry, and Prometheus text exposition.
+
+The serving-layer pieces (trace-id echo, explain mode, ``GET /traces/{id}``,
+the slow-query log) are exercised end to end against a live server on an
+ephemeral port; the worker-pool pieces use the pool's deterministic
+``sleep`` diagnostic job so a worker can be killed provably mid-span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import signal
+import time
+
+import pytest
+
+from repro.engine import WorkerPool
+from repro.obs import TRACE_HEADER, TraceBuffer, get_logger, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    propagation_context,
+    remote_root,
+    set_tracing,
+    span,
+    start_trace,
+    tracing_enabled,
+)
+from repro.serve.app import ConsistentAnswerServer, ServeConfig
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.metrics import LatencyHistogram
+from repro.workloads.queries import stock_sum_query
+from repro.workloads.scenarios import fig1_stock_instance
+
+STOCK_SUM = "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+
+
+@pytest.fixture(autouse=True)
+def _tracing_on():
+    """Tests (and servers built inside them) flip the process-global tracing
+    switch; every test starts and ends with it on."""
+    set_tracing(True)
+    yield
+    set_tracing(True)
+
+
+def serve_scenario(coro_fn, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("workers", 2)
+
+    async def main():
+        server = ConsistentAnswerServer(ServeConfig(**config_kwargs))
+        await server.start()
+        try:
+            host, port = server.address
+            async with ServeClient(host, port) as client:
+                return await coro_fn(server, client)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+async def _raw_request(host, port, method, path, headers=None, body=b""):
+    """One HTTP exchange over a raw socket: (status, headers, body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    head = f"{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n"
+    head += f"Content-Length: {len(body)}\r\n"
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    writer.write(head.encode("latin-1") + b"\r\n" + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header_blob, _, payload = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    parsed = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        parsed[name.strip().lower()] = value.strip()
+    return status, parsed, payload
+
+
+# -- span trees --------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nested_spans_build_a_tree(self):
+        with start_trace("root", method="POST") as root:
+            assert current_span() is root
+            assert current_trace_id() == root.trace_id
+            with span("child", layer=1) as child:
+                assert current_span() is child
+                with span("grandchild") as grandchild:
+                    assert grandchild.parent_id == child.span_id
+            assert current_span() is root
+        assert current_span() is None
+        tree = root.to_dict()
+        assert tree["name"] == "root"
+        assert tree["tags"] == {"method": "POST"}
+        assert tree["duration_ms"] is not None
+        (child_dict,) = tree["children"]
+        assert child_dict["name"] == "child"
+        assert child_dict["parent_id"] == tree["span_id"]
+        (grandchild_dict,) = child_dict["children"]
+        assert grandchild_dict["trace_id"] == root.trace_id
+
+    def test_span_is_noop_outside_a_trace(self):
+        with span("orphan") as opened:
+            assert opened is None
+        assert current_span() is None
+
+    def test_disabled_tracing_short_circuits_everything(self):
+        set_tracing(False)
+        assert not tracing_enabled()
+        with start_trace("root") as root:
+            assert root is None
+            with span("child") as child:
+                assert child is None
+            assert propagation_context() is None
+        assert current_trace_id() is None
+
+    def test_remote_root_grafts_under_the_dispatch_span(self):
+        with start_trace("root") as root:
+            with span("pool.answer") as dispatch:
+                context = propagation_context()
+                assert context == (root.trace_id, dispatch.span_id)
+        # Simulate the worker side of the hop (it runs in another process,
+        # where the parent's contextvar is absent).
+        with remote_root("worker.answer", context, worker=3) as worker_span:
+            with span("shard.summarize", shard=0):
+                pass
+        shipped = [worker_span.to_dict()]
+        dispatch.add_remote_children(shipped)
+        tree = root.to_dict()
+        (dispatch_dict,) = tree["children"]
+        (worker_dict,) = dispatch_dict["children"]
+        assert worker_dict["name"] == "worker.answer"
+        assert worker_dict["trace_id"] == root.trace_id
+        assert worker_dict["parent_id"] == dispatch_dict["span_id"]
+        (summarize,) = worker_dict["children"]
+        assert summarize["trace_id"] == root.trace_id
+        assert summarize["parent_id"] == worker_dict["span_id"]
+
+    def test_remote_root_without_context_is_noop(self):
+        with remote_root("worker.answer", None) as worker_span:
+            assert worker_span is None
+
+
+# -- latency histogram percentiles -------------------------------------------------------
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_has_no_percentiles(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(0.5) is None
+        assert histogram.percentile(0.99) is None
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_ms"] is None
+        assert snapshot["p95_ms"] is None
+        assert snapshot["p99_ms"] is None
+
+    def test_overflow_observations_fall_back_to_the_mean(self):
+        histogram = LatencyHistogram()
+        histogram.observe(20.0)  # beyond the 10s top bound: +Inf bucket
+        histogram.observe(40.0)
+        assert histogram.percentile(0.5) == pytest.approx(30.0)
+        assert histogram.percentile(0.99) == pytest.approx(30.0)
+
+    def test_percentile_interpolates_within_the_bucket(self):
+        histogram = LatencyHistogram(buckets=(0.1, 0.2))
+        for _ in range(10):
+            histogram.observe(0.15)  # all land in the (0.1, 0.2] bucket
+        # rank 5 of 10 → halfway through the containing bucket
+        assert histogram.percentile(0.5) == pytest.approx(0.15)
+        assert histogram.percentile(1.0) == pytest.approx(0.2)
+
+
+# -- registry instruments ----------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_with_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "help")
+        counter.inc(reason="single_shard")
+        counter.inc(reason="single_shard")
+        counter.inc(reason="empty_body")
+        assert counter.value(reason="single_shard") == 2
+        assert counter.value(reason="empty_body") == 1
+        assert counter.value(reason="missing") == 0
+
+    def test_histogram_samples_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", "help", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        samples = dict(
+            ((name, labels), value) for name, labels, value in histogram.samples()
+        )
+        assert samples[("lat_bucket", (("le", "0.1"),))] == 1
+        assert samples[("lat_bucket", (("le", "1.0"),))] == 2
+        assert samples[("lat_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("lat_count", ())] == 3
+
+    def test_kind_mismatch_is_a_type_error(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "help")
+        with pytest.raises(TypeError):
+            registry.gauge("thing", "help")
+
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+
+# -- trace buffer ------------------------------------------------------------------------
+
+
+class TestTraceBuffer:
+    def test_eviction_is_oldest_first(self):
+        buffer = TraceBuffer(capacity=2)
+        buffer.record({"trace_id": "a"})
+        buffer.record({"trace_id": "b"})
+        buffer.record({"trace_id": "c"})
+        assert buffer.get("a") is None
+        assert buffer.get("b") is not None
+        assert buffer.trace_ids() == ["b", "c"]
+
+    def test_re_record_latest_wins(self):
+        buffer = TraceBuffer(capacity=2)
+        buffer.record({"trace_id": "a", "attempt": 1})
+        buffer.record({"trace_id": "b"})
+        buffer.record({"trace_id": "a", "attempt": 2})
+        assert buffer.get("a")["attempt"] == 2
+        assert buffer.trace_ids() == ["b", "a"]
+
+    def test_capacity_is_validated(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+# -- structured logging ------------------------------------------------------------------
+
+
+class _Capture(logging.Handler):
+    def __init__(self):
+        super().__init__()
+        self.lines = []
+
+    def emit(self, record):
+        self.lines.append(record.getMessage())
+
+
+@pytest.fixture()
+def captured_log():
+    handler = _Capture()
+    logger = logging.getLogger("repro.obs")
+    logger.addHandler(handler)
+    try:
+        yield handler
+    finally:
+        logger.removeHandler(handler)
+
+
+class TestStructuredLog:
+    def test_events_are_one_json_line_with_the_trace_id(self, captured_log):
+        log = get_logger("test")
+        with start_trace("root") as root:
+            log.info("something_happened", detail=42)
+        (line,) = captured_log.lines
+        event = json.loads(line)
+        assert event["component"] == "test"
+        assert event["event"] == "something_happened"
+        assert event["detail"] == 42
+        assert event["trace_id"] == root.trace_id
+        assert event["level"] == "info"
+
+    def test_trace_id_is_null_outside_a_request(self, captured_log):
+        get_logger("test").warning("standalone")
+        event = json.loads(captured_log.lines[0])
+        assert event["trace_id"] is None
+
+
+# -- Prometheus exposition ---------------------------------------------------------------
+
+
+def parse_prometheus(text):
+    """A tiny exposition-format parser: validates line shapes as it goes.
+
+    Returns ``{family: {"type": kind, "samples": {(name, labels): value}}}``
+    where ``labels`` is a sorted tuple of ``(label, value)`` pairs.
+    """
+    families = {}
+    current = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            family = rest.split(" ", 1)[0]
+            current = families.setdefault(family, {"type": None, "samples": {}})
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            assert len(parts) >= 4, f"line {line_number}: malformed TYPE"
+            family, kind = parts[2], parts[3]
+            assert kind in ("counter", "gauge", "histogram", "summary", "untyped")
+            current = families.setdefault(family, {"type": None, "samples": {}})
+            current["type"] = kind
+            continue
+        assert not line.startswith("#"), f"line {line_number}: unknown comment"
+        name_and_labels, _, value_text = line.rpartition(" ")
+        assert name_and_labels, f"line {line_number}: no sample name"
+        if "{" in name_and_labels:
+            name, _, label_blob = name_and_labels.partition("{")
+            assert label_blob.endswith("}"), f"line {line_number}: unclosed labels"
+            labels = []
+            for pair in filter(None, label_blob[:-1].split(",")):
+                label, _, quoted = pair.partition("=")
+                assert quoted.startswith('"') and quoted.endswith('"'), (
+                    f"line {line_number}: unquoted label value in {pair!r}"
+                )
+                labels.append((label, quoted[1:-1]))
+            labels = tuple(sorted(labels))
+        else:
+            name, labels = name_and_labels, ()
+        value = float(value_text)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+        assert family in families, f"line {line_number}: sample {name!r} before TYPE"
+        families[family]["samples"][(name, labels)] = value
+    return families
+
+
+class TestPrometheusRender:
+    def test_rendered_page_parses_and_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_test_seconds", "help", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        registry.counter("repro_test_total", "help").inc(reason="a b\"c\\d\n")
+        snapshot = {
+            "uptime_seconds": 1.5,
+            "in_flight": 1,
+            "rejected_total": 0,
+            "timeout_total": 0,
+            "requests_total": {"POST /answer": {"200": 3}},
+            "latency": {
+                "POST /answer": {
+                    "count": 3,
+                    "sum_seconds": 0.03,
+                    "buckets": {"0.001": 1, "0.01": 2, "+Inf": 0},
+                }
+            },
+        }
+        families = parse_prometheus(render_prometheus(snapshot, registry))
+        latency = families["repro_request_latency_seconds"]
+        assert latency["type"] == "histogram"
+        endpoint = ("endpoint", "POST /answer")
+        assert latency["samples"][
+            ("repro_request_latency_seconds_bucket", tuple(sorted((endpoint, ("le", "0.001")))))
+        ] == 1
+        assert latency["samples"][
+            ("repro_request_latency_seconds_bucket", tuple(sorted((endpoint, ("le", "0.01")))))
+        ] == 3  # cumulative, not per-bucket
+        assert latency["samples"][
+            ("repro_request_latency_seconds_count", (endpoint,))
+        ] == 3
+        test_hist = families["repro_test_seconds"]
+        assert test_hist["samples"][("repro_test_seconds_bucket", (("le", "+Inf"),))] == 2
+        # label escaping survives the round trip
+        counter_samples = families["repro_test_total"]["samples"]
+        ((_, labels),) = counter_samples.keys()
+        assert labels == (("reason", 'a b\\"c\\\\d\\n'),)
+        assert families["repro_requests_total"]["samples"][
+            ("repro_requests_total", (("endpoint", "POST /answer"), ("status", "200")))
+        ] == 3
+
+
+# -- server integration ------------------------------------------------------------------
+
+
+class TestServerTracing:
+    def test_trace_header_echoed_on_success_and_errors(self):
+        async def scenario(server, client):
+            await client.answer("stock", STOCK_SUM)
+            success_id = client.last_trace_id
+            assert success_id
+            with pytest.raises(ServeClientError) as excinfo:
+                await client.answer("no_such_instance", STOCK_SUM)
+            error = excinfo.value
+            assert error.status == 404
+            assert error.trace_id
+            assert error.trace_id != success_id
+            assert error.body["error"]["trace_id"] == error.trace_id
+
+        serve_scenario(scenario)
+
+    def test_inbound_trace_id_is_honored_and_echoed(self):
+        async def scenario(server, client):
+            host, port = server.address
+            inbound = new_trace_id()
+            status, headers, payload = await _raw_request(
+                host,
+                port,
+                "POST",
+                "/answer",
+                headers={TRACE_HEADER: inbound},
+                body=json.dumps({"instance": "stock", "query": STOCK_SUM}).encode(),
+            )
+            assert status == 200
+            assert headers[TRACE_HEADER.lower()] == inbound
+            retained = await client.trace(inbound)
+            assert retained["trace_id"] == inbound
+            assert retained["name"] == "http.request"
+
+        serve_scenario(scenario)
+
+    def test_explain_inlines_the_span_tree(self):
+        async def scenario(server, client):
+            status, body = await client.request(
+                "POST",
+                "/answer",
+                {"instance": "stock", "query": STOCK_SUM, "explain": True},
+            )
+            assert status == 200
+            tree = body["trace"]
+            assert tree["trace_id"] == client.last_trace_id
+            names = _span_names(tree)
+            assert "plan.lookup" in names
+            assert any(n.startswith("execute.") for n in names)
+            # Same request without explain stays lean.
+            status, body = await client.request(
+                "POST", "/answer", {"instance": "stock", "query": STOCK_SUM}
+            )
+            assert status == 200 and "trace" not in body
+
+        serve_scenario(scenario)
+
+    def test_unknown_trace_is_a_404(self):
+        async def scenario(server, client):
+            with pytest.raises(ServeClientError) as excinfo:
+                await client.trace("deadbeef")
+            assert excinfo.value.status == 404
+
+        serve_scenario(scenario)
+
+    def test_tracing_disabled_still_echoes_ids_but_retains_nothing(self):
+        async def scenario(server, client):
+            await client.answer("stock", STOCK_SUM)
+            assert client.last_trace_id
+            with pytest.raises(ServeClientError) as excinfo:
+                await client.trace(client.last_trace_id)
+            assert excinfo.value.status == 404
+
+        serve_scenario(scenario, tracing=False)
+
+    def test_slow_query_log_emits_the_full_tree(self):
+        captured = _Capture()
+        logging.getLogger("repro.obs").addHandler(captured)
+        try:
+
+            async def scenario(server, client):
+                await client.answer("stock", STOCK_SUM)
+                return client.last_trace_id
+
+            trace_id = serve_scenario(scenario, slow_query_ms=0)
+        finally:
+            logging.getLogger("repro.obs").removeHandler(captured)
+        events = [json.loads(line) for line in captured.lines]
+        slow = [
+            e
+            for e in events
+            if e["event"] == "slow_query" and e["trace_id"] == trace_id
+        ]
+        assert slow, f"no slow_query event for {trace_id} in {events}"
+        assert slow[0]["trace"]["trace_id"] == trace_id
+        assert slow[0]["path"] == "/answer"
+
+    def test_metrics_prometheus_format_is_parseable(self):
+        async def scenario(server, client):
+            await client.answer("stock", STOCK_SUM)
+            host, port = server.address
+            status, headers, payload = await _raw_request(
+                host, port, "GET", "/metrics?format=prometheus"
+            )
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            families = parse_prometheus(payload.decode("utf-8"))
+            assert "repro_uptime_seconds" in families
+            requests_total = families["repro_requests_total"]["samples"]
+            assert any(
+                labels == (("endpoint", "POST /answer"), ("status", "200"))
+                for _, labels in requests_total
+            )
+            # JSON snapshot is unchanged by the new format knob.
+            plain = await client.metrics()
+            assert "requests_total" in plain and "latency" in plain
+
+        serve_scenario(scenario)
+
+    def test_trace_propagates_through_answer_many_fan_out(self):
+        async def scenario(server, client):
+            host, port = server.address
+            inbound = new_trace_id()
+            body = json.dumps(
+                {
+                    "items": [
+                        {"instance": "stock", "query": STOCK_SUM},
+                        {"instance": "stock", "query": STOCK_SUM},
+                        {"instance": "stock", "query": STOCK_SUM},
+                    ]
+                }
+            ).encode()
+            status, headers, _ = await _raw_request(
+                host,
+                port,
+                "POST",
+                "/answer_many",
+                headers={TRACE_HEADER: inbound},
+                body=body,
+            )
+            assert status == 200
+            assert headers[TRACE_HEADER.lower()] == inbound
+            tree = await client.trace(inbound)
+            names = _span_names(tree)
+            assert "pool.chunks" in names, names
+            assert any(n.startswith("worker.chunk") for n in names), names
+            _assert_single_trace_id(tree, inbound)
+
+        serve_scenario(scenario, worker_processes=2)
+
+    def test_sharded_worker_spans_reparent_under_the_request(self):
+        async def scenario(server, client):
+            await client.register_instance("sharded", fig1_stock_instance(), shards=2)
+            status, body = await client.request(
+                "POST",
+                "/answer",
+                {"instance": "sharded", "query": STOCK_SUM, "explain": True},
+            )
+            assert status == 200
+            tree = body["trace"]
+            names = _span_names(tree)
+            assert "shard.plan" in names
+            assert "pool.shards" in names
+            assert "worker.shards" in names
+            assert "shard.summarize" in names
+            assert "shard.merge" in names
+            _assert_single_trace_id(tree, tree["trace_id"])
+            _assert_all_closed(tree)
+
+        serve_scenario(scenario, worker_processes=2)
+
+
+def _span_names(tree):
+    names = [tree["name"]]
+    for child in tree.get("children", ()):
+        names.extend(_span_names(child))
+    return names
+
+
+def _assert_single_trace_id(tree, trace_id):
+    assert tree["trace_id"] == trace_id, (tree["name"], tree["trace_id"])
+    for child in tree.get("children", ()):
+        _assert_single_trace_id(child, trace_id)
+
+
+def _assert_all_closed(tree):
+    assert tree["duration_ms"] is not None, f"span {tree['name']} never finished"
+    for child in tree.get("children", ()):
+        _assert_all_closed(child)
+
+
+# -- cross-process re-parenting under crashes --------------------------------------------
+
+
+class TestWorkerCrashTracing:
+    def test_killed_worker_leaks_no_open_span_and_the_retry_reparents(self):
+        with WorkerPool(workers=2) as pool:
+            with start_trace("request") as root:
+                with span("pool.answer") as dispatch:
+                    future = pool._submit(0, "sleep", (0.4,), parent_span=dispatch)
+                    time.sleep(0.1)  # the job is provably running now
+                    os.kill(pool.worker_pids()[0], signal.SIGKILL)
+                    assert future.result(timeout=15) == 0.4  # retried on respawn
+            assert current_span() is None  # nothing leaked onto the context
+            tree = root.to_dict()
+            _assert_all_closed(tree)
+            _assert_single_trace_id(tree, root.trace_id)
+            names = _span_names(tree)
+            # The respawned worker's attempt grafted under the dispatch span.
+            assert "worker.sleep" in names, names
+            assert pool.stats()["retries"] >= 1
+
+    def test_pool_answer_collects_worker_spans(self):
+        instance = fig1_stock_instance()
+        query = stock_sum_query()
+        with WorkerPool(workers=2) as pool:
+            with start_trace("request") as root:
+                pool.answer(query, instance)
+            names = _span_names(root.to_dict())
+            assert "pool.answer" in names
+            assert "worker.answer" in names
+            assert "worker.instance_load" in names
+
+    def test_untraced_pool_calls_ship_no_context(self):
+        instance = fig1_stock_instance()
+        query = stock_sum_query()
+        with WorkerPool(workers=2) as pool:
+            # No active trace: jobs carry context None and return no spans.
+            expected = pool.answer(query, instance)
+            assert current_span() is None
+            assert expected is not None
