@@ -1,22 +1,28 @@
-"""Observability overhead benchmark: the same load with tracing on vs off.
+"""Observability overhead benchmark: the same load with tracing off/on/sampled.
 
 The tracing tentpole promises near-zero overhead: span creation is two
 ``ContextVar`` operations plus a ``perf_counter`` pair, and every site is a
 no-op when tracing is disabled.  This bench makes that budget measurable —
-it boots the server twice per round (tracing off, then on), drives the
-identical ``mixed`` workload from :mod:`bench_serve` through each, and
-reports the best-of-rounds p95 per mode plus the relative overhead.
+it boots one server per mode per round (tracing off, tracing on, tracing on
+with 1/10 head sampling), drives the identical ``mixed`` workload from
+:mod:`bench_serve` through each, and reports per-mode p95s plus the relative
+overhead.
 
-Rounds alternate modes (off/on, off/on, ...) and the report keeps the best
-p95 per mode, so one-off noise (page cache warmup, a GC pause, a noisy CI
-neighbour) lands on both sides instead of masquerading as tracing cost.
+Rounds alternate modes (off/on/sampled, off/on/sampled, ...) and each
+server warms up with a slice of the workload before the measured run, so
+one-off noise (page cache warmup, a GC pause, a noisy CI neighbour) lands
+on every side instead of masquerading as tracing cost.  The report carries
+both the best-of-rounds and the **median-of-rounds** p95 per mode; gates
+(``--check-overhead`` here, ``check_regression.py --kind obs`` in CI)
+compare medians — best-of is a one-sided order statistic whose
+round-to-round variance made the 5% gate flaky.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs.py \
         --requests 200 --concurrency 8 --rounds 3 --out BENCH_obs.json
 
-    # CI gate: fail when tracing costs more than 5% of best p95
+    # CI gate: fail when tracing costs more than 5% of median p95
     PYTHONPATH=src python benchmarks/bench_obs.py --check-overhead 5
 """
 
@@ -25,6 +31,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import statistics
 import sys
 import time
 
@@ -33,54 +40,93 @@ from bench_serve import mixed_workload
 from repro.serve.app import ConsistentAnswerServer, ServeConfig
 from repro.serve.client import LoadGenerator
 
+#: (mode key, tracing flag, trace_sample rate) per benched configuration.
+MODES = (
+    ("tracing_off", False, None),
+    ("tracing_on", True, None),
+    ("tracing_sampled", True, 10),
+)
+
 
 async def run_load(
-    tracing: bool, requests: int, concurrency: int, threads: int
+    tracing: bool,
+    requests: int,
+    concurrency: int,
+    threads: int,
+    trace_sample: int | None = None,
+    warmup: int = 0,
 ) -> dict:
-    """Boot one server with the given tracing mode and drive the mixed load."""
+    """Boot one server with the given tracing mode and drive the mixed load.
+
+    ``warmup`` requests run through the same server first and are discarded:
+    they populate the plan cache, the thread pool, and the page cache, so
+    the measured run starts from the same warm state in every mode.
+    """
     server = ConsistentAnswerServer(
         ServeConfig(
             port=0,
             workers=threads,
             max_pending=max(64, requests),
             tracing=tracing,
+            trace_sample=trace_sample,
         )
     )
     await server.start()
     try:
         generator = LoadGenerator(server.address[0], server.address[1], concurrency)
+        if warmup > 0:
+            await generator.run(mixed_workload(warmup))
         report = await generator.run(mixed_workload(requests))
         return report.summary()
     finally:
         await server.stop()
 
 
-def _best(rounds: list) -> dict:
-    """The round with the lowest p95 (plus the per-round trail for context)."""
+def _aggregate(rounds: list) -> dict:
+    """Best-of and median-of rounds (the gate compares the medians)."""
     best = min(rounds, key=lambda r: r["p95_ms"] or float("inf"))
+    p95s = [r["p95_ms"] for r in rounds if r["p95_ms"] is not None]
     return {
         "p50_ms": best["p50_ms"],
         "p95_ms": best["p95_ms"],
         "p99_ms": best["p99_ms"],
+        "p95_median_ms": round(statistics.median(p95s), 3) if p95s else None,
         "throughput_rps": best["throughput_rps"],
-        "errors_5xx": best["errors_5xx"],
+        "errors_5xx": max(r["errors_5xx"] for r in rounds),
         "rounds_p95_ms": [r["p95_ms"] for r in rounds],
     }
+
+
+def _ratio(numerator: float | None, denominator: float | None) -> float:
+    return (numerator or 0.0) / ((denominator or 0.0) or 1e-9)
 
 
 async def run_bench(
     requests: int, concurrency: int, threads: int, rounds: int
 ) -> dict:
-    by_mode = {False: [], True: []}
+    warmup = max(8, requests // 4)
+    by_mode: dict = {key: [] for key, _, _ in MODES}
     for _ in range(rounds):
-        for tracing in (False, True):  # alternating, off first
-            by_mode[tracing].append(
-                await run_load(tracing, requests, concurrency, threads)
+        for key, tracing, sample in MODES:  # interleaved: noise hits all modes
+            by_mode[key].append(
+                await run_load(
+                    tracing,
+                    requests,
+                    concurrency,
+                    threads,
+                    trace_sample=sample,
+                    warmup=warmup,
+                )
             )
-    off, on = _best(by_mode[False]), _best(by_mode[True])
-    p95_off = off["p95_ms"] or 1e-9
-    p95_ratio = (on["p95_ms"] or 0.0) / p95_off
-    rps_off = off["throughput_rps"] or 1e-9
+    modes = {key: _aggregate(results) for key, results in by_mode.items()}
+    off, on, sampled = (
+        modes["tracing_off"],
+        modes["tracing_on"],
+        modes["tracing_sampled"],
+    )
+    p95_ratio = _ratio(on["p95_ms"], off["p95_ms"])
+    median_ratio = _ratio(on["p95_median_ms"], off["p95_median_ms"])
+    sampled_median_ratio = _ratio(sampled["p95_median_ms"], off["p95_median_ms"])
     return {
         "benchmark": "obs",
         "timestamp": time.time(),
@@ -89,15 +135,24 @@ async def run_bench(
             "concurrency": concurrency,
             "threads": threads,
             "rounds": rounds,
+            "warmup": warmup,
             "profile": "mixed",
+            "sampled_rate": 10,
         },
-        "tracing_off": off,
-        "tracing_on": on,
+        **modes,
         "overhead": {
             "p95_ratio": round(p95_ratio, 4),
             "p95_pct": round((p95_ratio - 1.0) * 100.0, 2),
+            "p95_median_ratio": round(median_ratio, 4),
+            "p95_median_pct": round((median_ratio - 1.0) * 100.0, 2),
+            "sampled_p95_median_ratio": round(sampled_median_ratio, 4),
+            "sampled_p95_median_pct": round(
+                (sampled_median_ratio - 1.0) * 100.0, 2
+            ),
             "throughput_pct": round(
-                (1.0 - (on["throughput_rps"] or 0.0) / rps_off) * 100.0, 2
+                (1.0 - _ratio(on["throughput_rps"], off["throughput_rps"]))
+                * 100.0,
+                2,
             ),
         },
     }
@@ -114,7 +169,8 @@ def main(argv=None) -> int:
         "--rounds",
         type=int,
         default=3,
-        help="alternating off/on rounds; the report keeps the best p95 per mode",
+        help="interleaved off/on/sampled rounds; the gate compares the "
+        "median p95 per mode",
     )
     parser.add_argument("--out", default="BENCH_obs.json")
     parser.add_argument(
@@ -122,8 +178,8 @@ def main(argv=None) -> int:
         type=float,
         default=None,
         metavar="PCT",
-        help="exit 1 when tracing-on best p95 exceeds tracing-off best p95 "
-        "by more than PCT percent",
+        help="exit 1 when the tracing-on (or sampled) median p95 exceeds "
+        "the tracing-off median p95 by more than PCT percent",
     )
     args = parser.parse_args(argv)
 
@@ -135,22 +191,30 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(json.dumps(result, indent=2))
 
-    if result["tracing_on"]["errors_5xx"] or result["tracing_off"]["errors_5xx"]:
+    if any(result[key]["errors_5xx"] for key, _, _ in MODES):
         print("FAIL: 5xx responses during the bench", file=sys.stderr)
         return 1
     if args.check_overhead is not None:
-        overhead = result["overhead"]["p95_pct"]
-        if overhead > args.check_overhead:
-            print(
-                f"FAIL: tracing p95 overhead {overhead}% exceeds the "
-                f"{args.check_overhead}% budget",
-                file=sys.stderr,
-            )
+        failed = False
+        for label, pct_key in (
+            ("tracing", "p95_median_pct"),
+            ("tracing+sampling", "sampled_p95_median_pct"),
+        ):
+            overhead = result["overhead"][pct_key]
+            if overhead > args.check_overhead:
+                print(
+                    f"FAIL: {label} median p95 overhead {overhead}% exceeds "
+                    f"the {args.check_overhead}% budget",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"{label} median p95 overhead {overhead}% within the "
+                    f"{args.check_overhead}% budget"
+                )
+        if failed:
             return 1
-        print(
-            f"tracing p95 overhead {overhead}% within the "
-            f"{args.check_overhead}% budget"
-        )
     return 0
 
 

@@ -28,6 +28,7 @@ from repro.core.evaluator import BOTTOM
 from repro.datamodel.facts import Constant, Fact, as_fraction
 from repro.datamodel.instance import DatabaseInstance
 from repro.embeddings.embeddings import embeddings_of
+from repro.obs.cost import add_cost
 from repro.query.aggregation import AggregationQuery
 from repro.query.terms import is_variable
 
@@ -150,7 +151,10 @@ class BranchAndBoundSolver:
             pessimistic = aggregate_over(chosen)
             return pessimistic is None or pessimistic < best[0]
 
+        expanded = [0]  # repair-search nodes visited, for cost accounting
+
         def search(index: int, chosen: List[Fact]) -> None:
+            expanded[0] += 1
             if index == len(open_blocks):
                 value = aggregate_over(chosen)
                 if value is not None and better(value):
@@ -167,6 +171,7 @@ class BranchAndBoundSolver:
                 chosen.pop()
 
         search(0, list(forced))
+        add_cost("repairs_expanded", expanded[0])
         return BOTTOM if best[0] is None else best[0]
 
     def _body_is_certain(

@@ -152,6 +152,10 @@ class DatabaseInstance:
         ]
         return selected
 
+    def block_count(self) -> int:
+        """How many blocks the instance has — O(1), unlike :meth:`blocks`."""
+        return len(self._blocks)
+
     def block_of(self, fact: Fact) -> FrozenSet[Fact]:
         """The block containing ``fact`` (key-equal facts of the same relation)."""
         signature = self._schema.relation(fact.relation)

@@ -24,6 +24,7 @@ from repro.datamodel.facts import Constant
 from repro.datamodel.instance import DatabaseInstance
 from repro.embeddings.embeddings import embeddings_of
 from repro.exceptions import BackendError
+from repro.obs.cost import add_cost
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span as obs_span
 from repro.query.aggregation import AggregationQuery
@@ -295,8 +296,12 @@ class ConsistentAnswerEngine:
 
             return execute_sharded(self, query, instance, shards, binding=binding)
         with obs_span("execute.glb", strategy=plan.glb_strategy):
+            add_cost("facts_scanned", len(instance))
+            add_cost("blocks_touched", instance.block_count())
             glb = plan.executors["glb"].evaluate(instance, binding)
         with obs_span("execute.lub", strategy=plan.lub_strategy):
+            add_cost("facts_scanned", len(instance))
+            add_cost("blocks_touched", instance.block_count())
             lub = plan.executors["lub"].evaluate(instance, binding)
         return RangeAnswer(glb, lub)
 
@@ -325,6 +330,7 @@ class ConsistentAnswerEngine:
 
             return execute_sharded(self, query, instance, shards)
         with obs_span("groupby.candidates") as candidates_span:
+            add_cost("facts_scanned", len(instance))
             candidates = self._possible_answers(plan, instance)
             if candidates_span is not None:
                 candidates_span.set_tag("groups", len(candidates))
@@ -332,9 +338,15 @@ class ConsistentAnswerEngine:
             {v.name: value for v, value in zip(free, candidate)}
             for candidate in candidates
         ]
+        # Per-group evaluation touches the whole instance per binding, which
+        # is exactly why group-by queries dominate /debug/top.
         with obs_span("execute.glb", strategy=plan.glb_strategy, groups=len(bindings)):
+            add_cost("facts_scanned", len(instance) * max(1, len(bindings)))
+            add_cost("blocks_touched", instance.block_count())
             glbs = plan.executors["glb"].evaluate_many(instance, bindings)
         with obs_span("execute.lub", strategy=plan.lub_strategy, groups=len(bindings)):
+            add_cost("facts_scanned", len(instance) * max(1, len(bindings)))
+            add_cost("blocks_touched", instance.block_count())
             lubs = plan.executors["lub"].evaluate_many(instance, bindings)
         return {
             candidate: RangeAnswer(glb, lub)
@@ -402,6 +414,7 @@ class ConsistentAnswerEngine:
             else:
                 self._shard_stats["fallbacks"] += 1
         if not shard_plan.is_sharded:
+            add_cost("shard_fallbacks", 1)
             REGISTRY.counter(
                 "repro_shard_fallback_total",
                 "Sharded executions that fell back to the unsharded path, by reason.",

@@ -66,6 +66,7 @@ from repro.datamodel.facts import Constant, Fact
 from repro.datamodel.instance import BlockKey, DatabaseInstance
 from repro.embeddings.embeddings import embeddings_of
 from repro.exceptions import BackendError
+from repro.obs.cost import add_cost
 from repro.obs.trace import span as obs_span
 from repro.query.aggregation import AggregationQuery
 from repro.util import stable_hash_64
@@ -758,6 +759,7 @@ def execute_sharded(
         summaries = []
         for index, shard in enumerate(shard_plan.shards):
             with obs_span("shard.summarize", shard=index, facts=len(shard)):
+                add_cost("facts_scanned", len(shard))
                 summaries.append(
                     summarize_shard_groups(plan, shard)
                     if grouped

@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datamodel.instance import DatabaseInstance
 from repro.exceptions import ReproError
+from repro.obs.cost import add_cost
 from repro.obs.log import get_logger
 from repro.obs.trace import remote_root, span as obs_span
 from repro.query.aggregation import AggregationQuery
@@ -239,6 +240,7 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
             for index in indices:
                 shard = shard_plan.shards[index]
                 with obs_span("shard.summarize", shard=index, facts=len(shard)):
+                    add_cost("facts_scanned", len(shard))
                     summaries.append(
                         (
                             index,
@@ -316,7 +318,9 @@ class _PendingJob:
     @property
     def trace_ctx(self) -> Optional[Tuple[str, str]]:
         span = self.parent_span
-        if span is None:
+        # Head-dropped traces ship no context: the worker would record and
+        # serialize spans for a trace the sampler already decided against.
+        if span is None or not getattr(span, "sampled", True):
             return None
         return (span.trace_id, span.span_id)
 

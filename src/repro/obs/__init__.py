@@ -14,10 +14,26 @@ depend on it without cycles:
   signals below the HTTP layer (spool hits, fsync latency, ...).
 * :mod:`repro.obs.prometheus` — hand-rolled text exposition over both the
   server snapshot and the registry.
+* :mod:`repro.obs.sample` — head 1-in-N sampling with a tail-based keep
+  rule (slow/error traces are always retained).
+* :mod:`repro.obs.export` — OTLP/JSON span export with a bounded queue and
+  a background flush thread (NDJSON file or HTTP POST sinks).
+* :mod:`repro.obs.cost` — per-span CPU/domain-counter rollup into a
+  bounded per-(instance, plan) cost table behind ``GET /debug/top``.
+* :mod:`repro.obs.runtime` — event-loop lag probe gauge.
 """
 
 from repro.obs.buffer import TraceBuffer
-from repro.obs.log import StructuredLogger, get_logger
+from repro.obs.cost import CostTable, add_cost, rollup
+from repro.obs.export import SpanExporter, encode_traces
+from repro.obs.log import StructuredLogger, get_logger, set_log_level
+from repro.obs.runtime import EventLoopLagProbe
+from repro.obs.sample import (
+    DroppedTraceLog,
+    TraceSampler,
+    env_sample_rate,
+    parse_sample_rate,
+)
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
@@ -44,21 +60,32 @@ from repro.obs.trace import (
 __all__ = [
     "TRACE_HEADER",
     "REGISTRY",
+    "CostTable",
     "Counter",
+    "DroppedTraceLog",
+    "EventLoopLagProbe",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "SpanExporter",
     "StructuredLogger",
     "TraceBuffer",
+    "TraceSampler",
+    "add_cost",
     "current_span",
     "current_trace_id",
+    "encode_traces",
+    "env_sample_rate",
     "get_logger",
     "new_trace_id",
+    "parse_sample_rate",
     "propagation_context",
     "remote_root",
     "render_prometheus",
     "reparent",
+    "rollup",
+    "set_log_level",
     "set_tracing",
     "span",
     "start_trace",

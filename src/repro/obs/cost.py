@@ -1,0 +1,202 @@
+"""Per-query cost accounting: who is burning the CPU right now?
+
+Spans already time every phase of a request; this module adds *cost*:
+
+* :func:`add_cost` accumulates domain counters (``facts_scanned``,
+  ``blocks_touched``, ``repairs_expanded``, ``shard_fallbacks``,
+  ``store_fsyncs``) on the active span — one dict update at sites that
+  already open spans, no new wiring;
+* :func:`rollup` folds a finished trace tree into one cost record:
+  counters sum across all spans, CPU sums *without double counting* — a
+  span's thread-CPU clock already includes its same-thread descendants, so
+  only spans that start a new thread of execution (the root, executor-pool
+  spans, worker-process spans — recognized by a ``tid`` differing from the
+  parent's) contribute;
+* :class:`CostTable` aggregates rollups per ``(instance, plan)`` key into
+  a bounded, LRU-evicting table with EWMA latency/CPU and a recent-window
+  p95, which the server serves at ``GET /debug/top?sort=cpu|p95|count``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import current_span
+
+#: The domain counters fed by the engine/sharding/worker/store span sites.
+DOMAIN_COUNTERS = (
+    "facts_scanned",
+    "blocks_touched",
+    "repairs_expanded",
+    "shard_fallbacks",
+    "store_fsyncs",
+)
+
+
+def add_cost(key: str, amount: float = 1) -> None:
+    """Accumulate a domain counter on the active span (no-op untraced)."""
+    span = current_span()
+    if span is not None:
+        span.add_metric(key, amount)
+
+
+def rollup(tree: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold one serialized trace tree into ``{"cpu_ms", "counters"}``."""
+    counters: Dict[str, float] = {}
+    cpu_ms = 0.0
+
+    def walk(node: Dict[str, Any], parent_tid: Optional[str]) -> None:
+        nonlocal cpu_ms
+        tid = node.get("tid")
+        node_cpu = node.get("cpu_ms")
+        if node_cpu is not None and (parent_tid is None or tid != parent_tid):
+            cpu_ms += float(node_cpu)
+        for key, value in (node.get("metrics") or {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for child in node.get("children", ()):
+            walk(child, tid)
+
+    walk(tree, None)
+    return {"cpu_ms": round(cpu_ms, 3), "counters": counters}
+
+
+class _CostEntry:
+    __slots__ = (
+        "count",
+        "ewma_latency_ms",
+        "ewma_cpu_ms",
+        "total_cpu_ms",
+        "counters",
+        "recent_ms",
+        "last_trace_id",
+    )
+
+    def __init__(self, window: int) -> None:
+        self.count = 0
+        self.ewma_latency_ms = 0.0
+        self.ewma_cpu_ms = 0.0
+        self.total_cpu_ms = 0.0
+        self.counters: Dict[str, float] = {}
+        self.recent_ms: "deque[float]" = deque(maxlen=window)
+        self.last_trace_id: Optional[str] = None
+
+    def p95_ms(self) -> Optional[float]:
+        if not self.recent_ms:
+            return None
+        ordered = sorted(self.recent_ms)
+        index = min(len(ordered) - 1, round(0.95 * (len(ordered) - 1)))
+        return round(ordered[index], 3)
+
+
+class CostTable:
+    """Bounded concurrent rollup of per-(instance, plan) execution cost.
+
+    EWMA smoothing (``alpha``) makes the latency/CPU columns reflect *now*
+    rather than the process's whole lifetime; the recent window backs the
+    p95 column.  When the table is full, the least-recently-updated key is
+    evicted — a key that stopped receiving traffic stops being interesting.
+    """
+
+    def __init__(
+        self, capacity: int = 512, alpha: float = 0.2, window: int = 64
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("CostTable capacity must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("CostTable alpha must be in (0, 1]")
+        self._capacity = capacity
+        self._alpha = alpha
+        self._window = max(1, window)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], _CostEntry]" = OrderedDict()
+        self._evictions = 0
+        self._observations = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def observe(
+        self,
+        instance: str,
+        plan: str,
+        duration_ms: float,
+        cpu_ms: float,
+        counters: Optional[Dict[str, float]] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        key = (instance, plan)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = _CostEntry(self._window)
+                while len(self._entries) > self._capacity:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+            else:
+                self._entries.move_to_end(key)
+            alpha = self._alpha
+            if entry.count == 0:
+                entry.ewma_latency_ms = duration_ms
+                entry.ewma_cpu_ms = cpu_ms
+            else:
+                entry.ewma_latency_ms += alpha * (duration_ms - entry.ewma_latency_ms)
+                entry.ewma_cpu_ms += alpha * (cpu_ms - entry.ewma_cpu_ms)
+            entry.count += 1
+            entry.total_cpu_ms += cpu_ms
+            entry.recent_ms.append(duration_ms)
+            if trace_id:
+                entry.last_trace_id = trace_id
+            for name, value in (counters or {}).items():
+                entry.counters[name] = entry.counters.get(name, 0) + value
+            self._observations += 1
+
+    def top(self, sort: str = "cpu", limit: int = 20) -> List[Dict[str, object]]:
+        """The ``limit`` most expensive keys by ``cpu``, ``p95`` or ``count``."""
+        if sort not in ("cpu", "p95", "count"):
+            raise ValueError(f"unknown sort {sort!r}; use cpu, p95 or count")
+        with self._lock:
+            rows = [
+                {
+                    "instance": instance,
+                    "plan": plan,
+                    "count": entry.count,
+                    "ewma_latency_ms": round(entry.ewma_latency_ms, 3),
+                    "ewma_cpu_ms": round(entry.ewma_cpu_ms, 3),
+                    "total_cpu_ms": round(entry.total_cpu_ms, 3),
+                    "p95_ms": entry.p95_ms(),
+                    "counters": dict(entry.counters),
+                    "last_trace_id": entry.last_trace_id,
+                }
+                for (instance, plan), entry in self._entries.items()
+            ]
+        sort_key = {
+            "cpu": lambda row: row["ewma_cpu_ms"],
+            "p95": lambda row: row["p95_ms"] or 0.0,
+            "count": lambda row: row["count"],
+        }[sort]
+        rows.sort(key=sort_key, reverse=True)
+        return rows[: max(1, limit)]
+
+    def summary(self) -> Dict[str, object]:
+        """The ``/metrics`` digest: table shape plus aggregate totals."""
+        with self._lock:
+            total_cpu = sum(e.total_cpu_ms for e in self._entries.values())
+            counters: Dict[str, float] = {}
+            for entry in self._entries.values():
+                for name, value in entry.counters.items():
+                    counters[name] = counters.get(name, 0) + value
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "evictions": self._evictions,
+                "observations": self._observations,
+                "total_cpu_ms": round(total_cpu, 3),
+                "counters": counters,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -12,6 +12,9 @@ Two sources feed the page:
 
 No client library is involved: the format is four line shapes (``# HELP``,
 ``# TYPE``, samples, blank) and is produced with plain string formatting.
+Latency bucket lines additionally carry OpenMetrics exemplars
+(``... # {trace_id="..."} value ts``) when the snapshot has one for the
+bucket, linking a percentile spike straight to ``GET /traces/{id}``.
 """
 
 from __future__ import annotations
@@ -65,16 +68,23 @@ def _histogram_from_snapshot(
     _header(lines, name, "histogram", help_text)
     for key, snap in per_key.items():
         buckets = snap.get("buckets", {})
+        exemplars = snap.get("exemplars", {})
         cumulative = 0
         for bound, count in buckets.items():  # insertion order: sorted bounds, +Inf
             cumulative += int(count)
-            lines.append(
-                _sample(
-                    f"{name}_bucket",
-                    ((label_name, key), ("le", bound)),
-                    float(cumulative),
-                )
+            line = _sample(
+                f"{name}_bucket",
+                ((label_name, key), ("le", bound)),
+                float(cumulative),
             )
+            exemplar = exemplars.get(bound) if isinstance(exemplars, dict) else None
+            if exemplar:
+                line += (
+                    f' # {{trace_id="{_escape_label_value(str(exemplar["trace_id"]))}"}}'
+                    f' {_format_value(float(exemplar["value_seconds"]))}'
+                    f' {float(exemplar["ts"]):.3f}'
+                )
+            lines.append(line)
         lines.append(
             _sample(f"{name}_sum", ((label_name, key),), float(snap.get("sum_seconds", 0.0)))
         )

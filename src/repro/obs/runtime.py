@@ -1,0 +1,58 @@
+"""Runtime health probes for the serving event loop.
+
+The serving process multiplexes every request through one asyncio event
+loop; anything that blocks it (an accidental synchronous call, a GIL-heavy
+burst in a pool thread) inflates *every* in-flight request.  The probe
+measures that directly: sleep for a fixed interval, compare the scheduled
+wake-up with the actual one — the overshoot is time the loop spent unable
+to run ready callbacks.  The lag lands in the ``repro_event_loop_lag_seconds``
+gauge so a scrape (or ``/metrics``) can correlate latency spikes with loop
+stalls rather than engine cost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional
+
+from repro.obs.metrics import REGISTRY
+
+_LAG_HELP = "Observed event-loop scheduling lag (sleep overshoot), seconds."
+
+
+class EventLoopLagProbe:
+    """Periodically measures how late the event loop runs a timed callback."""
+
+    def __init__(self, interval_s: float = 0.25) -> None:
+        if interval_s <= 0:
+            raise ValueError("EventLoopLagProbe interval must be > 0")
+        self.interval_s = interval_s
+        self._last_lag_s: Optional[float] = None
+        self._peak_lag_s = 0.0
+        self._samples = 0
+
+    async def run(self) -> None:
+        """Sample forever; meant to run as a background task, cancel to stop."""
+        gauge = REGISTRY.gauge("repro_event_loop_lag_seconds", _LAG_HELP)
+        try:
+            while True:
+                before = time.monotonic()
+                await asyncio.sleep(self.interval_s)
+                lag = max(0.0, time.monotonic() - before - self.interval_s)
+                self._last_lag_s = lag
+                self._peak_lag_s = max(self._peak_lag_s, lag)
+                self._samples += 1
+                gauge.set(lag)
+        except asyncio.CancelledError:
+            raise
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "interval_s": self.interval_s,
+            "samples": self._samples,
+            "last_lag_ms": (
+                None if self._last_lag_s is None else round(self._last_lag_s * 1000, 3)
+            ),
+            "peak_lag_ms": round(self._peak_lag_s * 1000, 3),
+        }

@@ -30,6 +30,7 @@ from __future__ import annotations
 import contextvars
 import os
 import random
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -66,9 +67,15 @@ def tracing_enabled() -> bool:
 # processes reseed so they cannot emit colliding span ids.
 _rng = random.Random()
 
+#: Cached per-process id, part of every span's ``tid`` (thread identity).
+#: Refreshed after fork so worker-side spans are attributed to the worker.
+_PID = os.getpid()
+
 
 def _reseed_rng() -> None:
+    global _PID
     _rng.seed(os.urandom(16))
+    _PID = os.getpid()
 
 
 _reseed_rng()
@@ -88,9 +95,20 @@ class Span:
     """One timed node in a trace tree.
 
     Wall-clock anchor is ``time.time`` (for log correlation); duration is
-    measured with ``time.perf_counter``.  Children created in-process are
-    :class:`Span` objects; children received from a worker process arrive
-    as already-serialized dicts and live in ``remote_children``.
+    measured with ``time.perf_counter``; ``cpu_ms`` is the opening thread's
+    CPU time between open and close (``time.thread_time``).  Children
+    created in-process are :class:`Span` objects; children received from a
+    worker process arrive as already-serialized dicts and live in
+    ``remote_children``.
+
+    ``sampled`` is the trace's head-sampling decision, inherited root to
+    leaf: spans of a head-dropped trace are still recorded locally (the
+    tail-keep rule may retain the trace at close), but
+    :func:`propagation_context` withholds the cross-process context so a
+    worker never records spans for such a trace.
+
+    ``metrics`` holds additive domain counters (facts scanned, blocks
+    touched, ...) fed by :func:`repro.obs.cost.add_cost` at span sites.
     """
 
     __slots__ = (
@@ -103,7 +121,12 @@ class Span:
         "remote_children",
         "started_at",
         "_started_pc",
+        "_started_cpu",
         "duration_ms",
+        "cpu_ms",
+        "sampled",
+        "thread_id",
+        "metrics",
     )
 
     def __init__(
@@ -112,6 +135,7 @@ class Span:
         trace_id: str,
         parent_id: Optional[str] = None,
         tags: Optional[Dict[str, Any]] = None,
+        sampled: bool = True,
     ) -> None:
         self.trace_id = trace_id
         self.span_id = new_span_id()
@@ -122,14 +146,24 @@ class Span:
         self.remote_children: List[Dict[str, Any]] = []
         self.started_at = time.time()
         self._started_pc = time.perf_counter()
+        self._started_cpu = time.thread_time()
         self.duration_ms: Optional[float] = None  # None while open
+        self.cpu_ms: Optional[float] = None
+        self.sampled = sampled
+        self.thread_id = threading.get_ident()
+        self.metrics: Dict[str, float] = {}
 
     def set_tag(self, key: str, value: Any) -> None:
         self.tags[key] = value
 
+    def add_metric(self, key: str, amount: float = 1) -> None:
+        """Accumulate a domain counter on this span (additive)."""
+        self.metrics[key] = self.metrics.get(key, 0) + amount
+
     def finish(self) -> None:
         if self.duration_ms is None:
             self.duration_ms = (time.perf_counter() - self._started_pc) * 1000.0
+            self.cpu_ms = (time.thread_time() - self._started_cpu) * 1000.0
 
     @property
     def finished(self) -> bool:
@@ -158,9 +192,15 @@ class Span:
             "duration_ms": (
                 None if self.duration_ms is None else round(self.duration_ms, 3)
             ),
+            "cpu_ms": (None if self.cpu_ms is None else round(self.cpu_ms, 3)),
+            # Thread identity is pid-qualified: a worker-process span must
+            # never alias a parent-process thread when CPU is rolled up.
+            "tid": f"{_PID}:{self.thread_id}",
         }
         if self.tags:
             out["tags"] = dict(self.tags)
+        if self.metrics:
+            out["metrics"] = dict(self.metrics)
         if children:
             out["children"] = children
         return out
@@ -190,17 +230,23 @@ def current_trace_id() -> Optional[str]:
 
 @contextmanager
 def start_trace(
-    name: str, trace_id: Optional[str] = None, **tags: Any
+    name: str,
+    trace_id: Optional[str] = None,
+    sampled: bool = True,
+    **tags: Any,
 ) -> Iterator[Optional[Span]]:
     """Open a trace's root span on the current context.
 
     Yields ``None`` (and does nothing) when tracing is disabled, so call
-    sites can be unconditional.
+    sites can be unconditional.  ``sampled=False`` records the head
+    sampler's drop decision: spans are still built (the tail-keep rule may
+    retain the trace at close) but the decision is inherited by every child
+    and withheld from :func:`propagation_context`.
     """
     if not _tracing_enabled:
         yield None
         return
-    root = Span(name, trace_id or new_trace_id(), None, tags)
+    root = Span(name, trace_id or new_trace_id(), None, tags, sampled=sampled)
     token = _current_span.set(root)
     try:
         yield root
@@ -216,7 +262,7 @@ def span(name: str, **tags: Any) -> Iterator[Optional[Span]]:
     if parent is None or not _tracing_enabled:
         yield None
         return
-    child = Span(name, parent.trace_id, parent.span_id, tags)
+    child = Span(name, parent.trace_id, parent.span_id, tags, sampled=parent.sampled)
     parent.children.append(child)
     token = _current_span.set(child)
     try:
@@ -251,8 +297,13 @@ def remote_root(
 
 
 def propagation_context() -> Optional[TraceContext]:
-    """The ``(trace_id, span_id)`` pair to ship across a process boundary."""
+    """The ``(trace_id, span_id)`` pair to ship across a process boundary.
+
+    Head-dropped traces (``sampled=False``) ship no context: worker spans
+    for a trace the sampler already decided against would cross the result
+    pipe only to be discarded.
+    """
     active = _current_span.get()
-    if active is None or not _tracing_enabled:
+    if active is None or not _tracing_enabled or not active.sampled:
         return None
     return (active.trace_id, active.span_id)

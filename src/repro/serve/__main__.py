@@ -21,6 +21,7 @@ import argparse
 import asyncio
 import sys
 
+from repro.obs.sample import parse_sample_rate
 from repro.serve.app import SERVER_NAME, ServeConfig, run_server
 
 
@@ -121,6 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="log the full span tree of any request at least this slow "
         "(0 logs every request; default: disabled)",
     )
+    parser.add_argument(
+        "--trace-sample",
+        default=None,
+        metavar="N|1/N",
+        help="head-sample 1 in N traces (slow and 5xx traces are always "
+        "kept); default: REPRO_TRACE_SAMPLE or 1 (trace everything)",
+    )
+    parser.add_argument(
+        "--otlp-export",
+        default=None,
+        metavar="PATH|URL",
+        help="export retained traces as OTLP/JSON: NDJSON append to PATH, "
+        "or POST batches to an http(s) URL",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log threshold (default: REPRO_LOG_LEVEL or info)",
+    )
     return parser
 
 
@@ -142,6 +163,13 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         tracing=not args.no_tracing,
         trace_buffer=max(1, args.trace_buffer),
         slow_query_ms=args.slow_query_ms,
+        trace_sample=(
+            parse_sample_rate(args.trace_sample, "--trace-sample")
+            if args.trace_sample is not None
+            else None
+        ),
+        otlp_export=args.otlp_export,
+        log_level=args.log_level,
     )
 
 

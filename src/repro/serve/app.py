@@ -84,11 +84,25 @@ from repro.exceptions import (
 from repro.obs import (
     REGISTRY,
     TRACE_HEADER,
+    CostTable,
+    DroppedTraceLog,
+    EventLoopLagProbe,
+    SpanExporter,
     TraceBuffer,
+    TraceSampler,
     get_logger,
     render_prometheus,
+    set_log_level,
 )
-from repro.obs.trace import current_span, new_trace_id, set_tracing, start_trace
+from repro.obs.cost import rollup as cost_rollup
+from repro.obs.sample import DECISION_DROP
+from repro.obs.trace import (
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    set_tracing,
+    start_trace,
+)
 from repro.query.aggregation import AggregationQuery
 from repro.query.parser import parse_aggregation_query
 from repro.serve.metrics import ServerMetrics
@@ -228,6 +242,15 @@ class ServeConfig:
     #: Requests at or above this wall time (ms) log their full span tree;
     #: ``None`` disables the slow-query log, ``0`` logs every request.
     slow_query_ms: Optional[float] = None
+    #: Head-sample 1 in N traces (``None`` → ``REPRO_TRACE_SAMPLE``, else 1 =
+    #: keep everything).  Slow and 5xx traces are always retained (tail keep).
+    trace_sample: Optional[int] = None
+    #: OTLP/JSON export target for retained traces: an ``http(s)://`` URL
+    #: (POST per batch) or a file path (NDJSON append).  ``None`` disables.
+    otlp_export: Optional[str] = None
+    #: Structured-log threshold (``debug``/``info``/``warning``/``error``);
+    #: ``None`` keeps ``REPRO_LOG_LEVEL`` or the ``info`` default.
+    log_level: Optional[str] = None
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers else _default_workers()
@@ -343,7 +366,19 @@ class ConsistentAnswerServer:
             self.registry.load_store()
         self.registry.subscribe(self._on_registry_event)
         set_tracing(self.config.tracing)
+        if self.config.log_level:
+            set_log_level(self.config.log_level)
         self.traces = TraceBuffer(max(1, self.config.trace_buffer))
+        self.sampler = TraceSampler(self.config.trace_sample)
+        self.sampled_out = DroppedTraceLog()
+        self.cost_table = CostTable()
+        self.exporter: Optional[SpanExporter] = (
+            SpanExporter(self.config.otlp_export)
+            if self.config.otlp_export
+            else None
+        )
+        self._lag_probe = EventLoopLagProbe()
+        self._lag_task: Optional[asyncio.Task] = None
         self.metrics = ServerMetrics()
         self.gate = AdmissionGate(workers + max(0, self.config.max_pending))
         self._workers = workers
@@ -359,6 +394,7 @@ class ConsistentAnswerServer:
             ("POST", "/instances"): self._handle_register_instance,
             ("GET", "/instances"): self._handle_list_instances,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/debug/top"): self._handle_debug_top,
             ("GET", "/healthz"): self._handle_healthz,
         }
 
@@ -398,9 +434,15 @@ class ConsistentAnswerServer:
                 self._pool.start()
             self.engine.set_worker_pool(self._pool)
             self._adopt_store_spools()
+        if self.exporter is not None:
+            self.exporter.start()
         self._server = await asyncio.start_server(
             self._serve_connection, host=self.config.host, port=self.config.port
         )
+        if self._lag_task is None or self._lag_task.done():
+            self._lag_task = asyncio.get_running_loop().create_task(
+                self._lag_probe.run(), name="repro-loop-lag-probe"
+            )
         sock = self._server.sockets[0]
         self._address = sock.getsockname()[:2]
         return self._address
@@ -439,11 +481,20 @@ class ConsistentAnswerServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._lag_task is not None:
+            self._lag_task.cancel()
+            try:
+                await self._lag_task
+            except asyncio.CancelledError:
+                pass
+            self._lag_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.exporter is not None:
+            self.exporter.close()
         if self._pool is not None:
             self.engine.set_worker_pool(None)
             self._pool.shutdown()
@@ -634,17 +685,24 @@ class ConsistentAnswerServer:
 
         The root span opens here (honoring an inbound ``X-Repro-Trace-Id``
         or minting one) and every layer below hangs children off it via the
-        context variable.  After the span closes, the finished tree is
-        retained in the trace buffer, emitted as one structured-JSON line
-        when the request breaches ``slow_query_ms``, and inlined into the
-        response for ``"explain": true`` requests.  The trace id is echoed
-        on *every* response, errors included.
+        context variable.  The head sampler decides *provisional* retention
+        up front (the decision propagates, so workers skip span recording
+        for head-dropped traces); the tail-keep rule re-decides at close, so
+        slow and 5xx traces are retained at 100% regardless of the rate.
+        Retained trees land in the trace buffer and the OTLP exporter, are
+        emitted as one structured-JSON line when the request breaches
+        ``slow_query_ms``, and are inlined into the response for
+        ``"explain": true`` requests (explain forces retention).  Cost is
+        rolled up for *every* traced query request, retained or not.  The
+        trace id is echoed on every response, errors included.
         """
         incoming = request.headers.get(_TRACE_HEADER_LOWER) or None
         trace_id = incoming or new_trace_id()
+        head = self.sampler.sample()
         with start_trace(
             "http.request",
             trace_id=trace_id,
+            sampled=head,
             method=request.method,
             path=request.path,
         ) as root:
@@ -659,9 +717,22 @@ class ConsistentAnswerServer:
             payload["error"].setdefault("trace_id", trace_id)
         if root is not None:
             tree = root.to_dict()
-            self.traces.record(tree)
             threshold = self.config.slow_query_ms
             duration_ms = root.duration_ms or 0.0
+            decision = self.sampler.decide(
+                sampled=head,
+                status=status,
+                duration_ms=duration_ms,
+                slow_ms=threshold,
+            )
+            retained = decision != DECISION_DROP or bool(root.tags.get("explain"))
+            self._account_cost(root, tree, duration_ms)
+            if retained:
+                self.traces.record(tree)
+                if self.exporter is not None:
+                    self.exporter.submit(tree)
+            else:
+                self.sampled_out.record(trace_id)
             if threshold is not None and duration_ms >= threshold:
                 _LOG.warning(
                     "slow_query",
@@ -680,6 +751,28 @@ class ConsistentAnswerServer:
                 payload = dict(payload)
                 payload["trace"] = tree
         return status, payload, {TRACE_HEADER: trace_id}
+
+    def _account_cost(self, root, tree: Dict[str, object], duration_ms: float) -> None:
+        """Roll one finished trace into the per-(instance, plan) cost table.
+
+        Only query requests participate: :meth:`_parse_query_request` tags
+        the root span with the instance and plan label, and that tag pair is
+        the table key.  Runs for sampled-out traces too — cost accounting
+        must see 100% of the traffic to rank plans honestly.
+        """
+        instance = root.tags.get("instance")
+        plan = root.tags.get("plan")
+        if not instance or not plan:
+            return
+        rolled = cost_rollup(tree)
+        self.cost_table.observe(
+            str(instance),
+            str(plan),
+            duration_ms=duration_ms,
+            cpu_ms=rolled["cpu_ms"],
+            counters=rolled["counters"],
+            trace_id=root.trace_id,
+        )
 
     async def _process_inner(self, request: _Request) -> Tuple[int, object]:
         handler = self._routes.get((request.method, request.path))
@@ -707,7 +800,10 @@ class ConsistentAnswerServer:
             self.metrics.request_started()
             self.metrics.request_finished(endpoint, status, 0.0)
             return status, payload
-        if handler == self._handle_metrics:  # bound methods: compare, not `is`
+        if handler in (  # bound methods: compare, not `is`
+            self._handle_metrics,
+            self._handle_debug_top,
+        ):
             handler_args = (request.query,)
         self.metrics.request_started()
         started = time.perf_counter()
@@ -723,7 +819,12 @@ class ConsistentAnswerServer:
         except Exception as exc:  # noqa: BLE001 — every error becomes JSON
             status, error_type = _classify_exception(exc)
             payload = error_body(error_type, str(exc))
-        self.metrics.request_finished(endpoint, status, time.perf_counter() - started)
+        self.metrics.request_finished(
+            endpoint,
+            status,
+            time.perf_counter() - started,
+            trace_id=current_trace_id(),
+        )
         return status, payload
 
     # -- engine dispatch ---------------------------------------------------------------
@@ -797,6 +898,13 @@ class ConsistentAnswerServer:
         entry = self.registry.get(self._require_str(payload, "instance"))
         query_text = self._require_str(payload, "query")
         query = parse_aggregation_query(entry.instance.schema, query_text)
+        # The (instance, plan) tag pair keys the cost table; handlers run on
+        # the event-loop context inside _process's start_trace block, so the
+        # current span is the request's root.
+        active = current_span()
+        if active is not None:
+            active.set_tag("instance", entry.name)
+            active.set_tag("plan", query_text)
         return entry, query
 
     @staticmethod
@@ -1052,15 +1160,30 @@ class ConsistentAnswerServer:
     async def _handle_get_trace(
         self, payload: object, trace_id: str
     ) -> Tuple[int, object]:
-        """``GET /traces/{id}`` — a retained trace's full span tree."""
+        """``GET /traces/{id}`` — a retained trace's full span tree.
+
+        The 404 uses the structured error envelope and says *why* the trace
+        is gone: ``sampled_out`` means the head sampler dropped it (and the
+        tail-keep rule found nothing worth rescuing); otherwise it was
+        evicted from the bounded buffer or never existed.
+        """
         trace = self.traces.get(trace_id)
         if trace is None:
-            raise _HttpError(
-                404,
+            sampled_out = trace_id in self.sampled_out
+            payload = error_body(
                 "NotFound",
                 f"no retained trace {trace_id!r} "
-                f"(buffer keeps the last {self.traces.capacity})",
+                + (
+                    "(sampled out; slow and 5xx traces are always kept)"
+                    if sampled_out
+                    else f"(buffer keeps the last {self.traces.capacity})"
+                ),
             )
+            payload["error"]["sampled_out"] = sampled_out
+            payload["error"]["reason"] = (
+                "sampled_out" if sampled_out else "evicted_or_unknown"
+            )
+            return 404, payload
         return 200, {"trace": trace}
 
     def _refresh_registry_gauges(self) -> None:
@@ -1135,9 +1258,40 @@ class ConsistentAnswerServer:
                     else {"enabled": False}
                 ),
                 "instances": self.registry.names(),
+                "sampling": self.sampler.stats(),
+                "otlp_export": (
+                    self.exporter.stats()
+                    if self.exporter is not None
+                    else {"enabled": False}
+                ),
+                "cost": self.cost_table.summary(),
+                "event_loop": self._lag_probe.stats(),
             }
         )
         return 200, snapshot
+
+    async def _handle_debug_top(
+        self, payload: object, query: str = ""
+    ) -> Tuple[int, object]:
+        """``GET /debug/top?sort=cpu|p95|count&limit=N`` — the cost table."""
+        from urllib.parse import parse_qs
+
+        params = parse_qs(query)
+        sort = (params.get("sort") or ["cpu"])[0]
+        if sort not in ("cpu", "p95", "count"):
+            raise _HttpError(
+                400, "Protocol", f"unknown sort {sort!r}; use cpu, p95 or count"
+            )
+        raw_limit = (params.get("limit") or ["20"])[0]
+        try:
+            limit = max(1, int(raw_limit))
+        except ValueError:
+            raise _HttpError(400, "Protocol", f"'limit' must be an integer, got {raw_limit!r}")
+        return 200, {
+            "sort": sort,
+            "summary": self.cost_table.summary(),
+            "top": self.cost_table.top(sort=sort, limit=limit),
+        }
 
     async def _handle_healthz(self, payload: object) -> Tuple[int, object]:
         if self.store is not None:

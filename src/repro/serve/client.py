@@ -302,6 +302,16 @@ class ServeClient:
         )
         return self._checked(status, body)["trace"]
 
+    async def debug_top(
+        self, sort: str = "cpu", limit: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Fetch the per-(instance, plan) cost table from ``GET /debug/top``."""
+        path = f"/debug/top?sort={sort}"
+        if limit is not None:
+            path += f"&limit={limit}"
+        status, body = await self.request("GET", path)
+        return self._checked(status, body)
+
     async def healthz(self) -> Dict[str, object]:
         status, body = await self.request("GET", "/healthz")
         return self._checked(status, body)

@@ -53,11 +53,17 @@ class LatencyHistogram:
         self._counts = [0] * (len(self._bounds) + 1)  # +1 for the +Inf bucket
         self._sum = 0.0
         self._count = 0
+        # Per-bucket OpenMetrics exemplar: (trace_id, seconds, unix_ts) of
+        # the most recent observation that landed in the bucket.
+        self._exemplars: Dict[int, Tuple[str, float, float]] = {}
 
-    def observe(self, seconds: float) -> None:
-        self._counts[bisect_left(self._bounds, seconds)] += 1
+    def observe(self, seconds: float, trace_id: Optional[str] = None) -> None:
+        index = bisect_left(self._bounds, seconds)
+        self._counts[index] += 1
         self._sum += seconds
         self._count += 1
+        if trace_id:
+            self._exemplars[index] = (trace_id, seconds, time.time())
 
     @property
     def count(self) -> int:
@@ -91,7 +97,7 @@ class LatencyHistogram:
     def snapshot(self) -> Dict[str, object]:
         buckets = {str(bound): count for bound, count in zip(self._bounds, self._counts)}
         buckets["+Inf"] = self._counts[-1]
-        return {
+        out: Dict[str, object] = {
             "count": self._count,
             "sum_seconds": self._sum,
             "p50_ms": _to_ms(self.percentile(0.50)),
@@ -99,6 +105,17 @@ class LatencyHistogram:
             "p99_ms": _to_ms(self.percentile(0.99)),
             "buckets": buckets,
         }
+        if self._exemplars:
+            labels = list(buckets)  # same insertion order as the bounds
+            out["exemplars"] = {
+                labels[index]: {
+                    "trace_id": trace_id,
+                    "value_seconds": seconds,
+                    "ts": ts,
+                }
+                for index, (trace_id, seconds, ts) in sorted(self._exemplars.items())
+            }
+        return out
 
 
 def _to_ms(seconds: Optional[float]) -> Optional[float]:
@@ -124,7 +141,13 @@ class ServerMetrics:
         with self._lock:
             self._in_flight += 1
 
-    def request_finished(self, endpoint: str, status: int, seconds: float) -> None:
+    def request_finished(
+        self,
+        endpoint: str,
+        status: int,
+        seconds: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
         with self._lock:
             self._in_flight = max(0, self._in_flight - 1)
             by_status = self._requests.setdefault(endpoint, {})
@@ -133,7 +156,7 @@ class ServerMetrics:
             histogram = self._latency.get(endpoint)
             if histogram is None:
                 histogram = self._latency[endpoint] = LatencyHistogram()
-            histogram.observe(seconds)
+            histogram.observe(seconds, trace_id=trace_id)
             if status == 503:
                 self._rejected += 1
             elif status == 504:

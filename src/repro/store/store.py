@@ -48,6 +48,7 @@ from repro.datamodel.facts import Fact
 from repro.datamodel.instance import DatabaseInstance
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.cost import add_cost
 from repro.obs.trace import span as obs_span
 from repro.store.log import FactLog, LogCorruptionWarning, LogRecord, StoreError
 from repro.util import stable_hash_64
@@ -212,6 +213,7 @@ class InstanceStore:
                 handle.flush()
                 started = time.perf_counter()
                 os.fsync(handle.fileno())
+                add_cost("store_fsyncs", 1)
                 REGISTRY.histogram("repro_store_fsync_seconds", _FSYNC_HELP).observe(
                     time.perf_counter() - started
                 )
@@ -304,6 +306,7 @@ class InstanceStore:
                     )
                 )
             with obs_span("store.log_append", instance=name, records=len(records)):
+                add_cost("store_fsyncs", 1)
                 self._log_of(name).append_batch(records)
             depth = meta[1] + len(records)
             with self._meta_lock:
@@ -334,6 +337,7 @@ class InstanceStore:
                 self.save(name, instance, version=version, shards=shards)
                 return
             with obs_span("store.log_append", instance=name, records=1):
+                add_cost("store_fsyncs", 1)
                 self._log_of(name).append(
                     LogRecord(kind="replace", version=version, data=(instance, shards))
                 )

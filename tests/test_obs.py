@@ -15,12 +15,26 @@ import logging
 import os
 import signal
 import time
+import warnings
 
 import pytest
 
 from repro.engine import WorkerPool
 from repro.obs import TRACE_HEADER, TraceBuffer, get_logger, render_prometheus
+from repro.obs.cost import CostTable, add_cost, rollup
+from repro.obs.export import SpanExporter
+from repro.obs.log import (
+    _reset_env_warnings as _reset_log_warnings,
+    parse_log_level,
+    set_log_level,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sample import (
+    DroppedTraceLog,
+    TraceSampler,
+    _reset_env_warnings as _reset_sample_warnings,
+    parse_sample_rate,
+)
 from repro.obs.trace import (
     current_span,
     current_trace_id,
@@ -294,11 +308,27 @@ class TestStructuredLog:
 # -- Prometheus exposition ---------------------------------------------------------------
 
 
+def _parse_label_blob(label_blob, line_number):
+    """Parse a ``label="value",...`` blob (no braces) into sorted pairs."""
+    labels = []
+    for pair in filter(None, label_blob.split(",")):
+        label, _, quoted = pair.partition("=")
+        assert quoted.startswith('"') and quoted.endswith('"'), (
+            f"line {line_number}: unquoted label value in {pair!r}"
+        )
+        labels.append((label, quoted[1:-1]))
+    return tuple(sorted(labels))
+
+
 def parse_prometheus(text):
     """A tiny exposition-format parser: validates line shapes as it goes.
 
-    Returns ``{family: {"type": kind, "samples": {(name, labels): value}}}``
-    where ``labels`` is a sorted tuple of ``(label, value)`` pairs.
+    Returns ``{family: {"type": kind, "samples": {...}, "exemplars": {...}}}``
+    where ``samples`` maps ``(name, labels)`` to the float value, ``labels``
+    is a sorted tuple of ``(label, value)`` pairs, and ``exemplars`` maps the
+    same keys to ``(exemplar_labels, exemplar_value, timestamp_or_None)`` for
+    sample lines carrying OpenMetrics exemplar syntax
+    (``... # {trace_id="..."} value [ts]``).
     """
     families = {}
     current = None
@@ -308,30 +338,46 @@ def parse_prometheus(text):
         if line.startswith("# HELP "):
             _, _, rest = line.partition("# HELP ")
             family = rest.split(" ", 1)[0]
-            current = families.setdefault(family, {"type": None, "samples": {}})
+            current = families.setdefault(
+                family, {"type": None, "samples": {}, "exemplars": {}}
+            )
             continue
         if line.startswith("# TYPE "):
             parts = line.split(" ")
             assert len(parts) >= 4, f"line {line_number}: malformed TYPE"
             family, kind = parts[2], parts[3]
             assert kind in ("counter", "gauge", "histogram", "summary", "untyped")
-            current = families.setdefault(family, {"type": None, "samples": {}})
+            current = families.setdefault(
+                family, {"type": None, "samples": {}, "exemplars": {}}
+            )
             current["type"] = kind
             continue
         assert not line.startswith("#"), f"line {line_number}: unknown comment"
-        name_and_labels, _, value_text = line.rpartition(" ")
+        sample_part, exemplar_sep, exemplar_part = line.partition(" # ")
+        exemplar = None
+        if exemplar_sep:
+            # OpenMetrics exemplar: `{label="value",...} value [timestamp]`
+            assert exemplar_part.startswith("{"), (
+                f"line {line_number}: exemplar must start with labels"
+            )
+            blob, _, rest = exemplar_part[1:].partition("}")
+            exemplar_labels = _parse_label_blob(blob, line_number)
+            assert exemplar_labels, f"line {line_number}: empty exemplar labels"
+            fields = rest.split()
+            assert 1 <= len(fields) <= 2, (
+                f"line {line_number}: exemplar needs a value and optional ts"
+            )
+            exemplar = (
+                exemplar_labels,
+                float(fields[0]),
+                float(fields[1]) if len(fields) == 2 else None,
+            )
+        name_and_labels, _, value_text = sample_part.rpartition(" ")
         assert name_and_labels, f"line {line_number}: no sample name"
         if "{" in name_and_labels:
             name, _, label_blob = name_and_labels.partition("{")
             assert label_blob.endswith("}"), f"line {line_number}: unclosed labels"
-            labels = []
-            for pair in filter(None, label_blob[:-1].split(",")):
-                label, _, quoted = pair.partition("=")
-                assert quoted.startswith('"') and quoted.endswith('"'), (
-                    f"line {line_number}: unquoted label value in {pair!r}"
-                )
-                labels.append((label, quoted[1:-1]))
-            labels = tuple(sorted(labels))
+            labels = _parse_label_blob(label_blob[:-1], line_number)
         else:
             name, labels = name_and_labels, ()
         value = float(value_text)
@@ -341,6 +387,11 @@ def parse_prometheus(text):
                 family = name[: -len(suffix)]
         assert family in families, f"line {line_number}: sample {name!r} before TYPE"
         families[family]["samples"][(name, labels)] = value
+        if exemplar is not None:
+            assert name.endswith("_bucket"), (
+                f"line {line_number}: exemplar on a non-bucket sample"
+            )
+            families[family]["exemplars"][(name, labels)] = exemplar
     return families
 
 
@@ -623,3 +674,495 @@ class TestWorkerCrashTracing:
             expected = pool.answer(query, instance)
             assert current_span() is None
             assert expected is not None
+
+
+# -- sampling ----------------------------------------------------------------------------
+
+
+class TestSampler:
+    def test_head_rotation_is_deterministic(self):
+        sampler = TraceSampler(3)
+        decisions = [sampler.sample() for _ in range(9)]
+        assert decisions == [True, False, False] * 3
+        # the ≤ ceil(n/rate) bound is a guarantee, not an expectation
+        assert sum(decisions) == 3
+
+    def test_rate_one_keeps_everything(self):
+        sampler = TraceSampler(1)
+        assert all(sampler.sample() for _ in range(20))
+
+    def test_parse_sample_rate_accepts_both_spellings(self):
+        assert parse_sample_rate("10") == 10
+        assert parse_sample_rate(" 1/10 ") == 10
+        assert parse_sample_rate(None) == 1
+        assert parse_sample_rate("") == 1
+
+    def test_malformed_rate_warns_once_and_falls_back(self):
+        _reset_sample_warnings()
+        with pytest.warns(RuntimeWarning, match="REPRO_TRACE_SAMPLE"):
+            assert parse_sample_rate("banana") == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warn would raise
+            assert parse_sample_rate("banana") == 1
+        _reset_sample_warnings()
+        with pytest.warns(RuntimeWarning):
+            assert parse_sample_rate("2/10") == 1
+        _reset_sample_warnings()
+        with pytest.warns(RuntimeWarning):
+            assert parse_sample_rate("0") == 1
+        _reset_sample_warnings()
+
+    def test_decide_precedence_head_error_slow_drop(self):
+        sampler = TraceSampler(10)
+        decide = sampler.decide
+        assert decide(sampled=True, status=500, duration_ms=0, slow_ms=None) == "head"
+        assert decide(sampled=False, status=500, duration_ms=0, slow_ms=None) == "error"
+        assert decide(sampled=False, status=200, duration_ms=90, slow_ms=50) == "slow"
+        assert (
+            decide(sampled=False, status=200, duration_ms=10, slow_ms=50)
+            == "sampled_out"
+        )
+        # no slow threshold configured → nothing is rescued for slowness
+        assert (
+            decide(sampled=False, status=200, duration_ms=1e9, slow_ms=None)
+            == "sampled_out"
+        )
+        stats = sampler.stats()
+        assert stats["rate"] == 10
+        assert stats["decisions"]["error"] >= 1
+
+    def test_dropped_trace_log_is_bounded_and_deduped(self):
+        log = DroppedTraceLog(capacity=2)
+        log.record("a")
+        log.record("a")
+        assert len(log) == 1
+        log.record("b")
+        log.record("c")  # evicts "a"
+        assert "a" not in log
+        assert "b" in log and "c" in log
+        with pytest.raises(ValueError):
+            DroppedTraceLog(capacity=0)
+
+    def test_unsampled_trace_withholds_propagation_context(self):
+        with start_trace("request", sampled=False) as root:
+            assert root.sampled is False
+            assert propagation_context() is None
+            with span("child") as child:
+                assert child.sampled is False  # inherited
+                assert propagation_context() is None
+        with start_trace("request", sampled=True):
+            assert propagation_context() is not None
+
+    def test_unsampled_pool_jobs_ship_no_worker_spans(self):
+        instance = fig1_stock_instance()
+        query = stock_sum_query()
+        with WorkerPool(workers=2) as pool:
+            with start_trace("request", sampled=False) as root:
+                answer = pool.answer(query, instance)
+            assert answer is not None
+            names = _span_names(root.to_dict())
+            # parent-side spans still record; worker spans never cross the pipe
+            assert "pool.answer" in names
+            assert not any(n.startswith("worker.") for n in names), names
+
+
+class TestSamplingIntegration:
+    def test_tail_keep_retains_slow_and_error_traces(self, tmp_path):
+        export_path = str(tmp_path / "spans.ndjson")
+
+        async def scenario(server, client):
+            async def boom(payload):
+                raise RuntimeError("deliberate 5xx")
+
+            server._routes[("GET", "/boom")] = boom
+            kept, dropped, errors = [], [], []
+            for index in range(12):
+                if index % 4 == 3:
+                    status, _ = await client.request("GET", "/boom")
+                    assert status == 500
+                    errors.append(client.last_trace_id)
+                else:
+                    await client.answer("stock", STOCK_SUM)
+                    (kept if index == 0 else dropped).append(client.last_trace_id)
+            # index 0 is the head-kept rotation slot; errors are tail-kept
+            for trace_id in kept + errors:
+                retained = await client.trace(trace_id)
+                assert retained["trace_id"] == trace_id
+            for trace_id in dropped:
+                with pytest.raises(ServeClientError) as excinfo:
+                    await client.trace(trace_id)
+                assert excinfo.value.status == 404
+                assert excinfo.value.body["error"]["sampled_out"] is True
+                assert excinfo.value.body["error"]["reason"] == "sampled_out"
+            # an id the server never saw reports evicted_or_unknown instead
+            with pytest.raises(ServeClientError) as excinfo:
+                await client.trace("feedfacefeedface")
+            assert excinfo.value.body["error"]["sampled_out"] is False
+            assert excinfo.value.body["error"]["reason"] == "evicted_or_unknown"
+            metrics = await client.metrics()
+            assert metrics["sampling"]["rate"] == 1000
+            assert metrics["sampling"]["decisions"]["error"] >= len(errors)
+            assert server.exporter.flush(timeout_s=10)
+            return kept + errors, dropped
+
+        retained_ids, dropped_ids = serve_scenario(
+            scenario, trace_sample=1000, otlp_export=export_path
+        )
+        exported = set()
+        with open(export_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                doc = json.loads(line)
+                for resource in doc["resourceSpans"]:
+                    for scope in resource["scopeSpans"]:
+                        for otlp_span in scope["spans"]:
+                            exported.add(otlp_span["traceId"])
+        assert set(retained_ids) <= exported
+        assert not (set(dropped_ids) & exported)
+
+    def test_slow_threshold_rescues_sampled_out_traces(self):
+        async def scenario(server, client):
+            ids = []
+            for _ in range(6):
+                await client.answer("stock", STOCK_SUM)
+                ids.append(client.last_trace_id)
+            for trace_id in ids:  # slow_query_ms=0: every request is "slow"
+                retained = await client.trace(trace_id)
+                assert retained["trace_id"] == trace_id
+            metrics = await client.metrics()
+            decisions = metrics["sampling"]["decisions"]
+            assert decisions["slow"] >= len(ids) - 1  # all but the head slot
+
+        serve_scenario(scenario, trace_sample=1000, slow_query_ms=0)
+
+    def test_explain_forces_retention_when_sampled_out(self):
+        async def scenario(server, client):
+            await client.answer("stock", STOCK_SUM)  # burn the head-kept slot
+            status, body = await client.request(
+                "POST",
+                "/answer",
+                {"instance": "stock", "query": STOCK_SUM, "explain": True},
+            )
+            assert status == 200 and "trace" in body
+            explained_id = client.last_trace_id
+            retained = await client.trace(explained_id)
+            assert retained["trace_id"] == explained_id
+
+        serve_scenario(scenario, trace_sample=1000)
+
+
+# -- OTLP export -------------------------------------------------------------------------
+
+
+class _FlakyExporter(SpanExporter):
+    """Delivery fails ``failures`` times, then succeeds (or keeps failing)."""
+
+    def __init__(self, *args, failures=0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failures = failures
+        self.delivered = []
+
+    def _deliver(self, payload):
+        if self.failures > 0:
+            self.failures -= 1
+            raise OSError("sink unavailable")
+        self.delivered.append(payload)
+
+
+def _finished_tree(name="http.request", **tags):
+    with start_trace(name, **tags) as root:
+        with span("child"):
+            pass
+    return root.to_dict()
+
+
+class TestExporter:
+    def test_ndjson_sink_round_trips_valid_otlp(self, tmp_path):
+        path = str(tmp_path / "out.ndjson")
+        exporter = SpanExporter(path, flush_interval_s=0.05).start()
+        tree = _finished_tree(status=502)
+        assert exporter.submit(tree)
+        assert exporter.flush(timeout_s=5)
+        exporter.close()
+        (line,) = open(path, "r", encoding="utf-8").read().strip().splitlines()
+        doc = json.loads(line)
+        (resource,) = doc["resourceSpans"]
+        attrs = {
+            a["key"]: a["value"] for a in resource["resource"]["attributes"]
+        }
+        assert attrs["service.name"] == {"stringValue": "repro-serve"}
+        (scope,) = resource["scopeSpans"]
+        spans = scope["spans"]
+        assert len(spans) == 2
+        root_span, child_span = spans
+        assert root_span["name"] == "http.request"
+        assert root_span["parentSpanId"] == ""
+        assert child_span["parentSpanId"] == root_span["spanId"]
+        assert root_span["traceId"] == tree["trace_id"]
+        assert int(root_span["endTimeUnixNano"]) >= int(
+            root_span["startTimeUnixNano"]
+        )
+        assert root_span["status"]["code"] == 2  # 502 → STATUS_CODE_ERROR
+        assert child_span["status"]["code"] == 1
+
+    def test_retry_with_backoff_counts_retries(self, tmp_path):
+        exporter = _FlakyExporter(
+            str(tmp_path / "x"), failures=2, retries=3, backoff_s=0.0
+        ).start()
+        before = exporter.stats()
+        exporter.submit(_finished_tree())
+        assert exporter.flush(timeout_s=5)
+        exporter.close()
+        after = exporter.stats()
+        assert len(exporter.delivered) == 1
+        assert after["retries"] - before["retries"] == 2
+        assert after["exported"] - before["exported"] == 1
+
+    def test_delivery_failure_past_the_budget_drops_and_counts(self, tmp_path):
+        exporter = _FlakyExporter(
+            str(tmp_path / "x"), failures=99, retries=1, backoff_s=0.0
+        ).start()
+        before = exporter.stats()
+        exporter.submit(_finished_tree())
+        assert exporter.flush(timeout_s=5)
+        exporter.close()
+        after = exporter.stats()
+        assert not exporter.delivered
+        assert after["dropped_delivery"] - before["dropped_delivery"] == 1
+
+    def test_full_queue_drops_without_blocking(self, tmp_path):
+        exporter = SpanExporter(
+            str(tmp_path / "x"), queue_size=1, flush_interval_s=30.0
+        )
+        before = exporter.stats()
+        # never started: the queue cannot drain, so the second submit drops
+        assert exporter.submit(_finished_tree())
+        assert not exporter.submit(_finished_tree())
+        after = exporter.stats()
+        assert after["dropped_queue_full"] - before["dropped_queue_full"] == 1
+
+    def test_empty_target_is_rejected(self):
+        with pytest.raises(ValueError):
+            SpanExporter("")
+
+
+# -- cost accounting ---------------------------------------------------------------------
+
+
+class TestCostRollup:
+    def test_same_thread_descendants_do_not_double_count(self):
+        tree = {
+            "cpu_ms": 10.0,
+            "tid": "1:1",
+            "metrics": {"facts_scanned": 5},
+            "children": [
+                {"cpu_ms": 8.0, "tid": "1:1", "metrics": {"facts_scanned": 2}},
+                {"cpu_ms": 3.0, "tid": "1:2"},  # executor thread: counts
+                {"cpu_ms": 4.0, "tid": "2:1"},  # worker process: counts
+            ],
+        }
+        rolled = rollup(tree)
+        assert rolled["cpu_ms"] == pytest.approx(17.0)
+        assert rolled["counters"] == {"facts_scanned": 7}
+
+    def test_live_spans_carry_cpu_and_tid(self):
+        with start_trace("root") as root:
+            with span("child") as child:
+                child.add_metric("facts_scanned", 3)
+                sum(range(10000))
+        tree = root.to_dict()
+        assert tree["cpu_ms"] is not None and tree["cpu_ms"] >= 0
+        assert ":" in tree["tid"]
+        (child_dict,) = tree["children"]
+        assert child_dict["tid"] == tree["tid"]  # same thread
+        assert child_dict["metrics"] == {"facts_scanned": 3}
+        rolled = rollup(tree)
+        # same-thread child excluded: total equals the root's own clock
+        assert rolled["cpu_ms"] == pytest.approx(tree["cpu_ms"], abs=0.001)
+
+    def test_add_cost_is_a_noop_outside_a_trace(self):
+        add_cost("facts_scanned", 5)  # must not raise
+        with start_trace("root") as root:
+            add_cost("facts_scanned", 5)
+            add_cost("facts_scanned", 2)
+        assert root.metrics == {"facts_scanned": 7}
+
+
+class TestCostTable:
+    def test_ewma_and_counter_rollup(self):
+        table = CostTable(alpha=0.5)
+        table.observe("i", "q", 10.0, 4.0, {"facts_scanned": 10}, "t1")
+        table.observe("i", "q", 20.0, 8.0, {"facts_scanned": 30}, "t2")
+        (row,) = table.top()
+        assert row["count"] == 2
+        assert row["ewma_latency_ms"] == pytest.approx(15.0)
+        assert row["ewma_cpu_ms"] == pytest.approx(6.0)
+        assert row["total_cpu_ms"] == pytest.approx(12.0)
+        assert row["counters"] == {"facts_scanned": 40}
+        assert row["last_trace_id"] == "t2"
+        assert row["p95_ms"] == pytest.approx(20.0)
+
+    def test_top_sort_orders(self):
+        table = CostTable()
+        table.observe("i", "cheap_but_frequent", 1.0, 1.0)
+        table.observe("i", "cheap_but_frequent", 1.0, 1.0)
+        table.observe("i", "cheap_but_frequent", 1.0, 1.0)
+        table.observe("i", "expensive", 50.0, 40.0)
+        assert table.top(sort="cpu")[0]["plan"] == "expensive"
+        assert table.top(sort="p95")[0]["plan"] == "expensive"
+        assert table.top(sort="count")[0]["plan"] == "cheap_but_frequent"
+        with pytest.raises(ValueError):
+            table.top(sort="alphabetical")
+
+    def test_lru_eviction_drops_the_stalest_key(self):
+        table = CostTable(capacity=2)
+        table.observe("i", "a", 1.0, 1.0)
+        table.observe("i", "b", 1.0, 1.0)
+        table.observe("i", "a", 1.0, 1.0)  # refresh "a"
+        table.observe("i", "c", 1.0, 1.0)  # evicts "b"
+        plans = {row["plan"] for row in table.top(limit=10)}
+        assert plans == {"a", "c"}
+        assert table.summary()["evictions"] == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CostTable(capacity=0)
+        with pytest.raises(ValueError):
+            CostTable(alpha=0.0)
+
+
+class TestDebugTopIntegration:
+    def test_debug_top_ranks_the_workload(self):
+        group_query = "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"
+
+        async def scenario(server, client):
+            for _ in range(5):
+                await client.answer("stock", STOCK_SUM)
+            await client.answer_group_by("stock", group_query)
+            top = await client.debug_top(sort="count")
+            assert top["sort"] == "count"
+            rows = top["top"]
+            assert rows[0]["plan"] == STOCK_SUM
+            assert rows[0]["count"] == 5
+            by_plan = {row["plan"]: row for row in rows}
+            assert group_query in by_plan
+            assert by_plan[STOCK_SUM]["counters"]["facts_scanned"] > 0
+            assert by_plan[STOCK_SUM]["counters"]["blocks_touched"] > 0
+            assert by_plan[STOCK_SUM]["last_trace_id"]
+            # group-by scans instance × groups: more facts per request
+            assert (
+                by_plan[group_query]["counters"]["facts_scanned"]
+                > by_plan[STOCK_SUM]["counters"]["facts_scanned"] / 5
+            )
+            # the /metrics JSON snapshot summarises the same table
+            metrics = await client.metrics()
+            assert metrics["cost"]["entries"] == len(rows)
+            assert metrics["cost"]["counters"]["facts_scanned"] > 0
+            assert "event_loop" in metrics
+            # invalid sort is a structured 400
+            status, body = await client.request("GET", "/debug/top?sort=bogus")
+            assert status == 400 and body["error"]["type"] == "Protocol"
+
+        serve_scenario(scenario)
+
+    def test_cost_is_accounted_even_for_sampled_out_traces(self):
+        async def scenario(server, client):
+            for _ in range(4):
+                await client.answer("stock", STOCK_SUM)
+            top = await client.debug_top(sort="count")
+            assert top["top"][0]["count"] == 4  # dropped traces still counted
+
+        serve_scenario(scenario, trace_sample=1000)
+
+
+# -- exemplars ---------------------------------------------------------------------------
+
+
+class TestExemplars:
+    def test_prometheus_buckets_carry_trace_id_exemplars(self):
+        async def scenario(server, client):
+            for _ in range(3):
+                await client.answer("stock", STOCK_SUM)
+            host, port = server.address
+            status, _, payload = await _raw_request(
+                host, port, "GET", "/metrics?format=prometheus"
+            )
+            assert status == 200
+            families = parse_prometheus(payload.decode("utf-8"))
+            exemplars = families["repro_request_latency_seconds"]["exemplars"]
+            answer_exemplars = {
+                key: ex
+                for key, ex in exemplars.items()
+                if ("endpoint", "POST /answer") in key[1]
+            }
+            assert answer_exemplars, "no exemplar on any POST /answer bucket"
+            for (name, labels), (ex_labels, value, ts) in answer_exemplars.items():
+                assert name == "repro_request_latency_seconds_bucket"
+                (label, trace_id) = ex_labels[0]
+                assert label == "trace_id" and len(trace_id) == 32
+                assert value > 0 and ts is not None
+            # the JSON snapshot carries the same exemplars
+            metrics = await client.metrics()
+            snapshot_exemplars = metrics["latency"]["POST /answer"]["exemplars"]
+            assert any(
+                ex["trace_id"] and ex["value_seconds"] > 0
+                for ex in snapshot_exemplars.values()
+            )
+
+        serve_scenario(scenario)
+
+    def test_histogram_exemplar_is_most_recent_per_bucket(self):
+        histogram = LatencyHistogram(buckets=(0.1, 1.0))
+        histogram.observe(0.05, trace_id="first")
+        histogram.observe(0.06, trace_id="second")
+        histogram.observe(5.0, trace_id="overflow")
+        histogram.observe(0.5)  # no trace id: bucket gets no exemplar
+        snap = histogram.snapshot()
+        assert snap["exemplars"]["0.1"]["trace_id"] == "second"
+        assert snap["exemplars"]["+Inf"]["trace_id"] == "overflow"
+        assert "1.0" not in snap["exemplars"]
+
+
+# -- log levels --------------------------------------------------------------------------
+
+
+class TestLogLevel:
+    def test_set_log_level_filters_below_threshold(self, captured_log):
+        log = get_logger("test")
+        try:
+            set_log_level("error")
+            log.debug("quiet")
+            log.info("quiet_too")
+            log.error("loud")
+        finally:
+            set_log_level("info")
+        events = [json.loads(line)["event"] for line in captured_log.lines]
+        assert events == ["loud"]
+
+    def test_parse_log_level_accepts_known_names(self):
+        assert parse_log_level("debug") == logging.DEBUG
+        assert parse_log_level("WARNING") == logging.WARNING
+        assert parse_log_level(None) is None
+        assert parse_log_level("") is None
+
+    def test_malformed_level_warns_once(self):
+        _reset_log_warnings()
+        with pytest.warns(RuntimeWarning, match="REPRO_LOG_LEVEL"):
+            assert parse_log_level("loudest") is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second malformed parse is silent
+            assert parse_log_level("loudest") is None
+        _reset_log_warnings()
+
+    def test_server_config_sets_the_level(self, captured_log):
+        async def scenario(server, client):
+            get_logger("test").info("should_be_filtered")
+            get_logger("test").error("should_pass")
+            return None
+
+        try:
+            serve_scenario(scenario, log_level="error")
+        finally:
+            set_log_level("info")
+        events = [json.loads(line)["event"] for line in captured_log.lines]
+        assert "should_be_filtered" not in events
+        assert "should_pass" in events
