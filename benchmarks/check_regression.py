@@ -11,6 +11,9 @@ tight enough to catch a real perf cliff):
 * ``shard``  — per-query best sharded speedup (higher is better; a
   dimensionless ratio, so it is hardware-portable) and the sharded
   wall-clock of the best configuration (lower is better);
+* ``scenarios`` — the same two metrics per (scenario, aggregate) cell of
+  the adversarial summary-state matrix (``bench_scenarios.py`` emits the
+  ``shard`` report schema on purpose, so one comparator serves both);
 * ``obs``    — **median-of-rounds** p95 with tracing off, on, and sampled
   (1/10), plus the on/off median ratio (the tracing overhead —
   dimensionless, hardware-portable).  Medians, not best-of: best-of is a
@@ -118,7 +121,7 @@ def compare(
         metrics = SERVE_METRICS
     elif kind == "obs":
         metrics = OBS_METRICS
-    else:
+    else:  # "shard" and "scenarios" share the per-query report schema
         metrics = _shard_metrics(baseline, fresh)
     lines: List[str] = []
     failures: List[str] = []
@@ -164,7 +167,9 @@ def _load(path: str) -> Dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--kind", choices=("serve", "shard", "obs"), required=True)
+    parser.add_argument(
+        "--kind", choices=("serve", "shard", "scenarios", "obs"), required=True
+    )
     parser.add_argument("--baseline", required=True, help="committed BENCH json")
     parser.add_argument("--fresh", required=True, help="freshly produced BENCH json")
     parser.add_argument(

@@ -18,8 +18,9 @@ when it is sound (monotone operators).
 
 from __future__ import annotations
 
+import itertools
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.aggregates.operators import get_operator
 from repro.attacks.attack_graph import AttackGraph
@@ -74,27 +75,62 @@ class BranchAndBoundSolver:
         )
         return None if value is BOTTOM else value
 
+    def body_certain(
+        self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None
+    ) -> bool:
+        """Whether every repair of ``instance`` embeds the (bound) body."""
+        return self._body_is_certain(instance, dict(binding or {}))
+
+    def repair_value_multisets(
+        self, instance: DatabaseInstance, binding: Optional[Dict[str, Constant]] = None
+    ) -> Iterator[List]:
+        """The aggregated-term value multiset of every repair, one list each.
+
+        Repairs on which the body has no embedding are skipped (their
+        contribution is "empty", which callers account for separately — the
+        sharded merge does it through local certainty).  Choices among
+        non-participating facts of a block are collapsed into one "absent"
+        option exactly as in :meth:`glb`/:meth:`lub`, so equivalent repairs
+        are enumerated once.  Values are raw constants; numeric conversion is
+        the caller's concern (COUNT-style aggregates accept any constant).
+
+        This is the exact, unpruned enumeration — the sharded executor uses
+        it to build mergeable summaries of aggregates whose extremum is not
+        a function of per-repair extrema (AVG, PRODUCT, the DISTINCT
+        family), so its cost is exponential in the instance's *relevant
+        inconsistent* blocks, exactly like the unpruned search.
+        """
+        binding = dict(binding or {})
+        forced, open_blocks = self._decompose(instance, binding)
+        schema = instance.schema
+        expanded = 0
+        try:
+            for choice in itertools.product(*open_blocks):
+                expanded += 1
+                facts = list(forced) + [fact for fact in choice if fact is not None]
+                values = self._repair_values(schema, facts, binding)
+                if values:
+                    yield values
+        finally:
+            add_cost("repairs_expanded", expanded)
+
     # -- search ------------------------------------------------------------------------
 
-    def _solve(
-        self,
-        instance: DatabaseInstance,
-        binding: Dict[str, Constant],
-        maximize: bool,
-        check_certainty: bool = True,
-    ):
-        if check_certainty and not self._body_is_certain(instance, binding):
-            return BOTTOM
+    def _decompose(
+        self, instance: DatabaseInstance, binding: Dict[str, Constant]
+    ) -> Tuple[List[Fact], List[List[Optional[Fact]]]]:
+        """Forced facts and open blocks of the repair search.
 
+        Only facts that participate in some embedding of the body (in the
+        full database) can ever influence the aggregate; all other facts and
+        blocks are skipped.  This mirrors the SAT encoding of AggCAvSAT,
+        which only introduces variables for relevant tuples, and keeps the
+        search exponential in the number of *relevant* inconsistent blocks
+        rather than in all of them.
+        """
         relevant = set(self._query.body.relation_names)
         relevant_instance = instance.restricted_to(relevant)
 
-        # Only facts that participate in some embedding of the body (in the
-        # full database) can ever influence the aggregate; all other facts and
-        # blocks are skipped.  This mirrors the SAT encoding of AggCAvSAT,
-        # which only introduces variables for relevant tuples, and keeps the
-        # search exponential in the number of *relevant* inconsistent blocks
-        # rather than in all of them.
         participating: set = set()
         for embedding in embeddings_of(self._query.body, relevant_instance, binding):
             for atom in self._query.body.atoms:
@@ -116,18 +152,35 @@ class BranchAndBoundSolver:
                 # equivalent: the block then contributes nothing.  Collapse
                 # those choices into a single "absent" option (None).
                 open_blocks.append(list(relevant_facts) + [None])
+        return forced, open_blocks
 
+    def _repair_values(
+        self, schema, facts: Sequence[Fact], binding: Dict[str, Constant]
+    ) -> List:
+        """Raw aggregated-term values of one repair (possibly empty)."""
+        sub_instance = DatabaseInstance(schema, facts)
+        term = self._query.aggregated_term
+        values = []
+        for embedding in embeddings_of(self._query.body, sub_instance, binding):
+            values.append(embedding[term.name] if is_variable(term) else term)
+        return values
+
+    def _solve(
+        self,
+        instance: DatabaseInstance,
+        binding: Dict[str, Constant],
+        maximize: bool,
+        check_certainty: bool = True,
+    ):
+        if check_certainty and not self._body_is_certain(instance, binding):
+            return BOTTOM
+
+        forced, open_blocks = self._decompose(instance, binding)
         schema = instance.schema
         best: List[Optional[Fraction]] = [None]
 
         def aggregate_over(facts: Sequence[Fact]) -> Optional[Fraction]:
-            sub_instance = DatabaseInstance(schema, facts)
-            values = []
-            term = self._query.aggregated_term
-            for embedding in embeddings_of(self._query.body, sub_instance, binding):
-                values.append(
-                    embedding[term.name] if is_variable(term) else term
-                )
+            values = self._repair_values(schema, facts, binding)
             if not values:
                 return None
             if self._operator.requires_numeric_argument:

@@ -32,6 +32,9 @@ class DatabaseInstance:
         self._facts: set[Fact] = set()
         self._blocks: Dict[BlockKey, set[Fact]] = defaultdict(set)
         self._data_version = 0
+        self._block_items: Optional[
+            Tuple[int, List[Tuple[BlockKey, Tuple[Fact, ...]]]]
+        ] = None
         for fact in facts or ():
             self.add_fact(fact)
 
@@ -145,12 +148,32 @@ class DatabaseInstance:
 
         A block is a maximal set of key-equal facts of one relation.
         """
-        selected = [
+        return [
             frozenset(facts)
-            for (rel, _key), facts in sorted(self._blocks.items(), key=lambda kv: repr(kv[0]))
+            for (rel, _key), facts in self.block_items()
             if relation is None or rel == relation
         ]
-        return selected
+
+    def block_items(self) -> List[Tuple[BlockKey, Tuple[Fact, ...]]]:
+        """Deterministic ``(block key, facts)`` pairs, memoised per version.
+
+        Iteration over the underlying sets follows hash order, which varies
+        across processes, so keys sort by repr and facts sort within their
+        block.  Sorting per block is much cheaper than sorting the whole
+        fact set (blocks are tiny and there are far fewer keys than facts),
+        and the memo keyed by :attr:`data_version` makes repeat consumers —
+        shard planning for different queries or shard counts over one
+        instance — reuse the order for free.
+        """
+        cached = self._block_items
+        if cached is not None and cached[0] == self._data_version:
+            return cached[1]
+        items = [
+            (key, tuple(sorted(facts, key=repr)))
+            for key, facts in sorted(self._blocks.items(), key=lambda kv: repr(kv[0]))
+        ]
+        self._block_items = (self._data_version, items)
+        return items
 
     def block_count(self) -> int:
         """How many blocks the instance has — O(1), unlike :meth:`blocks`."""

@@ -30,6 +30,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.datamodel.instance import DatabaseInstance
+from repro.engine.cancellation import (
+    active_deadline,
+    check_cancelled,
+    deadline_token,
+    token_scope,
+)
 from repro.query.aggregation import AggregationQuery
 
 # Batches smaller than this never pay process start-up costs.
@@ -90,6 +96,10 @@ class BatchResult:
 def _answer_one(
     engine, query: AggregationQuery, instance: DatabaseInstance, index: int
 ) -> BatchResult:
+    # Item boundaries are the batch executor's cancellation points: an
+    # abandoned job (504 already sent) stops before starting its next item
+    # instead of computing answers nobody will read.
+    check_cancelled()
     cached = engine.is_cached(query)
     started = time.perf_counter()
     if query.free_variables:
@@ -108,12 +118,25 @@ def _answer_one(
     )
 
 
-def _run_chunk(config: dict, chunk: List[Tuple[int, AggregationQuery, DatabaseInstance]]):
-    """Worker entry point: build an engine from config, answer the chunk."""
+def _run_chunk(
+    config: dict,
+    chunk: List[Tuple[int, AggregationQuery, DatabaseInstance]],
+    deadline: Optional[float] = None,
+):
+    """Worker entry point: build an engine from config, answer the chunk.
+
+    The parent's ``cancel()`` cannot reach a forked child, so the request
+    deadline rides the payload instead and a deadline-only token makes the
+    chunk self-abort at item boundaries once the client is gone.
+    """
     from repro.engine.engine import ConsistentAnswerEngine
 
     engine = ConsistentAnswerEngine(**config)
-    return [_answer_one(engine, query, instance, index) for index, query, instance in chunk]
+    with token_scope(deadline_token(deadline)):
+        return [
+            _answer_one(engine, query, instance, index)
+            for index, query, instance in chunk
+        ]
 
 
 def _chunked(
@@ -264,8 +287,9 @@ def _parallel_chunks(
     chunks: List[List[Tuple[int, AggregationQuery, DatabaseInstance]]],
     workers: int,
 ) -> Optional[List[BatchResult]]:
+    deadline = active_deadline()
     chunk_results = run_in_fork_pool(
-        _run_chunk, [(config, chunk) for chunk in chunks], workers
+        _run_chunk, [(config, chunk, deadline) for chunk in chunks], workers
     )
     if chunk_results is None:
         return None

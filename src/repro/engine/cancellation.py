@@ -1,0 +1,105 @@
+"""Cooperative cancellation of abandoned engine work.
+
+The serving layer enforces request timeouts at the asyncio layer: the
+client gets its 504 immediately, but the executor thread (and any worker
+process it fanned out to) used to keep computing an answer nobody would
+ever read.  A :class:`CancelToken` carries the request's deadline — plus
+an explicit abandon flag — into the job; engine loops poll
+:func:`check_cancelled` at their natural boundaries (per batch item, per
+shard summary) and abort with :class:`JobCancelledError` instead of
+burning the rest of the budget.
+
+The token travels in a :mod:`contextvars` variable, so the engine API is
+unchanged and the token flows into executor threads through the context
+copy the dispatcher already performs.  Process fan-out cannot observe a
+parent-side :meth:`CancelToken.cancel` after the fork, so only the
+*deadline* crosses the process boundary: ``time.monotonic`` is
+``CLOCK_MONOTONIC`` on Linux — a system-wide clock — so a deadline
+captured in the parent is directly comparable in the child.
+:func:`active_deadline` extracts it for the job payload and
+:func:`deadline_token` rebuilds a deadline-only token on the far side.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+from typing import Iterator, Optional
+
+
+class JobCancelledError(RuntimeError):
+    """The job's client is gone: deadline passed or explicitly abandoned."""
+
+
+class CancelToken:
+    """An abandon flag plus an optional ``time.monotonic`` deadline.
+
+    The token is *observed*, never enforced: work stops only where a loop
+    polls :func:`check_cancelled`.  ``cancel()`` is thread-safe and
+    idempotent; the deadline makes forked workers self-abort even though
+    the parent's ``cancel()`` call never reaches them.
+    """
+
+    __slots__ = ("deadline", "_cancelled")
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        self.deadline = deadline
+        self._cancelled = threading.Event()
+
+    def cancel(self) -> None:
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        if self._cancelled.is_set():
+            return True
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+
+_ACTIVE: contextvars.ContextVar[Optional[CancelToken]] = contextvars.ContextVar(
+    "repro_cancel_token", default=None
+)
+
+
+def active_token() -> Optional[CancelToken]:
+    """The token governing the current job, if any."""
+    return _ACTIVE.get()
+
+
+def active_deadline() -> Optional[float]:
+    """Deadline of the active token — what crosses a process boundary."""
+    token = _ACTIVE.get()
+    return None if token is None else token.deadline
+
+
+def deadline_token(deadline: Optional[float]) -> Optional[CancelToken]:
+    """Rebuild a deadline-only token on the far side of a fork."""
+    return None if deadline is None else CancelToken(deadline=deadline)
+
+
+@contextlib.contextmanager
+def token_scope(token: Optional[CancelToken]) -> Iterator[Optional[CancelToken]]:
+    """Install ``token`` as the active one for the duration of the block.
+
+    ``None`` is a no-op scope, so call sites can pass optional deadlines
+    straight through without branching.
+    """
+    if token is None:
+        yield None
+        return
+    handle = _ACTIVE.set(token)
+    try:
+        yield token
+    finally:
+        _ACTIVE.reset(handle)
+
+
+def check_cancelled() -> None:
+    """Raise :class:`JobCancelledError` when the active job was abandoned."""
+    token = _ACTIVE.get()
+    if token is not None and token.cancelled:
+        raise JobCancelledError(
+            "job abandoned: request deadline passed and the client is gone"
+        )

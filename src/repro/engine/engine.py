@@ -422,10 +422,13 @@ class ConsistentAnswerEngine:
 
     def shard_stats(self) -> Dict[str, object]:
         """Counters of the sharded execution path (requests / sharded /
-        fallbacks / shards_planned), plus per-worker pool statistics when a
-        worker pool is attached."""
+        fallbacks / shards_planned), the aggregates the seam can merge, plus
+        per-worker pool statistics when a worker pool is attached."""
+        from repro.engine.sharding import SHARDABLE_AGGREGATES
+
         with self._shard_lock:
             stats: Dict[str, object] = dict(self._shard_stats)
+        stats["shardable_aggregates"] = list(SHARDABLE_AGGREGATES)
         pool = self._worker_pool
         if pool is not None:
             stats["worker_pool"] = pool.stats()

@@ -43,10 +43,26 @@ for a block- and embedding-closed partition ``db = S₁ ⊎ … ⊎ Sₙ``,
   independent products is the combine of per-shard extrema, with empty
   shard repairs handled by the feasibility cases of :func:`merge_direction`.
 
-Aggregates without a monotone combine over disjoint unions (AVG, PRODUCT,
-the DISTINCT family) are not sharded: the planner reports a fallback reason
-and the engine transparently answers unsharded, so ``shards=N`` is always
-safe to request.
+Aggregates whose extremum is *not* a function of per-shard extrema (AVG,
+PRODUCT, the DISTINCT family) are sharded through richer per-shard
+*summary states* (:class:`SummaryState`) instead of scalar values:
+
+* **AVG** carries the directional convex hull of the achievable
+  ``(count, sum)`` points over the shard's non-empty repairs.  Counts and
+  sums add across shards (a Minkowski sum of point sets), and the extremum
+  of ``sum/count`` over a Minkowski sum is attained at a sum of hull
+  vertices, so the hull is a lossless, bounded summary.
+* **PRODUCT** carries the interval of achievable products.  The product is
+  bilinear, so the extrema over ``{p·q}`` are attained at endpoint pairs —
+  an exact interval merge even with negative or zero factors.
+* **COUNT(DISTINCT)/SUM(DISTINCT)** carry the family of achievable
+  distinct-value sets, merged by pairwise union and pruned to its
+  domination antichain (always sound for COUNT; guarded by element
+  non-negativity for SUM).
+
+Per-shard states are built by enumerating the shard's repairs through the
+exact solver's block decomposition — exponential in the *shard's* open
+blocks only, which is exactly the win sharding buys for these aggregates.
 """
 
 from __future__ import annotations
@@ -62,9 +78,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.baselines.branch_and_bound import BranchAndBoundSolver
 from repro.core.evaluator import BOTTOM
 from repro.core.range_answers import RangeAnswer
-from repro.datamodel.facts import Constant, Fact
+from repro.datamodel.facts import Constant, Fact, as_fraction
 from repro.datamodel.instance import BlockKey, DatabaseInstance
 from repro.embeddings.embeddings import embeddings_of
+from repro.engine.cancellation import (
+    active_deadline,
+    check_cancelled,
+    deadline_token,
+    token_scope,
+)
 from repro.exceptions import BackendError
 from repro.obs.cost import add_cost
 from repro.obs.trace import span as obs_span
@@ -90,11 +112,259 @@ _COMBINE: Dict[str, Callable[[Fraction, Fraction], Fraction]] = {
     "MAX": max,
 }
 
+#: Aggregate-symbol spellings accepted by the parser that share one merge
+#: algebra (mirrors :mod:`repro.aggregates.operators`).
+_AGGREGATE_ALIASES = {
+    "COUNT-DISTINCT": "COUNT_DISTINCT",
+    "SUM-DISTINCT": "SUM_DISTINCT",
+}
+
+
+def _canonical_aggregate(aggregate: str) -> str:
+    key = aggregate.upper()
+    return _AGGREGATE_ALIASES.get(key, key)
+
+
+# -- summary states: exact merges beyond scalar extrema ---------------------------------
+#
+# For SUM/COUNT/MIN/MAX the directional extremum of the union is a function
+# of the per-shard extrema, so a scalar per shard suffices.  AVG, PRODUCT and
+# the DISTINCT family break that: the union's extremal mean can pair a
+# *non-extremal* mean of one shard with another's, the product of extrema is
+# not the extremal product under sign changes, and distinct sets overlap.
+# Each of these aggregates instead summarises a shard by a small exact state
+# of its achievable per-repair statistics; merging two states yields exactly
+# the state of the union instance, which keeps the merge associative,
+# commutative and neutral on the identity summary — the same contract the
+# scalar table satisfies, checked by the same property tests.
+
+
+class SummaryState:
+    """Base of the per-shard states of non-scalar aggregates.
+
+    Subclasses are frozen dataclasses of canonical, hashable, picklable
+    values (worker pools ship them over the result pipe), and equal states
+    describe equal achievable-statistic sets regardless of merge order.
+    """
+
+    def merge(self, other: "SummaryState", direction: str) -> "SummaryState":
+        """The state of the union repair set (both sides non-empty)."""
+        raise NotImplementedError
+
+    @classmethod
+    def union(cls, states: Sequence["SummaryState"], direction: str) -> "SummaryState":
+        """The state of the union of alternative achievable-statistic sets."""
+        raise NotImplementedError
+
+    def resolve(self, direction: str) -> Fraction:
+        """The directional extremum this state summarises."""
+        raise NotImplementedError
+
+
+def _cross(o, a, b) -> Fraction:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def _avg_hull(
+    points, direction: str
+) -> Tuple[Tuple[Fraction, Fraction], ...]:
+    """Canonical directional hull chain of ``(count, sum)`` points.
+
+    ``glb`` keeps the lower convex hull (sum as a function of count),
+    ``lub`` the upper.  The extremum of ``sum/count`` over a point set is
+    attained at a vertex extremising ``sum - λ·count`` for some λ ∈ ℝ,
+    i.e. on that chain — so dropping interior and collinear points loses
+    nothing, and equal achievable sets canonicalise to equal chains.
+    """
+    lower = direction == "glb"
+    best: Dict[Fraction, Fraction] = {}
+    for count, total in points:
+        current = best.get(count)
+        if current is None or (total < current if lower else total > current):
+            best[count] = total
+    ordered = sorted(best.items())
+    chain: List[Tuple[Fraction, Fraction]] = []
+    for point in ordered:
+        while len(chain) >= 2:
+            turn = _cross(chain[-2], chain[-1], point)
+            if (turn <= 0) if lower else (turn >= 0):
+                chain.pop()
+            else:
+                break
+        chain.append(point)
+    return tuple(chain)
+
+
+@dataclass(frozen=True)
+class AvgState(SummaryState):
+    """Directional hull of the achievable ``(count, sum)`` pairs of one side.
+
+    Counts and sums add across independent shards, so the achievable pairs
+    of a union are the Minkowski sum of the per-shard sets — and the hull of
+    a Minkowski sum is the hull of the pairwise sums of hull vertices.
+    Every point stems from a repair with at least one embedding, so counts
+    are ≥ 1 and ``resolve`` never divides by zero.
+    """
+
+    points: Tuple[Tuple[Fraction, Fraction], ...]
+
+    @classmethod
+    def of_points(cls, points, direction: str) -> "AvgState":
+        return cls(_avg_hull(points, direction))
+
+    def merge(self, other: "AvgState", direction: str) -> "AvgState":
+        summed = [
+            (c1 + c2, s1 + s2)
+            for c1, s1 in self.points
+            for c2, s2 in other.points
+        ]
+        return AvgState(_avg_hull(summed, direction))
+
+    @classmethod
+    def union(cls, states: Sequence["AvgState"], direction: str) -> "AvgState":
+        pooled = [point for state in states for point in state.points]
+        return cls(_avg_hull(pooled, direction))
+
+    def resolve(self, direction: str) -> Fraction:
+        ratios = [total / count for count, total in self.points]
+        return min(ratios) if direction == "glb" else max(ratios)
+
+
+@dataclass(frozen=True)
+class ProductState(SummaryState):
+    """Achievable-product interval of one side's non-empty repairs.
+
+    The product over a union repair is the product of the sides' products —
+    bilinear in them — so the extrema over ``{p·q}`` are attained at
+    endpoint pairs and both endpoints stay achievable.  The state is
+    direction-independent: glb resolves to ``lo``, lub to ``hi``.
+    """
+
+    lo: Fraction
+    hi: Fraction
+
+    def merge(self, other: "ProductState", direction: str) -> "ProductState":
+        corners = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return ProductState(min(corners), max(corners))
+
+    @classmethod
+    def union(cls, states: Sequence["ProductState"], direction: str) -> "ProductState":
+        return cls(min(s.lo for s in states), max(s.hi for s in states))
+
+    def resolve(self, direction: str) -> Fraction:
+        return self.lo if direction == "glb" else self.hi
+
+
+def _canonical_family(family) -> Tuple[Tuple[Constant, ...], ...]:
+    """Deterministic tuple form of a family of value sets (pickle/equality)."""
+    return tuple(
+        sorted((tuple(sorted(s, key=repr)) for s in family), key=repr)
+    )
+
+
+@dataclass(frozen=True)
+class CountDistinctState(SummaryState):
+    """Family of achievable distinct-value sets of one side.
+
+    A union repair's distinct set is the union of the sides' sets, so the
+    merge takes pairwise unions.  The family is then pruned to its
+    domination antichain: a set whose every extra element can only push the
+    measure the wrong way is dropped (for COUNT, any proper superset for
+    glb / subset for lub).  Domination survives union with any other set,
+    so pruned merges of pruned states equal the pruned full family — merge
+    order cannot be observed.
+    """
+
+    sets: Tuple[Tuple[Constant, ...], ...]
+
+    @classmethod
+    def of_families(cls, families, direction: str):
+        pruned = cls._prune({frozenset(s) for s in families}, direction)
+        return cls(_canonical_family(pruned))
+
+    @staticmethod
+    def _droppable(candidate: frozenset, other: frozenset, direction: str) -> bool:
+        return other < candidate if direction == "glb" else other > candidate
+
+    @classmethod
+    def _prune(cls, family, direction: str):
+        return {
+            candidate
+            for candidate in family
+            if not any(
+                cls._droppable(candidate, other, direction) for other in family
+            )
+        }
+
+    @staticmethod
+    def _measure(values: frozenset) -> Fraction:
+        return Fraction(len(values))
+
+    def _families(self) -> List[frozenset]:
+        return [frozenset(s) for s in self.sets]
+
+    def merge(self, other: "CountDistinctState", direction: str):
+        unions = {a | b for a in self._families() for b in other._families()}
+        return type(self).of_families(unions, direction)
+
+    @classmethod
+    def union(cls, states, direction: str):
+        pooled = [family for state in states for family in state._families()]
+        return cls.of_families(pooled, direction)
+
+    def resolve(self, direction: str) -> Fraction:
+        measures = [self._measure(s) for s in self._families()]
+        return min(measures) if direction == "glb" else max(measures)
+
+
+@dataclass(frozen=True)
+class SumDistinctState(CountDistinctState):
+    """The DISTINCT-family state measured by SUM instead of COUNT.
+
+    Superset domination is only sound when the extra elements cannot lower
+    (glb) / raise (lub) the sum, so pruning is guarded element-wise by
+    non-negativity — with negative values present the family is simply kept
+    whole, which stays exact.
+    """
+
+    @staticmethod
+    def _droppable(candidate: frozenset, other: frozenset, direction: str) -> bool:
+        if direction == "glb":
+            return other < candidate and all(v >= 0 for v in candidate - other)
+        return candidate < other and all(v >= 0 for v in other - candidate)
+
+    @staticmethod
+    def _measure(values: frozenset) -> Fraction:
+        return sum(values, Fraction(0))
+
+
+#: Aggregates merged through :class:`SummaryState`s rather than scalars.
+_SUMMARY_STATES: Dict[str, type] = {
+    "AVG": AvgState,
+    "PRODUCT": ProductState,
+    "COUNT_DISTINCT": CountDistinctState,
+    "SUM_DISTINCT": SumDistinctState,
+}
+
+SUMMARY_AGGREGATES: Tuple[str, ...] = tuple(sorted(_SUMMARY_STATES))
+
 #: Aggregates the sharded executor can merge exactly.
-SHARDABLE_AGGREGATES: Tuple[str, ...] = tuple(sorted(_COMBINE))
+SHARDABLE_AGGREGATES: Tuple[str, ...] = tuple(
+    sorted(set(_COMBINE) | set(_SUMMARY_STATES))
+)
 
 
 # -- per-shard summaries and merge operators --------------------------------------------
+
+
+#: What a shard carries per direction: a scalar extremum for the aggregates
+#: of the :data:`_COMBINE` table, a :class:`SummaryState` for the rest.
+SummaryValue = object
 
 
 @dataclass(frozen=True)
@@ -102,14 +372,16 @@ class DirectionSummary:
     """What one shard contributes to one direction (glb or lub).
 
     ``certain`` — every repair of the shard embeds the query body at least
-    once (local certainty).  ``value`` — the directional extremum of the
-    aggregate over the shard's repairs that have at least one embedding
-    (``None`` when no repair has any: the shard is irrelevant to the query
-    and behaves as the merge identity).
+    once (local certainty).  ``value`` — for scalar aggregates, the
+    directional extremum of the aggregate over the shard's repairs that
+    have at least one embedding; for summary aggregates, the
+    :class:`SummaryState` of those repairs' statistics.  ``None`` when no
+    repair has any embedding: the shard is irrelevant to the query and
+    behaves as the merge identity.
     """
 
     certain: bool
-    value: Optional[Fraction]
+    value: Optional[SummaryValue]
 
 
 #: The summary of the empty shard: never certain, no non-empty repair.
@@ -129,15 +401,30 @@ class ShardAnswer:
 SHARD_ANSWER_IDENTITY = ShardAnswer(SHARD_IDENTITY, SHARD_IDENTITY)
 
 
-def combine_values(aggregate: str, a: Fraction, b: Fraction) -> Fraction:
-    """The value of a union repair from two non-empty per-shard values."""
-    try:
-        return _COMBINE[aggregate.upper()](a, b)
-    except KeyError:
-        raise BackendError(
-            f"aggregate {aggregate!r} has no shard-merge operator; shardable "
-            f"aggregates: {list(SHARDABLE_AGGREGATES)}"
-        ) from None
+def combine_values(
+    aggregate: str, a: SummaryValue, b: SummaryValue, direction: Optional[str] = None
+) -> SummaryValue:
+    """The value of a union repair from two non-empty per-shard values.
+
+    Scalar aggregates combine :class:`Fraction`s through the monotone
+    operator table; summary aggregates combine their
+    :class:`SummaryState`s (``direction`` tells direction-specific states —
+    the AVG hull, the DISTINCT antichain — which way to canonicalise).
+    """
+    canonical = _canonical_aggregate(aggregate)
+    scalar = _COMBINE.get(canonical)
+    if scalar is not None:
+        return scalar(a, b)
+    if canonical in _SUMMARY_STATES and isinstance(a, SummaryState):
+        if direction is None:
+            raise ValueError(
+                f"combining {canonical} summary states requires a direction"
+            )
+        return a.merge(b, direction)
+    raise BackendError(
+        f"aggregate {aggregate!r} has no shard-merge operator; shardable "
+        f"aggregates: {list(SHARDABLE_AGGREGATES)}"
+    )
 
 
 def merge_direction(
@@ -154,15 +441,19 @@ def merge_direction(
     """
     if direction not in ("glb", "lub"):
         raise ValueError("direction must be 'glb' or 'lub'")
-    candidates: List[Fraction] = []
+    candidates: List[SummaryValue] = []
     if a.value is not None and b.value is not None:
-        candidates.append(combine_values(aggregate, a.value, b.value))
+        candidates.append(combine_values(aggregate, a.value, b.value, direction))
     if a.value is not None and not b.certain:
         candidates.append(a.value)
     if b.value is not None and not a.certain:
         candidates.append(b.value)
     if not candidates:
-        value: Optional[Fraction] = None
+        value: Optional[SummaryValue] = None
+    elif isinstance(candidates[0], SummaryState):
+        # The feasible cases are alternative achievable-statistic sets; the
+        # union state extremises over all of them at resolve time.
+        value = type(candidates[0]).union(candidates, direction)
     else:
         value = min(candidates) if direction == "glb" else max(candidates)
     return DirectionSummary(certain=a.certain or b.certain, value=value)
@@ -204,12 +495,17 @@ def finalize_answer(merged: ShardAnswer) -> RangeAnswer:
 
     The answer is ⊥ exactly when no shard was locally certain — which, for
     a block- and embedding-closed partition, is exactly when the full
-    instance's body is not certain.
+    instance's body is not certain.  Summary states resolve to their
+    directional extremum here, after the last merge.
     """
     glb = merged.glb.value if merged.glb.certain else BOTTOM
     lub = merged.lub.value if merged.lub.certain else BOTTOM
     if glb is None or lub is None:  # certain yet valueless: impossible
         return RangeAnswer(BOTTOM, BOTTOM)
+    if isinstance(glb, SummaryState):
+        glb = glb.resolve("glb")
+    if isinstance(lub, SummaryState):
+        lub = lub.resolve("lub")
     return RangeAnswer(glb, lub)
 
 
@@ -310,13 +606,14 @@ class ShardPlanner:
     def fallback_reason(query: AggregationQuery) -> Optional[str]:
         """Why ``query`` cannot be sharded, or ``None`` when it can.
 
-        Two conditions: the aggregate must have a monotone combine over
-        disjoint unions, and the body's join graph must be connected —
-        a cartesian product pairs embeddings *across* any fact partition,
-        so no block-closed partition is embedding-closed for it.
+        Two conditions: the aggregate must merge over disjoint unions —
+        via the scalar combine table or a :class:`SummaryState` — and the
+        body's join graph must be connected: a cartesian product pairs
+        embeddings *across* any fact partition, so no block-closed
+        partition is embedding-closed for it.
         """
-        aggregate = query.aggregate
-        if aggregate not in _COMBINE:
+        aggregate = _canonical_aggregate(query.aggregate)
+        if aggregate not in _COMBINE and aggregate not in _SUMMARY_STATES:
             return (
                 f"aggregate {aggregate} does not merge over disjoint unions "
                 f"(shardable: {list(SHARDABLE_AGGREGATES)})"
@@ -381,15 +678,12 @@ class ShardPlanner:
 
     @staticmethod
     def _blocks_of(instance: DatabaseInstance) -> Dict[BlockKey, List[Fact]]:
-        schema = instance.schema
-        key_sizes = {
-            fact_relation: schema.relation(fact_relation).key_size
-            for fact_relation in instance.relation_names()
-        }
-        blocks: Dict[BlockKey, List[Fact]] = defaultdict(list)
-        for fact in sorted(instance, key=repr):
-            blocks[(fact.relation, fact.key(key_sizes[fact.relation]))].append(fact)
-        return blocks
+        # The instance's block index already groups facts; its memoised
+        # deterministic ordering replaces the former whole-instance
+        # ``sorted(instance, key=repr)`` (which re-sorted every fact on
+        # every plan — see the microbench note in README's sharding
+        # section).
+        return {key: list(facts) for key, facts in instance.block_items()}
 
     def _components(
         self,
@@ -547,6 +841,69 @@ def clear_shard_plan_cache() -> None:
 # -- per-shard summarisation ------------------------------------------------------------
 
 
+def _needs_summary_state(aggregate: str) -> bool:
+    return _canonical_aggregate(aggregate) in _SUMMARY_STATES
+
+
+def _summary_shard_answer(
+    query: AggregationQuery, shard: DatabaseInstance, binding: Binding
+) -> ShardAnswer:
+    """Summarise one shard of a summary aggregate (AVG/PRODUCT/DISTINCT).
+
+    The shard's repairs are enumerated through the exact solver's block
+    decomposition — exponential in the shard's relevant inconsistent blocks
+    only, which is the cost reduction sharding exists for — and each
+    non-empty repair's value multiset is folded into the aggregate's
+    :class:`SummaryState`.  The plan's executors are bypassed: their scalar
+    glb/lub would discard exactly the intermediate statistics the merge
+    needs.
+    """
+    canonical = _canonical_aggregate(query.aggregate)
+    solver = BranchAndBoundSolver(query)
+    certain = solver.body_certain(shard, binding)
+    glb_value: Optional[SummaryState] = None
+    lub_value: Optional[SummaryState] = None
+    if canonical == "AVG":
+        points = set()
+        for values in solver.repair_value_multisets(shard, binding):
+            fractions = [as_fraction(v) for v in values]
+            points.add((Fraction(len(fractions)), sum(fractions, Fraction(0))))
+        if points:
+            add_cost("summary_states", len(points))
+            glb_value = AvgState.of_points(points, "glb")
+            lub_value = AvgState.of_points(points, "lub")
+    elif canonical == "PRODUCT":
+        lo: Optional[Fraction] = None
+        hi: Optional[Fraction] = None
+        for values in solver.repair_value_multisets(shard, binding):
+            product = Fraction(1)
+            for value in values:
+                product *= as_fraction(value)
+            if lo is None or product < lo:
+                lo = product
+            if hi is None or product > hi:
+                hi = product
+        if lo is not None and hi is not None:
+            add_cost("summary_states", 1)
+            glb_value = lub_value = ProductState(lo, hi)
+    else:  # the DISTINCT family
+        state_cls = _SUMMARY_STATES[canonical]
+        numeric = canonical == "SUM_DISTINCT"
+        families = set()
+        for values in solver.repair_value_multisets(shard, binding):
+            if numeric:
+                values = [as_fraction(v) for v in values]
+            families.add(frozenset(values))
+        if families:
+            add_cost("summary_states", len(families))
+            glb_value = state_cls.of_families(families, "glb")
+            lub_value = state_cls.of_families(families, "lub")
+    return ShardAnswer(
+        glb=DirectionSummary(certain=certain, value=glb_value),
+        lub=DirectionSummary(certain=certain, value=lub_value),
+    )
+
+
 def summarize_shard(
     plan: QueryPlan, shard: DatabaseInstance, binding: Optional[Binding] = None
 ) -> ShardAnswer:
@@ -555,9 +912,13 @@ def summarize_shard(
     Locally certain shards are summarised by the compiled plan's own
     executors (each backend exercises its normal code path); locally
     uncertain shards need the empty-repair-aware extremum, which only the
-    exact solver provides.
+    exact solver provides.  Summary aggregates always take the state
+    enumeration path — no backend's scalar executor retains what their
+    merge needs.
     """
     binding = dict(binding or {})
+    if _needs_summary_state(plan.query.aggregate):
+        return _summary_shard_answer(plan.query, shard, binding)
     glb = plan.executors["glb"].evaluate(shard, binding)
     lub = plan.executors["lub"].evaluate(shard, binding)
     if glb is BOTTOM or lub is BOTTOM:
@@ -604,6 +965,11 @@ def summarize_shard_groups(
         {v.name: value for v, value in zip(free, candidate)}
         for candidate in candidates
     ]
+    if _needs_summary_state(plan.query.aggregate):
+        return {
+            candidate: _summary_shard_answer(plan.query, shard, binding)
+            for candidate, binding in zip(candidates, bindings)
+        }
     glbs = plan.executors["glb"].evaluate_many(shard, bindings)
     lubs = plan.executors["lub"].evaluate_many(shard, bindings)
     summaries: Dict[GroupKey, ShardAnswer] = {}
@@ -627,15 +993,23 @@ def _shard_worker(
     shard: DatabaseInstance,
     binding: Optional[Binding],
     grouped: bool,
+    deadline: Optional[float] = None,
 ):
-    """Process-pool entry point: rebuild the engine, summarise one shard."""
+    """Process-pool entry point: rebuild the engine, summarise one shard.
+
+    The request deadline rides the payload (a parent-side ``cancel()``
+    cannot reach a forked child) so an abandoned request's shards stop
+    before summarising rather than after.
+    """
     from repro.engine.engine import ConsistentAnswerEngine
 
     engine = ConsistentAnswerEngine(**config)
-    plan = engine.compile(query)
-    if grouped:
-        return summarize_shard_groups(plan, shard)
-    return summarize_shard(plan, shard, binding)
+    with token_scope(deadline_token(deadline)):
+        check_cancelled()
+        plan = engine.compile(query)
+        if grouped:
+            return summarize_shard_groups(plan, shard)
+        return summarize_shard(plan, shard, binding)
 
 
 def _parallel_summaries(
@@ -654,9 +1028,10 @@ def _parallel_summaries(
     default — unless the deployment accepts that risk)."""
     from repro.engine.batch import run_in_fork_pool
 
+    deadline = active_deadline()
     return run_in_fork_pool(
         _shard_worker,
-        [(config, query, shard, binding, grouped) for shard in shards],
+        [(config, query, shard, binding, grouped, deadline) for shard in shards],
         workers,
     )
 
@@ -758,6 +1133,9 @@ def execute_sharded(
     if summaries is None:  # serial path (requested, or pool unavailable)
         summaries = []
         for index, shard in enumerate(shard_plan.shards):
+            # Shard boundaries are the sharded executor's cancellation
+            # points: an abandoned request stops before its next shard.
+            check_cancelled()
             with obs_span("shard.summarize", shard=index, facts=len(shard)):
                 add_cost("facts_scanned", len(shard))
                 summaries.append(

@@ -56,6 +56,12 @@ from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datamodel.instance import DatabaseInstance
+from repro.engine.cancellation import (
+    active_deadline,
+    check_cancelled,
+    deadline_token,
+    token_scope,
+)
 from repro.exceptions import ReproError
 from repro.obs.cost import add_cost
 from repro.obs.log import get_logger
@@ -64,6 +70,13 @@ from repro.query.aggregation import AggregationQuery
 from repro.util import stable_hash_64
 
 _LOG = get_logger("workers")
+
+
+#: Job kinds an abandoned request may cancel.  Bookkeeping jobs
+#: ("invalidate", "ping") must run even when submitted from a request whose
+#: deadline just expired — a skipped invalidation would leave a worker
+#: serving a stale resident instance long after the request is gone.
+_CANCELLABLE_KINDS = frozenset({"answer", "chunk", "shards"})
 
 
 class WorkerPoolError(ReproError):
@@ -238,6 +251,7 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
                 )
             summaries = []
             for index in indices:
+                check_cancelled()
                 shard = shard_plan.shards[index]
                 with obs_span("shard.summarize", shard=index, facts=len(shard)):
                     add_cost("facts_scanned", len(shard))
@@ -268,14 +282,19 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
             break
         if job is None:
             break
-        job_id, kind, payload, trace_ctx = job
+        job_id, kind, payload, trace_ctx, deadline = job
         # The worker's spans hang off a local root parented on the span id
         # shipped with the job; the finished tree rides the result message
         # back and is re-parented under the dispatching span client-side.
         root_span = None
         try:
             with remote_root(f"worker.{kind}", trace_ctx, worker=worker_id) as root_span:
-                result = handle(kind, payload)
+                # A deadline-only token: the parent's cancel flag cannot
+                # reach this process, but the monotonic clock is
+                # system-wide, so expiry is observed here all the same.
+                with token_scope(deadline_token(deadline)):
+                    check_cancelled()
+                    result = handle(kind, payload)
             counters["jobs"] += 1
             message = (
                 job_id,
@@ -312,6 +331,10 @@ class _PendingJob:
     worker_index: int
     generation: int
     attempts: int = 0
+    #: ``time.monotonic`` deadline of the dispatching request, shipped with
+    #: the job so the worker process self-aborts once the client is gone
+    #: (the parent's cancel flag cannot cross the process boundary).
+    deadline: Optional[float] = None
     #: The dispatching span worker-side spans re-parent under (or None).
     parent_span: Optional[object] = None
 
@@ -751,6 +774,7 @@ class WorkerPool:
                 worker_index=handle.index,
                 generation=handle.generation,
                 parent_span=parent_span,
+                deadline=active_deadline() if kind in _CANCELLABLE_KINDS else None,
             )
             self._pending[job_id] = job
             self._jobs_submitted += 1
@@ -761,7 +785,7 @@ class WorkerPool:
         try:
             with handle.send_lock:
                 handle.job_conn.send(
-                    (job.job_id, job.kind, job.payload, job.trace_ctx)
+                    (job.job_id, job.kind, job.payload, job.trace_ctx, job.deadline)
                 )
         except (BrokenPipeError, OSError):
             # The worker died before (or while) receiving the job; the

@@ -4,8 +4,8 @@ Spans already time every phase of a request; this module adds *cost*:
 
 * :func:`add_cost` accumulates domain counters (``facts_scanned``,
   ``blocks_touched``, ``repairs_expanded``, ``shard_fallbacks``,
-  ``store_fsyncs``) on the active span — one dict update at sites that
-  already open spans, no new wiring;
+  ``store_fsyncs``, ``summary_states``) on the active span — one dict
+  update at sites that already open spans, no new wiring;
 * :func:`rollup` folds a finished trace tree into one cost record:
   counters sum across all spans, CPU sums *without double counting* — a
   span's thread-CPU clock already includes its same-thread descendants, so
@@ -32,6 +32,7 @@ DOMAIN_COUNTERS = (
     "repairs_expanded",
     "shard_fallbacks",
     "store_fsyncs",
+    "summary_states",
 )
 
 

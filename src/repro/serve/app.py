@@ -74,6 +74,7 @@ from repro.engine import (
     shard_plan_cache_stats,
     sql_memo_stats,
 )
+from repro.engine.cancellation import CancelToken, JobCancelledError, token_scope
 from repro.exceptions import (
     BackendError,
     ParseError,
@@ -810,7 +811,10 @@ class ConsistentAnswerServer:
         try:
             payload_in = loads(request.body)
             status, payload = await handler(payload_in, *handler_args)
-        except asyncio.TimeoutError:
+        except (asyncio.TimeoutError, JobCancelledError):
+            # JobCancelledError is the same deadline observed from the other
+            # side: the job's own token expired at a cancellation point just
+            # before the event-loop timer fired.
             status = 504
             payload = error_body(
                 "Timeout",
@@ -840,8 +844,11 @@ class ConsistentAnswerServer:
 
         ``asyncio.wait_for`` would block until a *running* executor job
         finishes (thread futures do not cancel), so the timeout is enforced
-        with ``asyncio.wait``: the client gets its 504 immediately and the
-        worker thread finishes (and warms caches) in the background.
+        with ``asyncio.wait``: the client gets its 504 immediately while a
+        :class:`~repro.engine.cancellation.CancelToken` — installed in the
+        job's context with the request deadline, and flipped here on
+        timeout — makes the abandoned job stop cooperatively at its next
+        batch-item or shard boundary instead of computing to completion.
 
         The gate slot is released when the *job* completes, not when the
         request does — a timed-out request whose thread is still computing
@@ -856,10 +863,18 @@ class ConsistentAnswerServer:
         loop = asyncio.get_running_loop()
         # contextvars do not flow into executor threads on their own; the
         # copied context carries the active span so engine/store spans land
-        # under this request's trace.
+        # under this request's trace, plus the cancel token governing the
+        # job (the deadline also rides fan-out payloads into worker
+        # processes, which the parent-side cancel flag cannot reach).
+        token = CancelToken(deadline=time.monotonic() + timeout_s)
+
+        def run_with_token():
+            with token_scope(token):
+                return fn()
+
         context = contextvars.copy_context()
         try:
-            job = self._executor.submit(context.run, fn)
+            job = self._executor.submit(context.run, run_with_token)
         except BaseException:
             self.gate.release()
             raise
@@ -871,7 +886,13 @@ class ConsistentAnswerServer:
         future = asyncio.wrap_future(job, loop=loop)
         done, _pending = await asyncio.wait({future}, timeout=timeout_s)
         if not done:
-            job.cancel()  # drops the job if it has not started yet
+            token.cancel()  # running job stops at its next cancellation point
+            if not job.cancel():  # drops the job if it has not started yet
+                REGISTRY.counter(
+                    "repro_jobs_abandoned_total",
+                    "Engine jobs whose client timed out (504) while the job "
+                    "was still running; the job is cancelled cooperatively.",
+                ).inc()
             # Consume any late failure so it never logs as unretrieved.
             future.add_done_callback(lambda f: f.cancelled() or f.exception())
             raise asyncio.TimeoutError

@@ -1,12 +1,13 @@
 """SQL rewriting backend: compile rewritings to SQL and run them on sqlite3."""
 
-from repro.sql.dialect import quote_identifier, sql_literal
+from repro.sql.dialect import quote_identifier, sql_comparison, sql_literal
 from repro.sql.compiler import FormulaSqlCompiler
 from repro.sql.generator import SqlRewritingGenerator, GeneratedSql
 from repro.sql.backend import SqliteBackend
 
 __all__ = [
     "quote_identifier",
+    "sql_comparison",
     "sql_literal",
     "FormulaSqlCompiler",
     "SqlRewritingGenerator",

@@ -35,7 +35,12 @@ from repro.fol.syntax import (
 )
 from repro.query.atom import Atom
 from repro.query.terms import Variable, is_variable
-from repro.sql.dialect import quote_identifier, sql_literal
+from repro.sql.dialect import (
+    mirror_operator,
+    quote_identifier,
+    sql_comparison,
+    sql_literal,
+)
 
 Scope = Dict[str, str]
 
@@ -177,7 +182,7 @@ class FormulaSqlCompiler:
                     # binding (happens for guards repeating outer atoms).
                     new_scope[term.name] = column
             else:
-                conditions.append(f"{column} = {sql_literal(term)}")
+                conditions.append(sql_comparison(column, "=", term))
         return new_scope, conditions
 
     # -- leaves -------------------------------------------------------------------------------
@@ -189,7 +194,10 @@ class FormulaSqlCompiler:
         conditions = []
         for position, term in enumerate(atom.terms):
             column = f"{alias}.{quote_identifier(attribute_names[position])}"
-            conditions.append(f"{column} = {self._term_sql(term, scope)}")
+            if is_variable(term):
+                conditions.append(f"{column} = {self._term_sql(term, scope)}")
+            else:
+                conditions.append(sql_comparison(column, "=", term))
         table = quote_identifier(atom.relation)
         where = " AND ".join(conditions) if conditions else "1 = 1"
         return f"EXISTS (SELECT 1 FROM {table} AS {alias} WHERE {where})"
@@ -198,9 +206,32 @@ class FormulaSqlCompiler:
         operator = "=" if comparison.operator == "=" else comparison.operator
         if operator == "!=":
             operator = "<>"
+        # Constant sides go through the exactness-preserving translation:
+        # rationals without an exact SQL form need the comparison, not the
+        # literal, to be compiled.
+        right_value = self._constant_value(comparison.right)
+        if right_value is not None:
+            return sql_comparison(
+                self._term_sql(comparison.left, scope), operator, right_value
+            )
+        left_value = self._constant_value(comparison.left)
+        if left_value is not None:
+            return sql_comparison(
+                self._term_sql(comparison.right, scope),
+                mirror_operator(operator),
+                left_value,
+            )
         left = self._term_sql(comparison.left, scope)
         right = self._term_sql(comparison.right, scope)
         return f"{left} {operator} {right}"
+
+    @staticmethod
+    def _constant_value(term):
+        if isinstance(term, NumericalConstant):
+            return term.value
+        if isinstance(term, (NumericalVariable,)) or is_variable(term):
+            return None
+        return term
 
     def _term_sql(self, term, scope: Scope) -> str:
         if isinstance(term, NumericalConstant):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.datamodel.facts import Constant, is_numeric_constant
+from repro.exceptions import BackendError
 
 #: Aggregate symbols that map directly onto SQL aggregate functions.
 SQL_AGGREGATES = {
@@ -31,17 +32,88 @@ def quote_identifier(name: str) -> str:
 
 
 def sql_literal(value: Constant) -> str:
-    """Render a Python constant as a SQL literal."""
+    """Render a Python constant as a SQL literal, exactly.
+
+    Rationals are emitted only when the SQL value round-trips: integers as
+    INTEGER literals, dyadic fractions as the REAL literal that parses back
+    to the very same value.  A rational with no exact SQL representation
+    (1/3, …) raises :class:`BackendError` instead of silently emitting a
+    nearby float — conditions against such values go through
+    :func:`sql_comparison`, which compiles them exactly.
+    """
     if isinstance(value, bool):
         return "1" if value else "0"
     if isinstance(value, Fraction):
         if value.denominator == 1:
             return str(value.numerator)
-        return repr(float(value))
+        try:
+            as_float = float(value)
+        except OverflowError:
+            as_float = None
+        if as_float is None or Fraction(as_float) != value:
+            raise BackendError(
+                f"rational {value} has no exact SQL representation; the SQL "
+                "backend refuses to approximate (the exact evaluators would "
+                "disagree) — conditions can use sql_comparison() instead"
+            )
+        return repr(as_float)
     if is_numeric_constant(value):
         return repr(value)
     escaped = str(value).replace("'", "''")
     return f"'{escaped}'"
+
+
+_MIRRORED_OPERATORS = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def mirror_operator(operator: str) -> str:
+    """The operator for swapped operands: ``a < b`` ⟺ ``b > a``."""
+    try:
+        return _MIRRORED_OPERATORS["<>" if operator == "!=" else operator]
+    except KeyError as exc:
+        raise BackendError(f"unsupported SQL comparison operator {operator!r}") from exc
+
+
+def sql_comparison(column: str, operator: str, value: Constant) -> str:
+    """Compile ``column <operator> value`` exactly, even for 1/3-like rationals.
+
+    Every number the backend stores is exactly an SQL INTEGER or REAL
+    (``load_instance`` rejects the rest), so a rational with no exact SQL
+    form can never *equal* a stored value, and its order relative to stored
+    values is decided by the nearest float and its rounding direction.  That
+    turns the lossy ``column = 0.3333…`` (which false-matches the stored
+    float) into a constant-false condition, and ``column < 1/3`` into the
+    float comparison with the exact-faithful strictness.
+    """
+    if operator == "!=":
+        operator = "<>"
+    if operator not in _MIRRORED_OPERATORS:
+        raise BackendError(f"unsupported SQL comparison operator {operator!r}")
+    if not isinstance(value, Fraction):
+        return f"{column} {operator} {sql_literal(value)}"
+    try:
+        nearest = float(value)
+        drift = (Fraction(nearest) > value) - (Fraction(nearest) < value)
+    except OverflowError:
+        nearest = None
+        drift = -1 if value > 0 else 1  # beyond the float range on that side
+    if drift == 0:
+        return f"{column} {operator} {sql_literal(value)}"
+    if operator == "=":
+        return "1 = 0"
+    if operator == "<>":
+        return "1 = 1"
+    if nearest is None:
+        # value sits beyond every storable number on one side.
+        below = value > 0  # every stored number is below value
+        wants_smaller = operator in ("<", "<=")
+        return "1 = 1" if below == wants_smaller else "1 = 0"
+    literal = repr(nearest)
+    if operator in ("<", "<="):
+        # No stored number equals value, so < and <= coincide; the nearest
+        # float is included exactly when it rounded down (drift < 0).
+        return f"{column} {'<=' if drift < 0 else '<'} {literal}"
+    return f"{column} {'>' if drift < 0 else '>='} {literal}"
 
 
 def sql_aggregate_function(aggregate: str) -> str:

@@ -35,7 +35,12 @@ from repro.query.aggregation import AggregationQuery
 from repro.query.atom import Atom
 from repro.query.terms import is_variable
 from repro.sql.compiler import FormulaSqlCompiler
-from repro.sql.dialect import quote_identifier, sql_aggregate_function, sql_literal
+from repro.sql.dialect import (
+    quote_identifier,
+    sql_aggregate_function,
+    sql_comparison,
+    sql_literal,
+)
 
 
 @dataclass(frozen=True)
@@ -119,7 +124,7 @@ class SqlRewritingGenerator:
                     if self._columns[term.name] != column:
                         conditions.append(f"{column} = {self._columns[term.name]}")
                 else:
-                    conditions.append(f"{column} = {sql_literal(term)}")
+                    conditions.append(sql_comparison(column, "=", term))
         return conditions
 
     def _from_clause(self) -> str:

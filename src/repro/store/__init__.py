@@ -22,6 +22,8 @@ from repro.store.log import (
 )
 from repro.store.store import (
     InstanceStore,
+    SnapshotCorruptionError,
+    SnapshotCorruptionWarning,
     StoredInstance,
     StoreSnapshot,
     UnknownStoreInstanceError,
@@ -33,6 +35,8 @@ __all__ = [
     "LogCorruptionWarning",
     "LogRecord",
     "RECORD_KINDS",
+    "SnapshotCorruptionError",
+    "SnapshotCorruptionWarning",
     "StoreError",
     "StoredInstance",
     "StoreSnapshot",

@@ -6,13 +6,16 @@ filesystem-safe slug; the real name lives in ``meta.json``)::
     <root>/
       <slug>/
         meta.json       {"name": ..., "format": 1}
-        snapshot.pkl    pickle of StoreSnapshot (atomic-rename, fsync'd)
+        snapshot.pkl    pickle of StoreSnapshot + CRC trailer (atomic-rename)
         facts.log       append-only mutation log (see repro.store.log)
 
 Durability contract:
 
 * **snapshots** are written to a temp file, fsync'd, and atomically renamed
   into place (readers always see a complete snapshot or the previous one);
+  the file ends in a CRC32 trailer that every open verifies — a snapshot
+  corrupted at rest is detected and the state is rebuilt from the log's
+  ``replace`` records instead of served silently wrong;
 * **mutations** append checksummed, fsync'd records to the log *before*
   they become visible to readers — a crash loses at most the record being
   written, and a torn tail truncates with a warning on the next open;
@@ -38,9 +41,11 @@ import os
 import pickle
 import re
 import shutil
+import struct
 import threading
 import time
 import warnings
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,9 +67,29 @@ _SNAPSHOT = "snapshot.pkl"
 _LOG = "facts.log"
 _META = "meta.json"
 
+# Snapshot files carry a fixed-size CRC trailer *after* the pickle bytes:
+# ``pickle.load`` stops at the pickle's STOP opcode and ignores the tail, so
+# the worker pool's spool loader keeps reading snapshot files unchanged,
+# while the store itself verifies the checksum on every open.  A trailer
+# (rather than a sidecar file) keeps the write a single atomic rename — a
+# separate checksum file would reintroduce exactly the torn-pair crash
+# window the rename protocol exists to close.
+_CRC_MAGIC = b"RPSNAPC1"
+_CRC_TRAILER = len(_CRC_MAGIC) + 4
+
+_CORRUPT_HELP = "Snapshot files that failed CRC/unpickle verification on open."
+
 
 class UnknownStoreInstanceError(StoreError):
     """A store operation referenced a name with no on-disk state."""
+
+
+class SnapshotCorruptionError(StoreError):
+    """A snapshot file failed its CRC check (or did not unpickle)."""
+
+
+class SnapshotCorruptionWarning(UserWarning):
+    """A corrupt snapshot was detected; state was rebuilt from the log."""
 
 
 @dataclass(frozen=True)
@@ -208,8 +233,11 @@ class InstanceStore:
                     os.fsync(handle.fileno())
             final = os.path.join(directory, _SNAPSHOT)
             temp = final + ".tmp"
+            payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+            trailer = _CRC_MAGIC + struct.pack(">I", zlib.crc32(payload) & 0xFFFFFFFF)
             with open(temp, "wb") as handle:
-                pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(payload)
+                handle.write(trailer)
                 handle.flush()
                 started = time.perf_counter()
                 os.fsync(handle.fileno())
@@ -227,11 +255,28 @@ class InstanceStore:
         path = os.path.join(self._dir_of(name), _SNAPSHOT)
         try:
             with open(path, "rb") as handle:
-                snapshot = pickle.load(handle)
+                raw = handle.read()
         except FileNotFoundError:
             return None
-        except Exception as exc:  # noqa: BLE001 — surface, don't crash the boot
+        except OSError as exc:
             raise StoreError(f"cannot read snapshot for {name!r}: {exc}") from exc
+        if len(raw) > _CRC_TRAILER and raw[-_CRC_TRAILER:-4] == _CRC_MAGIC:
+            body = raw[:-_CRC_TRAILER]
+            (expected,) = struct.unpack(">I", raw[-4:])
+            if zlib.crc32(body) & 0xFFFFFFFF != expected:
+                raise SnapshotCorruptionError(
+                    f"snapshot for {name!r} failed its CRC check "
+                    f"(stored {expected:#010x}, computed "
+                    f"{zlib.crc32(body) & 0xFFFFFFFF:#010x})"
+                )
+        else:
+            body = raw  # pre-CRC snapshot: nothing to verify against
+        try:
+            snapshot = pickle.loads(body)
+        except Exception as exc:  # noqa: BLE001 — surface, don't crash the boot
+            raise SnapshotCorruptionError(
+                f"cannot read snapshot for {name!r}: {exc}"
+            ) from exc
         if not isinstance(snapshot, StoreSnapshot):
             raise StoreError(f"snapshot for {name!r} has unexpected payload type")
         return snapshot
@@ -398,7 +443,10 @@ class InstanceStore:
                 instance, version = stored.instance, stored.version
                 shards = stored.shards if shards is None else shards
             elif shards is None:
-                snapshot = self._read_snapshot(name)
+                try:
+                    snapshot = self._read_snapshot(name)
+                except SnapshotCorruptionError:
+                    snapshot = None  # compaction is about to overwrite it anyway
                 shards = snapshot.shards if snapshot is not None else 1
             self.save(name, instance, version=version, shards=shards)
             with self._meta_lock:
@@ -469,7 +517,13 @@ class InstanceStore:
             meta = self._meta.get(name)
         if meta is not None:
             return meta
-        snapshot = self._read_snapshot(name)
+        try:
+            snapshot = self._read_snapshot(name)
+        except SnapshotCorruptionError:
+            stored = self.load(name)  # log-only fallback; fills the cache
+            if stored is None:
+                return None
+            return (stored.version, stored.log_depth, stored.dropped)
         if snapshot is None:
             return None
         version, depth, is_dropped = snapshot.version, 0, False
@@ -491,7 +545,10 @@ class InstanceStore:
         Only *committed* batches replay (see :class:`~repro.store.log.LogRecord`).
         """
         with self._lock:
-            snapshot = self._read_snapshot(name)
+            try:
+                snapshot = self._read_snapshot(name)
+            except SnapshotCorruptionError as corruption:
+                return self._log_only_load(name, corruption)
             if snapshot is None:
                 return None
             instance = DatabaseInstance(snapshot.instance.schema, snapshot.instance)
@@ -523,6 +580,70 @@ class InstanceStore:
                 log_depth=depth,
                 dropped=dropped,
             )
+
+    def _log_only_load(self, name: str, corruption: StoreError) -> StoredInstance:
+        """Rebuild ``name`` from the fact log alone (corrupt snapshot).
+
+        The log's ``replace`` records carry full instances, so replay
+        restarts from the latest one and applies the mutations after it.
+        Mutations logged *before* any replacement applied to the lost
+        snapshot's base and cannot be recovered — they are counted and
+        warned about, not silently absorbed.  With no replacement record
+        in the log the state is unrecoverable and the corruption error
+        surfaces (callers on the boot path skip the instance).
+        """
+        REGISTRY.counter("repro_store_snapshot_corrupt_total", _CORRUPT_HELP).inc()
+        _OBSLOG.warning("snapshot_corrupt", instance=name, error=str(corruption))
+        batches = self._committed_replay(name, 0)
+        instance: Optional[DatabaseInstance] = None
+        shards = 1
+        version = 0
+        depth = 0
+        dropped = False
+        unrecoverable = 0
+        for batch in batches:
+            depth += len(batch)
+            version = batch[-1].version
+            for record in batch:
+                if record.kind == "replace":
+                    replacement, shards = record.data
+                    instance = DatabaseInstance(replacement.schema, replacement)
+                elif record.kind == "drop":
+                    dropped = True
+                elif instance is None:
+                    unrecoverable += 1
+                elif record.kind == "add_fact":
+                    instance.add_fact(record.data)
+                elif record.kind == "remove_fact":
+                    instance.discard_fact(record.data)
+        if instance is None:
+            raise StoreError(
+                f"snapshot for {name!r} is corrupt and the log holds no "
+                f"full replacement record to rebuild from"
+            ) from corruption
+        warnings.warn(
+            f"store instance {name!r}: snapshot failed verification "
+            f"({corruption}); state rebuilt from the log"
+            + (
+                f", dropping {unrecoverable} pre-replacement mutation(s) "
+                "that applied to the lost snapshot"
+                if unrecoverable
+                else ""
+            ),
+            SnapshotCorruptionWarning,
+            stacklevel=4,
+        )
+        with self._meta_lock:
+            self._meta[name] = (version, depth, dropped)
+        return StoredInstance(
+            name=name,
+            instance=instance,
+            fingerprint=_fingerprint(instance),
+            version=version,
+            shards=shards,
+            log_depth=depth,
+            dropped=dropped,
+        )
 
     def names(self) -> List[str]:
         """Every instance name with on-disk state (from the meta files)."""
@@ -556,7 +677,19 @@ class InstanceStore:
         loaded: Dict[str, StoredInstance] = {}
         with self._lock:
             for name in self.names():
-                stored = self.load(name)
+                try:
+                    stored = self.load(name)
+                except StoreError as exc:
+                    # One unrecoverable instance must not take down the
+                    # whole boot; it stays on disk for manual inspection.
+                    _OBSLOG.error("boot_skip_corrupt", instance=name, error=str(exc))
+                    warnings.warn(
+                        f"store instance {name!r} could not be reloaded and "
+                        f"was skipped: {exc}",
+                        SnapshotCorruptionWarning,
+                        stacklevel=2,
+                    )
+                    continue
                 if stored is None:
                     continue
                 if stored.dropped:

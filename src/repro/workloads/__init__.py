@@ -8,10 +8,15 @@ from repro.workloads.scenarios import (
     theorem79_gadget,
 )
 from repro.workloads.generators import (
+    AdversarialSpec,
     InconsistentDatabaseGenerator,
     WorkloadSpec,
+    adversarial_catalogue,
     derive_seed,
     generate_stock_workload,
+    near_total_inconsistency_instance,
+    power_law_block_instance,
+    wide_domain_distinct_instance,
 )
 from repro.workloads.queries import (
     stock_sum_query,
@@ -28,10 +33,15 @@ __all__ = [
     "fig3_running_example_schema",
     "fig3_running_example_instance",
     "theorem79_gadget",
+    "AdversarialSpec",
     "WorkloadSpec",
     "InconsistentDatabaseGenerator",
+    "adversarial_catalogue",
     "derive_seed",
     "generate_stock_workload",
+    "near_total_inconsistency_instance",
+    "power_law_block_instance",
+    "wide_domain_distinct_instance",
     "stock_sum_query",
     "stock_groupby_query",
     "stock_total_query",

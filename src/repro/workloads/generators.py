@@ -145,6 +145,134 @@ class InconsistentDatabaseGenerator:
         return instance
 
 
+# -- adversarial scenarios --------------------------------------------------------------
+#
+# The scalability workload above is deliberately benign: uniform block sizes,
+# modest inconsistency, a narrow quantity domain.  The summary-state merge
+# path (AVG / PRODUCT / COUNT_DISTINCT / SUM_DISTINCT) earns its keep on the
+# opposite terrain, so these generators produce the stress shapes the
+# sharding benchmarks and parity harness sweep:
+#
+# * power-law block sizes — a few huge blocks among many singletons, the
+#   worst case for balanced partitioning and per-shard repair enumeration;
+# * near-total inconsistency — (almost) every block conflicted, maximising
+#   per-repair variation and the size of achievable-statistic sets;
+# * wide value domains — conflicting facts rarely share values, the worst
+#   case for the DISTINCT antichain states (no cross-shard overlap to prune).
+
+
+@dataclass(frozen=True)
+class AdversarialSpec:
+    """Parameters of the adversarial Stock-like scenarios.
+
+    ``blocks`` counts Stock blocks; ``inconsistency`` is the fraction that
+    receive conflicting duplicates; ``alpha`` is the Pareto tail exponent
+    of the power-law block sizes (smaller = heavier tail); block sizes are
+    clamped to ``max_block_size`` so repair enumeration stays tractable;
+    ``value_domain`` is the size of the quantity domain (wide domains make
+    conflicting values almost surely distinct).
+    """
+
+    dealers: int = 12
+    products: int = 60
+    towns: int = 8
+    blocks: int = 160
+    inconsistency: float = 0.95
+    alpha: float = 1.6
+    max_block_size: int = 8
+    value_domain: int = 1_000_000
+    seed: int = 0
+
+
+def _stock_like(
+    spec: AdversarialSpec,
+    rng: random.Random,
+    block_size_of,
+    value_of,
+) -> DatabaseInstance:
+    """Shared scaffolding: Dealers plus ``spec.blocks`` Stock blocks.
+
+    ``block_size_of(rng) -> int`` sizes each inconsistent block;
+    ``value_of(rng) -> int`` draws one quantity.  Dealers stay consistent —
+    the adversarial pressure lives entirely in the Stock blocks the shard
+    planner partitions.
+    """
+    schema = InconsistentDatabaseGenerator(WorkloadSpec()).schema
+    instance = DatabaseInstance(schema)
+    towns = [f"town{i}" for i in range(spec.towns)]
+    products = [f"product{i}" for i in range(spec.products)]
+    for index in range(spec.dealers):
+        instance.add_row("Dealers", f"dealer{index}", rng.choice(towns))
+    pairs = [(p, t) for p in products for t in towns]
+    rng.shuffle(pairs)
+    for product, town in pairs[: min(spec.blocks, len(pairs))]:
+        size = 1
+        if rng.random() < spec.inconsistency:
+            size = max(2, block_size_of(rng))
+        values: set = set()
+        while len(values) < size:
+            values.add(value_of(rng))
+        for value in values:
+            instance.add_row("Stock", product, town, value)
+    return instance
+
+
+def power_law_block_instance(
+    spec: AdversarialSpec = AdversarialSpec(), seed: Optional[int] = None
+) -> DatabaseInstance:
+    """Stock blocks with Pareto-tailed sizes: many pairs, a few pile-ups."""
+    actual = spec if seed is None else replace(spec, seed=seed)
+    rng = random.Random(derive_seed(actual.seed, "power_law"))
+
+    def block_size(r: random.Random) -> int:
+        drawn = int(r.paretovariate(actual.alpha)) + 1
+        return min(actual.max_block_size, max(2, drawn))
+
+    return _stock_like(actual, rng, block_size, lambda r: r.randint(1, 100))
+
+
+def near_total_inconsistency_instance(
+    spec: AdversarialSpec = AdversarialSpec(), seed: Optional[int] = None
+) -> DatabaseInstance:
+    """(Almost) every block conflicted: repair variation at its maximum."""
+    actual = spec if seed is None else replace(spec, seed=seed)
+    # The scenario's signature knob: push inconsistency to (at least) 98%.
+    actual = replace(actual, inconsistency=max(actual.inconsistency, 0.98))
+    rng = random.Random(derive_seed(actual.seed, "near_total"))
+    return _stock_like(
+        actual, rng, lambda r: r.randint(2, 4), lambda r: r.randint(1, 100)
+    )
+
+
+def wide_domain_distinct_instance(
+    spec: AdversarialSpec = AdversarialSpec(), seed: Optional[int] = None
+) -> DatabaseInstance:
+    """Conflicting values drawn from a huge domain — no overlap to prune.
+
+    The DISTINCT summary states prune by set domination; near-unique values
+    across blocks and shards keep every family member incomparable, which
+    is their worst case."""
+    actual = spec if seed is None else replace(spec, seed=seed)
+    rng = random.Random(derive_seed(actual.seed, "wide_domain"))
+    return _stock_like(
+        actual,
+        rng,
+        lambda r: r.randint(2, 3),
+        lambda r: r.randint(1, actual.value_domain),
+    )
+
+
+def adversarial_catalogue(
+    spec: AdversarialSpec = AdversarialSpec(), seed: Optional[int] = None
+) -> Dict[str, DatabaseInstance]:
+    """Named catalogue of the adversarial scenarios (benchmarks iterate it)."""
+    return {
+        "power_law_blocks": power_law_block_instance(spec, seed),
+        "near_total_inconsistency": near_total_inconsistency_instance(spec, seed),
+        "wide_value_domain": wide_domain_distinct_instance(spec, seed),
+    }
+
+
 def generate_stock_workload(
     sizes: Sequence[int],
     inconsistency: float = 0.2,

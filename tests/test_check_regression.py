@@ -87,6 +87,33 @@ class TestShardMetricsTolerance:
         _lines, failures = gate.compare("shard", BASELINE_SHARD, fresh, 2.0)
         assert failures and "q1.best_speedup" in failures[0]
 
+    def test_scenarios_kind_shares_the_shard_comparator(self, gate):
+        """``--kind scenarios`` gates the (scenario, aggregate) matrix
+        through the same per-query comparator as ``shard``."""
+        baseline = {
+            "queries": {
+                "near_total_inconsistency.AVG": {
+                    "best_speedup": 120.0,
+                    "sharded": {"2": {"seconds": 0.004}, "4": {"seconds": 0.006}},
+                }
+            }
+        }
+        lines, failures = gate.compare("scenarios", baseline, baseline, 3.0)
+        assert not failures
+        assert any(
+            "near_total_inconsistency.AVG.best_speedup" in line for line in lines
+        )
+        regressed = {
+            "queries": {
+                "near_total_inconsistency.AVG": {
+                    "best_speedup": 10.0,  # 12x worse
+                    "sharded": {"2": {"seconds": 0.004}, "4": {"seconds": 0.006}},
+                }
+            }
+        }
+        _lines, failures = gate.compare("scenarios", baseline, regressed, 3.0)
+        assert failures and "best_speedup" in failures[0]
+
     def test_non_numeric_values_are_skipped(self, gate):
         baseline = {"throughput_rps": 100.0, "p95_ms": 5.0}
         fresh = {"throughput_rps": "fast", "p95_ms": True}

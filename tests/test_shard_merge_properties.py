@@ -10,6 +10,7 @@ All randomness is seeded through the session ``repro_seed`` fixture.
 
 from __future__ import annotations
 
+import pickle
 import random
 from fractions import Fraction
 from functools import reduce
@@ -21,8 +22,13 @@ from repro.engine.sharding import (
     SHARD_ANSWER_IDENTITY,
     SHARD_IDENTITY,
     SHARDABLE_AGGREGATES,
+    SUMMARY_AGGREGATES,
+    AvgState,
+    CountDistinctState,
     DirectionSummary,
+    ProductState,
     ShardAnswer,
+    SumDistinctState,
     combine_values,
     finalize_answer,
     merge_direction,
@@ -36,7 +42,48 @@ DIRECTIONS = ("glb", "lub")
 TRIALS = 200
 
 
-def _random_summary(rng: random.Random) -> DirectionSummary:
+def _random_value(rng: random.Random, aggregate: str, direction: str):
+    """A random non-empty per-shard value of the right shape for ``aggregate``.
+
+    Scalar aggregates carry a :class:`Fraction`; summary aggregates carry a
+    canonically constructed :class:`SummaryState` (the constructors are the
+    single source of canonical form, so algebra tests compare equal states
+    exactly as the executor does).  Negative values are included on purpose:
+    they exercise PRODUCT's sign handling and SUM(DISTINCT)'s pruning guard.
+    """
+    if aggregate == "AVG":
+        points = [
+            (
+                Fraction(rng.randint(1, 6)),
+                Fraction(rng.randint(-30, 30), rng.randint(1, 4)),
+            )
+            for _ in range(rng.randint(1, 5))
+        ]
+        return AvgState.of_points(points, direction)
+    if aggregate == "PRODUCT":
+        a = Fraction(rng.randint(-12, 12), rng.randint(1, 4))
+        b = Fraction(rng.randint(-12, 12), rng.randint(1, 4))
+        return ProductState(min(a, b), max(a, b))
+    if aggregate in ("COUNT_DISTINCT", "SUM_DISTINCT"):
+        numeric = aggregate == "SUM_DISTINCT"
+
+        def element():
+            if numeric:
+                return Fraction(rng.randint(-6, 8))
+            return rng.choice(("a", "b", "c", Fraction(1), Fraction(2)))
+
+        family = {
+            frozenset(element() for _ in range(rng.randint(1, 4)))
+            for _ in range(rng.randint(1, 4))
+        }
+        cls = CountDistinctState if aggregate == "COUNT_DISTINCT" else SumDistinctState
+        return cls.of_families(family, direction)
+    return Fraction(rng.randint(-30, 30), rng.randint(1, 6))
+
+
+def _random_summary(
+    rng: random.Random, aggregate: str, direction: str
+) -> DirectionSummary:
     """A random per-shard summary, biased toward the interesting edge states.
 
     Includes the unreachable ``certain=True, value=None`` state on purpose:
@@ -47,12 +94,15 @@ def _random_summary(rng: random.Random) -> DirectionSummary:
     if rng.random() < 0.25:
         value = None
     else:
-        value = Fraction(rng.randint(-30, 30), rng.randint(1, 6))
+        value = _random_value(rng, aggregate, direction)
     return DirectionSummary(certain=certain, value=value)
 
 
-def _random_answer(rng: random.Random) -> ShardAnswer:
-    return ShardAnswer(glb=_random_summary(rng), lub=_random_summary(rng))
+def _random_answer(rng: random.Random, aggregate: str) -> ShardAnswer:
+    return ShardAnswer(
+        glb=_random_summary(rng, aggregate, "glb"),
+        lub=_random_summary(rng, aggregate, "lub"),
+    )
 
 
 @pytest.fixture
@@ -65,7 +115,7 @@ class TestMergeAlgebra:
     @pytest.mark.parametrize("direction", DIRECTIONS)
     def test_associative(self, aggregate, direction, rng):
         for _ in range(TRIALS):
-            a, b, c = (_random_summary(rng) for _ in range(3))
+            a, b, c = (_random_summary(rng, aggregate, direction) for _ in range(3))
             left = merge_direction(
                 aggregate, direction, a, merge_direction(aggregate, direction, b, c)
             )
@@ -78,7 +128,8 @@ class TestMergeAlgebra:
     @pytest.mark.parametrize("direction", DIRECTIONS)
     def test_commutative(self, aggregate, direction, rng):
         for _ in range(TRIALS):
-            a, b = _random_summary(rng), _random_summary(rng)
+            a = _random_summary(rng, aggregate, direction)
+            b = _random_summary(rng, aggregate, direction)
             assert merge_direction(aggregate, direction, a, b) == merge_direction(
                 aggregate, direction, b, a
             ), (a, b)
@@ -87,7 +138,7 @@ class TestMergeAlgebra:
     @pytest.mark.parametrize("direction", DIRECTIONS)
     def test_identity_shard_is_neutral(self, aggregate, direction, rng):
         for _ in range(TRIALS):
-            a = _random_summary(rng)
+            a = _random_summary(rng, aggregate, direction)
             assert merge_direction(aggregate, direction, a, SHARD_IDENTITY) == a
             assert merge_direction(aggregate, direction, SHARD_IDENTITY, a) == a
 
@@ -100,7 +151,7 @@ class TestMergeAlgebra:
             return merge_shard_answers(aggregate, x, y)
 
         for _ in range(50):
-            answers = [_random_answer(rng) for _ in range(rng.randint(2, 6))]
+            answers = [_random_answer(rng, aggregate) for _ in range(rng.randint(2, 6))]
             baseline = reduce(merge, answers, SHARD_ANSWER_IDENTITY)
             for _ in range(4):
                 shuffled = answers[:]
@@ -116,8 +167,12 @@ class TestBottomPropagation:
         for _ in range(TRIALS):
             answers = [
                 ShardAnswer(
-                    glb=DirectionSummary(False, _random_summary(rng).value),
-                    lub=DirectionSummary(False, _random_summary(rng).value),
+                    glb=DirectionSummary(
+                        False, _random_summary(rng, aggregate, "glb").value
+                    ),
+                    lub=DirectionSummary(
+                        False, _random_summary(rng, aggregate, "lub").value
+                    ),
                 )
                 for _ in range(rng.randint(1, 5))
             ]
@@ -134,14 +189,18 @@ class TestBottomPropagation:
         """A single locally certain shard makes the merged answer non-⊥ —
         certainty is an OR over shards, exactly as for the full instance."""
         for _ in range(TRIALS):
-            value = Fraction(rng.randint(-10, 10))
             certain = ShardAnswer(
-                glb=DirectionSummary(True, value), lub=DirectionSummary(True, value)
+                glb=DirectionSummary(True, _random_value(rng, aggregate, "glb")),
+                lub=DirectionSummary(True, _random_value(rng, aggregate, "lub")),
             )
             noise = [
                 ShardAnswer(
-                    glb=DirectionSummary(False, _random_summary(rng).value),
-                    lub=DirectionSummary(False, _random_summary(rng).value),
+                    glb=DirectionSummary(
+                        False, _random_summary(rng, aggregate, "glb").value
+                    ),
+                    lub=DirectionSummary(
+                        False, _random_summary(rng, aggregate, "lub").value
+                    ),
                 )
                 for _ in range(rng.randint(0, 4))
             ]
@@ -195,8 +254,63 @@ class TestMergeSemantics:
         assert combine_values("COUNT", Fraction(2), Fraction(3)) == Fraction(5)
         assert combine_values("MIN", Fraction(2), Fraction(3)) == Fraction(2)
         assert combine_values("MAX", Fraction(2), Fraction(3)) == Fraction(3)
+        # AVG merges through AvgState, never through raw scalars: a scalar
+        # mean of one shard cannot be combined with another exactly.
         with pytest.raises(BackendError):
             combine_values("AVG", Fraction(1), Fraction(2))
+        with pytest.raises(BackendError):
+            combine_values("MEDIAN", Fraction(1), Fraction(2))
+
+    def test_avg_union_extremum_needs_non_extremal_repair(self):
+        # Shard A: repairs with (count, sum) ∈ {(1, 0), (3, 3)} — means 0, 1.
+        # Shard B: one repair (1, 10) — mean 10.  The union's least mean is
+        # 13/4 via A's *worse* local mean (1 > 0): merging scalar means
+        # would answer 5, the hull merge is exact.
+        a = DirectionSummary(
+            True, AvgState.of_points([(Fraction(1), Fraction(0)),
+                                      (Fraction(3), Fraction(3))], "glb")
+        )
+        b = DirectionSummary(
+            True, AvgState.of_points([(Fraction(1), Fraction(10))], "glb")
+        )
+        merged = merge_direction("AVG", "glb", a, b)
+        assert merged.value.resolve("glb") == Fraction(13, 4)
+
+    def test_product_interval_handles_sign_flips(self):
+        a = DirectionSummary(True, ProductState(Fraction(-2), Fraction(3)))
+        b = DirectionSummary(True, ProductState(Fraction(-5), Fraction(7)))
+        merged = merge_direction("PRODUCT", "glb", a, b)
+        assert merged.value == ProductState(Fraction(-15), Fraction(21))
+        assert merged.value.resolve("glb") == Fraction(-15)
+        assert merged.value.resolve("lub") == Fraction(21)
+
+    def test_count_distinct_families_prune_to_antichain(self):
+        a = DirectionSummary(
+            True, CountDistinctState.of_families([{"a"}, {"b"}], "glb")
+        )
+        b = DirectionSummary(True, CountDistinctState.of_families([{"a"}], "glb"))
+        glb = merge_direction("COUNT_DISTINCT", "glb", a, b)
+        # Unions are {a} and {a, b}; {a, b} is dominated for the minimum.
+        assert glb.value == CountDistinctState.of_families([{"a"}], "glb")
+        assert glb.value.resolve("glb") == Fraction(1)
+        a_lub = DirectionSummary(
+            True, CountDistinctState.of_families([{"a"}, {"b"}], "lub")
+        )
+        b_lub = DirectionSummary(True, CountDistinctState.of_families([{"a"}], "lub"))
+        lub = merge_direction("COUNT_DISTINCT", "lub", a_lub, b_lub)
+        assert lub.value.resolve("lub") == Fraction(2)
+
+    def test_sum_distinct_negative_values_block_pruning(self):
+        # {1} ⊂ {1, -3}, but the extra element is negative: the superset can
+        # still lower a later union's sum, so it must survive glb pruning.
+        family = [frozenset({Fraction(1)}), frozenset({Fraction(1), Fraction(-3)})]
+        state = SumDistinctState.of_families(family, "glb")
+        assert len(state.sets) == 2
+        # With non-negative extras the superset is dominated and dropped.
+        clean = SumDistinctState.of_families(
+            [frozenset({Fraction(1)}), frozenset({Fraction(1), Fraction(3)})], "glb"
+        )
+        assert len(clean.sets) == 1
 
     def test_group_merge_missing_groups_are_identity(self):
         left = {("a",): ShardAnswer(DirectionSummary(True, Fraction(1)),
@@ -212,3 +326,20 @@ class TestMergeSemantics:
             "SUM", left, {**right, ("a",): SHARD_ANSWER_IDENTITY}
         )
         assert padded == merged
+
+
+class TestSummaryStatePickling:
+    """Worker pools ship summaries over the result pipe: a state must
+    survive a pickle round trip bit-for-bit and keep merging identically."""
+
+    @pytest.mark.parametrize("aggregate", SUMMARY_AGGREGATES)
+    @pytest.mark.parametrize("direction", DIRECTIONS)
+    def test_pickle_round_trip_preserves_merge(self, aggregate, direction, rng):
+        for _ in range(50):
+            a = _random_summary(rng, aggregate, direction)
+            b = _random_summary(rng, aggregate, direction)
+            a2, b2 = pickle.loads(pickle.dumps((a, b)))
+            assert a2 == a and b2 == b
+            assert merge_direction(aggregate, direction, a2, b2) == merge_direction(
+                aggregate, direction, a, b
+            )

@@ -90,7 +90,7 @@ def assert_parity(engine, query, instance, shard_counts=SHARD_COUNTS, label=""):
     return baseline
 
 
-# -- worked examples (Fig. 1 and Fig. 3) -------------------------------------------------
+# -- worked examples (Fig. 1 and Fig. 3) ------------------------------------------------
 
 
 class TestWorkedExampleParity:
@@ -135,7 +135,7 @@ class TestWorkedExampleParity:
         )
 
 
-# -- generated workloads -----------------------------------------------------------------
+# -- generated workloads ----------------------------------------------------------------
 
 
 def _workload(
@@ -224,7 +224,7 @@ class TestGeneratedWorkloadParity:
             assert_parity(engine, query, instance, label=f"workload-gb/{backend}")
 
 
-# -- random instances: ⊥ cases and locally uncertain shards ------------------------------
+# -- random instances: ⊥ cases and locally uncertain shards -----------------------------
 
 
 _TWO_ATOM_SCHEMA = Schema(
@@ -243,9 +243,13 @@ _TWO_ATOM_QUERIES = tuple(
         "COUNT(1) <- R(x,y), S(y,z,e)",
         "MIN(e) <- R(x,y), S(y,z,e)",
         "MAX(e) <- R(x,y), S(y,z,e)",
+        "AVG(e) <- R(x,y), S(y,z,e)",
+        "COUNT_DISTINCT(e) <- R(x,y), S(y,z,e)",
         "(x, SUM(e)) <- R(x,y), S(y,z,e)",
     )
 )
+
+SUMMARY_AGGREGATE_NAMES = ("AVG", "PRODUCT", "COUNT_DISTINCT", "SUM_DISTINCT")
 
 
 class TestRandomInstanceParity:
@@ -331,7 +335,7 @@ class TestRandomInstanceParity:
             assert_parity(engine, query, instance, label=f"uncertain/{head}")
 
 
-# -- structural invariants of the planner ------------------------------------------------
+# -- structural invariants of the planner -----------------------------------------------
 
 
 class TestShardPlanStructure:
@@ -413,7 +417,7 @@ class TestShardPlanStructure:
             assert sharded == baseline
 
 
-# -- shard-plan cache --------------------------------------------------------------------
+# -- shard-plan cache -------------------------------------------------------------------
 
 
 class TestShardPlanCache:
@@ -458,7 +462,7 @@ class TestShardPlanCache:
         assert after != before  # the new fact raised the MAX/SUM bounds
 
 
-# -- process fan-out ---------------------------------------------------------------------
+# -- process fan-out --------------------------------------------------------------------
 
 
 class TestParallelShardExecution:
@@ -484,22 +488,196 @@ class TestParallelShardExecution:
         assert group_parallel == group_baseline
 
 
-# -- fallbacks ---------------------------------------------------------------------------
+# -- summary-state aggregates (AVG / PRODUCT / DISTINCT) --------------------------------
+
+
+class TestSummaryAggregateParity:
+    """The lifted aggregates ride on summary states instead of scalar
+    monoid values; the same harness must hold: sharded == unsharded for
+    every backend, every shard count, ⊥ groups, empty shards and the
+    pickled pool path."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worked_example(self, backend):
+        engine = _engine(backend)
+        instance = fig1_stock_instance()
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            for query in (stock_query(aggregate), stock_total_query(aggregate)):
+                assert_parity(
+                    engine, query, instance, label=f"fig1/{backend}/{aggregate}"
+                )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_generated_workloads(self, backend, repro_seed):
+        engine = _engine(backend)
+        instance = _workload(
+            derive_seed(repro_seed, "summary-workload", backend),
+            stock_facts=18,
+            inconsistency=0.25,
+            extra_facts_per_block=1,
+            max_inconsistent=6,
+        )
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            assert_parity(
+                engine,
+                stock_total_query(aggregate),
+                instance,
+                label=f"summary-workload/{backend}/{aggregate}",
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_group_by_with_bottom_groups(self, backend):
+        engine = _engine(backend)
+        instance = fig1_stock_instance()
+        # Jones's only possible towns include one with no stock: the body is
+        # not certain in that group, so its answer is ⊥ and must stay ⊥
+        # through the summary-state merge.
+        instance.add_row("Dealers", "Jones", "Boston")
+        instance.add_row("Dealers", "Jones", "Nowhere")
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            query = parse_aggregation_query(
+                instance.schema, f"(d, {aggregate}(y)) <- Dealers(d, t), Stock(p, t, y)"
+            )
+            answers = assert_parity(
+                engine, query, instance, label=f"summary-gb/{backend}/{aggregate}"
+            )
+            assert any(answer.is_bottom for answer in answers.values())
+            assert any(not answer.is_bottom for answer in answers.values())
+
+    def test_empty_shards_merge_as_identity(self):
+        # 7 shards over Fig. 1's handful of components leaves empty shards;
+        # their summaries must be neutral in the merge.
+        engine = ConsistentAnswerEngine()
+        instance = fig1_stock_instance()
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            assert_parity(
+                engine,
+                stock_total_query(aggregate),
+                instance,
+                shard_counts=(7,),
+                label=f"empty-shards/{aggregate}",
+            )
+
+    def test_negative_and_zero_values(self):
+        """PRODUCT sign flips and SUM_DISTINCT's negative-value pruning
+        guard need mixed-sign domains, which the stock workloads never
+        produce."""
+        schema = Schema(
+            [
+                RelationSignature("R", 2, 1, attribute_names=("a", "b")),
+                RelationSignature(
+                    "S", 2, 1, numeric_positions=(2,), attribute_names=("c", "v")
+                ),
+            ]
+        )
+        instance = DatabaseInstance.from_rows(
+            schema,
+            {
+                "R": [("a1", "b1"), ("a1", "b2"), ("a2", "b2"), ("a2", "b3")],
+                "S": [("b1", -2), ("b1", 3), ("b2", -5), ("b2", 0), ("b3", 7)],
+            },
+        )
+        engine = ConsistentAnswerEngine()
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            query = parse_aggregation_query(schema, f"{aggregate}(v) <- R(x,y), S(y,v)")
+            assert_parity(engine, query, instance, label=f"signed/{aggregate}")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_random_instances(self, backend, repro_seed):
+        engine = _engine(backend)
+        for trial in range(3):
+            seed = derive_seed(repro_seed, "summary-sparse", trial)
+            instance = make_random_instance(
+                _TWO_ATOM_SCHEMA, seed, facts_per_relation=4, domain_size=4
+            )
+            for aggregate in SUMMARY_AGGREGATE_NAMES:
+                query = parse_aggregation_query(
+                    _TWO_ATOM_SCHEMA, f"{aggregate}(e) <- R(x,y), S(y,z,e)"
+                )
+                assert_parity(
+                    engine,
+                    query,
+                    instance,
+                    label=f"summary-sparse/{backend}/{aggregate}/seed={seed}",
+                )
+
+    def test_fork_pool_parity(self, repro_seed):
+        """Summaries cross a pickle boundary into fork-pool workers."""
+        from repro.engine.sharding import execute_sharded
+
+        instance = _workload(
+            derive_seed(repro_seed, "summary-parallel"),
+            stock_facts=18,
+            inconsistency=0.25,
+            extra_facts_per_block=1,
+            max_inconsistent=6,
+        )
+        engine = ConsistentAnswerEngine(batch_workers=3)
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            query = stock_total_query(aggregate)
+            baseline = engine.answer(query, instance)
+            parallel = execute_sharded(
+                engine, query, instance, 3, binding={}, max_workers=3
+            )
+            assert parallel == baseline, aggregate
+        group_query = parse_aggregation_query(
+            instance.schema, "(t, AVG(y)) <- Stock(p, t, y)"
+        )
+        group_baseline = engine.answer_group_by(group_query, instance)
+        group_parallel = execute_sharded(
+            engine, group_query, instance, 3, max_workers=3
+        )
+        assert group_parallel == group_baseline
+
+    def test_worker_pool_parity(self, repro_seed):
+        """The long-lived worker pool reuses adopted instances; its workers
+        return pickled summary states that must re-merge identically."""
+        from repro.engine.workers import WorkerPool
+
+        instance = _workload(
+            derive_seed(repro_seed, "summary-pool"),
+            stock_facts=18,
+            inconsistency=0.25,
+            extra_facts_per_block=1,
+            max_inconsistent=6,
+        )
+        engine = ConsistentAnswerEngine()
+        pool = WorkerPool(workers=2)
+        pool.start()
+        try:
+            engine.set_worker_pool(pool)
+            for aggregate in SUMMARY_AGGREGATE_NAMES:
+                query = stock_total_query(aggregate)
+                baseline = engine.answer(query, instance)
+                assert engine.answer(query, instance, shards=3) == baseline, aggregate
+        finally:
+            pool.shutdown()
+
+
+# -- fallbacks --------------------------------------------------------------------------
 
 
 class TestShardingFallbacks:
-    def test_avg_falls_back_to_unsharded(self):
+    def test_summary_aggregates_shard_without_fallback(self):
+        """AVG/PRODUCT/DISTINCT used to force the unsharded fallback; with
+        mergeable summary states they shard like every other aggregate."""
         instance = fig1_stock_instance()
         engine = ConsistentAnswerEngine()
-        query = stock_query("AVG")
-        baseline = engine.answer(query, instance)
-        assert engine.answer(query, instance, shards=4) == baseline
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            query = stock_query(aggregate)
+            assert ShardPlanner.fallback_reason(query) is None
+            baseline = engine.answer(query, instance)
+            assert engine.answer(query, instance, shards=4) == baseline
         stats = engine.shard_stats()
-        assert stats["fallbacks"] >= 1
+        assert stats["fallbacks"] == 0
+        assert stats["sharded"] == len(SUMMARY_AGGREGATE_NAMES)
+        for aggregate in SUMMARY_AGGREGATE_NAMES:
+            assert aggregate in stats["shardable_aggregates"]
 
-    def test_avg_fallback_reason(self):
-        reason = ShardPlanner.fallback_reason(stock_query("AVG"))
-        assert reason is not None and "AVG" in reason
+    def test_unknown_aggregate_reports_reason(self):
+        query = stock_query("SUM").with_aggregate("MEDIAN")
+        reason = ShardPlanner.fallback_reason(query)
+        assert reason is not None and "MEDIAN" in reason
 
     def test_cartesian_product_falls_back(self):
         schema = Schema(
@@ -533,7 +711,7 @@ class TestShardingFallbacks:
         assert stats["shards_planned"] == 3
 
 
-# -- the serving layer's opt-in sharded path ---------------------------------------------
+# -- the serving layer's opt-in sharded path --------------------------------------------
 
 
 class TestServeShardedPath:

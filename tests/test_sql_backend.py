@@ -13,7 +13,7 @@ from repro.exceptions import BackendError, NotRewritableError, UnsupportedAggreg
 from repro.query.parser import parse_aggregation_query, parse_query
 from repro.sql.backend import SqliteBackend
 from repro.sql.compiler import FormulaSqlCompiler
-from repro.sql.dialect import quote_identifier, sql_literal
+from repro.sql.dialect import quote_identifier, sql_comparison, sql_literal
 from repro.sql.generator import SqlRewritingGenerator
 from tests.conftest import make_random_instance
 
@@ -189,6 +189,100 @@ class TestContextManager:
     def test_unconnected_with_block_is_harmless(self):
         with SqliteBackend() as backend:
             assert backend is not None
+
+
+class TestExactFractionLiterals:
+    """``sql_literal`` used to emit ``repr(float(value))`` for non-integer
+    Fractions — lossy for 1/3-like rationals, whose float rendering could
+    false-match stored floats.  Literals are now exact or refused, and
+    conditions against unrepresentable rationals compile exactly."""
+
+    def test_sql_literal_non_dyadic_raises(self):
+        for value in (Fraction(1, 3), Fraction(2, 3), Fraction(-1, 7)):
+            with pytest.raises(BackendError, match="exact SQL representation"):
+                sql_literal(value)
+
+    def test_sql_literal_dyadic_roundtrips_exactly(self):
+        for value in (Fraction(1, 2), Fraction(-3, 8), Fraction(1, 2**40)):
+            assert Fraction(float(sql_literal(value))) == value
+
+    def test_equality_with_unrepresentable_rational_is_constant(self):
+        # No storable number equals 1/3, so the conditions are constants.
+        assert sql_comparison('"v"', "=", Fraction(1, 3)) == "1 = 0"
+        assert sql_comparison('"v"', "!=", Fraction(1, 3)) == "1 = 1"
+        # Representable values keep the plain comparison.
+        assert sql_comparison('"v"', "=", Fraction(1, 2)) == '"v" = 0.5'
+
+    def test_ordering_against_unrepresentable_rational_is_exact(self):
+        """For every stored float, the compiled ordering condition agrees
+        with exact rational arithmetic — including the floats adjacent to
+        the rational, where naive float literals get the strictness wrong."""
+        import math
+        import operator
+        import sqlite3
+
+        ops = {"<": operator.lt, "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        rationals = (Fraction(1, 3), Fraction(2, 3), Fraction(-1, 3), Fraction(1, 7))
+        for rational in rationals:
+            nearest = float(rational)
+            stored = sorted(
+                {
+                    math.nextafter(nearest, -math.inf),
+                    nearest,
+                    math.nextafter(nearest, math.inf),
+                    -1.0,
+                    0.0,
+                    1.0,
+                }
+            )
+            connection = sqlite3.connect(":memory:")
+            connection.execute("CREATE TABLE t (v REAL)")
+            connection.executemany("INSERT INTO t VALUES (?)", [(v,) for v in stored])
+            for symbol, fn in ops.items():
+                expected = {v for v in stored if fn(Fraction(v), rational)}
+                condition = sql_comparison("v", symbol, rational)
+                cursor = connection.execute(f"SELECT v FROM t WHERE {condition}")
+                rows = {row[0] for row in cursor}
+                assert rows == expected, f"{symbol} {rational}"
+            connection.close()
+
+    def test_non_dyadic_query_constant_no_longer_false_matches(self, stock_schema):
+        """Regression: before the fix the 1/3 literal rendered as its nearest
+        float and *matched* a stored float(1/3), so sqlite answered COUNT=1
+        where the exact evaluators answer ⊥."""
+        from repro.datamodel.instance import DatabaseInstance
+
+        stored = Fraction(float(Fraction(1, 3)))  # dyadic: loads fine
+        instance = DatabaseInstance.from_rows(
+            stock_schema,
+            {
+                "Dealers": [("Smith", "Boston")],
+                "Stock": [("Tesla X", "Boston", stored)],
+            },
+        )
+        query = parse_aggregation_query(
+            stock_schema, "COUNT(1) <- Dealers('Smith', t), Stock(p, t, 1/3)"
+        )
+        operational = OperationalRangeEvaluator(query).glb(instance)
+        assert operational is BOTTOM  # 1/3 equals no storable number
+        assert SqliteBackend().glb(query, instance) is BOTTOM
+
+    def test_dyadic_query_constant_parity(self, stock_schema):
+        from repro.datamodel.instance import DatabaseInstance
+
+        instance = DatabaseInstance.from_rows(
+            stock_schema,
+            {
+                "Dealers": [("Smith", "Boston")],
+                "Stock": [("Tesla X", "Boston", Fraction(1, 4))],
+            },
+        )
+        query = parse_aggregation_query(
+            stock_schema, "COUNT(1) <- Dealers('Smith', t), Stock(p, t, 1/4)"
+        )
+        operational = OperationalRangeEvaluator(query).glb(instance)
+        via_sql = SqliteBackend().glb(query, instance)
+        assert via_sql == operational == Fraction(1)
 
 
 class TestFractionConversion:

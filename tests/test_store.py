@@ -40,7 +40,9 @@ from repro.store import (
     InstanceStore,
     LogCorruptionWarning,
     LogRecord,
+    SnapshotCorruptionWarning,
     StoreError,
+    StoreSnapshot,
 )
 from repro.workloads.scenarios import fig1_stock_instance, fig1_stock_schema
 
@@ -63,7 +65,7 @@ def stock_sum_query():
     return parse_aggregation_query(fig1_stock_schema(), STOCK_SUM)
 
 
-# -- the append-only log -----------------------------------------------------------------
+# -- the append-only log ----------------------------------------------------------------
 
 
 class TestFactLog:
@@ -118,7 +120,7 @@ class TestFactLog:
         assert FactLog(str(tmp_path / "nope.log")).records() == []
 
 
-# -- the instance store ------------------------------------------------------------------
+# -- the instance store -----------------------------------------------------------------
 
 
 class TestInstanceStore:
@@ -317,7 +319,86 @@ class TestInstanceStore:
         assert InstanceStore(str(tmp_path)).load(awkward) is not None
 
 
-# -- datamodel write helpers -------------------------------------------------------------
+# -- snapshot checksums -----------------------------------------------------------------
+
+
+def _corrupt_snapshot(store: InstanceStore, name: str) -> str:
+    """Flip one byte inside the snapshot's pickle body (trailer intact)."""
+    path = store.snapshot_path(name, current_only=False)
+    with open(path, "rb") as handle:
+        raw = bytearray(handle.read())
+    raw[len(raw) // 2] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(raw)
+    return path
+
+
+class TestSnapshotChecksum:
+    def test_snapshot_carries_crc_trailer_and_roundtrips(self, tmp_path):
+        from repro.store.store import _CRC_MAGIC, _CRC_TRAILER
+
+        store = InstanceStore(str(tmp_path))
+        store.save("stock", fig1_stock_instance(), version=1)
+        path = store.snapshot_path("stock")
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        assert raw[-_CRC_TRAILER:-4] == _CRC_MAGIC
+        stored = InstanceStore(str(tmp_path)).load("stock")
+        assert stored.instance.facts == fig1_stock_instance().facts
+
+    def test_pool_spool_loader_ignores_the_trailer(self, tmp_path):
+        # The worker pool adopts snapshot.pkl directly; plain pickle.load
+        # must keep working (it stops at the pickle STOP opcode).
+        store = InstanceStore(str(tmp_path))
+        store.save("stock", fig1_stock_instance(), version=1)
+        with open(store.snapshot_path("stock"), "rb") as handle:
+            payload = pickle.load(handle)
+        assert isinstance(payload, StoreSnapshot)
+        assert payload.instance.facts == fig1_stock_instance().facts
+
+    def test_corrupt_snapshot_falls_back_to_log_replay(self, tmp_path):
+        store = InstanceStore(str(tmp_path), compact_every=0)
+        store.save("stock", fig1_stock_instance(), version=1)
+        replacement = mutated_stock_instance()
+        store.replace("stock", replacement, version=2, shards=3)
+        _corrupt_snapshot(store, "stock")
+        with pytest.warns(SnapshotCorruptionWarning, match="rebuilt from the log"):
+            stored = InstanceStore(str(tmp_path)).load("stock")
+        assert stored.version == 2
+        assert stored.shards == 3
+        assert stored.instance.facts == replacement.facts
+
+    def test_corruption_without_replacement_record_surfaces(self, tmp_path):
+        store = InstanceStore(str(tmp_path), compact_every=0)
+        store.save("stock", fig1_stock_instance(), version=1)
+        _corrupt_snapshot(store, "stock")
+        with pytest.raises(StoreError, match="no\\s+full replacement record"):
+            InstanceStore(str(tmp_path)).load("stock")
+        # The boot path skips the unrecoverable instance instead of dying.
+        with pytest.warns(SnapshotCorruptionWarning, match="skipped"):
+            loaded = InstanceStore(str(tmp_path)).open_all()
+        assert loaded == {}
+
+    def test_boot_compaction_heals_a_corrupt_snapshot(self, tmp_path):
+        store = InstanceStore(str(tmp_path), compact_every=0)
+        store.save("stock", fig1_stock_instance(), version=1)
+        replacement = mutated_stock_instance()
+        store.replace("stock", replacement, version=2)
+        _corrupt_snapshot(store, "stock")
+        with pytest.warns(SnapshotCorruptionWarning):
+            loaded = InstanceStore(str(tmp_path)).open_all()
+        assert loaded["stock"].instance.facts == replacement.facts
+        # open_all compacted the rebuilt state into a fresh, valid snapshot.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            healed = InstanceStore(str(tmp_path)).load("stock")
+        assert healed.version == 2
+        assert healed.instance.facts == replacement.facts
+
+
+# -- datamodel write helpers ------------------------------------------------------------
 
 
 class TestDatamodelWriteHelpers:
@@ -359,7 +440,7 @@ class TestDatamodelWriteHelpers:
         assert instance.data_version != before
 
 
-# -- the registry write path -------------------------------------------------------------
+# -- the registry write path ------------------------------------------------------------
 
 
 def wire_ops():
@@ -439,7 +520,7 @@ class TestRegistryWritePath:
         ]
 
 
-# -- serving: the write path over HTTP ---------------------------------------------------
+# -- serving: the write path over HTTP --------------------------------------------------
 
 
 def serve_scenario(coro_fn, **config_kwargs):
@@ -594,7 +675,7 @@ class TestServeMutation:
         serve_scenario(scenario)
 
 
-# -- restart survival (the acceptance criterion) -----------------------------------------
+# -- restart survival (the acceptance criterion) ----------------------------------------
 
 
 def restart_scenario(store_dir, first, second, **config_kwargs):
@@ -698,7 +779,7 @@ class TestRestartSurvival:
             assert sharded == closed
 
 
-# -- worker pool integration -------------------------------------------------------------
+# -- worker pool integration ------------------------------------------------------------
 
 
 class TestStoreWorkerPool:

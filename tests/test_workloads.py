@@ -3,9 +3,14 @@
 
 from repro.datamodel.instance import DatabaseInstance
 from repro.workloads.generators import (
+    AdversarialSpec,
     InconsistentDatabaseGenerator,
     WorkloadSpec,
+    adversarial_catalogue,
     generate_stock_workload,
+    near_total_inconsistency_instance,
+    power_law_block_instance,
+    wide_domain_distinct_instance,
 )
 from repro.workloads.queries import query_catalogue, stock_groupby_query, stock_sum_query
 from repro.workloads.scenarios import (
@@ -76,6 +81,57 @@ class TestGenerators:
     def test_spec_scaling(self):
         spec = WorkloadSpec(stock_facts=100).scaled(0.5)
         assert spec.stock_facts == 50
+
+
+class TestAdversarialGenerators:
+    SPEC = AdversarialSpec(blocks=40, seed=7)
+
+    def test_deterministic_for_seed(self):
+        for generate in (
+            power_law_block_instance,
+            near_total_inconsistency_instance,
+            wide_domain_distinct_instance,
+        ):
+            assert generate(self.SPEC) == generate(self.SPEC), generate.__name__
+
+    def test_seed_override_changes_the_instance(self):
+        assert power_law_block_instance(self.SPEC) != power_law_block_instance(
+            self.SPEC, seed=8
+        )
+
+    def test_scenarios_differ_from_each_other(self):
+        catalogue = adversarial_catalogue(self.SPEC)
+        instances = list(catalogue.values())
+        assert len({id(i) for i in instances}) == 3
+        assert instances[0] != instances[1] != instances[2]
+
+    def test_catalogue_names(self):
+        assert set(adversarial_catalogue(self.SPEC)) == {
+            "power_law_blocks",
+            "near_total_inconsistency",
+            "wide_value_domain",
+        }
+
+    def test_block_counts_and_schema(self):
+        for instance in adversarial_catalogue(self.SPEC).values():
+            assert len(instance.blocks("Stock")) == self.SPEC.blocks
+            assert set(instance.relation_names()) == {"Dealers", "Stock"}
+
+    def test_power_law_respects_max_block_size(self):
+        capped = AdversarialSpec(blocks=60, max_block_size=3, seed=1)
+        instance = power_law_block_instance(capped)
+        assert max(len(block) for block in instance.blocks("Stock")) <= 3
+
+    def test_near_total_is_almost_fully_inconsistent(self):
+        instance = near_total_inconsistency_instance(self.SPEC)
+        blocks = instance.blocks("Stock")
+        conflicted = sum(1 for block in blocks if len(block) > 1)
+        assert conflicted / len(blocks) >= 0.9
+
+    def test_wide_domain_values_are_mostly_distinct(self):
+        instance = wide_domain_distinct_instance(self.SPEC)
+        values = [fact.values[2] for fact in instance.relation("Stock")]
+        assert len(set(values)) >= 0.95 * len(values)
 
 
 class TestQueryCatalogue:
