@@ -12,7 +12,7 @@ benchmarks measure
 
 import pytest
 
-from repro.engine import ConsistentAnswerEngine
+from repro.engine import AnswerOptions, ConsistentAnswerEngine
 from repro.workloads.generators import InconsistentDatabaseGenerator, WorkloadSpec
 from repro.workloads.queries import stock_groupby_query, stock_sum_query
 
@@ -76,7 +76,9 @@ def test_batch_throughput(benchmark, workers):
     items = [(_QUERY, _instance(60, seed=s)) for s in range(12)]
 
     def run():
-        return ConsistentAnswerEngine().answer_many(items, max_workers=workers)
+        return ConsistentAnswerEngine().answer_many(
+            items, AnswerOptions(max_workers=workers)
+        )
 
     results = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(results) == len(items)

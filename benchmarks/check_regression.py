@@ -19,6 +19,9 @@ tight enough to catch a real perf cliff):
   dimensionless, hardware-portable).  Medians, not best-of: best-of is a
   one-sided order statistic whose round-to-round variance made the gate
   flaky.
+* ``incremental`` — the summary-cache speedup of a point-write re-answer
+  over a cache-cleared recompute (dimensionless), plus the absolute cached
+  re-answer latency (``bench_incremental.py``).
 
 Metrics missing or malformed on either side are reported and skipped
 (with a warning) rather than failing, so the gate survives schema
@@ -54,6 +57,21 @@ OBS_METRICS: List[Metric] = [
     ("tracing_off.p95_median_ms", ["tracing_off", "p95_median_ms"], "lower"),
     ("tracing_sampled.p95_median_ms", ["tracing_sampled", "p95_median_ms"], "lower"),
     ("overhead.p95_median_ratio", ["overhead", "p95_median_ratio"], "lower"),
+]
+
+INCREMENTAL_METRICS: List[Metric] = [
+    # The cached-over-full speedup is dimensionless (hardware-portable);
+    # the absolute cached re-answer latency backs it up with 2x headroom.
+    (
+        "point_write.speedup_vs_full",
+        ["point_write", "speedup_vs_full"],
+        "higher",
+    ),
+    (
+        "point_write.cached_s_median",
+        ["point_write", "cached_s_median"],
+        "lower",
+    ),
 ]
 
 
@@ -121,6 +139,8 @@ def compare(
         metrics = SERVE_METRICS
     elif kind == "obs":
         metrics = OBS_METRICS
+    elif kind == "incremental":
+        metrics = INCREMENTAL_METRICS
     else:  # "shard" and "scenarios" share the per-query report schema
         metrics = _shard_metrics(baseline, fresh)
     lines: List[str] = []
@@ -168,7 +188,9 @@ def _load(path: str) -> Dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--kind", choices=("serve", "shard", "scenarios", "obs"), required=True
+        "--kind",
+        choices=("serve", "shard", "scenarios", "obs", "incremental"),
+        required=True,
     )
     parser.add_argument("--baseline", required=True, help="committed BENCH json")
     parser.add_argument("--fresh", required=True, help="freshly produced BENCH json")

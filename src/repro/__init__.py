@@ -48,6 +48,7 @@ from repro.core import (
     compute_range_answers,
 )
 from repro.engine import (
+    AnswerOptions,
     BatchResult,
     CacheStats,
     ConsistentAnswerEngine,
@@ -83,6 +84,7 @@ __all__ = [
     "RangeConsistentAnswers",
     "compute_range_answer",
     "compute_range_answers",
+    "AnswerOptions",
     "BatchResult",
     "CacheStats",
     "ConsistentAnswerEngine",

@@ -9,14 +9,62 @@ every block (Section 1 and 3 of the paper).
 from __future__ import annotations
 
 import itertools
+import os
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datamodel.facts import Constant, Fact
 from repro.datamodel.signature import Schema
 from repro.exceptions import SchemaError
+from repro.util import stable_hash_64
 
 BlockKey = Tuple[str, Tuple[Constant, ...]]
+
+_LINEAGE_IDS = itertools.count(1)
+
+
+def canonical_shard_slot(block_key: BlockKey, slots: int) -> int:
+    """Plan-independent block → slot assignment for version vectors.
+
+    Every consumer of the per-shard version vector (registry bookkeeping,
+    mutation responses, worker-side delta accounting) must agree on which
+    slot a block belongs to without seeing a query plan, so the mapping
+    hashes the block key alone.  It intentionally matches the hashed
+    sharding strategy's shape (stable hash modulo slot count) but is not
+    tied to any particular ``ShardPlan``.
+    """
+    if slots <= 1:
+        return 0
+    return stable_hash_64(repr(block_key)) % slots
+
+
+class _LineageClock:
+    """Shared mutation clock for a copy-family of instances.
+
+    Content caches (the shard-summary cache) key entries by
+    ``(lineage token, per-block stamps)``.  Stamps must never repeat with
+    different content inside one family, even when two copies of the same
+    base diverge, so every family shares one strictly-monotonic counter:
+    each mutation on any member draws a fresh stamp.  Writers are expected
+    to be serialized (the registry holds a write lock; direct instance
+    mutation was never thread-safe), so a plain integer suffices — and,
+    unlike a lock, it pickles, which keeps stamps deterministic when a
+    worker process replays the same op sequence against a shipped base.
+    """
+
+    __slots__ = ("token", "counter")
+
+    def __init__(self, token: str, counter: int = 0) -> None:
+        self.token = token
+        self.counter = counter
+
+    def tick(self) -> int:
+        self.counter += 1
+        return self.counter
+
+
+def _new_clock() -> _LineageClock:
+    return _LineageClock(f"{os.getpid():x}-{next(_LINEAGE_IDS):x}")
 
 
 class DatabaseInstance:
@@ -35,6 +83,8 @@ class DatabaseInstance:
         self._block_items: Optional[
             Tuple[int, List[Tuple[BlockKey, Tuple[Fact, ...]]]]
         ] = None
+        self._clock = _new_clock()
+        self._block_versions: Dict[BlockKey, int] = {}
         for fact in facts or ():
             self.add_fact(fact)
 
@@ -53,30 +103,37 @@ class DatabaseInstance:
                 instance.add_fact(Fact(relation, tuple(row)))
         return instance
 
-    def add_fact(self, fact: Fact) -> None:
-        """Add a fact, validating arity against the schema."""
+    def add_fact(self, fact: Fact) -> Optional[BlockKey]:
+        """Add a fact, validating arity against the schema.
+
+        Returns the key of the touched block, or ``None`` when the fact was
+        already present (a no-op that bumps no versions).
+        """
         signature = self._schema.relation(fact.relation)
         if fact.arity != signature.arity:
             raise SchemaError(
                 f"fact {fact} has arity {fact.arity}, expected {signature.arity}"
             )
         if fact in self._facts:
-            return
+            return None
         self._facts.add(fact)
-        self._blocks[(fact.relation, fact.key(signature.key_size))].add(fact)
+        block_key = (fact.relation, fact.key(signature.key_size))
+        self._blocks[block_key].add(fact)
         self._data_version += 1
+        self._block_versions[block_key] = self._clock.tick()
+        return block_key
 
     def add_row(self, relation: str, *values: Constant) -> None:
         """Convenience wrapper: ``add_row("R", 1, 2)`` adds the fact ``R(1, 2)``."""
         self.add_fact(Fact(relation, tuple(values)))
 
-    def remove_fact(self, fact: Fact) -> None:
+    def remove_fact(self, fact: Fact) -> BlockKey:
         """Remove a fact, maintaining the block index.
 
         Raises :class:`KeyError` when the fact is not in the instance (use
         :meth:`discard_fact` for the tolerant variant).  Emptied blocks are
         deleted from the index so block enumeration and repair counting
-        never see phantom empty blocks.
+        never see phantom empty blocks.  Returns the touched block's key.
         """
         if fact not in self._facts:
             raise KeyError(fact)
@@ -85,9 +142,16 @@ class DatabaseInstance:
         block_key = (fact.relation, fact.key(signature.key_size))
         block = self._blocks[block_key]
         block.discard(fact)
-        if not block:
-            del self._blocks[block_key]
         self._data_version += 1
+        if block:
+            self._block_versions[block_key] = self._clock.tick()
+        else:
+            del self._blocks[block_key]
+            # No tombstone: a vanished block leaves summary-cache tokens via
+            # its absence, and a later re-add draws a strictly newer stamp.
+            self._block_versions.pop(block_key, None)
+            self._clock.tick()
+        return block_key
 
     def discard_fact(self, fact: Fact) -> bool:
         """Remove a fact if present; returns whether anything was removed."""
@@ -105,6 +169,52 @@ class DatabaseInstance:
         by a remove+add of the same cardinality.
         """
         return self._data_version
+
+    @property
+    def lineage(self) -> str:
+        """Token shared by every copy-on-write descendant of one base.
+
+        Content caches scope their entries to a lineage so that two
+        independently built instances — whose per-block stamps are
+        meaningless relative to each other — can never collide.
+        """
+        return self._clock.token
+
+    def block_version(self, block_key: BlockKey) -> int:
+        """Mutation stamp of a block: the family clock value at its last touch.
+
+        Stamps are drawn from a clock shared by the whole copy family, so a
+        ``(block key, stamp)`` pair identifies the block's exact content
+        within a lineage even across divergent copies.  Returns 0 for keys
+        untouched since construction of the family (i.e. unknown blocks).
+        """
+        return self._block_versions.get(block_key, 0)
+
+    def copy(self) -> "DatabaseInstance":
+        """Fast structural copy sharing the mutation-clock lineage.
+
+        This is the copy-on-write path for writers (the registry's
+        ``mutate``): unlike re-adding facts through :meth:`add_fact`, it
+        skips schema validation, preserves ``data_version`` and per-block
+        stamps, and keeps the shared clock — so summaries cached for
+        untouched shards of the base remain valid for the copy.
+        """
+        dup = DatabaseInstance.__new__(DatabaseInstance)
+        dup._schema = self._schema
+        dup._facts = set(self._facts)
+        dup._blocks = defaultdict(set)
+        for key, facts in self._blocks.items():
+            dup._blocks[key] = set(facts)
+        dup._data_version = self._data_version
+        dup._block_items = self._block_items
+        dup._clock = self._clock
+        dup._block_versions = dict(self._block_versions)
+        return dup
+
+    def block_key_of(self, fact: Fact) -> BlockKey:
+        """The key of the block this fact belongs to (present or not)."""
+        signature = self._schema.relation(fact.relation)
+        return (fact.relation, fact.key(signature.key_size))
 
     # -- basic accessors -------------------------------------------------------
 

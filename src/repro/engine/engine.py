@@ -15,8 +15,11 @@ pluggable backend, and fans batches out across processes.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
+import warnings
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.range_answers import RangeAnswer
@@ -43,6 +46,83 @@ from repro.engine.plan import (
     plan_key,
     select_strategy,
 )
+
+
+@dataclass(frozen=True)
+class AnswerOptions:
+    """Consolidated execution options for the engine's answer entry points.
+
+    One frozen bag replaces the kwargs tail that had been accreting on
+    ``answer`` / ``answer_group_by`` / ``answer_many`` — callers build it
+    once and pass it positionally or via ``options=``:
+
+        >>> engine.answer(query, instance, options=AnswerOptions(shards=4))
+        >>> engine.answer_many(items, AnswerOptions(max_workers=2))
+
+    Fields that a given entry point does not use are ignored there
+    (``chunk_size`` only matters to batches, ``strategy`` only to sharded
+    execution), so one options value can drive a mixed workload.
+
+    ``deadline`` is a *relative* budget in seconds: execution runs under a
+    cooperative cancellation token that expires that many seconds after the
+    call starts (see :mod:`repro.engine.cancellation`), covering shard
+    boundaries, batch items and worker-pool jobs.
+    """
+
+    shards: Optional[int] = None
+    strategy: str = "balanced"
+    max_workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("AnswerOptions.shards must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("AnswerOptions.max_workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("AnswerOptions.chunk_size must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("AnswerOptions.deadline must be > 0 seconds")
+
+
+_OPTION_FIELDS = frozenset(field.name for field in fields(AnswerOptions))
+_LEGACY_KWARGS_WARNED: set = set()
+_LEGACY_KWARGS_LOCK = threading.Lock()
+
+
+def _coerce_options(
+    options: Optional[AnswerOptions], legacy: Dict[str, object], method: str
+) -> AnswerOptions:
+    """Merge the legacy kwargs tail into an :class:`AnswerOptions` value.
+
+    Legacy spellings (``engine.answer(..., shards=3)``) keep working through
+    this adapter, with one :class:`DeprecationWarning` per kwarg name per
+    process — existing callers migrate on their own schedule without the
+    log filling up.  Mixing ``options=`` with legacy kwargs is rejected:
+    silently preferring one over the other would hide a real bug.
+    """
+    if not legacy:
+        return options if options is not None else AnswerOptions()
+    unknown = sorted(set(legacy) - _OPTION_FIELDS)
+    if unknown:
+        raise TypeError(f"{method}() got unexpected keyword arguments {unknown}")
+    if options is not None:
+        raise TypeError(
+            f"{method}() takes either options=AnswerOptions(...) or legacy "
+            f"kwargs {sorted(legacy)}, not both"
+        )
+    with _LEGACY_KWARGS_LOCK:
+        for name in legacy:
+            if (method, name) not in _LEGACY_KWARGS_WARNED:
+                _LEGACY_KWARGS_WARNED.add((method, name))
+                warnings.warn(
+                    f"{method}({name}=...) is deprecated; pass "
+                    f"options=AnswerOptions({name}=...) instead",
+                    DeprecationWarning,
+                    stacklevel=4,
+                )
+    return AnswerOptions(**legacy)  # type: ignore[arg-type]
 
 
 def _fallback_reason_slug(reason: Optional[str]) -> str:
@@ -272,38 +352,63 @@ class ConsistentAnswerEngine:
             instance, self._checked_binding(plan, binding)
         )
 
+    def _deadline_scope(self, options: AnswerOptions):
+        if options.deadline is None:
+            return contextlib.nullcontext()
+        from repro.engine.cancellation import deadline_token, token_scope
+
+        return token_scope(deadline_token(time.monotonic() + options.deadline))
+
     def answer(
         self,
         query: AggregationQuery,
         instance: DatabaseInstance,
         binding: Optional[Binding] = None,
-        shards: Optional[int] = None,
+        options: Optional[AnswerOptions] = None,
+        **legacy: object,
     ) -> RangeAnswer:
         """Both bounds for a closed query (or one instantiation of the free
         variables via ``binding``).
 
-        ``shards=N`` (N > 1) partitions the instance into block-closed fact
-        shards, evaluates the compiled plan per shard (fanning out across
-        the process pool when ``batch_workers`` allows), and merges the
-        per-shard summaries exactly; see :mod:`repro.engine.sharding`.
-        Queries the sharding seam cannot merge fall back to the unsharded
-        path transparently.
+        Execution knobs ride an :class:`AnswerOptions` value, accepted via
+        ``options=`` or positionally in the ``binding`` slot when no binding
+        is given.  ``AnswerOptions(shards=N)`` (N > 1) partitions the
+        instance into block-closed fact shards, evaluates the compiled plan
+        per shard (fanning out across the process pool when configuration
+        allows), and merges the per-shard summaries exactly; see
+        :mod:`repro.engine.sharding`.  Queries the sharding seam cannot
+        merge fall back to the unsharded path transparently.  Legacy kwargs
+        (``shards=...``) keep working through a warn-once adapter.
         """
+        if isinstance(binding, AnswerOptions):
+            if options is not None:
+                raise TypeError("answer() got two AnswerOptions values")
+            binding, options = None, binding
+        opts = _coerce_options(options, legacy, "answer")
         plan = self.compile(query)
         binding = self._checked_binding(plan, binding)
-        if shards is not None and shards > 1:
-            from repro.engine.sharding import execute_sharded
+        with self._deadline_scope(opts):
+            if opts.shards is not None and opts.shards > 1:
+                from repro.engine.sharding import execute_sharded
 
-            return execute_sharded(self, query, instance, shards, binding=binding)
-        with obs_span("execute.glb", strategy=plan.glb_strategy):
-            add_cost("facts_scanned", len(instance))
-            add_cost("blocks_touched", instance.block_count())
-            glb = plan.executors["glb"].evaluate(instance, binding)
-        with obs_span("execute.lub", strategy=plan.lub_strategy):
-            add_cost("facts_scanned", len(instance))
-            add_cost("blocks_touched", instance.block_count())
-            lub = plan.executors["lub"].evaluate(instance, binding)
-        return RangeAnswer(glb, lub)
+                return execute_sharded(
+                    self,
+                    query,
+                    instance,
+                    opts.shards,
+                    binding=binding,
+                    strategy=opts.strategy,
+                    max_workers=opts.max_workers,
+                )
+            with obs_span("execute.glb", strategy=plan.glb_strategy):
+                add_cost("facts_scanned", len(instance))
+                add_cost("blocks_touched", instance.block_count())
+                glb = plan.executors["glb"].evaluate(instance, binding)
+            with obs_span("execute.lub", strategy=plan.lub_strategy):
+                add_cost("facts_scanned", len(instance))
+                add_cost("blocks_touched", instance.block_count())
+                lub = plan.executors["lub"].evaluate(instance, binding)
+            return RangeAnswer(glb, lub)
 
     # -- GROUP BY execution ------------------------------------------------------------
 
@@ -311,24 +416,46 @@ class ConsistentAnswerEngine:
         self,
         query: AggregationQuery,
         instance: DatabaseInstance,
-        shards: Optional[int] = None,
+        options: Optional[AnswerOptions] = None,
+        **legacy: object,
     ) -> Dict[Tuple[Constant, ...], RangeAnswer]:
         """Range consistent answers per possible answer tuple (Section 6.2).
 
         Tuples that are not consistent answers map to ⊥ on both bounds, as
-        in Section 5.3.  ``shards=N`` evaluates each shard's local groups
-        against that shard only and merges the per-group summaries — on top
-        of process parallelism this shrinks the per-group evaluation cost
-        from O(groups × instance) to O(groups × shard).
+        in Section 5.3.  ``AnswerOptions(shards=N)`` evaluates each shard's
+        local groups against that shard only and merges the per-group
+        summaries — on top of process parallelism this shrinks the
+        per-group evaluation cost from O(groups × instance) to
+        O(groups × shard).  Legacy kwargs (``shards=...``) keep working
+        through a warn-once adapter.
         """
+        opts = _coerce_options(options, legacy, "answer_group_by")
         plan = self.compile(query)
         free = plan.query.free_variables
         if not free:
             raise BackendError("answer_group_by() requires a query with free variables")
-        if shards is not None and shards > 1:
+        with self._deadline_scope(opts):
+            return self._answer_group_by_inner(plan, query, instance, opts)
+
+    def _answer_group_by_inner(
+        self,
+        plan: QueryPlan,
+        query: AggregationQuery,
+        instance: DatabaseInstance,
+        opts: AnswerOptions,
+    ) -> Dict[Tuple[Constant, ...], RangeAnswer]:
+        free = plan.query.free_variables
+        if opts.shards is not None and opts.shards > 1:
             from repro.engine.sharding import execute_sharded
 
-            return execute_sharded(self, query, instance, shards)
+            return execute_sharded(
+                self,
+                query,
+                instance,
+                opts.shards,
+                strategy=opts.strategy,
+                max_workers=opts.max_workers,
+            )
         with obs_span("groupby.candidates") as candidates_span:
             add_cost("facts_scanned", len(instance))
             candidates = self._possible_answers(plan, instance)
@@ -381,26 +508,35 @@ class ConsistentAnswerEngine:
     def answer_many(
         self,
         items: Sequence[Tuple[AggregationQuery, DatabaseInstance]],
-        max_workers: Optional[int] = None,
-        chunk_size: Optional[int] = None,
+        options: Optional[AnswerOptions] = None,
+        **legacy: object,
     ):
         """Answer a batch of (query, instance) pairs with per-item timings.
 
-        Work is chunked and fanned out across processes when ``max_workers``
-        allows it; see :func:`repro.engine.batch.execute_batch`.  Closed
-        queries yield a :class:`RangeAnswer`, GROUP BY queries a per-group
-        dict.  Results come back in submission order.  ``max_workers``
-        defaults to the engine's ``batch_workers`` configuration.
+        Work is chunked and fanned out across processes when
+        ``AnswerOptions.max_workers`` allows it; see
+        :func:`repro.engine.batch.execute_batch`.  Closed queries yield a
+        :class:`RangeAnswer`, GROUP BY queries a per-group dict.  Results
+        come back in submission order.  ``max_workers`` defaults to the
+        engine's ``batch_workers`` configuration; legacy kwargs
+        (``max_workers=``, ``chunk_size=``) keep working through a
+        warn-once adapter.
         """
         from repro.engine.batch import execute_batch
 
-        return execute_batch(
-            self,
-            items,
-            max_workers=self._batch_workers if max_workers is None else max_workers,
-            chunk_size=chunk_size,
-            min_parallel_items=self._min_parallel_items,
-        )
+        opts = _coerce_options(options, legacy, "answer_many")
+        with self._deadline_scope(opts):
+            return execute_batch(
+                self,
+                items,
+                max_workers=(
+                    self._batch_workers
+                    if opts.max_workers is None
+                    else opts.max_workers
+                ),
+                chunk_size=opts.chunk_size,
+                min_parallel_items=self._min_parallel_items,
+            )
 
     # -- sharding telemetry ------------------------------------------------------------
 
@@ -424,11 +560,12 @@ class ConsistentAnswerEngine:
         """Counters of the sharded execution path (requests / sharded /
         fallbacks / shards_planned), the aggregates the seam can merge, plus
         per-worker pool statistics when a worker pool is attached."""
-        from repro.engine.sharding import SHARDABLE_AGGREGATES
+        from repro.engine.sharding import SHARDABLE_AGGREGATES, summary_cache_stats
 
         with self._shard_lock:
             stats: Dict[str, object] = dict(self._shard_stats)
         stats["shardable_aggregates"] = list(SHARDABLE_AGGREGATES)
+        stats["summary_cache"] = summary_cache_stats()
         pool = self._worker_pool
         if pool is not None:
             stats["worker_pool"] = pool.stats()

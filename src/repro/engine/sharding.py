@@ -70,7 +70,7 @@ from __future__ import annotations
 import heapq
 import threading
 import weakref
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -101,6 +101,8 @@ GroupKey = Tuple[Constant, ...]
 #: Shard-assignment strategies of the planner.
 STRATEGY_BALANCED = "balanced"
 STRATEGY_HASHED = "hashed"
+
+_MASK64 = (1 << 64) - 1
 
 #: How two non-empty per-shard aggregate values combine into the value of the
 #: union repair.  Every operator here is monotone in each argument — the
@@ -563,6 +565,13 @@ class ShardPlan:
     component_count: int
     weights: Tuple[int, ...]
     fallback_reason: Optional[str] = None
+    #: Lineage token of the source instance plus one content token per shard
+    #: (a commutative hash over the shard's ``(block key, mutation stamp)``
+    #: pairs).  Together they address a shard's exact content within a copy
+    #: family, which is what the summary cache keys on: after a point write
+    #: only the touched shard's token changes.
+    lineage: str = ""
+    shard_tokens: Tuple[int, ...] = ()
 
     @property
     def is_sharded(self) -> bool:
@@ -663,9 +672,21 @@ class ShardPlanner:
         assignment = self._assign(components, component_weights, shards)
         schema = instance.schema
         shard_facts: List[List[Fact]] = [[] for _ in range(shards)]
+        # Content token per shard: a commutative (XOR + sum) fold over the
+        # per-block ``(key, mutation stamp)`` hashes.  Commutativity makes the
+        # token independent of assignment order, and the stamp makes it change
+        # exactly when a block's content changed since the family's clock —
+        # the summary cache's freshness guard.
+        xor_fold = [0] * shards
+        sum_fold = [0] * shards
         for component, shard_index in zip(components, assignment):
             for block_key in component:
                 shard_facts[shard_index].extend(blocks[block_key])
+                pair_hash = stable_hash_64(
+                    f"{block_key!r}@{instance.block_version(block_key)}"
+                )
+                xor_fold[shard_index] ^= pair_hash
+                sum_fold[shard_index] = (sum_fold[shard_index] + pair_hash) & _MASK64
         shard_instances = tuple(
             DatabaseInstance(schema, facts) for facts in shard_facts
         )
@@ -674,6 +695,10 @@ class ShardPlanner:
             strategy=self._strategy,
             component_count=len(components),
             weights=tuple(len(facts) for facts in shard_facts),
+            lineage=instance.lineage,
+            shard_tokens=tuple(
+                (xor << 64) | add for xor, add in zip(xor_fold, sum_fold)
+            ),
         )
 
     @staticmethod
@@ -836,6 +861,171 @@ def clear_shard_plan_cache() -> None:
     with _SHARD_PLAN_LOCK:
         _SHARD_PLAN_CACHE.clear()
         _SHARD_PLAN_HITS[0] = 0
+
+
+# -- shard-summary cache ----------------------------------------------------------------
+#
+# Summarising a shard is the expensive half of sharded execution; the merge
+# monoid is cheap.  After a point write only one shard's content changes, so
+# caching per-shard summaries turns re-answering into O(one shard): the
+# untouched shards hit, the touched shard recomputes, and the monoid
+# recombines.  Entries are keyed by *content*, not by instance object —
+# ``(lineage, plan key, execution mode, shard content token)`` — because the
+# registry's copy-on-write ``mutate`` produces a fresh instance object per
+# write: an object-keyed cache (like the shard-plan cache above) would be
+# abandoned wholesale on every mutation.  The content token (see
+# :class:`ShardPlan`) folds each block's mutation stamp, drawn from a clock
+# shared across the whole copy family, so a stale entry is unreachable by
+# construction and invalidation is implicit.  Bounded LRU; stats mirror the
+# ``repro_summary_cache_{hits,misses,invalidations}_total`` counters.
+
+_SUMMARY_CACHE_LOCK = threading.Lock()
+_SUMMARY_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_SUMMARY_CACHE_CAPACITY = [512]
+_SUMMARY_CACHE_COUNTS = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+
+_SUMMARY_CACHE_HELP = {
+    "repro_summary_cache_hits_total": "Shard summaries served from the cache",
+    "repro_summary_cache_misses_total": "Shard summaries recomputed on a miss",
+    "repro_summary_cache_invalidations_total": (
+        "Shard summaries invalidated by mutations (per-shard version bumps)"
+    ),
+}
+
+
+def _summary_counter(kind: str):
+    from repro.obs.metrics import REGISTRY
+
+    name = f"repro_summary_cache_{kind}_total"
+    return REGISTRY.counter(name, _SUMMARY_CACHE_HELP[name])
+
+
+def summary_cache_key(
+    shard_plan: ShardPlan,
+    plan_key: object,
+    index: int,
+    binding: Optional[Binding],
+    grouped: bool,
+) -> Optional[tuple]:
+    """Content-addressed cache key for one shard's summary, or ``None``.
+
+    ``None`` means the shard is not cacheable (no content tokens — the
+    unsharded fallback path, or a planner that predates tokens).
+    """
+    if not shard_plan.lineage or index >= len(shard_plan.shard_tokens):
+        return None
+    if grouped:
+        mode: tuple = ("groups",)
+    else:
+        mode = (
+            "closed",
+            tuple(
+                sorted(
+                    (binding or {}).items(),
+                    key=lambda kv: (kv[0], repr(kv[1])),
+                )
+            ),
+        )
+    return (shard_plan.lineage, plan_key, mode, shard_plan.shard_tokens[index])
+
+
+def _summary_cache_get(key: tuple) -> Optional[object]:
+    with _SUMMARY_CACHE_LOCK:
+        value = _SUMMARY_CACHE.get(key)
+        if value is not None:
+            _SUMMARY_CACHE.move_to_end(key)
+            _SUMMARY_CACHE_COUNTS["hits"] += 1
+        else:
+            _SUMMARY_CACHE_COUNTS["misses"] += 1
+    _summary_counter("hits" if value is not None else "misses").inc()
+    return value
+
+
+def _summary_cache_put(key: tuple, value: object) -> None:
+    with _SUMMARY_CACHE_LOCK:
+        _SUMMARY_CACHE[key] = value
+        _SUMMARY_CACHE.move_to_end(key)
+        while len(_SUMMARY_CACHE) > _SUMMARY_CACHE_CAPACITY[0]:
+            _SUMMARY_CACHE.popitem(last=False)
+            _SUMMARY_CACHE_COUNTS["evictions"] += 1
+
+
+def note_summary_invalidations(count: int) -> None:
+    """Record that a mutation bumped ``count`` per-shard versions.
+
+    Invalidation is implicit in the content-addressed keying (stale entries
+    simply stop being referenced and age out of the LRU), so this counter is
+    the observable trace of it: the write path calls in with the number of
+    shard slots whose version vector entry advanced.
+    """
+    if count <= 0:
+        return
+    with _SUMMARY_CACHE_LOCK:
+        _SUMMARY_CACHE_COUNTS["invalidations"] += count
+    _summary_counter("invalidations").inc(count)
+
+
+def cached_shard_summary(
+    plan: QueryPlan,
+    shard_plan: ShardPlan,
+    index: int,
+    binding: Optional[Binding] = None,
+    grouped: bool = False,
+):
+    """Summarise shard ``index`` of ``shard_plan``, through the summary cache.
+
+    Returns a :class:`ShardAnswer` (closed execution) or a
+    ``{group: ShardAnswer}`` map (GROUP BY).  Cached values are immutable by
+    convention — every consumer merges them into fresh accumulators.
+    """
+    shard = shard_plan.shards[index]
+    key = summary_cache_key(shard_plan, plan.key, index, binding, grouped)
+    if key is not None:
+        with obs_span("shard.summary_cache", shard=index) as span:
+            cached = _summary_cache_get(key)
+            if span is not None:
+                span.set_tag("outcome", "hit" if cached is not None else "miss")
+        if cached is not None:
+            add_cost("summary_cache_hits")
+            return cached
+        add_cost("summary_cache_misses")
+    with obs_span("shard.summarize", shard=index, facts=len(shard)):
+        add_cost("facts_scanned", len(shard))
+        summary = (
+            summarize_shard_groups(plan, shard)
+            if grouped
+            else summarize_shard(plan, shard, binding)
+        )
+    if key is not None:
+        _summary_cache_put(key, summary)
+    return summary
+
+
+def summary_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters and size of the shard-summary cache."""
+    with _SUMMARY_CACHE_LOCK:
+        stats = dict(_SUMMARY_CACHE_COUNTS)
+        stats["entries"] = len(_SUMMARY_CACHE)
+        stats["capacity"] = _SUMMARY_CACHE_CAPACITY[0]
+        return stats
+
+
+def clear_summary_cache() -> None:
+    """Reset the shard-summary cache and its counters (test hook)."""
+    with _SUMMARY_CACHE_LOCK:
+        _SUMMARY_CACHE.clear()
+        for counter in _SUMMARY_CACHE_COUNTS:
+            _SUMMARY_CACHE_COUNTS[counter] = 0
+
+
+def configure_summary_cache(capacity: int) -> None:
+    """Bound the shard-summary cache to ``capacity`` entries (LRU evicted)."""
+    capacity = max(0, int(capacity))
+    with _SUMMARY_CACHE_LOCK:
+        _SUMMARY_CACHE_CAPACITY[0] = capacity
+        while len(_SUMMARY_CACHE) > capacity:
+            _SUMMARY_CACHE.popitem(last=False)
+            _SUMMARY_CACHE_COUNTS["evictions"] += 1
 
 
 # -- per-shard summarisation ------------------------------------------------------------
@@ -1132,17 +1322,13 @@ def execute_sharded(
             )
     if summaries is None:  # serial path (requested, or pool unavailable)
         summaries = []
-        for index, shard in enumerate(shard_plan.shards):
+        for index in range(len(shard_plan.shards)):
             # Shard boundaries are the sharded executor's cancellation
             # points: an abandoned request stops before its next shard.
             check_cancelled()
-            with obs_span("shard.summarize", shard=index, facts=len(shard)):
-                add_cost("facts_scanned", len(shard))
-                summaries.append(
-                    summarize_shard_groups(plan, shard)
-                    if grouped
-                    else summarize_shard(plan, shard, binding)
-                )
+            summaries.append(
+                cached_shard_summary(plan, shard_plan, index, binding, grouped)
+            )
 
     aggregate = plan.query.aggregate
     with obs_span("shard.merge", shards=len(summaries)):

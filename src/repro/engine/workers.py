@@ -51,7 +51,7 @@ import threading
 import time
 import weakref
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,7 +63,6 @@ from repro.engine.cancellation import (
     token_scope,
 )
 from repro.exceptions import ReproError
-from repro.obs.cost import add_cost
 from repro.obs.log import get_logger
 from repro.obs.trace import remote_root, span as obs_span
 from repro.query.aggregation import AggregationQuery
@@ -129,9 +128,16 @@ class InstanceRef:
     #: ref reuse against in-place mutation (a bare size check would be
     #: fooled by a remove+add of the same cardinality).
     data_version: int = 0
+    #: Fact-delta chain over the spooled base: a tuple of
+    #: ``(base_data_version, ((kind, fact), ...))`` segments, each applying
+    #: on an instance whose ``data_version`` equals the segment base.  A
+    #: worker already holding the base (or any intermediate version)
+    #: resident fast-forwards in place instead of re-reading the spool; a
+    #: cold worker replays the whole chain after loading the base.
+    delta: Optional[Tuple[Tuple[int, Tuple[Tuple[str, object], ...]], ...]] = None
 
     def load(self) -> DatabaseInstance:
-        """Unpickle the spooled instance.
+        """Unpickle the spooled instance and replay any delta chain.
 
         The spool file is either a raw pickled :class:`DatabaseInstance`
         (written by the pool) or a :class:`~repro.store.StoreSnapshot`
@@ -140,8 +146,55 @@ class InstanceRef:
         """
         with open(self.spool_path, "rb") as handle:
             payload = pickle.load(handle)
-        instance = getattr(payload, "instance", None)
-        return instance if isinstance(instance, DatabaseInstance) else payload
+        unwrapped = getattr(payload, "instance", None)
+        instance = unwrapped if isinstance(unwrapped, DatabaseInstance) else payload
+        for base_version, ops in self.delta or ():
+            if instance.data_version != base_version:
+                raise WorkerPoolError(
+                    f"delta chain for {self.key!r} expects base "
+                    f"{base_version}, spool is at {instance.data_version}"
+                )
+            _apply_delta_ops(instance, ops)
+        return instance
+
+
+def _apply_delta_ops(instance: DatabaseInstance, ops: Sequence[Tuple[str, object]]) -> None:
+    """Replay one delta segment's ``(kind, fact)`` ops on ``instance``."""
+    for kind, fact in ops:
+        if kind == "add":
+            instance.add_fact(fact)
+        elif kind == "remove":
+            instance.remove_fact(fact)
+        else:
+            raise WorkerPoolError(f"unknown delta op kind {kind!r}")
+
+
+def _fast_forward(instance: DatabaseInstance, ref: InstanceRef) -> Optional[DatabaseInstance]:
+    """Advance a resident instance through ``ref``'s delta chain in place.
+
+    Returns the instance when it reaches exactly ``ref``'s state, else
+    ``None`` (stale base, broken chain, or an op that does not apply) — the
+    caller then falls back to a full spool load, which also discards any
+    partial mutation this attempt made.
+    """
+    chain = ref.delta or ()
+    start = None
+    for index, (base_version, _ops) in enumerate(chain):
+        if base_version == instance.data_version:
+            start = index
+            break
+    if start is None:
+        return None
+    for base_version, ops in chain[start:]:
+        if instance.data_version != base_version:
+            return None
+        try:
+            _apply_delta_ops(instance, ops)
+        except Exception:  # noqa: BLE001 — any misapplied op voids the fast path
+            return None
+    if instance.data_version != ref.data_version or len(instance) != ref.size:
+        return None
+    return instance
 
 
 # -- the worker process -----------------------------------------------------------------
@@ -190,12 +243,11 @@ def _worker_stats(engine, resident: Dict, counters: Dict[str, int]) -> Dict[str,
 def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> None:
     """Worker entry point: serve jobs forever on a persistent engine."""
     from repro.engine.batch import _answer_one
-    from repro.engine.engine import ConsistentAnswerEngine
+    from repro.engine.engine import AnswerOptions, ConsistentAnswerEngine
     from repro.engine.sharding import (
         ShardPlanner,
         _cached_shard_plan,
-        summarize_shard,
-        summarize_shard_groups,
+        cached_shard_summary,
     )
 
     config = dict(engine_config or {})
@@ -209,16 +261,32 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
         "shard_jobs": 0,
         "instance_loads": 0,
         "resident_hits": 0,
+        "delta_applies": 0,
+        "delta_fallbacks": 0,
     }
 
     def resolve(ref: InstanceRef) -> DatabaseInstance:
         entry = resident.get(ref.key)
-        if entry is None or entry[0] != ref.version:
-            with obs_span("worker.instance_load", key=ref.key, version=ref.version):
-                resident[ref.key] = (ref.version, ref.load())
-            counters["instance_loads"] += 1
-        else:
+        if entry is not None and entry[0] == ref.version:
             counters["resident_hits"] += 1
+            return entry[1]
+        if entry is not None and ref.delta:
+            with obs_span(
+                "worker.delta_apply", key=ref.key, version=ref.version
+            ) as delta_span:
+                advanced = _fast_forward(entry[1], ref)
+                if delta_span is not None:
+                    delta_span.set_tag(
+                        "outcome", "applied" if advanced is not None else "fallback"
+                    )
+            if advanced is not None:
+                resident[ref.key] = (ref.version, advanced)
+                counters["delta_applies"] += 1
+                return advanced
+            counters["delta_fallbacks"] += 1
+        with obs_span("worker.instance_load", key=ref.key, version=ref.version):
+            resident[ref.key] = (ref.version, ref.load())
+        counters["instance_loads"] += 1
         return resident[ref.key][1]
 
     def handle(kind: str, payload: tuple) -> object:
@@ -226,9 +294,10 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
             ref, query, binding, shards = payload
             counters["answer_jobs"] += 1
             instance = resolve(ref)
+            options = AnswerOptions(shards=shards)
             if query.free_variables and binding is None:
-                return engine.answer_group_by(query, instance, shards=shards)
-            return engine.answer(query, instance, binding or {}, shards=shards)
+                return engine.answer_group_by(query, instance, options)
+            return engine.answer(query, instance, binding or {}, options)
         if kind == "chunk":
             (items,) = payload
             counters["chunk_jobs"] += 1
@@ -252,17 +321,9 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
             summaries = []
             for index in indices:
                 check_cancelled()
-                shard = shard_plan.shards[index]
-                with obs_span("shard.summarize", shard=index, facts=len(shard)):
-                    add_cost("facts_scanned", len(shard))
-                    summaries.append(
-                        (
-                            index,
-                            summarize_shard_groups(plan, shard)
-                            if grouped
-                            else summarize_shard(plan, shard, binding),
-                        )
-                    )
+                summaries.append(
+                    (index, cached_shard_summary(plan, shard_plan, index, binding, grouped))
+                )
             return summaries
         if kind == "invalidate":
             (key,) = payload
@@ -395,6 +456,11 @@ class WorkerPool:
         retry runs on the respawned process).
     start_method:
         Multiprocessing start method (default: ``fork`` when available).
+    delta_max_ops:
+        Ceiling on the total ops a named ref's delta chain may accumulate
+        before :meth:`apply_named_delta` falls back to a full re-pickle —
+        past that point replaying the chain on a cold worker costs more
+        than re-reading a fresh spool file.
     """
 
     def __init__(
@@ -403,10 +469,14 @@ class WorkerPool:
         engine_config: Optional[dict] = None,
         max_retries: int = 1,
         start_method: Optional[str] = None,
+        delta_max_ops: int = 256,
     ) -> None:
         self._size = max(1, int(workers))
         self._engine_config = dict(engine_config or {})
         self._max_retries = max(0, int(max_retries))
+        self._delta_max_ops = max(0, int(delta_max_ops))
+        self._delta_ships = 0
+        self._delta_reships = 0
         self._context = multiprocessing.get_context(
             start_method or default_pool_start_method()
         )
@@ -668,6 +738,59 @@ class WorkerPool:
             with self._ref_lock:
                 self._named_refs[name] = (weakref.ref(instance), ref)
                 self._store_identity(instance, ref)
+        return ref
+
+    def apply_named_delta(
+        self,
+        name: str,
+        instance: DatabaseInstance,
+        ops: Sequence[Tuple[str, object]],
+    ) -> InstanceRef:
+        """Advance a named ref by a fact delta instead of re-pickling.
+
+        ``ops`` is the ``(kind, fact)`` sequence that carried the pool's
+        latest version of ``name`` to ``instance`` — each op must have
+        applied (bumped ``data_version`` by one), which is what the
+        arithmetic guard checks.  When the delta chains cleanly and the
+        accumulated chain stays within ``delta_max_ops``, the new ref
+        shares the old spool file and workers holding the previous version
+        resident fast-forward in place; otherwise the method falls back to
+        a full re-pickle via :meth:`register_instance`.
+        """
+        ops = tuple((kind, fact) for kind, fact in ops)
+        with self._ref_lock:
+            entry = self._named_refs.get(name)
+            old = entry[1] if entry is not None else None
+        if old is not None and instance.data_version <= old.data_version:
+            # Out-of-order ship: a newer (or identical) state already
+            # reached the pool — keep it rather than regress the named ref.
+            return old
+        chained_ops = sum(len(segment) for _base, segment in (old.delta or ())) if old else 0
+        with self._ref_lock:
+            # An *aliased* external spool (adopt fell back to the store's
+            # live file) is not immutable — compaction rewrites it in place,
+            # which would shift the delta chain's base out from under it.
+            aliased = old is not None and old.spool_path in self._external_spools
+        if (
+            old is None
+            or not ops
+            or aliased
+            or old.data_version + len(ops) != instance.data_version
+            or chained_ops + len(ops) > self._delta_max_ops
+        ):
+            self._delta_reships += 1
+            return self.register_instance(name, instance)
+        ref = dataclass_replace(
+            old,
+            version=old.version + 1,
+            size=len(instance),
+            data_version=instance.data_version,
+            delta=(old.delta or ()) + ((old.data_version, ops),),
+        )
+        with self._ref_lock:
+            self._named_refs[name] = (weakref.ref(instance), ref)
+            self._store_identity(instance, ref)
+        self._delta_ships += 1
         return ref
 
     def adopt_named_ref(
@@ -1073,5 +1196,7 @@ class WorkerPool:
                 "in_flight": len(self._pending),
                 "restarts": self._restarts,
                 "retries": self._retries,
+                "delta_ships": self._delta_ships,
+                "delta_reships": self._delta_reships,
                 "per_worker": per_worker,
             }

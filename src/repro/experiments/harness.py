@@ -17,7 +17,7 @@ from repro.baselines.branch_and_bound import BranchAndBoundSolver
 from repro.baselines.exhaustive import ExhaustiveRangeSolver
 from repro.core.rewriter import GlbRewriter
 from repro.datamodel.signature import RelationSignature
-from repro.engine import ConsistentAnswerEngine
+from repro.engine import AnswerOptions, ConsistentAnswerEngine
 from repro.query.aggregation import AggregationQuery
 from repro.query.atom import Atom
 from repro.query.conjunctive import ConjunctiveQuery
@@ -217,7 +217,7 @@ def run_engine_throughput_experiment(
         batch_engine = ConsistentAnswerEngine()
         items = [(query, instance) for instance in workload]
         results, seconds = _timed(
-            lambda: batch_engine.answer_many(items, max_workers=workers)
+            lambda: batch_engine.answer_many(items, AnswerOptions(max_workers=workers))
         )
         effective = min(
             default_worker_count() if workers is None else max(1, workers),

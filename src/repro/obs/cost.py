@@ -4,7 +4,8 @@ Spans already time every phase of a request; this module adds *cost*:
 
 * :func:`add_cost` accumulates domain counters (``facts_scanned``,
   ``blocks_touched``, ``repairs_expanded``, ``shard_fallbacks``,
-  ``store_fsyncs``, ``summary_states``) on the active span — one dict
+  ``store_fsyncs``, ``summary_states``, ``summary_cache_hits``,
+  ``summary_cache_misses``) on the active span — one dict
   update at sites that already open spans, no new wiring;
 * :func:`rollup` folds a finished trace tree into one cost record:
   counters sum across all spans, CPU sums *without double counting* — a
@@ -33,6 +34,8 @@ DOMAIN_COUNTERS = (
     "shard_fallbacks",
     "store_fsyncs",
     "summary_states",
+    "summary_cache_hits",
+    "summary_cache_misses",
 )
 
 

@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         "or POST batches to an http(s) URL",
     )
     parser.add_argument(
+        "--otlp-gzip",
+        action="store_true",
+        help="gzip-compress OTLP HTTP batches (Content-Encoding: gzip); "
+        "ignored for file targets",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         choices=("debug", "info", "warning", "error"),
@@ -169,6 +175,7 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
             else None
         ),
         otlp_export=args.otlp_export,
+        otlp_gzip=args.otlp_gzip,
         log_level=args.log_level,
     )
 

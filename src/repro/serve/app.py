@@ -68,6 +68,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.range_answers import RangeAnswer
 from repro.engine import (
+    AnswerOptions,
     ConsistentAnswerEngine,
     WorkerPool,
     WorkerPoolError,
@@ -112,9 +113,11 @@ from repro.serve.protocol import (
     decode_constant,
     decode_mutation_ops,
     dumps,
+    encode_block_key,
     encode_group_answers,
     encode_range_answer,
     error_body,
+    expected_version_from_headers,
     expected_version_of,
     loads,
 )
@@ -249,6 +252,9 @@ class ServeConfig:
     #: OTLP/JSON export target for retained traces: an ``http(s)://`` URL
     #: (POST per batch) or a file path (NDJSON append).  ``None`` disables.
     otlp_export: Optional[str] = None
+    #: Gzip-compress OTLP HTTP batches (``Content-Encoding: gzip``); file
+    #: sinks ignore it (NDJSON stays greppable).
+    otlp_gzip: bool = False
     #: Structured-log threshold (``debug``/``info``/``warning``/``error``);
     #: ``None`` keeps ``REPRO_LOG_LEVEL`` or the ``info`` default.
     log_level: Optional[str] = None
@@ -374,7 +380,10 @@ class ConsistentAnswerServer:
         self.sampled_out = DroppedTraceLog()
         self.cost_table = CostTable()
         self.exporter: Optional[SpanExporter] = (
-            SpanExporter(self.config.otlp_export)
+            SpanExporter(
+                self.config.otlp_export,
+                compression="gzip" if self.config.otlp_gzip else None,
+            )
             if self.config.otlp_export
             else None
         )
@@ -648,6 +657,13 @@ class ConsistentAnswerServer:
 
         segments = path.strip("/").split("/")
         if len(segments) == 2 and segments[0] == "instances" and segments[1]:
+            if method == "PATCH":
+                return (
+                    self._handle_patch_instance,
+                    (unquote(segments[1]),),
+                    "PATCH /instances/{name}",
+                    [],
+                )
             if method == "DELETE":
                 return (
                     self._handle_drop_instance,
@@ -655,7 +671,7 @@ class ConsistentAnswerServer:
                     "DELETE /instances/{name}",
                     [],
                 )
-            return None, (), "/instances/{name}", ["DELETE"]
+            return None, (), "/instances/{name}", ["DELETE", "PATCH"]
         if (
             len(segments) == 3
             and segments[0] == "instances"
@@ -707,7 +723,7 @@ class ConsistentAnswerServer:
             method=request.method,
             path=request.path,
         ) as root:
-            status, payload = await self._process_inner(request)
+            status, payload, response_headers = await self._process_inner(request)
             if root is not None:
                 root.set_tag("status", status)
         if (
@@ -751,7 +767,7 @@ class ConsistentAnswerServer:
             ):
                 payload = dict(payload)
                 payload["trace"] = tree
-        return status, payload, {TRACE_HEADER: trace_id}
+        return status, payload, {**response_headers, TRACE_HEADER: trace_id}
 
     def _account_cost(self, root, tree: Dict[str, object], duration_ms: float) -> None:
         """Roll one finished trace into the per-(instance, plan) cost table.
@@ -775,7 +791,9 @@ class ConsistentAnswerServer:
             trace_id=root.trace_id,
         )
 
-    async def _process_inner(self, request: _Request) -> Tuple[int, object]:
+    async def _process_inner(
+        self, request: _Request
+    ) -> Tuple[int, object, Dict[str, str]]:
         handler = self._routes.get((request.method, request.path))
         handler_args: Tuple[str, ...] = ()
         endpoint = f"{request.method} {request.path}"
@@ -800,17 +818,27 @@ class ConsistentAnswerServer:
                 payload = error_body("NotFound", f"no route for {request.path!r}")
             self.metrics.request_started()
             self.metrics.request_finished(endpoint, status, 0.0)
-            return status, payload
+            return status, payload, {}
         if handler in (  # bound methods: compare, not `is`
             self._handle_metrics,
             self._handle_debug_top,
         ):
             handler_args = (request.query,)
+        elif handler in (  # write handlers read preconditions from headers
+            self._handle_patch_instance,
+            self._handle_mutate_instance,
+        ):
+            handler_args = handler_args + (request.headers,)
         self.metrics.request_started()
         started = time.perf_counter()
+        response_headers: Dict[str, str] = {}
         try:
             payload_in = loads(request.body)
-            status, payload = await handler(payload_in, *handler_args)
+            result = await handler(payload_in, *handler_args)
+            if len(result) == 3:  # (status, payload, extra response headers)
+                status, payload, response_headers = result
+            else:
+                status, payload = result
         except (asyncio.TimeoutError, JobCancelledError):
             # JobCancelledError is the same deadline observed from the other
             # side: the job's own token expired at a cancellation point just
@@ -829,7 +857,7 @@ class ConsistentAnswerServer:
             time.perf_counter() - started,
             trace_id=current_trace_id(),
         )
-        return status, payload
+        return status, payload, response_headers
 
     # -- engine dispatch ---------------------------------------------------------------
 
@@ -1001,9 +1029,10 @@ class ConsistentAnswerServer:
                 name=entry.name,
                 timeout=self.config.request_timeout_s * 2 + 5,
             )
+        options = AnswerOptions(shards=shards)
         if binding is None and query.free_variables:
-            return self.engine.answer_group_by(query, entry.instance, shards=shards)
-        return self.engine.answer(query, entry.instance, binding or {}, shards=shards)
+            return self.engine.answer_group_by(query, entry.instance, options)
+        return self.engine.answer(query, entry.instance, binding or {}, options)
 
     # -- handlers ----------------------------------------------------------------------
 
@@ -1103,7 +1132,8 @@ class ConsistentAnswerServer:
         workers = min(requested_workers or default_workers, cap)
         timeout = self._effective_timeout(self._timeout_of(payload))
         results = await self._dispatch(
-            lambda: self.engine.answer_many(pairs, max_workers=workers), timeout
+            lambda: self.engine.answer_many(pairs, AnswerOptions(max_workers=workers)),
+            timeout,
         )
         encoded = []
         for result, name in zip(results, names):
@@ -1135,33 +1165,96 @@ class ConsistentAnswerServer:
         )
         return 201, {"registered": entry.describe()}
 
-    async def _handle_mutate_instance(
-        self, payload: object, name: str
-    ) -> Tuple[int, object]:
-        """``POST /instances/{name}/facts`` — the durable write path.
+    def _ship_delta(self, outcome) -> None:
+        """Push a committed write's fact delta to the worker pool.
+
+        Runs on the mutation's executor thread right after the registry
+        commit: workers holding the previous version resident fast-forward
+        in place instead of re-unpickling the whole database on their next
+        job.  Purely an optimization — the pool's ``ref_for`` identity and
+        data-version guards keep correctness even when the push is skipped
+        or arrives out of order, so pool failures never fail the write.
+        """
+        pool = self._pool
+        if pool is None or not pool.is_running:
+            return
+        delta_ops = tuple(
+            ("add" if kind == "add_fact" else "remove", fact)
+            for kind, fact in outcome.applied
+        )
+        try:
+            pool.apply_named_delta(outcome.name, outcome.instance, delta_ops)
+        except WorkerPoolError:
+            pass  # pool mid-shutdown: the write itself already committed
+
+    async def _mutate_instance(
+        self, payload: object, name: str, headers: Optional[Mapping]
+    ) -> Dict[str, object]:
+        """The shared durable write path behind PATCH and the legacy POST.
 
         The mutation (copy-on-write apply + fsync'd log append) runs on the
         engine pool via :meth:`_dispatch` so disk I/O never blocks the
-        event loop; ``expected_version`` turns concurrent writers into
-        clean 409s instead of silent interleavings.
+        event loop; the ``If-Match`` header (or a body-level
+        ``expected_version``) turns concurrent writers into clean 409s
+        instead of silent interleavings.
 
         Timeout semantics are at-most-once-but-maybe-committed: a 504 means
         the *response* was abandoned, while the mutation thread may still
         commit in the background (threads cannot be cancelled).  Clients
         that see a 504 on a write should confirm with ``GET /instances``
-        before retrying — which is exactly what ``expected_version`` makes
+        before retrying — which is exactly what the precondition makes
         safe: a retry of an already-committed write fails with 409 instead
         of applying twice.
         """
         payload = self._require_object(payload)
         ops = decode_mutation_ops(payload)
-        expected = expected_version_of(payload)
+        expected = expected_version_from_headers(headers, payload)
         timeout = self._effective_timeout(self._timeout_of(payload))
-        entry = await self._dispatch(
-            lambda: self.registry.mutate(name, ops, expected_version=expected),
-            timeout,
-        )
-        return 200, {"mutated": entry.describe(), "applied": len(ops)}
+
+        def work():
+            outcome = self.registry.mutate(name, ops, expected_version=expected)
+            self._ship_delta(outcome)
+            return outcome
+
+        outcome = await self._dispatch(work, timeout)
+        return {
+            "mutated": outcome.describe(),
+            "applied": len(ops),
+            "version": outcome.version,
+            "touched_blocks": [
+                encode_block_key(key) for key in outcome.touched_blocks
+            ],
+            "shards_invalidated": list(outcome.shards_invalidated),
+        }
+
+    async def _handle_patch_instance(
+        self, payload: object, name: str, headers: Optional[Mapping] = None
+    ) -> Tuple[int, object]:
+        """``PATCH /instances/{name}`` — the typed mutation envelope.
+
+        Body: ``{"ops": [{"op": "add"|"remove", "relation": R,
+        "values": [...]}, ...]}``; optimistic concurrency via
+        ``If-Match: <version>``, answered with 409 on mismatch.  The
+        response reports the write's blast radius: the new ``version``,
+        the ``touched_blocks``, and the canonical ``shards_invalidated``
+        slots.
+        """
+        return 200, await self._mutate_instance(payload, name, headers)
+
+    async def _handle_mutate_instance(
+        self, payload: object, name: str, headers: Optional[Mapping] = None
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """``POST /instances/{name}/facts`` — deprecated alias of PATCH.
+
+        Kept as a thin shim over the same write path for existing clients;
+        every response carries a ``Deprecation`` header pointing at the
+        successor route.
+        """
+        body = await self._mutate_instance(payload, name, headers)
+        return 200, body, {
+            "Deprecation": "true",
+            "Link": f'</instances/{name}>; rel="successor-version"',
+        }
 
     async def _handle_drop_instance(
         self, payload: object, name: str

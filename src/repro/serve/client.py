@@ -70,6 +70,8 @@ class ServeClient:
         self._writer: Optional[asyncio.StreamWriter] = None
         #: Trace id echoed by the most recent response (None before any).
         self.last_trace_id: Optional[str] = None
+        #: Lower-cased headers of the most recent response (empty before any).
+        self.last_response_headers: Dict[str, str] = {}
 
     # -- connection management ---------------------------------------------------------
 
@@ -99,7 +101,11 @@ class ServeClient:
     # -- raw request / response --------------------------------------------------------
 
     async def request(
-        self, method: str, path: str, payload: Optional[object] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, object]:
         """Send one request, returning ``(status, decoded JSON body)``.
 
@@ -107,11 +113,12 @@ class ServeClient:
         closes the connection (a late response would otherwise be read as
         the answer to the *next* request).  Broken connections are retried
         once, but only for GETs — a POST may already have executed
-        server-side, and re-sending it is not idempotent.
+        server-side, and re-sending it is not idempotent.  ``headers``
+        are extra request headers (e.g. ``If-Match`` preconditions).
         """
         try:
             return await asyncio.wait_for(
-                self._request_once(method, path, payload), self._timeout_s
+                self._request_once(method, path, payload, headers), self._timeout_s
             )
         except asyncio.TimeoutError:
             await self.close()  # connection is mid-response: desynchronized
@@ -121,21 +128,29 @@ class ServeClient:
             if method.upper() != "GET":
                 raise
             return await asyncio.wait_for(
-                self._request_once(method, path, payload), self._timeout_s
+                self._request_once(method, path, payload, headers), self._timeout_s
             )
 
     async def _request_once(
-        self, method: str, path: str, payload: Optional[object]
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object],
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, object]:
         await self.open()
         assert self._reader is not None and self._writer is not None
         body = dumps(payload) if payload is not None else b""
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self._host}:{self._port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: keep-alive\r\n"
+            f"{extra}"
             f"\r\n"
         )
         self._writer.write(head.encode("latin-1") + body)
@@ -159,6 +174,7 @@ class ServeClient:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
+        self.last_response_headers = dict(headers)
         trace_id = headers.get(TRACE_HEADER.lower())
         if trace_id:
             self.last_trace_id = trace_id
@@ -253,23 +269,35 @@ class ServeClient:
     ) -> Dict[str, object]:
         """Apply fact mutations to a registered instance (the write path).
 
+        Speaks ``PATCH /instances/{name}`` with the typed ops envelope;
         ``ops`` are ``("add"|"remove", relation, values)`` triples (or
-        equivalently shaped mappings); ``expected_version`` turns a lost
-        optimistic-concurrency race into a
-        :class:`ServeClientError` with status 409.  Returns the mutated
-        instance's description (bumped ``version`` included).
+        equivalently shaped mappings).  ``expected_version`` is sent as an
+        ``If-Match`` header, turning a lost optimistic-concurrency race
+        into a :class:`ServeClientError` with status 409.  Returns the
+        mutated instance's description (bumped ``version`` included)
+        merged with the write's footprint: ``applied``,
+        ``touched_blocks``, and ``shards_invalidated``.
         """
         from urllib.parse import quote
 
         payload: Dict[str, object] = {"ops": [encode_mutation_op(op) for op in ops]}
-        if expected_version is not None:
-            payload["expected_version"] = expected_version
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        status, body = await self.request(
-            "POST", f"/instances/{quote(name, safe='')}/facts", payload
+        headers = (
+            {"If-Match": str(expected_version)}
+            if expected_version is not None
+            else None
         )
-        return self._checked(status, body)["mutated"]
+        status, body = await self.request(
+            "PATCH", f"/instances/{quote(name, safe='')}", payload, headers=headers
+        )
+        result = self._checked(status, body)
+        return {
+            **result["mutated"],
+            "applied": result["applied"],
+            "touched_blocks": result["touched_blocks"],
+            "shards_invalidated": result["shards_invalidated"],
+        }
 
     async def drop_instance(
         self, name: str, expected_version: Optional[int] = None

@@ -293,6 +293,42 @@ def expected_version_of(payload: Mapping) -> Optional[int]:
     return raw
 
 
+def expected_version_from_headers(
+    headers: Optional[Mapping], payload: Mapping
+) -> Optional[int]:
+    """The write precondition of ``PATCH /instances/{name}``.
+
+    The ``If-Match`` header (the instance version, optionally quoted per
+    the HTTP entity-tag grammar) takes precedence over a body-level
+    ``expected_version``; ``If-Match: *`` means "no precondition" — match
+    any current version, exactly like omitting the header.
+    """
+    raw = (headers or {}).get("if-match")
+    if raw is None:
+        return expected_version_of(payload)
+    value = raw.strip()
+    if value == "*":
+        return None
+    if len(value) >= 2 and value.startswith('"') and value.endswith('"'):
+        value = value[1:-1]
+    try:
+        version = int(value)
+    except ValueError:
+        version = -1
+    if version < 1:
+        raise ProtocolError(
+            f"If-Match must be a positive integer version (optionally "
+            f"quoted) or '*', got {raw!r}"
+        )
+    return version
+
+
+def encode_block_key(block_key: Tuple[str, Tuple[Constant, ...]]) -> Dict[str, object]:
+    """Encode one touched ``(relation, key values)`` block key for the wire."""
+    relation, key = block_key
+    return {"relation": relation, "key": [encode_constant(value) for value in key]}
+
+
 # -- errors and body framing ------------------------------------------------------------
 
 

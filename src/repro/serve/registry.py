@@ -25,8 +25,9 @@ from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.datamodel.facts import Constant, Fact
-from repro.datamodel.instance import DatabaseInstance
+from repro.datamodel.instance import BlockKey, DatabaseInstance, canonical_shard_slot
 from repro.engine.plan import schema_fingerprint
+from repro.engine.sharding import note_summary_invalidations
 from repro.exceptions import ReproError
 from repro.serve.protocol import instance_from_payload
 
@@ -72,6 +73,12 @@ class RegisteredInstance:
     ``version`` is the monotonic write-path version: 1 at first
     registration, bumped by every mutation or replacement, preserved across
     restarts by the durable store.
+
+    ``shard_versions`` is the per-shard-slot invalidation vector: one
+    counter per canonical shard slot (:func:`canonical_shard_slot`), bumped
+    for exactly the slots a mutation's touched blocks map to.  It is
+    ephemeral — reset to zeros at (re-)registration and boot — because it
+    only exists to tell clients and caches *which* slots a write moved.
     """
 
     name: str
@@ -80,6 +87,7 @@ class RegisteredInstance:
     registered_at: float
     shards: int = 1
     version: int = 1
+    shard_versions: Tuple[int, ...] = ()
 
     def describe(self) -> Dict[str, object]:
         """The JSON-facing description used by ``GET /instances``."""
@@ -94,7 +102,46 @@ class RegisteredInstance:
             "registered_at": self.registered_at,
             "shards": self.shards,
             "version": self.version,
+            "shard_versions": list(self.shard_versions or (0,) * self.shards),
         }
+
+
+@dataclass(frozen=True)
+class MutationOutcome:
+    """What one committed write did: the new entry plus its delta footprint.
+
+    ``touched_blocks`` are the block keys the ops landed in (in first-touch
+    order), ``shards_invalidated`` the canonical shard slots those blocks
+    map to, and ``base_data_version`` the instance's mutation token *before*
+    the write — together exactly what the serving layer needs to ship a
+    fact delta to the worker pool and report the write's blast radius to
+    the client.  Passthrough accessors keep pre-outcome callers working.
+    """
+
+    entry: RegisteredInstance
+    applied: Tuple[MutationOp, ...]
+    touched_blocks: Tuple[BlockKey, ...]
+    shards_invalidated: Tuple[int, ...]
+    base_data_version: int
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    @property
+    def version(self) -> int:
+        return self.entry.version
+
+    @property
+    def instance(self) -> DatabaseInstance:
+        return self.entry.instance
+
+    @property
+    def shards(self) -> int:
+        return self.entry.shards
+
+    def describe(self) -> Dict[str, object]:
+        return self.entry.describe()
 
 
 class InstanceRegistry:
@@ -187,6 +234,7 @@ class InstanceRegistry:
                 registered_at=time.time(),
                 shards=shards,
                 version=version,
+                shard_versions=(0,) * shards,
             )
             if self._store is not None and persist:
                 if old is not None:
@@ -238,15 +286,20 @@ class InstanceRegistry:
     @staticmethod
     def _apply_ops(
         entry: RegisteredInstance, ops: Sequence[Tuple[str, str, Tuple[Constant, ...]]]
-    ) -> Tuple[DatabaseInstance, List[MutationOp]]:
+    ) -> Tuple[DatabaseInstance, List[MutationOp], Tuple[BlockKey, ...]]:
         """Apply wire ops to a *copy* of the entry's instance.
 
         Validation happens here (schema/arity via ``add_fact``, presence for
         removals), so an invalid op rejects the whole batch before anything
-        is logged or published — mutations are all-or-nothing.
+        is logged or published — mutations are all-or-nothing.  The copy is
+        :meth:`DatabaseInstance.copy` — it shares the source's lineage
+        clock, so block stamps stay comparable across the swap and summary
+        caches keyed on them survive for every *untouched* block.
         """
-        mutated = DatabaseInstance(entry.instance.schema, entry.instance)
+        mutated = entry.instance.copy()
         applied: List[MutationOp] = []
+        touched: List[BlockKey] = []
+        seen: set = set()
         for kind, relation, values in ops:
             fact = Fact(relation, tuple(values))
             if kind == "add_fact":
@@ -260,14 +313,18 @@ class InstanceRegistry:
             else:
                 raise MutationError(f"unknown mutation op {kind!r}")
             applied.append((kind, fact))
-        return mutated, applied
+            block_key = mutated.block_key_of(fact)
+            if block_key not in seen:
+                seen.add(block_key)
+                touched.append(block_key)
+        return mutated, applied, tuple(touched)
 
     def mutate(
         self,
         name: str,
         ops: Sequence[Tuple[str, str, Tuple[Constant, ...]]],
         expected_version: Optional[int] = None,
-    ) -> RegisteredInstance:
+    ) -> MutationOutcome:
         """Apply fact-level ops to a named instance, bumping its version.
 
         ``ops`` are ``(kind, relation, values)`` triples with kind
@@ -276,7 +333,9 @@ class InstanceRegistry:
         and the registry entry swaps to the mutated copy atomically.  With
         ``expected_version`` set, a concurrent writer having bumped the
         version first fails the precondition (HTTP 409) instead of silently
-        interleaving.
+        interleaving.  Returns a :class:`MutationOutcome` carrying the new
+        entry plus the write's delta footprint (touched blocks, invalidated
+        shard slots, the pre-write data version).
         """
         if not ops:
             raise MutationError("mutation requires at least one op")
@@ -296,8 +355,17 @@ class InstanceRegistry:
                     f"instance {name!r} is at version {entry.version}, "
                     f"expected_version was {expected_version}"
                 )
-            mutated, applied = self._apply_ops(entry, ops)
+            base_data_version = entry.instance.data_version
+            mutated, applied, touched = self._apply_ops(entry, ops)
             version = entry.version + 1
+            slots = tuple(
+                sorted({canonical_shard_slot(key, entry.shards) for key in touched})
+            )
+            shard_versions = list(entry.shard_versions)
+            if len(shard_versions) != entry.shards:
+                shard_versions = [0] * entry.shards
+            for slot in slots:
+                shard_versions[slot] += 1
             if self._store is not None:
                 self._store.mutate(
                     name,
@@ -306,11 +374,23 @@ class InstanceRegistry:
                     instance=mutated,
                     shards=entry.shards,
                 )
-            new_entry = dataclass_replace(entry, instance=mutated, version=version)
+            new_entry = dataclass_replace(
+                entry,
+                instance=mutated,
+                version=version,
+                shard_versions=tuple(shard_versions),
+            )
             with self._lock:
                 self._instances[name] = new_entry
+            note_summary_invalidations(len(slots))
             self._notify("mutate", name)
-        return new_entry
+        return MutationOutcome(
+            entry=new_entry,
+            applied=tuple(applied),
+            touched_blocks=touched,
+            shards_invalidated=slots,
+            base_data_version=base_data_version,
+        )
 
     def drop(
         self, name: str, expected_version: Optional[int] = None

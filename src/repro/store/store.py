@@ -170,6 +170,9 @@ class InstanceStore:
         self._appends = 0
         self._compactions = 0
         self._snapshots_written = 0
+        self._mutation_batches = 0
+        self._mutation_ops = 0
+        self._mutation_blocks_touched = 0
         self._last_compaction_at: Optional[float] = None
         # (version, pending log depth, dropped) per name, maintained by every
         # write and filled lazily on reads — so observability (``stats()``,
@@ -354,8 +357,20 @@ class InstanceStore:
                 add_cost("store_fsyncs", 1)
                 self._log_of(name).append_batch(records)
             depth = meta[1] + len(records)
+            # The write's blast radius: distinct blocks the batch landed in.
+            # Computable only when the caller handed over the post-mutation
+            # state (the registry always does); a bare log append records
+            # the batch without the block dimension.
+            touched = (
+                len({instance.block_key_of(fact) for _kind, fact in ops})
+                if instance is not None
+                else 0
+            )
             with self._meta_lock:
                 self._appends += len(records)
+                self._mutation_batches += 1
+                self._mutation_ops += len(ops)
+                self._mutation_blocks_touched += touched
                 self._meta[name] = (version, depth, False)
             if self._compact_every and depth >= self._compact_every:
                 self.compact(name, instance=instance, version=version, shards=shards)
@@ -742,6 +757,9 @@ class InstanceStore:
             appends = self._appends
             snapshots = self._snapshots_written
             compactions = self._compactions
+            mutation_batches = self._mutation_batches
+            mutation_ops = self._mutation_ops
+            mutation_blocks = self._mutation_blocks_touched
             last_compaction = self._last_compaction_at
         versions = {
             name: version
@@ -763,6 +781,9 @@ class InstanceStore:
             "appends_total": appends,
             "snapshots_written": snapshots,
             "compactions_total": compactions,
+            "mutation_batches_total": mutation_batches,
+            "mutation_ops_total": mutation_ops,
+            "mutation_blocks_touched_total": mutation_blocks,
             "last_compaction_at": last_compaction,
             "compact_every": self._compact_every,
         }

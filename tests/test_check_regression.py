@@ -114,6 +114,23 @@ class TestShardMetricsTolerance:
         _lines, failures = gate.compare("scenarios", baseline, regressed, 3.0)
         assert failures and "best_speedup" in failures[0]
 
+    def test_incremental_kind_gates_speedup_and_latency(self, gate):
+        baseline = {
+            "point_write": {"speedup_vs_full": 8.0, "cached_s_median": 0.8}
+        }
+        lines, failures = gate.compare("incremental", baseline, baseline, 2.0)
+        assert not failures
+        assert any("point_write.speedup_vs_full" in line for line in lines)
+        regressed = {
+            "point_write": {"speedup_vs_full": 1.5, "cached_s_median": 0.9}
+        }
+        _lines, failures = gate.compare("incremental", baseline, regressed, 2.0)
+        assert failures and "speedup_vs_full" in failures[0]
+        reshaped = {"point_write": "gone"}
+        lines, failures = gate.compare("incremental", baseline, reshaped, 2.0)
+        assert not failures
+        assert all("skip" in line for line in lines)
+
     def test_non_numeric_values_are_skipped(self, gate):
         baseline = {"throughput_rps": 100.0, "p95_ms": 5.0}
         fresh = {"throughput_rps": "fast", "p95_ms": True}

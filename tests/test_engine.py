@@ -9,6 +9,7 @@ from repro.core.evaluator import BOTTOM
 from repro.core.range_answers import compute_range_answer, compute_range_answers
 from repro.datamodel.signature import RelationSignature, Schema
 from repro.engine import (
+    AnswerOptions,
     ConsistentAnswerEngine,
     PlanCache,
     STRATEGY_BRANCH_AND_BOUND,
@@ -385,7 +386,7 @@ class TestBatchExecution:
     def test_serial_batch_preserves_order_and_warms_cache(self):
         engine = ConsistentAnswerEngine()
         items = self._items(3)
-        results = engine.answer_many(items, max_workers=1)
+        results = engine.answer_many(items, AnswerOptions(max_workers=1))
         assert [r.index for r in results] == [0, 1, 2]
         assert results[0].plan_cached is False
         assert all(r.plan_cached for r in results[1:])
@@ -395,8 +396,8 @@ class TestBatchExecution:
 
     def test_parallel_batch_matches_serial(self):
         items = self._items(6)
-        serial = ConsistentAnswerEngine().answer_many(items, max_workers=1)
-        parallel = ConsistentAnswerEngine().answer_many(items, max_workers=3)
+        serial = ConsistentAnswerEngine().answer_many(items, AnswerOptions(max_workers=1))
+        parallel = ConsistentAnswerEngine().answer_many(items, AnswerOptions(max_workers=3))
         assert [r.answer for r in serial] == [r.answer for r in parallel]
         assert [r.index for r in parallel] == list(range(6))
 
@@ -406,7 +407,7 @@ class TestBatchExecution:
             (stock_sum_query(), instance),
             (stock_groupby_query(), instance),
         ]
-        results = ConsistentAnswerEngine().answer_many(items, max_workers=1)
+        results = ConsistentAnswerEngine().answer_many(items, AnswerOptions(max_workers=1))
         assert results[0].answer == compute_range_answer(stock_sum_query(), instance)
         assert results[1].answer == compute_range_answers(
             stock_groupby_query(), instance

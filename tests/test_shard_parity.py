@@ -25,7 +25,7 @@ from repro.core.evaluator import BOTTOM
 from repro.datamodel.instance import DatabaseInstance
 from repro.datamodel.signature import RelationSignature, Schema
 from repro.embeddings.embeddings import embeddings_of
-from repro.engine import ConsistentAnswerEngine, ShardPlanner
+from repro.engine import AnswerOptions, ConsistentAnswerEngine, ShardPlanner
 from repro.engine.sharding import STRATEGY_BALANCED, STRATEGY_HASHED
 from repro.query.parser import parse_aggregation_query
 from repro.workloads.generators import (
@@ -70,7 +70,9 @@ def assert_parity(engine, query, instance, shard_counts=SHARD_COUNTS, label=""):
         for answer in baseline.values():
             _assert_exact(answer)
         for shards in shard_counts:
-            sharded = engine.answer_group_by(query, instance, shards=shards)
+            sharded = engine.answer_group_by(
+                query, instance, AnswerOptions(shards=shards)
+            )
             assert sharded == baseline, (
                 f"{label}: GROUP BY parity broken for shards={shards}, "
                 f"query={query}"
@@ -82,7 +84,9 @@ def assert_parity(engine, query, instance, shard_counts=SHARD_COUNTS, label=""):
         baseline = engine.answer(query, instance)
         _assert_exact(baseline)
         for shards in shard_counts:
-            sharded = engine.answer(query, instance, shards=shards)
+            sharded = engine.answer(
+                query, instance, options=AnswerOptions(shards=shards)
+            )
             assert sharded == baseline, (
                 f"{label}: parity broken for shards={shards}, query={query}: "
                 f"{sharded} != {baseline}"
@@ -440,24 +444,24 @@ class TestShardPlanCache:
         engine = ConsistentAnswerEngine()
         instance = fig1_stock_instance()
         query = stock_total_query()
-        first = engine.answer(query, instance, shards=3)
-        assert engine.answer(query, instance, shards=3) == first
-        assert engine.answer(query, instance, shards=3) == first
+        first = engine.answer(query, instance, options=AnswerOptions(shards=3))
+        assert engine.answer(query, instance, options=AnswerOptions(shards=3)) == first
+        assert engine.answer(query, instance, options=AnswerOptions(shards=3)) == first
         # One partition computation, two cache hits (the serving pattern:
         # many requests against one registered instance).
         assert len(calls) == 1
         assert shard_plan_cache_stats()["hits"] == 2
         # A different shard count is a different partition.
-        engine.answer(query, instance, shards=2)
+        engine.answer(query, instance, options=AnswerOptions(shards=2))
         assert len(calls) == 2
 
     def test_mutated_instance_invalidates_the_cached_partition(self):
         engine = ConsistentAnswerEngine()
         instance = fig1_stock_instance()
         query = stock_total_query()
-        before = engine.answer(query, instance, shards=3)
+        before = engine.answer(query, instance, options=AnswerOptions(shards=3))
         instance.add_row("Stock", "Tesla Z", "Chicago", 400)
-        after = engine.answer(query, instance, shards=3)
+        after = engine.answer(query, instance, options=AnswerOptions(shards=3))
         assert after == engine.answer(query, instance)
         assert after != before  # the new fact raised the MAX/SUM bounds
 
@@ -649,7 +653,7 @@ class TestSummaryAggregateParity:
             for aggregate in SUMMARY_AGGREGATE_NAMES:
                 query = stock_total_query(aggregate)
                 baseline = engine.answer(query, instance)
-                assert engine.answer(query, instance, shards=3) == baseline, aggregate
+                assert engine.answer(query, instance, options=AnswerOptions(shards=3)) == baseline, aggregate
         finally:
             pool.shutdown()
 
@@ -667,7 +671,7 @@ class TestShardingFallbacks:
             query = stock_query(aggregate)
             assert ShardPlanner.fallback_reason(query) is None
             baseline = engine.answer(query, instance)
-            assert engine.answer(query, instance, shards=4) == baseline
+            assert engine.answer(query, instance, options=AnswerOptions(shards=4)) == baseline
         stats = engine.shard_stats()
         assert stats["fallbacks"] == 0
         assert stats["sharded"] == len(SUMMARY_AGGREGATE_NAMES)
@@ -696,7 +700,7 @@ class TestShardingFallbacks:
         )
         engine = ConsistentAnswerEngine()
         baseline = engine.answer(query, instance)
-        assert engine.answer(query, instance, shards=3) == baseline
+        assert engine.answer(query, instance, options=AnswerOptions(shards=3)) == baseline
 
     def test_shardable_queries_report_no_reason(self):
         for query in (stock_sum_query(), stock_total_query(), stock_groupby_query()):
@@ -705,7 +709,7 @@ class TestShardingFallbacks:
     def test_stats_count_sharded_requests(self):
         engine = ConsistentAnswerEngine()
         instance = fig1_stock_instance()
-        engine.answer(stock_total_query(), instance, shards=3)
+        engine.answer(stock_total_query(), instance, options=AnswerOptions(shards=3))
         stats = engine.shard_stats()
         assert stats["requests"] == stats["sharded"] == 1
         assert stats["shards_planned"] == 3

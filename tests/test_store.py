@@ -22,7 +22,7 @@ import pytest
 
 from repro.datamodel.facts import Fact
 from repro.datamodel.instance import DatabaseInstance
-from repro.engine import ConsistentAnswerEngine
+from repro.engine import AnswerOptions, ConsistentAnswerEngine
 from repro.engine.workers import WorkerPool
 from repro.query.parser import parse_aggregation_query
 from repro.serve import (
@@ -675,6 +675,102 @@ class TestServeMutation:
         serve_scenario(scenario)
 
 
+class TestPatchMutationApi:
+    """The consolidated write surface: ``PATCH /instances/{name}`` with an
+    ``If-Match`` precondition, and the deprecated POST shim behind it."""
+
+    OPS = {"ops": [{"op": "add", "relation": NEW_FACT[0], "values": list(NEW_FACT[1])}]}
+
+    def test_patch_reports_delta_footprint(self):
+        async def scenario(server, client):
+            status, body = await client.request(
+                "PATCH", "/instances/stock", self.OPS, headers={"If-Match": "1"}
+            )
+            assert status == 200
+            assert body["version"] == 2
+            assert body["applied"] == 1
+            assert body["touched_blocks"] == [
+                {"relation": "Stock", "key": ["Tesla Z", "Boston"]}
+            ]
+            assert body["shards_invalidated"] == [0]
+            assert body["mutated"]["version"] == 2
+            # the typed client helper uses the PATCH route (no deprecation)
+            described = await client.mutate_instance(
+                "stock", [("remove", *NEW_FACT)], expected_version=2
+            )
+            assert described["version"] == 3
+            assert "deprecation" not in client.last_response_headers
+
+        serve_scenario(scenario)
+
+    def test_if_match_grammar_and_precedence(self):
+        async def scenario(server, client):
+            # quoted ETag spelling is accepted
+            status, body = await client.request(
+                "PATCH", "/instances/stock", self.OPS, headers={"If-Match": '"1"'}
+            )
+            assert status == 200 and body["version"] == 2
+            # "*" means no precondition
+            status, body = await client.request(
+                "PATCH",
+                "/instances/stock",
+                {"ops": [{"op": "remove", "relation": NEW_FACT[0],
+                          "values": list(NEW_FACT[1])}]},
+                headers={"If-Match": "*"},
+            )
+            assert status == 200 and body["version"] == 3
+            # header wins over a contradicting body expected_version
+            status, body = await client.request(
+                "PATCH",
+                "/instances/stock",
+                {**self.OPS, "expected_version": 999},
+                headers={"If-Match": "3"},
+            )
+            assert status == 200 and body["version"] == 4
+            # stale precondition: 409 with the structured conflict error
+            status, body = await client.request(
+                "PATCH", "/instances/stock", self.OPS, headers={"If-Match": "1"}
+            )
+            assert status == 409
+            assert body["error"]["type"] == "VersionConflictError"
+            # garbage preconditions are protocol errors, not conflicts
+            for bad in ("zero", "0", "-3", '"'):
+                status, body = await client.request(
+                    "PATCH", "/instances/stock", self.OPS, headers={"If-Match": bad}
+                )
+                assert status == 400
+                assert body["error"]["type"] == "ProtocolError"
+
+        serve_scenario(scenario)
+
+    def test_deprecated_post_route_still_works_and_says_so(self):
+        async def scenario(server, client):
+            status, body = await client.request(
+                "POST",
+                "/instances/stock/facts",
+                {**self.OPS, "expected_version": 1},
+            )
+            assert status == 200
+            assert body["version"] == 2
+            assert body["touched_blocks"]
+            headers = client.last_response_headers
+            assert headers.get("deprecation") == "true"
+            assert 'rel="successor-version"' in headers.get("link", "")
+            # the shim shares the PATCH write path: the write is real
+            after = await client.answer("stock", STOCK_SUM)
+            engine = ConsistentAnswerEngine()
+            expected = engine.answer(
+                parse_aggregation_query(fig1_stock_schema(), STOCK_SUM),
+                DatabaseInstance(
+                    fig1_stock_schema(),
+                    fig1_stock_instance().facts | {Fact(*NEW_FACT)},
+                ),
+            )
+            assert after == expected
+
+        serve_scenario(scenario)
+
+
 # -- restart survival (the acceptance criterion) ----------------------------------------
 
 
@@ -775,7 +871,9 @@ class TestRestartSurvival:
             )
             assert grouped == engine.answer_group_by(group_query, fresh)
             # sharded execution on the reloaded instance merges to the same
-            sharded = engine.answer(stock_sum_query(), fresh, shards=3)
+            sharded = engine.answer(
+                stock_sum_query(), fresh, options=AnswerOptions(shards=3)
+            )
             assert sharded == closed
 
 
@@ -800,13 +898,15 @@ class TestStoreWorkerPool:
             assert store_path is not None
             assert os.path.samefile(ref.spool_path, store_path)
             answer = await client.answer("stock", STOCK_SUM)
-            # A further mutation re-pickles into the pool's own spool with a
-            # bumped version, and answers reflect it immediately.
+            # A further mutation delta-ships over the adopted spool: the new
+            # ref keeps the hard-linked base (immutable per version), carries
+            # the fact delta as a chain, and answers reflect it immediately.
             await client.mutate_instance("stock", [("remove", *NEW_FACT)])
             after = await client.answer("stock", STOCK_SUM)
             new_ref = server._pool._named_refs["stock"][1]
             assert new_ref.version == ref.version + 1
-            assert not os.path.basename(new_ref.spool_path).startswith("adopted-")
+            assert new_ref.spool_path == ref.spool_path
+            assert new_ref.delta and len(new_ref.delta) == 1
             assert os.path.exists(store_path)  # store file never deleted
             return answer, after
 

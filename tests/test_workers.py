@@ -18,7 +18,12 @@ import time
 
 import pytest
 
-from repro.engine import ConsistentAnswerEngine, WorkerCrashError, WorkerPool
+from repro.engine import (
+    AnswerOptions,
+    ConsistentAnswerEngine,
+    WorkerCrashError,
+    WorkerPool,
+)
 from repro.engine.workers import WorkerPoolError, shard_worker_of
 from repro.workloads.generators import (
     InconsistentDatabaseGenerator,
@@ -372,14 +377,19 @@ class TestPoolParity:
         instance = _workload(derive_seed(repro_seed, "pool-shards"), stock_facts=40)
         query = stock_total_query("MAX")
         group_query = stock_town_groupby_query()
-        baseline = engine.answer(query, instance, shards=3)
-        group_baseline = engine.answer_group_by(group_query, instance, shards=3)
+        baseline = engine.answer(query, instance, options=AnswerOptions(shards=3))
+        group_baseline = engine.answer_group_by(
+            group_query, instance, AnswerOptions(shards=3)
+        )
         with WorkerPool(workers=2, engine_config=engine.config()) as pool:
             engine.set_worker_pool(pool)
             try:
-                assert engine.answer(query, instance, shards=3) == baseline
                 assert (
-                    engine.answer_group_by(group_query, instance, shards=3)
+                    engine.answer(query, instance, options=AnswerOptions(shards=3))
+                    == baseline
+                )
+                assert (
+                    engine.answer_group_by(group_query, instance, AnswerOptions(shards=3))
                     == group_baseline
                 )
                 pool_stats = engine.shard_stats()["worker_pool"]
@@ -394,7 +404,7 @@ class TestPoolParity:
         engine = ConsistentAnswerEngine(min_parallel_items=2)
         instance = _workload(derive_seed(repro_seed, "pool-batch"))
         items = [(query, instance) for query in self.QUERIES]
-        serial = engine.answer_many(items, max_workers=1)
+        serial = engine.answer_many(items, AnswerOptions(max_workers=1))
         with WorkerPool(workers=2, engine_config=engine.config()) as pool:
             engine.set_worker_pool(pool)
             try:
