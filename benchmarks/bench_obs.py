@@ -69,6 +69,9 @@ async def run_load(
             max_pending=max(64, requests),
             tracing=tracing,
             trace_sample=trace_sample,
+            # Pin the sampler: the adaptive controller would otherwise move
+            # 1/N mid-run and contaminate the per-mode overhead comparison.
+            trace_target_rps=None,
         )
     )
     await server.start()

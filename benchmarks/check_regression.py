@@ -22,6 +22,11 @@ tight enough to catch a real perf cliff):
 * ``incremental`` — the summary-cache speedup of a point-write re-answer
   over a cache-cleared recompute (dimensionless), plus the absolute cached
   re-answer latency (``bench_incremental.py``).
+* ``control`` — cheap-traffic success rate and p95 under cost-predictive
+  admission (the protection the gate exists to provide), plus the windows
+  the adaptive sampler needs to re-converge after a 10x arrival step
+  (``bench_control.py``; the rate and window count are dimensionless /
+  fake-clocked, so they are hardware-portable).
 
 Metrics missing or malformed on either side are reported and skipped
 (with a warning) rather than failing, so the gate survives schema
@@ -57,6 +62,28 @@ OBS_METRICS: List[Metric] = [
     ("tracing_off.p95_median_ms", ["tracing_off", "p95_median_ms"], "lower"),
     ("tracing_sampled.p95_median_ms", ["tracing_sampled", "p95_median_ms"], "lower"),
     ("overhead.p95_median_ratio", ["overhead", "p95_median_ratio"], "lower"),
+]
+
+CONTROL_METRICS: List[Metric] = [
+    # The point of cost-predictive admission is that cheap traffic keeps
+    # succeeding (and stays fast) while the heavies are shed; the sampler
+    # metric is its fake-clocked convergence time, a pure controller
+    # property.
+    (
+        "cost_predictive.cheap.success_rate",
+        ["cost_predictive", "cheap", "success_rate"],
+        "higher",
+    ),
+    (
+        "cost_predictive.cheap.p95_ms",
+        ["cost_predictive", "cheap", "p95_ms"],
+        "lower",
+    ),
+    (
+        "sampling.converged_after_s",
+        ["sampling", "converged_after_s"],
+        "lower",
+    ),
 ]
 
 INCREMENTAL_METRICS: List[Metric] = [
@@ -141,6 +168,8 @@ def compare(
         metrics = OBS_METRICS
     elif kind == "incremental":
         metrics = INCREMENTAL_METRICS
+    elif kind == "control":
+        metrics = CONTROL_METRICS
     else:  # "shard" and "scenarios" share the per-query report schema
         metrics = _shard_metrics(baseline, fresh)
     lines: List[str] = []
@@ -189,7 +218,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--kind",
-        choices=("serve", "shard", "scenarios", "obs", "incremental"),
+        choices=("serve", "shard", "scenarios", "obs", "incremental", "control"),
         required=True,
     )
     parser.add_argument("--baseline", required=True, help="committed BENCH json")

@@ -95,6 +95,14 @@ def clear_sql_memo(maxsize: int = _SQL_MEMO_SIZE) -> None:
 
 clear_sql_memo()
 
+# The memo is process-global, so it self-registers with the unified cache
+# telemetry at import.  The provider re-reads the module global on every
+# call: clear_sql_memo() rebinds it, and a captured reference would keep
+# reporting a cache nobody uses anymore.
+from repro.obs.caches import register_cache  # noqa: E402
+
+register_cache("sql_memo", lambda: _SQL_MEMO.report("sql_memo"))
+
 
 class PreparedExecutor:
     """Base class for per-(plan, direction) executors.

@@ -9,9 +9,12 @@ cache from its dispatch loop.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Hashable, Optional, TypeVar
+from typing import Dict, Generic, Hashable, List, Optional, TypeVar
+
+from repro.obs.caches import EvictionAges, approx_sizeof, cache_report
 
 V = TypeVar("V")
 
@@ -54,6 +57,8 @@ class PlanCache(Generic[V]):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._inserted_at: Dict[Hashable, float] = {}
+        self._ages = EvictionAges()
 
     @property
     def maxsize(self) -> int:
@@ -73,20 +78,26 @@ class PlanCache(Generic[V]):
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert (or refresh) an entry, evicting the LRU one when full."""
+        now = time.monotonic()
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._entries[key] = value
                 return
             if len(self._entries) >= self._maxsize:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
                 self._evictions += 1
+                inserted = self._inserted_at.pop(evicted_key, None)
+                if inserted is not None:
+                    self._ages.observe(now - inserted)
             self._entries[key] = value
+            self._inserted_at[key] = now
 
     def clear(self) -> None:
-        """Drop every entry (statistics are kept)."""
+        """Drop every entry (statistics are kept; clears are not evictions)."""
         with self._lock:
             self._entries.clear()
+            self._inserted_at.clear()
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -97,6 +108,40 @@ class PlanCache(Generic[V]):
                 size=len(self._entries),
                 maxsize=self._maxsize,
             )
+
+    def report(
+        self,
+        name: str,
+        by_instance: Optional[Dict[str, Dict[str, int]]] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """This cache in the :mod:`repro.obs.caches` common report schema.
+
+        Value sizing samples up to 16 entries under the lock and measures
+        them outside it — the deep ``sys.getsizeof`` walk must not stall
+        concurrent lookups.
+        """
+        with self._lock:
+            stats = CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )
+            sample: List[V] = list(self._entries.values())[:16]
+        return cache_report(
+            name,
+            size=stats.size,
+            capacity=stats.maxsize,
+            hits=stats.hits,
+            misses=stats.misses,
+            evictions=stats.evictions,
+            by_instance=by_instance,
+            eviction_ages=self._ages.snapshot(),
+            approx_bytes=approx_sizeof(sample, total=stats.size),
+            extra=extra,
+        )
 
     def __len__(self) -> int:
         with self._lock:

@@ -19,6 +19,7 @@ import contextlib
 import threading
 import time
 import warnings
+import weakref
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from repro.datamodel.facts import Constant
 from repro.datamodel.instance import DatabaseInstance
 from repro.embeddings.embeddings import embeddings_of
 from repro.exceptions import BackendError
+from repro.obs.caches import register_cache
 from repro.obs.cost import add_cost
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span as obs_span
@@ -186,6 +188,18 @@ class ConsistentAnswerEngine:
         )
         self._fallback: ExecutionBackend = create_backend(fallback)
         self._cache: PlanCache[QueryPlan] = PlanCache(plan_cache_size)
+        # Unified cache telemetry: the newest engine owns the "plan_cache"
+        # name (last-wins), and the weakref keeps short-lived test engines
+        # collectable — a dead cache reports None and is skipped.
+        cache_ref = weakref.ref(self._cache)
+        register_cache(
+            "plan_cache",
+            lambda: (
+                cache.report("plan_cache")
+                if (cache := cache_ref()) is not None
+                else None
+            ),
+        )
         self._batch_workers = None if batch_workers is None else max(1, batch_workers)
         self._min_parallel_items = (
             None if min_parallel_items is None else max(1, min_parallel_items)

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 import weakref
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
@@ -88,6 +89,13 @@ from repro.engine.cancellation import (
     token_scope,
 )
 from repro.exceptions import BackendError
+from repro.obs.caches import (
+    CACHE_REGISTRY,
+    EvictionAges,
+    approx_sizeof,
+    cache_report,
+    register_cache,
+)
 from repro.obs.cost import add_cost
 from repro.obs.trace import span as obs_span
 from repro.query.aggregation import AggregationQuery
@@ -883,6 +891,29 @@ _SUMMARY_CACHE_LOCK = threading.Lock()
 _SUMMARY_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _SUMMARY_CACHE_CAPACITY = [512]
 _SUMMARY_CACHE_COUNTS = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+# Per-lineage attribution (key[0] is the instance's lineage token; the cache
+# registry translates tokens to registry names at report time), insert
+# timestamps backing the eviction-age histogram, and a cap keeping the
+# attribution map bounded in long-running multi-tenant processes.
+_SUMMARY_BY_LINEAGE: Dict[str, Dict[str, int]] = {}
+_SUMMARY_BY_LINEAGE_MAX = 4096
+_SUMMARY_INSERTED: Dict[tuple, float] = {}
+_SUMMARY_AGES = EvictionAges()
+
+
+def _summary_lineage_counts(lineage: str) -> Dict[str, int]:
+    """The per-lineage counter row, creating (and bounding) as needed."""
+    counts = _SUMMARY_BY_LINEAGE.get(lineage)
+    if counts is None:
+        if len(_SUMMARY_BY_LINEAGE) >= _SUMMARY_BY_LINEAGE_MAX:
+            _SUMMARY_BY_LINEAGE.pop(next(iter(_SUMMARY_BY_LINEAGE)))
+        counts = _SUMMARY_BY_LINEAGE[lineage] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+    return counts
 
 _SUMMARY_CACHE_HELP = {
     "repro_summary_cache_hits_total": "Shard summaries served from the cache",
@@ -932,36 +963,50 @@ def summary_cache_key(
 def _summary_cache_get(key: tuple) -> Optional[object]:
     with _SUMMARY_CACHE_LOCK:
         value = _SUMMARY_CACHE.get(key)
+        outcome = "hits" if value is not None else "misses"
         if value is not None:
             _SUMMARY_CACHE.move_to_end(key)
-            _SUMMARY_CACHE_COUNTS["hits"] += 1
-        else:
-            _SUMMARY_CACHE_COUNTS["misses"] += 1
-    _summary_counter("hits" if value is not None else "misses").inc()
+        _SUMMARY_CACHE_COUNTS[outcome] += 1
+        _summary_lineage_counts(str(key[0]))[outcome] += 1
+    _summary_counter(outcome).inc()
     return value
 
 
+def _summary_cache_evict_locked(now: float) -> None:
+    evicted_key, _ = _SUMMARY_CACHE.popitem(last=False)
+    _SUMMARY_CACHE_COUNTS["evictions"] += 1
+    _summary_lineage_counts(str(evicted_key[0]))["evictions"] += 1
+    inserted = _SUMMARY_INSERTED.pop(evicted_key, None)
+    if inserted is not None:
+        _SUMMARY_AGES.observe(now - inserted)
+
+
 def _summary_cache_put(key: tuple, value: object) -> None:
+    now = time.monotonic()
     with _SUMMARY_CACHE_LOCK:
+        if key not in _SUMMARY_CACHE:
+            _SUMMARY_INSERTED[key] = now
         _SUMMARY_CACHE[key] = value
         _SUMMARY_CACHE.move_to_end(key)
         while len(_SUMMARY_CACHE) > _SUMMARY_CACHE_CAPACITY[0]:
-            _SUMMARY_CACHE.popitem(last=False)
-            _SUMMARY_CACHE_COUNTS["evictions"] += 1
+            _summary_cache_evict_locked(now)
 
 
-def note_summary_invalidations(count: int) -> None:
+def note_summary_invalidations(count: int, lineage: Optional[str] = None) -> None:
     """Record that a mutation bumped ``count`` per-shard versions.
 
     Invalidation is implicit in the content-addressed keying (stale entries
     simply stop being referenced and age out of the LRU), so this counter is
     the observable trace of it: the write path calls in with the number of
-    shard slots whose version vector entry advanced.
+    shard slots whose version vector entry advanced, plus (when it knows it)
+    the mutated instance's lineage token for per-instance attribution.
     """
     if count <= 0:
         return
     with _SUMMARY_CACHE_LOCK:
         _SUMMARY_CACHE_COUNTS["invalidations"] += count
+        if lineage:
+            _summary_lineage_counts(str(lineage))["invalidations"] += count
     _summary_counter("invalidations").inc(count)
 
 
@@ -1014,6 +1059,9 @@ def clear_summary_cache() -> None:
     """Reset the shard-summary cache and its counters (test hook)."""
     with _SUMMARY_CACHE_LOCK:
         _SUMMARY_CACHE.clear()
+        _SUMMARY_INSERTED.clear()
+        _SUMMARY_BY_LINEAGE.clear()
+        _SUMMARY_AGES.reset()
         for counter in _SUMMARY_CACHE_COUNTS:
             _SUMMARY_CACHE_COUNTS[counter] = 0
 
@@ -1021,11 +1069,48 @@ def clear_summary_cache() -> None:
 def configure_summary_cache(capacity: int) -> None:
     """Bound the shard-summary cache to ``capacity`` entries (LRU evicted)."""
     capacity = max(0, int(capacity))
+    now = time.monotonic()
     with _SUMMARY_CACHE_LOCK:
         _SUMMARY_CACHE_CAPACITY[0] = capacity
         while len(_SUMMARY_CACHE) > capacity:
-            _SUMMARY_CACHE.popitem(last=False)
-            _SUMMARY_CACHE_COUNTS["evictions"] += 1
+            _summary_cache_evict_locked(now)
+
+
+def summary_cache_report() -> Dict[str, object]:
+    """The summary cache in the :mod:`repro.obs.caches` common report schema.
+
+    Lineage tokens become registry names when the serving layer labelled
+    them (``CACHE_REGISTRY.label_instance``); unlabelled tokens pass through
+    raw so library users still get attribution, just with opaque keys.
+    """
+    with _SUMMARY_CACHE_LOCK:
+        counts = dict(_SUMMARY_CACHE_COUNTS)
+        size = len(_SUMMARY_CACHE)
+        capacity = _SUMMARY_CACHE_CAPACITY[0]
+        by_lineage = {k: dict(v) for k, v in _SUMMARY_BY_LINEAGE.items()}
+        sample = list(_SUMMARY_CACHE.values())[:16]
+    by_instance: Dict[str, Dict[str, int]] = {}
+    for lineage, row in by_lineage.items():
+        label = CACHE_REGISTRY.instance_label(lineage)
+        merged = by_instance.setdefault(label, {})
+        for name, value in row.items():
+            merged[name] = merged.get(name, 0) + value
+    return cache_report(
+        "summary_cache",
+        size=size,
+        capacity=capacity,
+        hits=counts["hits"],
+        misses=counts["misses"],
+        evictions=counts["evictions"],
+        by_instance=by_instance,
+        eviction_ages=_SUMMARY_AGES.snapshot(),
+        approx_bytes=approx_sizeof(sample, total=size),
+        extra={"invalidations": counts["invalidations"]},
+    )
+
+
+# Process-global like the SQL memo, so it self-registers at import.
+register_cache("summary_cache", summary_cache_report)
 
 
 # -- per-shard summarisation ------------------------------------------------------------

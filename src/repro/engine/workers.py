@@ -63,6 +63,7 @@ from repro.engine.cancellation import (
     token_scope,
 )
 from repro.exceptions import ReproError
+from repro.obs.caches import cache_report, register_cache
 from repro.obs.log import get_logger
 from repro.obs.trace import remote_root, span as obs_span
 from repro.query.aggregation import AggregationQuery
@@ -231,12 +232,18 @@ def _decode_failure(payload: Tuple[str, object]) -> BaseException:
     return WorkerPoolError(f"worker job failed: {error_type}: {error_message}")
 
 
-def _worker_stats(engine, resident: Dict, counters: Dict[str, int]) -> Dict[str, object]:
+def _worker_stats(
+    engine,
+    resident: Dict,
+    counters: Dict[str, int],
+    residency: Optional[Dict[str, Dict[str, int]]] = None,
+) -> Dict[str, object]:
     cache = engine.cache_stats()
     return {
         **counters,
         "plan_cache": {"hits": cache.hits, "misses": cache.misses, "size": cache.size},
         "resident_instances": len(resident),
+        "residency_by_key": {k: dict(v) for k, v in (residency or {}).items()},
     }
 
 
@@ -264,11 +271,18 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
         "delta_applies": 0,
         "delta_fallbacks": 0,
     }
+    # Per-instance residency attribution (ref keys are registry names for
+    # named instances), shipped back on every result for the cache registry.
+    residency: Dict[str, Dict[str, int]] = {}
+
+    def _residency(key: str) -> Dict[str, int]:
+        return residency.setdefault(key, {"hits": 0, "misses": 0})
 
     def resolve(ref: InstanceRef) -> DatabaseInstance:
         entry = resident.get(ref.key)
         if entry is not None and entry[0] == ref.version:
             counters["resident_hits"] += 1
+            _residency(ref.key)["hits"] += 1
             return entry[1]
         if entry is not None and ref.delta:
             with obs_span(
@@ -282,11 +296,13 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
             if advanced is not None:
                 resident[ref.key] = (ref.version, advanced)
                 counters["delta_applies"] += 1
+                _residency(ref.key)["hits"] += 1
                 return advanced
             counters["delta_fallbacks"] += 1
         with obs_span("worker.instance_load", key=ref.key, version=ref.version):
             resident[ref.key] = (ref.version, ref.load())
         counters["instance_loads"] += 1
+        _residency(ref.key)["misses"] += 1
         return resident[ref.key][1]
 
     def handle(kind: str, payload: tuple) -> object:
@@ -361,7 +377,7 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
                 job_id,
                 True,
                 result,
-                _worker_stats(engine, resident, counters),
+                _worker_stats(engine, resident, counters, residency),
                 [root_span.to_dict()] if root_span is not None else [],
             )
         except BaseException as exc:  # noqa: BLE001 — every failure becomes a message
@@ -369,7 +385,7 @@ def _worker_main(worker_id: int, engine_config: dict, job_conn, result_conn) -> 
                 job_id,
                 False,
                 _encode_failure(exc),
-                _worker_stats(engine, resident, counters),
+                _worker_stats(engine, resident, counters, residency),
                 [root_span.to_dict()] if root_span is not None else [],
             )
         try:
@@ -540,6 +556,16 @@ class WorkerPool:
                 target=self._collect_loop, name="repro-pool-collector", daemon=True
             )
             self._collector.start()
+        # Unified cache telemetry: the newest running pool owns the
+        # "worker_spool" name; a closed (or collected) pool's provider
+        # returns None and is skipped, so no unregister on shutdown.
+        pool_ref = weakref.ref(self)
+        register_cache(
+            "worker_spool",
+            lambda: (
+                pool.spool_report() if (pool := pool_ref()) is not None else None
+            ),
+        )
         return self
 
     def shutdown(self) -> None:
@@ -1171,6 +1197,61 @@ class WorkerPool:
             raise WorkerPoolError("worker job timed out") from None
 
     # -- observability ------------------------------------------------------------------
+
+    def spool_report(self) -> Optional[Dict[str, object]]:
+        """Spool residency in the :mod:`repro.obs.caches` common report schema.
+
+        "Hit" means a worker reused (or delta-fast-forwarded) a resident
+        instance; "miss" means it paid a full spool unpickle.  Bytes are the
+        spool files on disk — exact, not sampled: one ``stat`` per file
+        beats walking unpickled instances.
+        """
+        with self._lock:
+            if self._closed or not self._started:
+                return None
+            worker_stats = [dict(handle.stats or {}) for handle in self._handles]
+            spool_dir = self._spool_dir
+        size = 0
+        hits = 0
+        misses = 0
+        by_instance: Dict[str, Dict[str, int]] = {}
+        extra = {"workers": len(worker_stats), "delta_applies": 0, "delta_fallbacks": 0}
+        for stats in worker_stats:
+            size += int(stats.get("resident_instances", 0))
+            hits += int(stats.get("resident_hits", 0)) + int(
+                stats.get("delta_applies", 0)
+            )
+            misses += int(stats.get("instance_loads", 0))
+            extra["delta_applies"] += int(stats.get("delta_applies", 0))
+            extra["delta_fallbacks"] += int(stats.get("delta_fallbacks", 0))
+            for key, row in (stats.get("residency_by_key") or {}).items():
+                merged = by_instance.setdefault(key, {"hits": 0, "misses": 0})
+                merged["hits"] += int(row.get("hits", 0))
+                merged["misses"] += int(row.get("misses", 0))
+        spool_bytes = 0
+        spool_files = 0
+        if spool_dir is not None:
+            try:
+                with os.scandir(spool_dir) as entries:
+                    for entry in entries:
+                        try:
+                            spool_bytes += entry.stat().st_size
+                            spool_files += 1
+                        except OSError:
+                            continue
+            except OSError:
+                pass
+        extra["spool_files"] = spool_files
+        return cache_report(
+            "worker_spool",
+            size=size,
+            capacity=None,
+            hits=hits,
+            misses=misses,
+            by_instance=by_instance,
+            approx_bytes=spool_bytes,
+            extra=extra,
+        )
 
     def stats(self) -> Dict[str, object]:
         """Pool- and per-worker counters for ``shard_stats()`` and ``/metrics``."""

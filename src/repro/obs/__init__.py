@@ -23,7 +23,23 @@ depend on it without cycles:
 * :mod:`repro.obs.runtime` — event-loop lag probe gauge.
 """
 
+from repro.obs.admission import (
+    AdmissionDecision,
+    CostPredictor,
+    record_decision,
+    retry_after_s,
+)
 from repro.obs.buffer import TraceBuffer
+from repro.obs.caches import (
+    CACHE_REGISTRY,
+    CacheStatsRegistry,
+    EvictionAges,
+    approx_sizeof,
+    cache_report,
+    label_instance,
+    register_cache,
+)
+from repro.obs.control import AdaptiveSamplingController
 from repro.obs.cost import CostTable, add_cost, rollup
 from repro.obs.export import SpanExporter, encode_traces
 from repro.obs.log import StructuredLogger, get_logger, set_log_level
@@ -59,11 +75,17 @@ from repro.obs.trace import (
 
 __all__ = [
     "TRACE_HEADER",
+    "CACHE_REGISTRY",
     "REGISTRY",
+    "AdaptiveSamplingController",
+    "AdmissionDecision",
+    "CacheStatsRegistry",
+    "CostPredictor",
     "CostTable",
     "Counter",
     "DroppedTraceLog",
     "EventLoopLagProbe",
+    "EvictionAges",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -73,6 +95,12 @@ __all__ = [
     "TraceBuffer",
     "TraceSampler",
     "add_cost",
+    "approx_sizeof",
+    "cache_report",
+    "label_instance",
+    "record_decision",
+    "register_cache",
+    "retry_after_s",
     "current_span",
     "current_trace_id",
     "encode_traces",

@@ -1,0 +1,102 @@
+"""Cost-predictive admission: shed by what a request will cost, not queue depth.
+
+Depth-only admission (N slots, 503 when full) treats a 0.5 ms point
+lookup and a 400 ms branch-and-bound flood identically: the expensive
+plan fills every slot and the cheap traffic starves behind it.  The cost
+table already knows, per ``(instance, plan)``, what a request of each
+shape costs — this module closes that loop:
+
+* :class:`CostPredictor` peeks at the :class:`~repro.obs.cost.CostTable`
+  EWMA (read-only — predictions must not keep keys LRU-warm) and predicts
+  the *engine CPU* a request will burn.  CPU, not wall latency, on
+  purpose: under an expensive-plan flood the cheap plans' wall latency
+  balloons from queueing, and predicting on it would shed exactly the
+  traffic the gate is trying to protect.
+* the serving layer turns a prediction plus the gate's queued-cost
+  ledger into an :class:`AdmissionDecision`: shed with
+  ``reason="predicted_cost"`` when admitting would push the queued CPU
+  over the budget, admit cold keys on depth alone (``reason="cold_key"``),
+  never shed an empty gate — one expensive request on an idle server
+  must run, or the budget livelocks the plan forever — and never
+  cost-shed a request predicted under a small fraction of the budget
+  (shedding it would free negligible drain time; see
+  ``AdmissionGate.COST_EXEMPT_FRACTION``).
+
+Every decision lands in ``repro_admission_total{decision,reason}``; shed
+responses carry ``Retry-After`` derived from the queued cost (how long
+the backlog takes to drain at one core).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs.cost import CostTable
+from repro.obs.metrics import REGISTRY
+
+#: Decisions / reasons for ``repro_admission_total``.
+DECISION_ADMITTED = "admitted"
+DECISION_SHED = "shed"
+REASON_DEPTH = "depth"  # depth check decided (admitted or at capacity)
+REASON_COLD_KEY = "cold_key"  # no prediction available, depth-only fallback
+REASON_PREDICTED_COST = "predicted_cost"  # budget check decided
+REASON_COST_OK = "cost_ok"  # prediction available and under budget
+
+_ADMISSION_HELP = "Admission decisions, by decision and reason."
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One gate verdict, with everything the 503 envelope needs."""
+
+    admitted: bool
+    reason: str
+    predicted_cost_ms: Optional[float] = None
+    queued_cost_ms: float = 0.0
+    retry_after_s: Optional[int] = None
+
+    def to_payload(self) -> Dict[str, object]:
+        """The ``"admission"`` fragment inlined into explain payloads."""
+        return {
+            "admitted": self.admitted,
+            "reason": self.reason,
+            "predicted_cost_ms": self.predicted_cost_ms,
+            "queued_cost_ms": round(self.queued_cost_ms, 3),
+        }
+
+
+def record_decision(decision: AdmissionDecision) -> None:
+    REGISTRY.counter("repro_admission_total", _ADMISSION_HELP).inc(
+        decision=DECISION_ADMITTED if decision.admitted else DECISION_SHED,
+        reason=decision.reason,
+    )
+
+
+def retry_after_s(queued_cost_ms: float) -> int:
+    """Seconds for the queued CPU backlog to drain at one core, in [1, 30]."""
+    return max(1, min(30, math.ceil(queued_cost_ms / 1000.0)))
+
+
+class CostPredictor:
+    """Predicts a request's engine CPU from the cost table's EWMA columns."""
+
+    def __init__(self, table: CostTable, min_observations: int = 2) -> None:
+        self._table = table
+        self._min_observations = max(1, min_observations)
+
+    def predict_ms(
+        self, instance: Optional[str], plan: Optional[str]
+    ) -> Optional[float]:
+        """EWMA CPU for ``(instance, plan)``, or ``None`` when the key is cold.
+
+        A key observed fewer than ``min_observations`` times stays "cold":
+        a single outlier measurement must not start shedding a plan.
+        """
+        if not instance or not plan:
+            return None
+        entry = self._table.lookup(instance, plan)
+        if entry is None or entry["count"] < self._min_observations:
+            return None
+        return max(0.0, float(entry["ewma_cpu_ms"]))

@@ -1,0 +1,313 @@
+"""Unified cache telemetry: one registry, one report schema, five caches.
+
+The stack grew five distinct caches — the engine plan cache, the
+process-wide SQL memo, the sharded summary cache, the worker-pool spool
+residency, and the cost table — each with its own ad-hoc stats dict.
+This module gives them one reporting surface:
+
+* :class:`CacheStatsRegistry` — caches register a zero-argument *provider*
+  under a stable name; :meth:`CacheStatsRegistry.snapshot` calls every
+  provider (each inside its own ``cache.stats`` span, so scrapes are
+  traceable per cache) and returns a list of reports in the common schema.
+  ``GET /debug/caches`` serves the snapshot; :meth:`publish` mirrors it
+  into the ``repro_cache_*`` Prometheus families.
+* :func:`cache_report` — the schema constructor: size, capacity,
+  hit/miss/eviction counters, hit rate, per-``instance`` attribution,
+  an eviction-age histogram, and approximate resident bytes.
+* :class:`EvictionAges` — a fixed-bound, monotone-bucketed histogram of
+  entry ages at eviction (how long entries live before the LRU pushes
+  them out — the signal for "this cache is sized wrong").
+* :func:`approx_sizeof` — recursive ``sys.getsizeof`` over a *sample* of
+  entries, extrapolated to the population; exact sizing of thousands of
+  plan objects on every scrape would cost more than the caches save.
+
+Per-instance attribution is keyed by whatever the cache naturally keys on
+(a registry name, a lineage token).  Lineage tokens are opaque, so the
+serving layer calls :func:`label_instance` when it registers an instance
+and the registry translates tokens back to names at report time —
+``repro.obs`` stays import-clean of ``engine``/``serve``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import span as obs_span
+
+#: Eviction-age bucket upper bounds, in seconds (strictly increasing; the
+#: implicit final bucket is +Inf).  Spans sub-second churn through
+#: "lived half an hour" — outside that range the age itself stops being
+#: actionable.
+DEFAULT_AGE_BOUNDS: Tuple[float, ...] = (0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0)
+
+#: A provider returns a report dict (see :func:`cache_report`) or ``None``
+#: to be skipped (cache gone, pool closed, weakref dead).
+Provider = Callable[[], Optional[Dict[str, Any]]]
+
+
+class EvictionAges:
+    """Monotone-bucketed histogram of entry ages at eviction (seconds)."""
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_AGE_BOUNDS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("EvictionAges bounds must be strictly increasing")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, age_seconds: float) -> None:
+        age_seconds = max(0.0, float(age_seconds))
+        index = 0
+        for index, bound in enumerate(self.bounds):  # noqa: B007
+            if age_seconds <= bound:
+                break
+        else:
+            index = len(self.bounds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += age_seconds
+            self._count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum_seconds": round(self._sum, 6),
+            }
+
+
+def _deep_sizeof(obj: Any, seen: set, depth: int) -> int:
+    """Recursive ``sys.getsizeof`` with cycle protection and a depth bound."""
+    if id(obj) in seen:
+        return 0
+    seen.add(id(obj))
+    try:
+        total = sys.getsizeof(obj)
+    except TypeError:  # pragma: no cover - exotic C objects
+        return 0
+    if depth <= 0:
+        return total
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            total += _deep_sizeof(key, seen, depth - 1)
+            total += _deep_sizeof(value, seen, depth - 1)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            total += _deep_sizeof(item, seen, depth - 1)
+    elif hasattr(obj, "__dict__"):
+        total += _deep_sizeof(vars(obj), seen, depth - 1)
+    elif hasattr(obj, "__slots__"):
+        for slot in obj.__slots__:
+            value = getattr(obj, slot, None)
+            if value is not None:
+                total += _deep_sizeof(value, seen, depth - 1)
+    return total
+
+
+def approx_sizeof(
+    values: Iterable[Any],
+    *,
+    total: Optional[int] = None,
+    sample: int = 16,
+    max_depth: int = 6,
+) -> Optional[int]:
+    """Approximate resident bytes of a cache from a sample of its values.
+
+    Measures up to ``sample`` values with a recursive ``sys.getsizeof``
+    (shared objects counted once per call via a seen-set) and extrapolates
+    the mean to ``total`` entries.  Returns ``None`` for an empty cache —
+    "unknown" and "zero" are different answers.
+    """
+    sampled = list(itertools.islice(values, max(1, sample)))
+    if not sampled:
+        return None
+    seen: set = set()
+    measured = sum(_deep_sizeof(value, seen, max_depth) for value in sampled)
+    population = len(sampled) if total is None else max(total, len(sampled))
+    return int(measured * (population / len(sampled)))
+
+
+def cache_report(
+    name: str,
+    *,
+    size: int,
+    capacity: Optional[int] = None,
+    hits: int = 0,
+    misses: int = 0,
+    evictions: int = 0,
+    by_instance: Optional[Dict[str, Dict[str, int]]] = None,
+    eviction_ages: Optional[Dict[str, Any]] = None,
+    approx_bytes: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one cache report in the common schema.
+
+    ``by_instance`` maps an instance label to partial counters
+    (``{"hits": ..., "misses": ..., "evictions": ...}``); caches that
+    cannot attribute a counter simply omit it.
+    """
+    lookups = hits + misses
+    report: Dict[str, Any] = {
+        "name": name,
+        "size": int(size),
+        "capacity": capacity if capacity is None else int(capacity),
+        "hits": int(hits),
+        "misses": int(misses),
+        "evictions": int(evictions),
+        "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        "by_instance": {
+            label: {k: int(v) for k, v in counters.items()}
+            for label, counters in sorted((by_instance or {}).items())
+        },
+        "eviction_ages": eviction_ages
+        or {"bounds": list(DEFAULT_AGE_BOUNDS), "counts": [], "count": 0},
+    }
+    if approx_bytes is not None:
+        report["approx_bytes"] = int(approx_bytes)
+    if extra:
+        report["extra"] = dict(extra)
+    return report
+
+
+class CacheStatsRegistry:
+    """Registry of cache stat providers with a common report schema.
+
+    Registration is last-wins per name: when a server replaces its engine
+    (or a test boots a fresh pool), the newest provider owns the name.  A
+    provider that raises is reported as an ``"error"`` entry rather than
+    taking the whole scrape down; one returning ``None`` is skipped.
+    """
+
+    #: Cap on remembered instance labels — lineage tokens are per-instance
+    #: and long-running multi-tenant processes must not grow unboundedly.
+    MAX_LABELS = 4096
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._providers: "Dict[str, Provider]" = {}
+        self._labels: "Dict[str, str]" = {}
+
+    def register(self, name: str, provider: Provider) -> None:
+        with self._lock:
+            self._providers[name] = provider
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._providers.pop(name, None)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._providers)
+
+    # -- instance-label translation (lineage token -> registry name) ------
+
+    def label_instance(self, key: str, name: str) -> None:
+        with self._lock:
+            if key not in self._labels and len(self._labels) >= self.MAX_LABELS:
+                self._labels.pop(next(iter(self._labels)))
+            self._labels[key] = name
+
+    def instance_label(self, key: str) -> str:
+        with self._lock:
+            return self._labels.get(key, key)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Call every provider (inside a per-cache span) and collect reports."""
+        with self._lock:
+            providers = sorted(self._providers.items())
+        reports: List[Dict[str, Any]] = []
+        for name, provider in providers:
+            with obs_span("cache.stats", cache=name):
+                try:
+                    report = provider()
+                except Exception as exc:  # noqa: BLE001 - isolate bad providers
+                    reports.append({"name": name, "error": f"{type(exc).__name__}: {exc}"})
+                    continue
+            if report is not None:
+                report.setdefault("name", name)
+                reports.append(report)
+        return reports
+
+    def publish(self, registry: MetricsRegistry = REGISTRY) -> List[Dict[str, Any]]:
+        """Mirror a snapshot into the ``repro_cache_*`` Prometheus families."""
+        reports = self.snapshot()
+        size = registry.gauge("repro_cache_size", "Entries resident per cache.")
+        capacity = registry.gauge("repro_cache_capacity", "Configured capacity per cache.")
+        approx = registry.gauge(
+            "repro_cache_approx_bytes",
+            "Approximate resident bytes per cache (sampled recursive sizeof).",
+        )
+        hits = registry.counter("repro_cache_hits_total", "Cache hits per cache.")
+        misses = registry.counter("repro_cache_misses_total", "Cache misses per cache.")
+        evictions = registry.counter(
+            "repro_cache_evictions_total", "Cache evictions per cache."
+        )
+        inst_hits = registry.counter(
+            "repro_cache_instance_hits_total", "Cache hits attributed per instance."
+        )
+        inst_evictions = registry.counter(
+            "repro_cache_instance_evictions_total",
+            "Cache evictions attributed per instance.",
+        )
+        age_sum = registry.gauge(
+            "repro_cache_eviction_age_seconds_sum",
+            "Summed entry age at eviction per cache.",
+        )
+        age_count = registry.gauge(
+            "repro_cache_eviction_age_seconds_count",
+            "Evictions contributing to the age histogram per cache.",
+        )
+        for report in reports:
+            name = report.get("name", "?")
+            if "error" in report:
+                continue
+            size.set(report["size"], cache=name)
+            if report.get("capacity") is not None:
+                capacity.set(report["capacity"], cache=name)
+            if report.get("approx_bytes") is not None:
+                approx.set(report["approx_bytes"], cache=name)
+            hits.set_total(report["hits"], cache=name)
+            misses.set_total(report["misses"], cache=name)
+            evictions.set_total(report["evictions"], cache=name)
+            for label, counters in report.get("by_instance", {}).items():
+                if "hits" in counters:
+                    inst_hits.set_total(counters["hits"], cache=name, instance=label)
+                if "evictions" in counters:
+                    inst_evictions.set_total(
+                        counters["evictions"], cache=name, instance=label
+                    )
+            ages = report.get("eviction_ages") or {}
+            age_sum.set(float(ages.get("sum_seconds", 0.0)), cache=name)
+            age_count.set(float(ages.get("count", 0)), cache=name)
+        return reports
+
+
+#: The process-global registry the five caches register with.
+CACHE_REGISTRY = CacheStatsRegistry()
+
+
+def register_cache(name: str, provider: Provider) -> None:
+    """Register a provider with the process-global registry (last wins)."""
+    CACHE_REGISTRY.register(name, provider)
+
+
+def label_instance(key: str, name: str) -> None:
+    """Teach the global registry that attribution key ``key`` is ``name``."""
+    CACHE_REGISTRY.label_instance(key, name)

@@ -1,0 +1,158 @@
+"""Closed-loop trace sampling: pick 1/N from the observed request rate.
+
+A static ``--trace-sample N`` is wrong twice a day: at night it throws
+away traces nobody needed to drop, and during a burst it ships far more
+than the telemetry budget.  :class:`AdaptiveSamplingController` closes
+the loop — the operator states a *budget* (``--trace-target-rps``, traced
+requests per second) and the controller picks N so the traced rate lands
+inside a hysteresis band around it:
+
+* every request calls :meth:`observe_arrival` (a counter bump on the hot
+  path; rate math runs at most once per ``interval_s``);
+* on an interval boundary the arrival rate folds into an EWMA and the
+  *traced* rate ``ewma / N`` is compared against the band
+  ``[target / (1 + h), target * (1 + h)]``;
+* only when the traced rate leaves the band does the controller move N to
+  ``ceil(ewma / target)``, clamped to ``[min_rate, max_rate]`` — the
+  hysteresis keeps N from flapping between adjacent values on noisy
+  arrivals;
+* every adjustment is logged (structured, with before/after), counted in
+  ``repro_sample_rate_adjustments_total{direction}``, and reflected in
+  the ``repro_sample_rate`` / ``repro_sample_observed_rps`` gauges.
+
+The controller owns no thread: it piggybacks on request arrivals, so an
+idle server's rate simply stops moving (and the first burst after idle is
+traced at the last-known N until one interval elapses — bounded staleness
+by construction).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.sample import TraceSampler
+
+_LOG = get_logger("obs.control")
+
+#: Hard clamp on the head-sampling rate N.
+MIN_RATE = 1
+MAX_RATE = 4096
+
+
+class AdaptiveSamplingController:
+    """Adjusts a :class:`TraceSampler`'s 1/N rate toward a traced-rps budget."""
+
+    def __init__(
+        self,
+        sampler: TraceSampler,
+        target_rps: float,
+        *,
+        interval_s: float = 1.0,
+        alpha: float = 0.4,
+        hysteresis: float = 0.25,
+        min_rate: int = MIN_RATE,
+        max_rate: int = MAX_RATE,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if target_rps <= 0:
+            raise ValueError("target_rps must be > 0")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be >= 0")
+        self.target_rps = float(target_rps)
+        self.interval_s = float(interval_s)
+        self.alpha = float(alpha)
+        self.hysteresis = float(hysteresis)
+        self.min_rate = max(MIN_RATE, int(min_rate))
+        self.max_rate = min(MAX_RATE, max(self.min_rate, int(max_rate)))
+        self._sampler = sampler
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._arrivals = 0
+        self._window_started = clock()
+        self._ewma_rps: Optional[float] = None
+        self._adjustments = 0
+        sampler.set_rate(min(max(sampler.rate, self.min_rate), self.max_rate))
+        REGISTRY.gauge(
+            "repro_sample_rate", "Current head-sampling rate N (1-in-N kept)."
+        ).set(sampler.rate)
+
+    def observe_arrival(self) -> None:
+        """Count one request arrival; recompute at interval boundaries."""
+        now = self._clock()
+        with self._lock:
+            self._arrivals += 1
+            elapsed = now - self._window_started
+            if elapsed < self.interval_s:
+                return
+            arrivals = self._arrivals
+            self._arrivals = 0
+            self._window_started = now
+            rate = arrivals / elapsed
+            if self._ewma_rps is None:
+                self._ewma_rps = rate
+            else:
+                self._ewma_rps += self.alpha * (rate - self._ewma_rps)
+            ewma = self._ewma_rps
+        self._adjust(ewma)
+
+    def _adjust(self, ewma_rps: float) -> None:
+        current = self._sampler.rate
+        traced_rps = ewma_rps / current
+        low = self.target_rps / (1.0 + self.hysteresis)
+        high = self.target_rps * (1.0 + self.hysteresis)
+        REGISTRY.gauge(
+            "repro_sample_observed_rps", "EWMA of observed request arrivals per second."
+        ).set(round(ewma_rps, 3))
+        if low <= traced_rps <= high:
+            return
+        desired = max(
+            self.min_rate, min(self.max_rate, math.ceil(ewma_rps / self.target_rps))
+        )
+        if desired == current:
+            return
+        # Re-check the band at the desired rate: when the clamp pins N, the
+        # traced rate may stay out of band and that is the best we can do.
+        self._sampler.set_rate(desired)
+        with self._lock:
+            self._adjustments += 1
+        direction = "up" if desired > current else "down"
+        REGISTRY.counter(
+            "repro_sample_rate_adjustments_total",
+            "Adaptive sampling rate changes, by direction (up = sample less).",
+        ).inc(direction=direction)
+        REGISTRY.gauge(
+            "repro_sample_rate", "Current head-sampling rate N (1-in-N kept)."
+        ).set(desired)
+        _LOG.info(
+            "sample_rate_adjusted",
+            previous_rate=current,
+            rate=desired,
+            observed_rps=round(ewma_rps, 3),
+            traced_rps=round(ewma_rps / desired, 3),
+            target_rps=self.target_rps,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            ewma = self._ewma_rps
+            adjustments = self._adjustments
+        return {
+            "mode": "adaptive",
+            "target_rps": self.target_rps,
+            "rate": self._sampler.rate,
+            "observed_rps": None if ewma is None else round(ewma, 3),
+            "hysteresis": self.hysteresis,
+            "interval_s": self.interval_s,
+            "min_rate": self.min_rate,
+            "max_rate": self.max_rate,
+            "adjustments": adjustments,
+        }

@@ -21,9 +21,11 @@ Spans already time every phase of a request; this module adds *cost*:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.caches import EvictionAges, approx_sizeof, cache_report
 from repro.obs.trace import current_span
 
 #: The domain counters fed by the engine/sharding/worker/store span sites.
@@ -75,6 +77,7 @@ class _CostEntry:
         "counters",
         "recent_ms",
         "last_trace_id",
+        "created_at",
     )
 
     def __init__(self, window: int) -> None:
@@ -85,6 +88,7 @@ class _CostEntry:
         self.counters: Dict[str, float] = {}
         self.recent_ms: "deque[float]" = deque(maxlen=window)
         self.last_trace_id: Optional[str] = None
+        self.created_at = time.monotonic()
 
     def p95_ms(self) -> Optional[float]:
         if not self.recent_ms:
@@ -117,6 +121,10 @@ class CostTable:
         self._entries: "OrderedDict[Tuple[str, str], _CostEntry]" = OrderedDict()
         self._evictions = 0
         self._observations = 0
+        self._hits = 0  # observations that updated an existing key
+        self._misses = 0  # observations that created a key
+        self._by_instance: Dict[str, Dict[str, int]] = {}
+        self._ages = EvictionAges()
 
     @property
     def capacity(self) -> int:
@@ -134,12 +142,25 @@ class CostTable:
         key = (instance, plan)
         with self._lock:
             entry = self._entries.get(key)
+            per_instance = self._by_instance.setdefault(
+                instance, {"hits": 0, "misses": 0, "evictions": 0}
+            )
             if entry is None:
+                self._misses += 1
+                per_instance["misses"] += 1
                 entry = self._entries[key] = _CostEntry(self._window)
+                now = time.monotonic()
                 while len(self._entries) > self._capacity:
-                    self._entries.popitem(last=False)
+                    (evicted_instance, _), evicted = self._entries.popitem(last=False)
                     self._evictions += 1
+                    self._ages.observe(now - evicted.created_at)
+                    victim = self._by_instance.setdefault(
+                        evicted_instance, {"hits": 0, "misses": 0, "evictions": 0}
+                    )
+                    victim["evictions"] += 1
             else:
+                self._hits += 1
+                per_instance["hits"] += 1
                 self._entries.move_to_end(key)
             alpha = self._alpha
             if entry.count == 0:
@@ -156,6 +177,47 @@ class CostTable:
             for name, value in (counters or {}).items():
                 entry.counters[name] = entry.counters.get(name, 0) + value
             self._observations += 1
+
+    def lookup(self, instance: str, plan: str) -> Optional[Dict[str, float]]:
+        """A read-only peek at one key's EWMA columns, or ``None`` when cold.
+
+        Unlike :meth:`observe` this neither touches LRU order nor counts as
+        a hit/miss: admission-control predictions must not keep a key warm
+        that traffic alone would have evicted.
+        """
+        with self._lock:
+            entry = self._entries.get((instance, plan))
+            if entry is None:
+                return None
+            return {
+                "count": entry.count,
+                "ewma_latency_ms": round(entry.ewma_latency_ms, 3),
+                "ewma_cpu_ms": round(entry.ewma_cpu_ms, 3),
+                "p95_ms": entry.p95_ms(),
+            }
+
+    def report(self, name: str = "cost_table") -> Dict[str, object]:
+        """This table in the :mod:`repro.obs.caches` common report schema.
+
+        "Hit" means an observation landed on an existing (instance, plan)
+        key; per-instance attribution uses the instance half of the key.
+        """
+        with self._lock:
+            size = len(self._entries)
+            hits, misses, evictions = self._hits, self._misses, self._evictions
+            by_instance = {k: dict(v) for k, v in self._by_instance.items()}
+            sample = list(self._entries.values())[:16]
+        return cache_report(
+            name,
+            size=size,
+            capacity=self._capacity,
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            by_instance=by_instance,
+            eviction_ages=self._ages.snapshot(),
+            approx_bytes=approx_sizeof(sample, total=size),
+        )
 
     def top(self, sort: str = "cpu", limit: int = 20) -> List[Dict[str, object]]:
         """The ``limit`` most expensive keys by ``cpu``, ``p95`` or ``count``."""

@@ -59,6 +59,18 @@ class Counter:
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
 
+    def set_total(self, total: float, **labels: object) -> None:
+        """Overwrite the cumulative total for a label set, monotonically.
+
+        For mirroring a counter whose source of truth lives elsewhere (a
+        cache's own hit/eviction tally) into the exposition registry: the
+        value only moves forward, so a stale mirror cannot make the series
+        non-monotonic.
+        """
+        key = _labels_key(labels)
+        with self._lock:
+            self._values[key] = max(self._values.get(key, 0.0), float(total))
+
     def value(self, **labels: object) -> float:
         with self._lock:
             return self._values.get(_labels_key(labels), 0.0)

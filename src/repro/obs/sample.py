@@ -110,16 +110,27 @@ class TraceSampler:
 
     @property
     def rate(self) -> int:
-        return self._rate
+        with self._lock:
+            return self._rate
+
+    def set_rate(self, rate: int) -> None:
+        """Retarget the rotation to 1-in-``rate`` (adaptive control hook).
+
+        Takes effect from the next head decision; in-flight traces keep the
+        decision they were admitted under.
+        """
+        with self._lock:
+            self._rate = max(1, int(rate))
 
     def sample(self) -> bool:
         """The head decision for the next trace (True = provisionally keep)."""
-        if self._rate <= 1:
-            return True
         with self._lock:
+            rate = self._rate
+            if rate <= 1:
+                return True
             index = self._counter
             self._counter += 1
-        return index % self._rate == 0
+        return index % rate == 0
 
     def decide(
         self,

@@ -126,8 +126,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-sample",
         default=None,
         metavar="N|1/N",
-        help="head-sample 1 in N traces (slow and 5xx traces are always "
-        "kept); default: REPRO_TRACE_SAMPLE or 1 (trace everything)",
+        help="pin head-sampling to 1 in N traces and disable the adaptive "
+        "controller (slow and 5xx traces are always kept); default: "
+        "REPRO_TRACE_SAMPLE, else adaptive",
+    )
+    parser.add_argument(
+        "--trace-target-rps",
+        type=float,
+        default=defaults.trace_target_rps,
+        metavar="RPS",
+        help="adaptive sampling target: adjust 1/N so roughly RPS traces/s "
+        "are kept (0 disables the controller; ignored with --trace-sample)",
+    )
+    parser.add_argument(
+        "--summary-cache-size",
+        type=int,
+        default=defaults.summary_cache_size,
+        metavar="N",
+        help="shard summary-cache capacity in entries (0 disables caching)",
+    )
+    parser.add_argument(
+        "--max-queue-cost-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="cost-predictive admission: shed with 503 when the predicted "
+        "CPU cost of queued work would exceed MS (default: depth-only "
+        "admission)",
     )
     parser.add_argument(
         "--otlp-export",
@@ -172,6 +197,15 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         trace_sample=(
             parse_sample_rate(args.trace_sample, "--trace-sample")
             if args.trace_sample is not None
+            else None
+        ),
+        trace_target_rps=(
+            args.trace_target_rps if args.trace_target_rps > 0 else None
+        ),
+        summary_cache_size=max(0, args.summary_cache_size),
+        max_queue_cost_ms=(
+            args.max_queue_cost_ms
+            if args.max_queue_cost_ms is not None and args.max_queue_cost_ms > 0
             else None
         ),
         otlp_export=args.otlp_export,

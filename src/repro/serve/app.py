@@ -62,6 +62,7 @@ import contextvars
 import os
 import threading
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -75,6 +76,7 @@ from repro.engine import (
     shard_plan_cache_stats,
     sql_memo_stats,
 )
+from repro.engine.sharding import configure_summary_cache
 from repro.engine.cancellation import CancelToken, JobCancelledError, token_scope
 from repro.exceptions import (
     BackendError,
@@ -84,8 +86,10 @@ from repro.exceptions import (
     SchemaError,
 )
 from repro.obs import (
+    CACHE_REGISTRY,
     REGISTRY,
     TRACE_HEADER,
+    AdaptiveSamplingController,
     CostTable,
     DroppedTraceLog,
     EventLoopLagProbe,
@@ -95,6 +99,16 @@ from repro.obs import (
     get_logger,
     render_prometheus,
     set_log_level,
+)
+from repro.obs.admission import (
+    REASON_COLD_KEY,
+    REASON_COST_OK,
+    REASON_DEPTH,
+    REASON_PREDICTED_COST,
+    AdmissionDecision,
+    CostPredictor,
+    record_decision,
+    retry_after_s,
 )
 from repro.obs.cost import rollup as cost_rollup
 from repro.obs.sample import DECISION_DROP
@@ -151,16 +165,53 @@ _REASONS = {
 
 
 class AdmissionError(ReproError):
-    """The request queue is full; the server sheds load instead of queueing."""
+    """The server sheds this request instead of queueing it.
+
+    ``reason`` lands in the structured 503 body (``"depth"`` for a full
+    gate, ``"predicted_cost"`` for a cost-budget shed) and
+    ``retry_after_s`` becomes the ``Retry-After`` response header.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = REASON_DEPTH,
+        retry_after_s: Optional[int] = None,
+        decision: Optional[AdmissionDecision] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.decision = decision
 
 
 class AdmissionGate:
     """Counting gate bounding engine-bound work (in-flight + queued).
 
-    ``try_acquire`` never blocks: a full gate is an immediate ``503``.  The
-    gate is intentionally test-accessible — filling it by hand is the
+    ``try_acquire``/``admit`` never block: a full gate is an immediate
+    ``503``.  Beyond the slot count the gate keeps a *queued-cost ledger*:
+    each admitted request may deposit its predicted engine CPU, and
+    :meth:`admit` sheds with ``predicted_cost`` when admitting would push
+    the ledger over ``budget_ms``.  Two carve-outs keep the budget from
+    shedding the traffic it exists to protect:
+
+    * an idle gate always admits — shedding the only request in the
+      building would livelock any plan whose prediction alone exceeds the
+      budget;
+    * a request predicted under ``COST_EXEMPT_FRACTION`` of the budget
+      bypasses the budget check (depth still applies): it extends the
+      backlog's drain time negligibly, so shedding it frees nothing —
+      without the exemption a saturated ledger starves the cheap traffic
+      alongside the expensive flood that filled it.
+
+    The gate is intentionally test-accessible — filling it by hand is the
     deterministic way to exercise the rejection path.
     """
+
+    #: Predicted costs at or below this fraction of the budget are never
+    #: cost-shed (they still ride the ledger and the depth check).
+    COST_EXEMPT_FRACTION = 0.05
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -168,6 +219,7 @@ class AdmissionGate:
         self._capacity = capacity
         self._lock = threading.Lock()
         self._in_use = 0
+        self._queued_cost_ms = 0.0
 
     @property
     def capacity(self) -> int:
@@ -178,17 +230,56 @@ class AdmissionGate:
         with self._lock:
             return self._in_use
 
-    def try_acquire(self) -> bool:
+    @property
+    def queued_cost_ms(self) -> float:
+        with self._lock:
+            return self._queued_cost_ms
+
+    def admit(
+        self,
+        cost_ms: Optional[float] = None,
+        budget_ms: Optional[float] = None,
+    ) -> Tuple[bool, str, float]:
+        """One admission verdict: ``(admitted, reason, queued_cost_ms)``.
+
+        ``cost_ms`` is the request's predicted engine CPU (``None`` = cold
+        key, no prediction); ``budget_ms`` the ``--max-queue-cost-ms``
+        budget (``None`` = depth-only).  The returned queued cost is the
+        ledger *after* an admit / at the time of a shed.
+        """
         with self._lock:
             if self._in_use >= self._capacity:
-                return False
+                return False, REASON_DEPTH, self._queued_cost_ms
+            if (
+                budget_ms is not None
+                and cost_ms is not None
+                and cost_ms > budget_ms * self.COST_EXEMPT_FRACTION
+                and self._in_use > 0
+                and self._queued_cost_ms + cost_ms > budget_ms
+            ):
+                return False, REASON_PREDICTED_COST, self._queued_cost_ms
             self._in_use += 1
-            return True
+            if cost_ms is not None:
+                self._queued_cost_ms += max(0.0, cost_ms)
+            if budget_ms is None:
+                reason = REASON_DEPTH
+            elif cost_ms is None:
+                reason = REASON_COLD_KEY
+            else:
+                reason = REASON_COST_OK
+            return True, reason, self._queued_cost_ms
 
-    def release(self) -> None:
+    def try_acquire(self) -> bool:
+        return self.admit()[0]
+
+    def release(self, cost_ms: Optional[float] = None) -> None:
         with self._lock:
             if self._in_use > 0:
                 self._in_use -= 1
+            if cost_ms is not None:
+                self._queued_cost_ms = max(0.0, self._queued_cost_ms - cost_ms)
+            if self._in_use == 0:
+                self._queued_cost_ms = 0.0  # idle gate: no float drift carryover
 
 
 def _default_workers() -> int:
@@ -246,9 +337,25 @@ class ServeConfig:
     #: Requests at or above this wall time (ms) log their full span tree;
     #: ``None`` disables the slow-query log, ``0`` logs every request.
     slow_query_ms: Optional[float] = None
-    #: Head-sample 1 in N traces (``None`` → ``REPRO_TRACE_SAMPLE``, else 1 =
-    #: keep everything).  Slow and 5xx traces are always retained (tail keep).
+    #: Head-sample 1 in N traces.  ``None`` (the default) defers to
+    #: ``REPRO_TRACE_SAMPLE`` for the *starting* rate and lets the adaptive
+    #: controller adjust it; an explicit integer *pins* the rate and
+    #: disables the controller.  Slow and 5xx traces are always retained
+    #: (tail keep), whatever the rate.
     trace_sample: Optional[int] = None
+    #: Traced-requests-per-second budget for the adaptive sampling
+    #: controller: the head rate 1/N tracks the observed arrival rate so
+    #: roughly this many traces per second are head-kept.  ``None`` or
+    #: ``0`` disables adaptation (static rate only).
+    trace_target_rps: Optional[float] = 100.0
+    #: Entry capacity of the process-global shard-summary cache.
+    summary_cache_size: int = 512
+    #: Cost-predictive admission: shed (503, ``reason="predicted_cost"``)
+    #: when the predicted queued engine CPU would exceed this budget.
+    #: ``None`` keeps depth-only admission.  Predictions come from the cost
+    #: table's per-(instance, plan) EWMA, so the knob needs tracing enabled
+    #: to learn; cold keys fall back to depth-only.
+    max_queue_cost_ms: Optional[float] = None
     #: OTLP/JSON export target for retained traces: an ``http(s)://`` URL
     #: (POST per batch) or a file path (NDJSON append).  ``None`` disables.
     otlp_export: Optional[str] = None
@@ -377,8 +484,30 @@ class ConsistentAnswerServer:
             set_log_level(self.config.log_level)
         self.traces = TraceBuffer(max(1, self.config.trace_buffer))
         self.sampler = TraceSampler(self.config.trace_sample)
+        # Adaptive sampling is the default; an explicit --trace-sample pins
+        # the static rate and a zero/None target disables the controller.
+        self.sampling_controller: Optional[AdaptiveSamplingController] = (
+            AdaptiveSamplingController(self.sampler, self.config.trace_target_rps)
+            if self.config.trace_sample is None
+            and self.config.trace_target_rps
+            and self.config.tracing
+            else None
+        )
         self.sampled_out = DroppedTraceLog()
         self.cost_table = CostTable()
+        self.predictor = CostPredictor(self.cost_table)
+        configure_summary_cache(self.config.summary_cache_size)
+        # The cost table doubles as the fifth registered cache; weakref so a
+        # replaced server's table can be collected (last registration wins).
+        table_ref = weakref.ref(self.cost_table)
+        CACHE_REGISTRY.register(
+            "cost_table",
+            lambda: (
+                table.report("cost_table")
+                if (table := table_ref()) is not None
+                else None
+            ),
+        )
         self.exporter: Optional[SpanExporter] = (
             SpanExporter(
                 self.config.otlp_export,
@@ -405,6 +534,7 @@ class ConsistentAnswerServer:
             ("GET", "/instances"): self._handle_list_instances,
             ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/debug/top"): self._handle_debug_top,
+            ("GET", "/debug/caches"): self._handle_debug_caches,
             ("GET", "/healthz"): self._handle_healthz,
         }
 
@@ -715,6 +845,8 @@ class ConsistentAnswerServer:
         """
         incoming = request.headers.get(_TRACE_HEADER_LOWER) or None
         trace_id = incoming or new_trace_id()
+        if self.sampling_controller is not None:
+            self.sampling_controller.observe_arrival()
         head = self.sampler.sample()
         with start_trace(
             "http.request",
@@ -767,6 +899,9 @@ class ConsistentAnswerServer:
             ):
                 payload = dict(payload)
                 payload["trace"] = tree
+                admission = root.tags.get("admission")
+                if isinstance(admission, dict):
+                    payload["admission"] = admission
         return status, payload, {**response_headers, TRACE_HEADER: trace_id}
 
     def _account_cost(self, root, tree: Dict[str, object], duration_ms: float) -> None:
@@ -782,11 +917,21 @@ class ConsistentAnswerServer:
         if not instance or not plan:
             return
         rolled = cost_rollup(tree)
+        # The dispatch path measures the engine thread's CPU directly into
+        # the root's metrics regardless of sampling, and that number is
+        # per-request exact.  The span-walk CPU is not: the root span's
+        # cpu_ms is the *event loop thread's* CPU for the span's lifetime,
+        # which under concurrency includes loop work done for other
+        # requests — folding it in would inflate cheap plans' EWMA exactly
+        # when the admission gate needs it honest.  Trust engine CPU when
+        # present; fall back to the span walk only for requests that never
+        # reached an engine thread.
+        engine_cpu = float(rolled["counters"].get("engine_cpu_ms", 0.0))
         self.cost_table.observe(
             str(instance),
             str(plan),
             duration_ms=duration_ms,
-            cpu_ms=rolled["cpu_ms"],
+            cpu_ms=engine_cpu if engine_cpu > 0.0 else float(rolled["cpu_ms"]),
             counters=rolled["counters"],
             trace_id=root.trace_id,
         )
@@ -851,6 +996,16 @@ class ConsistentAnswerServer:
         except Exception as exc:  # noqa: BLE001 — every error becomes JSON
             status, error_type = _classify_exception(exc)
             payload = error_body(error_type, str(exc))
+            if isinstance(exc, AdmissionError):
+                # The structured 503 envelope: why the shed happened, what
+                # was predicted, and when to come back.
+                payload["error"]["reason"] = exc.reason
+                if exc.decision is not None:
+                    payload["error"]["admission"] = exc.decision.to_payload()
+                response_headers = {
+                    **response_headers,
+                    "Retry-After": str(exc.retry_after_s or 1),
+                }
         self.metrics.request_finished(
             endpoint,
             status,
@@ -867,6 +1022,25 @@ class ConsistentAnswerServer:
             timeout = min(timeout, requested)
         return timeout
 
+    def _admission_decision(self) -> AdmissionDecision:
+        """Consult the predictor and the gate for the current request."""
+        budget = self.config.max_queue_cost_ms
+        predicted: Optional[float] = None
+        if budget is not None:
+            root = current_span()
+            if root is not None:
+                predicted = self.predictor.predict_ms(
+                    root.tags.get("instance"), root.tags.get("plan")
+                )
+        admitted, reason, queued = self.gate.admit(predicted, budget)
+        return AdmissionDecision(
+            admitted=admitted,
+            reason=reason,
+            predicted_cost_ms=predicted,
+            queued_cost_ms=queued,
+            retry_after_s=None if admitted else retry_after_s(queued),
+        )
+
     async def _dispatch(self, fn: Callable[[], object], timeout_s: float) -> object:
         """Run ``fn`` on the engine pool under admission control + timeout.
 
@@ -882,12 +1056,38 @@ class ConsistentAnswerServer:
         request does — a timed-out request whose thread is still computing
         keeps its slot, so the workers+max_pending bound holds under
         timeout storms instead of the executor queue growing unboundedly.
+
+        With ``--max-queue-cost-ms`` set, admission is cost-predictive: the
+        request's (instance, plan) — tagged on the root span by
+        :meth:`_parse_query_request` — is looked up in the cost table, and
+        the predicted engine CPU both gates the request against the queued
+        budget and rides the gate's ledger until the job finishes.  Cold
+        keys (and non-query requests) fall back to depth-only.
         """
-        if not self.gate.try_acquire():
+        decision = self._admission_decision()
+        record_decision(decision)
+        root = current_span()
+        if root is not None:
+            root.set_tag("admission", decision.to_payload())
+        if not decision.admitted:
+            if decision.reason == REASON_PREDICTED_COST:
+                message = (
+                    f"predicted cost {decision.predicted_cost_ms:.1f}ms would "
+                    f"push the queued {decision.queued_cost_ms:.1f}ms over the "
+                    f"{self.config.max_queue_cost_ms:g}ms budget; retry later"
+                )
+            else:
+                message = (
+                    f"server at capacity ({self.gate.capacity} in flight or "
+                    f"queued); retry later"
+                )
             raise AdmissionError(
-                f"server at capacity ({self.gate.capacity} in flight or queued); "
-                f"retry later"
+                message,
+                reason=decision.reason,
+                retry_after_s=decision.retry_after_s,
+                decision=decision,
             )
+        ledger_cost = decision.predicted_cost_ms
         loop = asyncio.get_running_loop()
         # contextvars do not flow into executor threads on their own; the
         # copied context carries the active span so engine/store spans land
@@ -898,19 +1098,31 @@ class ConsistentAnswerServer:
 
         def run_with_token():
             with token_scope(token):
-                return fn()
+                span = current_span()
+                if span is None:
+                    return fn()
+                # Engine CPU measured on the executor thread itself, so the
+                # cost table learns real CPU even for head-dropped traces
+                # (which record no child spans to roll up).
+                started_cpu = time.thread_time()
+                try:
+                    return fn()
+                finally:
+                    span.add_metric(
+                        "engine_cpu_ms", (time.thread_time() - started_cpu) * 1000.0
+                    )
 
         context = contextvars.copy_context()
         try:
             job = self._executor.submit(context.run, run_with_token)
         except BaseException:
-            self.gate.release()
+            self.gate.release(ledger_cost)
             raise
         # The release hangs off the *concurrent* future: its callbacks fire
         # only when the job really finished (or was dropped unstarted) —
         # cancelling the asyncio wrapper below would fire immediately and
         # free a slot whose thread is still computing.
-        job.add_done_callback(lambda f: self.gate.release())
+        job.add_done_callback(lambda f: self.gate.release(ledger_cost))
         future = asyncio.wrap_future(job, loop=loop)
         done, _pending = await asyncio.wait({future}, timeout=timeout_s)
         if not done:
@@ -1336,6 +1548,7 @@ class ConsistentAnswerServer:
         wants_prometheus = "prometheus" in parse_qs(query).get("format", [])
         if wants_prometheus:
             self._refresh_registry_gauges()
+            CACHE_REGISTRY.publish(REGISTRY)
             page = render_prometheus(self.metrics.snapshot(), REGISTRY)
             return 200, _TextResponse(page)
         stats = self.engine.cache_stats()
@@ -1360,6 +1573,8 @@ class ConsistentAnswerServer:
                     "in_use": self.gate.in_use,
                     "workers": self._workers,
                     "max_pending": self.config.max_pending,
+                    "queued_cost_ms": round(self.gate.queued_cost_ms, 3),
+                    "max_queue_cost_ms": self.config.max_queue_cost_ms,
                 },
                 "worker_pool": (
                     self._pool.stats()
@@ -1372,7 +1587,14 @@ class ConsistentAnswerServer:
                     else {"enabled": False}
                 ),
                 "instances": self.registry.names(),
-                "sampling": self.sampler.stats(),
+                "sampling": {
+                    **self.sampler.stats(),
+                    **(
+                        self.sampling_controller.stats()
+                        if self.sampling_controller is not None
+                        else {"mode": "static"}
+                    ),
+                },
                 "otlp_export": (
                     self.exporter.stats()
                     if self.exporter is not None
@@ -1384,28 +1606,45 @@ class ConsistentAnswerServer:
         )
         return 200, snapshot
 
+    _TOP_SORTS = ("cpu", "p95", "count")
+
     async def _handle_debug_top(
         self, payload: object, query: str = ""
     ) -> Tuple[int, object]:
         """``GET /debug/top?sort=cpu|p95|count&limit=N`` — the cost table."""
         from urllib.parse import parse_qs
 
-        params = parse_qs(query)
+        # keep_blank_values: `?sort=` must 400 like any other unknown key,
+        # not silently fall back to the default.
+        params = parse_qs(query, keep_blank_values=True)
         sort = (params.get("sort") or ["cpu"])[0]
-        if sort not in ("cpu", "p95", "count"):
-            raise _HttpError(
-                400, "Protocol", f"unknown sort {sort!r}; use cpu, p95 or count"
+        if sort not in self._TOP_SORTS:
+            body = error_body(
+                "Protocol",
+                f"unknown sort {sort!r}; use one of {', '.join(self._TOP_SORTS)}",
             )
+            body["error"]["valid_sorts"] = list(self._TOP_SORTS)
+            return 400, body
         raw_limit = (params.get("limit") or ["20"])[0]
         try:
             limit = max(1, int(raw_limit))
         except ValueError:
-            raise _HttpError(400, "Protocol", f"'limit' must be an integer, got {raw_limit!r}")
+            raise _HttpError(
+                400, "Protocol", f"'limit' must be an integer, got {raw_limit!r}"
+            )
         return 200, {
             "sort": sort,
             "summary": self.cost_table.summary(),
             "top": self.cost_table.top(sort=sort, limit=limit),
         }
+
+    async def _handle_debug_caches(self, payload: object) -> Tuple[int, object]:
+        """``GET /debug/caches`` — every registered cache, one report schema.
+
+        The snapshot opens a ``cache.stats`` span per provider, so a traced
+        scrape shows where the stats time went, cache by cache.
+        """
+        return 200, {"caches": CACHE_REGISTRY.snapshot()}
 
     async def _handle_healthz(self, payload: object) -> Tuple[int, object]:
         if self.store is not None:

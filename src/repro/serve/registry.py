@@ -29,6 +29,7 @@ from repro.datamodel.instance import BlockKey, DatabaseInstance, canonical_shard
 from repro.engine.plan import schema_fingerprint
 from repro.engine.sharding import note_summary_invalidations
 from repro.exceptions import ReproError
+from repro.obs.caches import label_instance
 from repro.serve.protocol import instance_from_payload
 
 
@@ -241,6 +242,10 @@ class InstanceRegistry:
                     self._store.replace(name, instance, version=version, shards=shards)
                 else:
                     self._store.save(name, instance, version=version, shards=shards)
+            # Cache telemetry attributes entries by lineage token; teach the
+            # registry the token's human name (copies share the lineage, so
+            # one label survives every copy-on-write mutation).
+            label_instance(instance.lineage, name)
             with self._lock:
                 self._instances[name] = entry
             self._notify("replace" if old is not None else "register", name)
@@ -382,7 +387,7 @@ class InstanceRegistry:
             )
             with self._lock:
                 self._instances[name] = new_entry
-            note_summary_invalidations(len(slots))
+            note_summary_invalidations(len(slots), lineage=mutated.lineage)
             self._notify("mutate", name)
         return MutationOutcome(
             entry=new_entry,

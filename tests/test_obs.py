@@ -21,6 +21,15 @@ import pytest
 
 from repro.engine import WorkerPool
 from repro.obs import TRACE_HEADER, TraceBuffer, get_logger, render_prometheus
+from repro.obs.admission import (
+    REASON_COLD_KEY,
+    REASON_COST_OK,
+    REASON_DEPTH,
+    REASON_PREDICTED_COST,
+    CostPredictor,
+    retry_after_s,
+)
+from repro.obs.control import MAX_RATE, AdaptiveSamplingController
 from repro.obs.cost import CostTable, add_cost, rollup
 from repro.obs.export import SpanExporter
 from repro.obs.log import (
@@ -46,7 +55,7 @@ from repro.obs.trace import (
     start_trace,
     tracing_enabled,
 )
-from repro.serve.app import ConsistentAnswerServer, ServeConfig
+from repro.serve.app import AdmissionGate, ConsistentAnswerServer, ServeConfig
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.metrics import LatencyHistogram
 from repro.workloads.queries import stock_sum_query
@@ -1223,3 +1232,301 @@ class TestLogLevel:
         events = [json.loads(line)["event"] for line in captured_log.lines]
         assert "should_be_filtered" not in events
         assert "should_pass" in events
+
+
+# -- adaptive sampling control -----------------------------------------------------------
+
+
+def _tick_second(controller, clock_cell, arrivals):
+    """Feed one second of ``arrivals`` requests through the controller.
+
+    The last arrival lands after the fake clock crosses the interval
+    boundary, so it triggers the rate recomputation for the full window.
+    """
+    for _ in range(arrivals - 1):
+        controller.observe_arrival()
+    clock_cell[0] += 1.0
+    controller.observe_arrival()
+
+
+class TestAdaptiveSamplingController:
+    def _controller(self, target_rps=10.0, **kwargs):
+        sampler = TraceSampler(1)
+        clock_cell = [0.0]
+        kwargs.setdefault("alpha", 1.0)  # no smoothing: deterministic steps
+        controller = AdaptiveSamplingController(
+            sampler, target_rps, clock=lambda: clock_cell[0], **kwargs
+        )
+        return controller, sampler, clock_cell
+
+    def test_converges_after_a_10x_step(self):
+        controller, sampler, clock = self._controller(target_rps=10.0)
+        # steady state at 100 rps: one window moves N to 100/10 = 10
+        _tick_second(controller, clock, 100)
+        assert sampler.rate == 10
+        # a 10x arrival step: the next window re-lands the traced rate
+        # inside the hysteresis band around the target
+        _tick_second(controller, clock, 1000)
+        assert sampler.rate == 100
+        traced_rps = 1000 / sampler.rate
+        assert 10.0 / 1.25 <= traced_rps <= 10.0 * 1.25
+        # ...and holds there: no further adjustments while arrivals are flat
+        adjustments = controller.stats()["adjustments"]
+        for _ in range(3):
+            _tick_second(controller, clock, 1000)
+        assert controller.stats()["adjustments"] == adjustments
+        assert sampler.rate == 100
+
+    def test_hysteresis_absorbs_in_band_noise(self):
+        controller, sampler, clock = self._controller(target_rps=10.0)
+        _tick_second(controller, clock, 100)
+        assert sampler.rate == 10
+        # traced rate 11 rps is within the +-25% band: N must not flap
+        _tick_second(controller, clock, 110)
+        assert sampler.rate == 10
+        assert controller.stats()["adjustments"] == 1
+
+    def test_rate_recovers_downward_when_traffic_drops(self):
+        controller, sampler, clock = self._controller(target_rps=10.0)
+        _tick_second(controller, clock, 1000)
+        assert sampler.rate == 100
+        _tick_second(controller, clock, 20)
+        assert sampler.rate == 2
+
+    def test_rate_clamps_at_the_extremes(self):
+        controller, sampler, clock = self._controller(target_rps=0.01)
+        _tick_second(controller, clock, 100000)
+        assert sampler.rate == MAX_RATE
+        controller, sampler, clock = self._controller(target_rps=1000.0)
+        sampler.set_rate(64)
+        _tick_second(controller, clock, 10)
+        assert sampler.rate == 1
+
+    def test_stats_shape_and_validation(self):
+        controller, sampler, clock = self._controller(target_rps=10.0)
+        stats = controller.stats()
+        assert stats["mode"] == "adaptive"
+        assert stats["target_rps"] == 10.0
+        assert stats["observed_rps"] is None  # no full window yet
+        with pytest.raises(ValueError):
+            AdaptiveSamplingController(TraceSampler(1), 0.0)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingController(TraceSampler(1), 10.0, interval_s=0)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingController(TraceSampler(1), 10.0, alpha=0)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingController(TraceSampler(1), 10.0, hysteresis=-1)
+
+    def test_server_reports_adaptive_vs_static_mode(self):
+        async def scenario(server, client):
+            metrics = await client.metrics()
+            return metrics["sampling"]
+
+        sampling = serve_scenario(scenario, trace_target_rps=50.0)
+        assert sampling["mode"] == "adaptive"
+        assert sampling["target_rps"] == 50.0
+        sampling = serve_scenario(
+            scenario, trace_sample=5, trace_target_rps=50.0
+        )
+        assert sampling["mode"] == "static"  # an explicit pin wins
+        assert sampling["rate"] == 5
+
+
+# -- cost-predictive admission -----------------------------------------------------------
+
+
+class TestCostPredictor:
+    def test_cold_and_single_observation_keys_return_none(self):
+        table = CostTable()
+        predictor = CostPredictor(table, min_observations=2)
+        assert predictor.predict_ms("stock", "Q") is None
+        table.observe("stock", "Q", 100.0, 40.0)
+        assert predictor.predict_ms("stock", "Q") is None  # one outlier != signal
+        table.observe("stock", "Q", 100.0, 40.0)
+        assert predictor.predict_ms("stock", "Q") == pytest.approx(40.0)
+
+    def test_prediction_uses_cpu_not_wall_latency(self):
+        table = CostTable()
+        predictor = CostPredictor(table, min_observations=1)
+        # queueing inflates wall latency; CPU is the workload's true cost
+        table.observe("stock", "Q", 5000.0, 2.0)
+        assert predictor.predict_ms("stock", "Q") == pytest.approx(2.0)
+
+    def test_missing_identifiers_return_none(self):
+        predictor = CostPredictor(CostTable(), min_observations=1)
+        assert predictor.predict_ms(None, "Q") is None
+        assert predictor.predict_ms("stock", None) is None
+
+    def test_lookup_does_not_perturb_the_table(self):
+        table = CostTable(capacity=2)
+        predictor = CostPredictor(table, min_observations=1)
+        table.observe("i", "old", 1.0, 1.0)
+        table.observe("i", "warm", 1.0, 1.0)
+        # a prediction storm on the LRU-cold key must not keep it warm
+        for _ in range(10):
+            predictor.predict_ms("i", "old")
+        table.observe("i", "new", 1.0, 1.0)  # evicts the true LRU tail
+        assert predictor.predict_ms("i", "old") is None
+        assert predictor.predict_ms("i", "warm") is not None
+
+
+class TestAdmissionGateLedger:
+    def test_depth_shed_when_full(self):
+        gate = AdmissionGate(1)
+        assert gate.admit() == (True, REASON_DEPTH, 0.0)
+        admitted, reason, _ = gate.admit()
+        assert not admitted and reason == REASON_DEPTH
+
+    def test_cost_budget_sheds_expensive_backlog(self):
+        gate = AdmissionGate(8)
+        admitted, reason, queued = gate.admit(40.0, 100.0)
+        assert admitted and reason == REASON_COST_OK and queued == 40.0
+        admitted, reason, queued = gate.admit(50.0, 100.0)
+        assert admitted and reason == REASON_COST_OK and queued == 90.0
+        admitted, reason, queued = gate.admit(40.0, 100.0)
+        assert not admitted and reason == REASON_PREDICTED_COST
+        assert queued == 90.0
+
+    def test_empty_gate_always_admits(self):
+        gate = AdmissionGate(8)
+        # a prediction alone over budget must still run on an idle server
+        admitted, reason, _ = gate.admit(10_000.0, 1.0)
+        assert admitted and reason == REASON_COST_OK
+
+    def test_small_costs_are_exempt_from_the_budget_check(self):
+        gate = AdmissionGate(8)
+        gate.admit(95.0, 100.0)
+        # a 2 ms point query extends the backlog negligibly: admitted even
+        # though the ledger is saturated (it still deposits its cost)
+        admitted, reason, queued = gate.admit(2.0, 100.0)
+        assert admitted and reason == REASON_COST_OK
+        assert queued == 97.0
+        # a significant cost against the same ledger sheds
+        admitted, reason, _ = gate.admit(20.0, 100.0)
+        assert not admitted and reason == REASON_PREDICTED_COST
+
+    def test_cold_keys_fall_back_to_depth(self):
+        gate = AdmissionGate(8)
+        gate.admit(40.0, 100.0)
+        admitted, reason, queued = gate.admit(None, 100.0)
+        assert admitted and reason == REASON_COLD_KEY
+        assert queued == 40.0  # cold keys deposit nothing
+
+    def test_release_drains_and_zeroes_the_ledger(self):
+        gate = AdmissionGate(8)
+        gate.admit(40.0, 100.0)
+        gate.admit(50.0, 100.0)
+        gate.release(40.0)
+        assert gate.queued_cost_ms == 50.0
+        gate.release(50.0)
+        assert gate.in_use == 0
+        assert gate.queued_cost_ms == 0.0  # idle gate carries no drift
+
+    def test_retry_after_scales_with_backlog(self):
+        assert retry_after_s(0.0) == 1
+        assert retry_after_s(2500.0) == 3
+        assert retry_after_s(1e9) == 30
+
+
+class TestCostShedIntegration:
+    def test_predicted_cost_shed_is_a_structured_503(self):
+        async def scenario(server, client):
+            # warm the cost table past min_observations
+            for _ in range(3):
+                await client.answer("stock", STOCK_SUM)
+            # occupy the gate with an expensive backlog by hand — the
+            # deterministic way to exercise the budget check
+            admitted, _, _ = server.gate.admit(50.0, server.config.max_queue_cost_ms)
+            assert admitted
+            try:
+                host, port = server.address
+                status, headers, payload = await _raw_request(
+                    host,
+                    port,
+                    "POST",
+                    "/answer",
+                    headers={"Content-Type": "application/json"},
+                    body=json.dumps(
+                        {"instance": "stock", "query": STOCK_SUM}
+                    ).encode(),
+                )
+                body = json.loads(payload)
+                assert status == 503
+                error = body["error"]
+                assert error["type"] == "AdmissionError"
+                assert error["reason"] == "predicted_cost"
+                admission = error["admission"]
+                assert admission["admitted"] is False
+                assert admission["predicted_cost_ms"] > 0.0
+                assert admission["queued_cost_ms"] >= 50.0
+                assert int(headers["retry-after"]) >= 1
+            finally:
+                server.gate.release(50.0)
+            # with the backlog drained the same request is admitted again
+            answer = await client.answer("stock", STOCK_SUM)
+            assert answer is not None
+            metrics = await client.metrics()
+            assert metrics["admission"]["max_queue_cost_ms"] == 0.5
+            return None
+
+        serve_scenario(scenario, max_queue_cost_ms=0.5)
+
+    def test_explain_payload_carries_the_admission_verdict(self):
+        async def scenario(server, client):
+            status, body = await client.request(
+                "POST",
+                "/answer",
+                {"instance": "stock", "query": STOCK_SUM, "explain": True},
+            )
+            assert status == 200
+            admission = body["admission"]
+            # an idle server admits; the cold cost table gives no prediction
+            assert admission["admitted"] is True
+            assert admission["reason"] == REASON_COLD_KEY
+            assert admission["predicted_cost_ms"] is None
+            # once the key is warm, the verdict carries the prediction
+            for _ in range(2):
+                await client.answer("stock", STOCK_SUM)
+            status, body = await client.request(
+                "POST",
+                "/answer",
+                {"instance": "stock", "query": STOCK_SUM, "explain": True},
+            )
+            assert status == 200
+            admission = body["admission"]
+            assert admission["reason"] == REASON_COST_OK
+            assert admission["predicted_cost_ms"] >= 0.0
+            return None
+
+        serve_scenario(scenario, max_queue_cost_ms=10_000.0)
+
+    def test_depth_only_servers_report_depth_reason(self):
+        async def scenario(server, client):
+            status, body = await client.request(
+                "POST",
+                "/answer",
+                {"instance": "stock", "query": STOCK_SUM, "explain": True},
+            )
+            assert status == 200
+            assert body["admission"]["reason"] == REASON_DEPTH
+            return None
+
+        serve_scenario(scenario)  # no max_queue_cost_ms: depth-only
+
+
+class TestDebugTopValidation:
+    def test_unknown_sort_is_a_structured_400(self):
+        async def scenario(server, client):
+            status, body = await client.request("GET", "/debug/top?sort=bogus")
+            assert status == 400
+            assert body["error"]["type"] == "Protocol"
+            assert body["error"]["valid_sorts"] == ["cpu", "p95", "count"]
+            # an explicitly empty sort is an unknown key, not the default
+            status, body = await client.request("GET", "/debug/top?sort=")
+            assert status == 400
+            assert body["error"]["valid_sorts"] == ["cpu", "p95", "count"]
+            status, body = await client.request("GET", "/debug/top?limit=x")
+            assert status == 400
+            return None
+
+        serve_scenario(scenario)

@@ -501,6 +501,8 @@ class TestServerConcurrency:
             "in_use",
             "workers",
             "max_pending",
+            "queued_cost_ms",
+            "max_queue_cost_ms",
         }
         assert metrics["instances"] == ["running_example", "stock"]
         assert metrics["in_flight"] >= 0
